@@ -1,0 +1,49 @@
+"""Figure 1 — motivation: why neither centralized nor geo-replicated
+deployments give near-user latency.
+
+Reproduces: a ~100 ms + one-storage-read request issued from five user
+locations against (a) a totally centralized deployment in Virginia, (b) a
+geo-replicated strongly consistent store (ABD quorum over VA/OH/OR), and
+(c) inconsistent local storage (the red line / best case).
+
+Shape targets from the paper:
+* the centralized deployment is fastest for VA users and degrades with
+  distance (JP > 2x VA);
+* geo-replication does NOT fix it — it is usually *worse* than
+  centralized, despite replicas being nearby;
+* both are far above the local-storage lower bound.
+"""
+
+from repro.bench import fig1_motivation, print_table, save_results
+
+
+def test_fig1_motivation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig1_motivation(requests_per_region=200), rounds=1, iterations=1
+    )
+    print_table(
+        ["region", "centralized (ms)", "geo-replicated (ms)", "local ideal (ms)"],
+        [
+            [r["region"].upper(), r["centralized_median_ms"],
+             r["geo_replicated_median_ms"], r["local_ideal_median_ms"]]
+            for r in rows
+        ],
+        title="Figure 1: end-to-end median latency by deployment",
+    )
+    save_results("fig1_motivation", {"rows": rows})
+
+    by_region = {r["region"]: r for r in rows}
+    # Centralized latency grows with distance from VA; JP > 2x VA.
+    assert by_region["jp"]["centralized_median_ms"] > 2 * by_region["va"]["centralized_median_ms"]
+    # Geo-replication is worse than (or at best comparable to) centralized
+    # in every region — the paper's headline motivation result.
+    for r in rows:
+        assert r["geo_replicated_median_ms"] > r["centralized_median_ms"] * 0.95
+    # Both are far above the local lower bound for far regions.
+    for region in ("ca", "ie", "de", "jp"):
+        r = by_region[region]
+        assert r["centralized_median_ms"] > r["local_ideal_median_ms"] * 1.4
+        assert r["geo_replicated_median_ms"] > r["local_ideal_median_ms"] * 1.4
+    # The local bound is roughly flat across regions (no WAN in it).
+    locals_ = [r["local_ideal_median_ms"] for r in rows]
+    assert max(locals_) - min(locals_) < 25

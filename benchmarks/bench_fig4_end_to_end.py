@@ -1,0 +1,53 @@
+"""Figure 4 — end-to-end latency: Radical vs the primary-DC baseline.
+
+Reproduces: per-application median (bar) and p99 (whisker) for both
+deployments, the red line (inconsistent local ideal), the latency
+improvement, the fraction of the maximum possible improvement captured,
+and the LVI validation success rate (§5.3).
+
+Shape targets from the paper:
+* Radical improves median latency for every application (paper: 28-35%);
+* Radical captures most of the achievable improvement (paper: 84-89%);
+* validation success stays high (paper: ~95%) despite zipf-0.99 skew.
+"""
+
+from conftest import bench_requests
+
+from repro.bench import ExperimentConfig, fig4_rows, print_table, run_eval_trio, save_results
+
+APPS = ("social", "hotel", "forum")
+
+
+def run_all():
+    cfg = ExperimentConfig(requests=bench_requests(), seed=42)
+    return [fig4_rows(run_eval_trio(app, cfg)) for app in APPS]
+
+
+def test_fig4_end_to_end(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        ["app", "radical med", "radical p99", "baseline med", "baseline p99",
+         "ideal med", "improve %", "of max %", "valid %"],
+        [
+            [r["app"], r["radical_median_ms"], r["radical_p99_ms"],
+             r["baseline_median_ms"], r["baseline_p99_ms"], r["ideal_median_ms"],
+             r["improvement_pct"], r["fraction_of_max_pct"],
+             r["validation_success_rate"] * 100]
+            for r in rows
+        ],
+        title="Figure 4: end-to-end latency, Radical vs primary-DC baseline",
+    )
+    save_results("fig4_end_to_end", {"rows": rows})
+
+    for r in rows:
+        # Radical beats the baseline by a substantial margin everywhere.
+        assert 15.0 <= r["improvement_pct"] <= 50.0, r
+        # And captures most of the possible improvement.
+        assert r["fraction_of_max_pct"] >= 75.0, r
+        # Validation succeeds for the overwhelming majority of requests.
+        assert r["validation_success_rate"] >= 0.85, r
+        # The ideal stays the lower bound (up to jitter noise).
+        assert r["radical_median_ms"] >= r["ideal_median_ms"] * 0.97, r
+    # The hotel app benefits most and the forum least (paper's ordering).
+    by_app = {r["app"]: r for r in rows}
+    assert by_app["forum"]["improvement_pct"] == min(r["improvement_pct"] for r in rows)

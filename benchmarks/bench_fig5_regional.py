@@ -1,0 +1,59 @@
+"""Figure 5 — regional variation: per-location latency for each app.
+
+Reproduces: median+p99 per deployment location for Radical and the
+baseline, with the local-ideal red line.
+
+Shape targets from the paper:
+* Radical's absolute improvement over the baseline grows with
+  lat_nu<->ns (JP gains most, VA least);
+* in VA, Radical is slightly *worse* than the baseline (same function,
+  same storage, plus Radical's overheads);
+* Radical's latency is nearly flat across regions for most apps (the
+  distance to the primary is hidden), while the baseline's grows with
+  distance.
+"""
+
+from conftest import bench_requests
+
+from repro.bench import ExperimentConfig, fig5_rows, print_table, run_eval_trio, save_results
+
+APPS = ("social", "hotel", "forum")
+
+
+def run_all():
+    cfg = ExperimentConfig(requests=bench_requests(), seed=42)
+    return {app: fig5_rows(run_eval_trio(app, cfg)) for app in APPS}
+
+
+def test_fig5_regional(benchmark):
+    per_app = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for app, rows in per_app.items():
+        print_table(
+            ["region", "lat_nu<->ns", "radical med", "radical p99",
+             "baseline med", "baseline p99", "ideal med"],
+            [
+                [r["region"].upper(), r["lat_nu_ns_ms"], r["radical_median_ms"],
+                 r["radical_p99_ms"], r["baseline_median_ms"], r["baseline_p99_ms"],
+                 r["ideal_median_ms"]]
+                for r in rows
+            ],
+            title=f"Figure 5 ({app}): per-region end-to-end latency",
+        )
+    save_results("fig5_regional", per_app)
+
+    for app, rows in per_app.items():
+        by_region = {r["region"]: r for r in rows}
+        gains = {
+            r["region"]: r["baseline_median_ms"] - r["radical_median_ms"] for r in rows
+        }
+        # Improvement correlates with distance: JP gains the most, VA the
+        # least (in VA Radical is slightly worse: negative gain allowed).
+        assert gains["jp"] == max(gains.values()), app
+        assert gains["va"] == min(gains.values()), app
+        assert gains["va"] <= 5.0, (app, gains["va"])  # ~no gain at home
+        for region in ("ca", "ie", "de", "jp"):
+            assert gains[region] > 20.0, (app, region)
+        # Baseline latency grows with distance; Radical stays much flatter.
+        base_spread = by_region["jp"]["baseline_median_ms"] - by_region["va"]["baseline_median_ms"]
+        radical_spread = by_region["jp"]["radical_median_ms"] - by_region["va"]["radical_median_ms"]
+        assert radical_spread < base_spread, app

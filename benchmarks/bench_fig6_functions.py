@@ -1,0 +1,64 @@
+"""Figure 6 — per-function latency: who benefits from Radical and why.
+
+Reproduces: per-function median+p99 under Radical and the baseline.
+
+Shape targets from the paper (§5.5):
+* functions whose execution time exceeds lat_nu<->ns benefit most — the
+  LVI round trip is fully hidden behind execution;
+* very short functions (hotel.review 13 ms, forum.interact 16 ms,
+  forum.post 18 ms) gain little: their latency is close to running near
+  storage, but — crucially — no worse than the baseline by more than a
+  few ms, so enabling Radical is safe for every function.
+"""
+
+from conftest import bench_requests
+
+from repro.bench import ExperimentConfig, fig6_rows, print_table, run_eval_trio, save_results
+
+APPS = ("social", "hotel", "forum")
+
+SHORT_FUNCTIONS = ("hotel.review", "forum.interact", "forum.post", "social.follow")
+
+
+def run_all():
+    cfg = ExperimentConfig(requests=bench_requests(), seed=42)
+    rows = []
+    for app in APPS:
+        rows.extend(fig6_rows(run_eval_trio(app, cfg)))
+    return rows
+
+
+def test_fig6_functions(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        ["function", "exec (ms)", "radical med", "radical p99",
+         "baseline med", "baseline p99", "n"],
+        [
+            [r["function"], r["service_time_ms"], r["radical_median_ms"],
+             r["radical_p99_ms"], r["baseline_median_ms"], r["baseline_p99_ms"],
+             r["samples"]]
+            for r in rows
+        ],
+        title="Figure 6: per-function end-to-end latency",
+    )
+    save_results("fig6_functions", {"rows": rows})
+
+    by_fn = {r["function"]: r for r in rows}
+    for r in rows:
+        if r["samples"] < 30:
+            continue  # too few draws for a stable median
+        gain = r["baseline_median_ms"] - r["radical_median_ms"]
+        if r["service_time_ms"] >= 100.0:
+            # Long functions hide the LVI round trip: solid gains.
+            assert gain > 25.0, r["function"]
+        else:
+            # Short functions: latency close to near-storage execution —
+            # still no big regression vs the baseline.
+            assert gain > -20.0, r["function"]
+    # Long functions gain more than short ones on average.
+    longs = [r["baseline_median_ms"] - r["radical_median_ms"]
+             for r in rows if r["service_time_ms"] >= 100 and r["samples"] >= 30]
+    shorts = [r["baseline_median_ms"] - r["radical_median_ms"]
+              for r in rows if r["service_time_ms"] < 30 and r["samples"] >= 30]
+    if longs and shorts:
+        assert sum(longs) / len(longs) > sum(shorts) / len(shorts)

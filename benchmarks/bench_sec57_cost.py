@@ -1,0 +1,44 @@
+"""§5.7 — cost analysis.
+
+Reproduces the paper's arithmetic exactly (its published AWS unit prices):
+
+* infrastructure: baseline $1077.36/mo vs Radical $1413.36/mo (+31%);
+* invocation scaling: 1M -> $1080.23 vs $1416.37; 10M -> $1106.06 vs
+  $1443.50; 100M -> $1364.36 vs $1714.71;
+* the marginal cost of validation failures (5%) is negligible ($0.14/1M).
+"""
+
+import pytest
+
+from repro.bench import cost_table, infrastructure_overhead, monthly_costs, print_table, save_results
+
+
+def test_sec57_cost(benchmark):
+    rows = benchmark.pedantic(cost_table, rounds=1, iterations=1)
+    print_table(
+        ["monthly invocations", "baseline ($/mo)", "radical ($/mo)", "overhead %"],
+        [
+            [f"{r['invocations']:,}", r["baseline_total"], r["radical_total"],
+             r["overhead"] * 100]
+            for r in rows
+        ],
+        title="Section 5.7: monthly cost, baseline vs Radical",
+    )
+    save_results("sec57_cost", {"rows": rows, "infra_overhead": infrastructure_overhead()})
+
+    # Paper-exact values.
+    by_n = {r["invocations"]: r for r in rows}
+    assert by_n[1_000_000]["baseline_total"] == pytest.approx(1080.23, abs=0.01)
+    assert by_n[1_000_000]["radical_total"] == pytest.approx(1416.37, abs=0.01)
+    assert by_n[10_000_000]["baseline_total"] == pytest.approx(1106.06, abs=0.01)
+    assert by_n[10_000_000]["radical_total"] == pytest.approx(1443.50, abs=0.02)
+    assert by_n[100_000_000]["baseline_total"] == pytest.approx(1364.36, abs=0.01)
+    assert by_n[100_000_000]["radical_total"] == pytest.approx(1714.71, abs=0.01)
+    # Infrastructure overhead ~31% ("we find it to be 1.3 times the baseline").
+    assert infrastructure_overhead() == pytest.approx(0.31, abs=0.005)
+    # Failure re-execution is a rounding error at 1M invocations.
+    _baseline, radical = monthly_costs(1_000_000)
+    assert radical.failure_reexecutions == pytest.approx(0.1435, abs=0.001)
+    # Relative overhead shrinks as invocations dominate.
+    overheads = [r["overhead"] for r in rows]
+    assert overheads == sorted(overheads, reverse=True)

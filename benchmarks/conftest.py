@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark harness.
+
+``REPRO_BENCH_REQUESTS`` scales the request count of the workload-driven
+benchmarks (default 2500; the paper uses 10,000 per configuration — set
+the variable higher for tighter percentiles at the cost of wall time).
+"""
+
+import os
+
+import pytest
+
+
+def bench_requests(default: int = 2500) -> int:
+    return int(os.environ.get("REPRO_BENCH_REQUESTS", default))
+
+
+@pytest.fixture(scope="session")
+def requests_count() -> int:
+    return bench_requests()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment on the social media application.
+
+Deploys the Diaspora-style social network (Table 1's five functions) under
+all three systems — Radical, the primary-datacenter baseline, and the
+inconsistent local-storage ideal — across the five deployment locations,
+drives the zipf-0.99 workload mix, and prints the Figure 4/Figure 5 view:
+overall and per-region medians, the improvement Radical captures, and the
+LVI validation success rate.
+
+Run:  python examples/social_network.py        (~2000 requests, a few seconds)
+"""
+
+from repro.bench import (
+    ExperimentConfig,
+    fig4_rows,
+    fig5_rows,
+    print_table,
+    run_eval_trio,
+)
+
+
+def main() -> None:
+    cfg = ExperimentConfig(requests=2000, seed=2026)
+    print("Running the social network under Radical, the primary-DC "
+          "baseline, and the local ideal (3 x 2000 requests)...")
+    trio = run_eval_trio("social", cfg)
+
+    row = fig4_rows(trio)
+    print_table(
+        ["metric", "value"],
+        [
+            ["Radical median (ms)", row["radical_median_ms"]],
+            ["Radical p99 (ms)", row["radical_p99_ms"]],
+            ["Baseline median (ms)", row["baseline_median_ms"]],
+            ["Baseline p99 (ms)", row["baseline_p99_ms"]],
+            ["Local-ideal median (ms)", row["ideal_median_ms"]],
+            ["Improvement (%)", row["improvement_pct"]],
+            ["Fraction of max possible (%)", row["fraction_of_max_pct"]],
+            ["Validation success rate", row["validation_success_rate"]],
+        ],
+        title="End-to-end latency (Figure 4 view)",
+    )
+
+    print_table(
+        ["region", "RTT to primary", "Radical med", "baseline med", "ideal med", "gain"],
+        [
+            [r["region"].upper(), r["lat_nu_ns_ms"], r["radical_median_ms"],
+             r["baseline_median_ms"], r["ideal_median_ms"],
+             r["baseline_median_ms"] - r["radical_median_ms"]]
+            for r in fig5_rows(trio)
+        ],
+        title="Per-region latency (Figure 5 view)",
+    )
+
+    print("Reading the table: Radical's gain tracks each region's distance "
+          "to the primary;\nVirginia (co-located with the data) gains "
+          "nothing — everyone else keeps near-ideal latency\nwhile staying "
+          "linearizable.")
+
+
+if __name__ == "__main__":
+    main()

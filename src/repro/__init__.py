@@ -1,0 +1,65 @@
+"""Reproduction of "Running Consistent Applications Closer to Users with
+Radical for Lower Latency" (SOSP 2025).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel, network, RNG.
+* :mod:`repro.storage` — linearizable primary store, near-user caches,
+  lock manager, write intents, quorum-replicated baseline store.
+* :mod:`repro.raft` — Raft consensus (the etcd stand-in for §5.6).
+* :mod:`repro.wasm` — deterministic "wasm-lite" VM and compiler.
+* :mod:`repro.analysis` — symbolic-execution analyzer deriving f^rw.
+* :mod:`repro.core` — Radical itself: runtime, LVI server, protocol.
+* :mod:`repro.baselines` — primary-DC / geo-replicated / local-ideal.
+* :mod:`repro.consistency` — history recording + linearizability checking.
+* :mod:`repro.apps` — the paper's benchmark applications.
+* :mod:`repro.workloads` — zipfian workload generators and clients.
+* :mod:`repro.bench` — experiment harness reproducing every figure/table.
+
+Quickstart::
+
+    from repro.bench import ExperimentConfig, run_radical_experiment
+    from repro.apps import social_media_app
+
+    result = run_radical_experiment(social_media_app(), ExperimentConfig(requests=2000))
+    print(result.summary("e2e"))
+"""
+
+__version__ = "1.0.0"
+
+from .errors import (
+    AnalysisError,
+    AnalysisTimeout,
+    CompileError,
+    ConditionFailed,
+    ConsistencyViolation,
+    FunctionNotRegistered,
+    GasExhausted,
+    KeyMissing,
+    LockError,
+    NonDeterminismError,
+    ProtocolError,
+    ReproError,
+    StorageError,
+    VMError,
+    VMTrap,
+)
+
+__all__ = [
+    "__version__",
+    "AnalysisError",
+    "AnalysisTimeout",
+    "CompileError",
+    "ConditionFailed",
+    "ConsistencyViolation",
+    "FunctionNotRegistered",
+    "GasExhausted",
+    "KeyMissing",
+    "LockError",
+    "NonDeterminismError",
+    "ProtocolError",
+    "ReproError",
+    "StorageError",
+    "VMError",
+    "VMTrap",
+]

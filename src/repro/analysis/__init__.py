@@ -1,0 +1,39 @@
+"""Static analysis: derive f^rw (read/write-set functions) from functions.
+
+Reproduces the paper's Eunomia-based analyzer (§3.3) with conservative
+AST-level dependency slicing plus runtime execution of the slice against
+the near-user cache (the dependent-read optimization).
+"""
+
+from .analyzer import (
+    AnalyzedFunction,
+    CacheReader,
+    analyze_source,
+    derive_rwset,
+    try_analyze,
+)
+from .rwset import Key, ReadWriteSet, VersionedReadSet
+from .slicer import SliceResult, slice_function
+from .symbolic import (
+    AccessSite,
+    PathReport,
+    SymbolicReport,
+    symbolic_analyze,
+)
+
+__all__ = [
+    "AccessSite",
+    "AnalyzedFunction",
+    "CacheReader",
+    "Key",
+    "PathReport",
+    "ReadWriteSet",
+    "SliceResult",
+    "SymbolicReport",
+    "VersionedReadSet",
+    "analyze_source",
+    "derive_rwset",
+    "slice_function",
+    "symbolic_analyze",
+    "try_analyze",
+]

@@ -1,0 +1,126 @@
+"""Top-level static analyzer: from function source to a runnable f^rw.
+
+This is the reproduction of the paper's Eunomia-based analyzer (§3.3, §4):
+given a function's source it produces an :class:`AnalyzedFunction` bundling
+
+* the compiled original ``f`` (wasm-lite),
+* the compiled slice ``f^rw`` that, executed on the same inputs against the
+  near-user cache, returns the exact read/write set for that invocation,
+* the static facts Table 1 reports per function: does it write, is it
+  analyzable, does it need the dependent-read optimization.
+
+Analysis failure (unsupported constructs, exceeded budgets) is not fatal to
+the application: the runtime routes such functions to the near-storage
+location on every invocation (§3.3, "Failure case").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..errors import AnalysisError, CompileError, NonDeterminismError, VMError
+from ..wasm import VM, WasmFunction, compile_source
+from .rwset import ReadWriteSet
+from .slicer import SliceResult, slice_function
+
+__all__ = ["AnalyzedFunction", "analyze_source", "try_analyze", "derive_rwset", "CacheReader"]
+
+#: Signature of the cache read hook handed to f^rw executions: returns the
+#: cached value for (table, key) or None.
+CacheReader = Callable[[str, str], Any]
+
+
+@dataclass
+class AnalyzedFunction:
+    """Everything Radical knows about a registered function."""
+
+    name: str
+    f: WasmFunction
+    frw: Optional[WasmFunction]
+    writes: bool
+    reads: bool
+    dependent_reads: bool
+    analyzable: bool
+    slice_ratio: float
+    error: Optional[str] = None
+
+    @property
+    def frw_source(self) -> str:
+        return "" if self.frw is None else self.frw.source
+
+
+def analyze_source(source: str, node_budget: int = 50_000) -> AnalyzedFunction:
+    """Analyze one function; raises :class:`AnalysisError` (or a compile
+    error) if the function is outside the supported subset."""
+    f = compile_source(source, kind="f")
+    slice_result: SliceResult = slice_function(source, node_budget=node_budget)
+    try:
+        frw = compile_source(slice_result.frw_source, kind="frw")
+    except (CompileError, NonDeterminismError) as exc:
+        raise AnalysisError(f"{f.name}: derived f^rw does not compile: {exc}") from exc
+    return AnalyzedFunction(
+        name=f.name,
+        f=f,
+        frw=frw,
+        writes=slice_result.writes,
+        reads=slice_result.reads,
+        dependent_reads=slice_result.dependent_reads,
+        analyzable=True,
+        slice_ratio=slice_result.slice_ratio,
+    )
+
+
+def try_analyze(source: str, node_budget: int = 50_000) -> AnalyzedFunction:
+    """Like :func:`analyze_source` but failure yields an unanalyzable
+    function record instead of raising — only ``f`` is available, and the
+    runtime will execute it near storage every time."""
+    try:
+        return analyze_source(source, node_budget=node_budget)
+    except NonDeterminismError:
+        raise  # the determinism contract is non-negotiable: reject upload
+    except (AnalysisError, CompileError) as exc:
+        f = compile_source(source, kind="f")
+        return AnalyzedFunction(
+            name=f.name,
+            f=f,
+            frw=None,
+            writes=f.may_write(),
+            reads=True,  # unknown; assume the worst
+            dependent_reads=False,
+            analyzable=False,
+            slice_ratio=1.0,
+            error=str(exc),
+        )
+
+
+class _FrwEnv:
+    """Host environment for f^rw runs: reads hit the near-user cache,
+    writes are recorded but never applied (§3.3)."""
+
+    def __init__(self, cache_reader: CacheReader):
+        self._read = cache_reader
+
+    def db_get(self, table: str, key: str) -> Any:
+        return self._read(table, key)
+
+    def db_put(self, table: str, key: str, value: Any) -> None:  # pragma: no cover
+        raise VMError("f^rw must not perform real writes")
+
+
+def derive_rwset(
+    frw: WasmFunction,
+    args: List[Any],
+    cache_reader: CacheReader,
+    gas_limit: int = 2_000_000,
+) -> tuple[ReadWriteSet, int]:
+    """Execute f^rw on ``args`` and return (read/write set, gas used).
+
+    Dependent reads execute against ``cache_reader``; if the cache lied,
+    validation will catch it (§3.3: stale first reads guarantee the
+    dependent keys also fail validation).
+    """
+    vm = VM(_FrwEnv(cache_reader), gas_limit=gas_limit)
+    trace = vm.execute(frw, args)
+    rwset = ReadWriteSet.from_lists(trace.read_keys(), trace.write_keys())
+    return rwset, trace.gas_used

@@ -1,0 +1,79 @@
+"""Read/write sets: the currency of the LVI protocol.
+
+``f^rw`` (derived by :mod:`repro.analysis.analyzer`) executes on the same
+inputs as ``f`` and produces a :class:`ReadWriteSet` — the exact items the
+execution will access.  The near-user runtime attaches cached versions to
+it, ships it in the LVI request, and the server locks and validates those
+items (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+Key = Tuple[str, str]  # (table, key)
+
+__all__ = ["ReadWriteSet", "VersionedReadSet", "Key"]
+
+
+@dataclass(frozen=True)
+class ReadWriteSet:
+    """Ordered, de-duplicated sets of items an execution will access.
+
+    A key present in both sets is treated as a write (the lock manager
+    upgrades it); ``reads`` and ``writes`` here keep the raw views so the
+    protocol can validate reads and lock writes independently.
+    """
+
+    reads: Tuple[Key, ...]
+    writes: Tuple[Key, ...]
+
+    @staticmethod
+    def from_lists(reads: List[Key], writes: List[Key]) -> "ReadWriteSet":
+        return ReadWriteSet(tuple(_dedup(reads)), tuple(_dedup(writes)))
+
+    @property
+    def all_keys(self) -> Tuple[Key, ...]:
+        """Every item touched (reads ∪ writes), in first-seen order."""
+        return tuple(_dedup(list(self.reads) + list(self.writes)))
+
+    @property
+    def has_writes(self) -> bool:
+        return bool(self.writes)
+
+    def covers(self, other: "ReadWriteSet") -> bool:
+        """True if this set is a superset of ``other`` (soundness check:
+        the prediction must cover what the execution actually did)."""
+        return set(self.reads) >= set(other.reads) and set(self.writes) >= set(other.writes)
+
+    def is_empty(self) -> bool:
+        return not self.reads and not self.writes
+
+
+@dataclass
+class VersionedReadSet:
+    """The read set annotated with the cache's versions, as sent in the LVI
+    request.  A version of -1 marks a cache miss (§3.2)."""
+
+    versions: Dict[Key, int] = field(default_factory=dict)
+
+    def stale_against(self, authoritative: Dict[Key, int]) -> List[Key]:
+        """Keys whose cached version differs from the authoritative one —
+        the validation step (§3.2 step 5)."""
+        return [k for k, v in self.versions.items() if authoritative.get(k, 0) != v]
+
+    @property
+    def has_miss(self) -> bool:
+        """True if any key was a cache miss (speculation is pointless)."""
+        return any(v == -1 for v in self.versions.values())
+
+
+def _dedup(keys: List[Key]) -> List[Key]:
+    seen = set()
+    out = []
+    for key in keys:
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+    return out

@@ -1,0 +1,599 @@
+"""Dependency slicing: derive ``f^rw`` from ``f`` (paper §3.3).
+
+The paper's analyzer symbolically executes the WASM binary to find every
+storage access and the dependencies of each access's arguments, then emits
+``f^rw`` — a function containing "only the pieces of f needed to determine
+the final inputs to read and write calls".  We reproduce this with a
+conservative **backward program slice** computed at the AST level:
+
+1. every statement containing a ``db_get``/``db_put`` call is *kept* (the
+   access must be recorded);
+2. any statement defining (or mutating, or aliasing) a variable that a kept
+   statement needs is kept — transitively, to a fixpoint;
+3. control structures containing kept statements are kept, and their
+   conditions' dependencies become needed (control dependence);
+4. ``return``/``break``/``continue`` statements that could cut off a later
+   kept statement are kept (they shape which accesses happen).
+
+The kept statements are then rewritten: ``db_get(t, k)`` becomes
+``__rw_read(t, k)`` (which records the read and returns the *cached* value,
+implementing the paper's dependent-access optimization: depended-upon reads
+run against the local cache inside f^rw) and ``db_put(t, k, v)`` becomes
+``__rw_write(t, k)`` with the value expression dropped unless it itself
+contains storage accesses.  Everything else — password hashing, ranking,
+rendering — is sliced away, which is why ``f^rw`` for a 213 ms login
+function is nearly free.
+
+Soundness: the slice keeps a superset of everything that influences which
+accesses execute and with which keys, and both ``f^rw`` and the speculative
+``f`` read from the same (frozen-during-execution) cache, so ``f^rw``
+follows the same path as ``f`` and records exactly the accesses ``f`` will
+make.  Property tests in ``tests/test_analysis_*.py`` check this equality
+on randomized inputs.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import AnalysisError, AnalysisTimeout
+
+__all__ = ["SliceResult", "slice_function", "DB_READ_NAMES", "DB_WRITE_NAMES"]
+
+DB_READ_NAMES = ("db_get",)
+DB_WRITE_NAMES = ("db_put",)
+_DB_NAMES = DB_READ_NAMES + DB_WRITE_NAMES
+
+RW_READ = "__rw_read"
+RW_WRITE = "__rw_write"
+
+
+@dataclass
+class SliceResult:
+    """Outcome of slicing one function."""
+
+    frw_source: str
+    function_name: str
+    params: List[str]
+    writes: bool              # f may write to storage
+    reads: bool               # f may read from storage
+    dependent_reads: bool     # some access key depends on a prior read
+    kept_statements: int
+    total_statements: int
+
+    @property
+    def slice_ratio(self) -> float:
+        """Fraction of statements surviving into f^rw (static estimate of
+        the f^rw latency overhead)."""
+        if self.total_statements == 0:
+            return 0.0
+        return self.kept_statements / self.total_statements
+
+
+# --------------------------------------------------------------------------
+# Expression inspection helpers
+# --------------------------------------------------------------------------
+
+def _load_names(node: ast.AST) -> Set[str]:
+    """All variable names read anywhere inside ``node``.
+
+    Callee names (the ``f`` in ``f(x)``) are not data dependencies, so the
+    exact ``Name`` nodes sitting in function position are excluded.
+    """
+    skip = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+            skip.add(id(sub.func))
+    return {
+        sub.id
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load) and id(sub) not in skip
+    }
+
+
+def _db_calls(node: ast.AST) -> List[ast.Call]:
+    """Every db_get/db_put call inside ``node``, in AST (evaluation) order."""
+    calls = []
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id in _DB_NAMES
+        ):
+            calls.append(sub)
+    return calls
+
+
+def _contains_db(node: ast.AST) -> bool:
+    return bool(_db_calls(node))
+
+
+def _db_dependency_names(node: ast.AST) -> Set[str]:
+    """Names feeding the *table/key* arguments of db calls in ``node``.
+
+    For ``db_put`` the value argument is excluded unless it contains nested
+    db calls (whose key arguments are then included recursively).
+    """
+    needed: Set[str] = set()
+    for call in _db_calls(node):
+        key_args = call.args[:2]  # (table, key) for both db_get and db_put
+        for arg in key_args:
+            needed |= _load_names(arg)
+        if call.func.id in DB_WRITE_NAMES and len(call.args) == 3:
+            # Only nested accesses inside the value matter.
+            for nested in _db_calls(call.args[2]):
+                for arg in nested.args[:2]:
+                    needed |= _load_names(arg)
+    return needed
+
+
+def _mutated_receivers(node: ast.AST) -> Set[str]:
+    """Base names of receivers of method calls and subscript stores —
+    treated conservatively as (re)definitions."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            base = _base_name(sub.func.value)
+            if base is not None:
+                out.add(base)
+        elif isinstance(sub, ast.Subscript) and isinstance(sub.ctx, ast.Store):
+            base = _base_name(sub.value)
+            if base is not None:
+                out.add(base)
+    return out
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# --------------------------------------------------------------------------
+# Statement metadata
+# --------------------------------------------------------------------------
+
+@dataclass
+class _StmtInfo:
+    stmt: ast.stmt
+    pos: int
+    parent: Optional["_StmtInfo"]
+    in_loop: bool
+    defs: Set[str] = field(default_factory=set)
+    uses: Set[str] = field(default_factory=set)
+    header_uses: Set[str] = field(default_factory=set)
+    has_db: bool = False
+    is_control: bool = False
+    is_breaker: bool = False
+    children: List["_StmtInfo"] = field(default_factory=list)
+    kept: bool = False
+    kept_for_def: bool = False
+
+
+class _Aliases:
+    """Union-find over variable names: ``x = y`` makes x and y aliases, so
+    neededness and mutation propagate between them (conservative handling
+    of Python's reference semantics)."""
+
+    def __init__(self):
+        self._parent: Dict[str, str] = {}
+
+    def find(self, name: str) -> str:
+        parent = self._parent.get(name, name)
+        if parent == name:
+            return name
+        root = self.find(parent)
+        self._parent[name] = root
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def canon(self, names: Set[str]) -> Set[str]:
+        return {self.find(n) for n in names}
+
+
+# --------------------------------------------------------------------------
+# The slicer
+# --------------------------------------------------------------------------
+
+def slice_function(source: str, node_budget: int = 50_000) -> SliceResult:
+    """Compute f^rw for the single function defined in ``source``.
+
+    ``node_budget`` bounds the AST work; exceeding it raises
+    :class:`AnalysisTimeout` — the paper's "symbolic execution is not
+    guaranteed to terminate / may be too expensive" escape hatch (§3.3).
+    """
+    source = textwrap.dedent(source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse function: {exc}") from exc
+    defs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(defs) != 1 or len(tree.body) != 1:
+        raise AnalysisError("source must contain exactly one function definition")
+    fn = defs[0]
+
+    node_count = sum(1 for _ in ast.walk(fn))
+    if node_count > node_budget:
+        raise AnalysisTimeout(
+            f"{fn.name}: {node_count} AST nodes exceeds analysis budget {node_budget}"
+        )
+
+    aliases = _Aliases()
+    infos: List[_StmtInfo] = []
+    counter = [0]
+
+    def build(stmts: List[ast.stmt], parent: Optional[_StmtInfo], in_loop: bool) -> List[_StmtInfo]:
+        out = []
+        for stmt in stmts:
+            info = _StmtInfo(stmt=stmt, pos=counter[0], parent=parent, in_loop=in_loop)
+            counter[0] += 1
+            _classify(stmt, info, aliases)
+            infos.append(info)
+            loop_here = in_loop or isinstance(stmt, (ast.For, ast.While))
+            for block in _child_blocks(stmt):
+                info.children += build(block, info, loop_here)
+            out.append(info)
+        return out
+
+    top = build(fn.body, None, False)
+
+    _fixpoint(infos, aliases)
+
+    dependent_reads = _detect_dependent_reads(infos)
+    new_body = _rewrite_block(top)
+    if not new_body:
+        new_body = [ast.Pass()]
+    _reject_external_in_slice(new_body, fn.name)
+    new_fn = ast.FunctionDef(
+        name=fn.name,
+        args=fn.args,
+        body=new_body,
+        decorator_list=[],
+        returns=None,
+        type_comment=None,
+    )
+    module = ast.Module(body=[new_fn], type_ignores=[])
+    ast.fix_missing_locations(module)
+    frw_source = ast.unparse(module)
+
+    has_writes = any(
+        c.func.id in DB_WRITE_NAMES for info in infos for c in _db_calls_own(info)
+    )
+    has_reads = any(
+        c.func.id in DB_READ_NAMES for info in infos for c in _db_calls_own(info)
+    )
+
+    return SliceResult(
+        frw_source=frw_source,
+        function_name=fn.name,
+        params=[a.arg for a in fn.args.args],
+        writes=has_writes,
+        reads=has_reads,
+        dependent_reads=dependent_reads,
+        kept_statements=sum(1 for i in infos if i.kept),
+        total_statements=len(infos),
+    )
+
+
+def _reject_external_in_slice(body: List[ast.stmt], fn_name: str) -> None:
+    """f^rw must be side-effect free: if an ``external(...)`` call survives
+    slicing, some storage key (or path decision guarding an access)
+    depends on an external service's response — the function is
+    unanalyzable and must run near storage (§3.3 failure case, §3.5)."""
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "external"
+            ):
+                raise AnalysisError(
+                    f"{fn_name}: a storage access depends on an external "
+                    "service response; f^rw cannot be derived"
+                )
+
+
+def _child_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    if isinstance(stmt, ast.If):
+        return [stmt.body, stmt.orelse]
+    if isinstance(stmt, (ast.For, ast.While)):
+        return [stmt.body]
+    return []
+
+
+def _own_exprs(info: _StmtInfo) -> List[ast.AST]:
+    """The statement's own expressions (excluding nested statements)."""
+    stmt = info.stmt
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value] + list(stmt.targets)
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.value, stmt.target]
+    if isinstance(stmt, ast.Expr):
+        return [stmt.value]
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.If):
+        return [stmt.test]
+    if isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, ast.For):
+        return [stmt.iter]
+    return []
+
+
+def _db_calls_own(info: _StmtInfo) -> List[ast.Call]:
+    calls = []
+    for expr in _own_exprs(info):
+        calls += _db_calls(expr)
+    return calls
+
+
+def _classify(stmt: ast.stmt, info: _StmtInfo, aliases: _Aliases) -> None:
+    info.is_control = isinstance(stmt, (ast.If, ast.While, ast.For))
+    info.is_breaker = isinstance(stmt, (ast.Return, ast.Break, ast.Continue))
+    info.has_db = bool(_db_calls_own(info))
+
+    for expr in _own_exprs(info):
+        info.uses |= _load_names(expr)
+        info.defs |= _mutated_receivers(expr)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                info.defs.add(target.id)
+                if isinstance(stmt.value, ast.Name):
+                    aliases.union(target.id, stmt.value.id)
+            else:
+                base = _base_name(target)
+                if base is not None:
+                    info.defs.add(base)
+    elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+        info.defs.add(stmt.target.id)
+        info.uses.add(stmt.target.id)
+    elif isinstance(stmt, ast.For) and isinstance(stmt.target, ast.Name):
+        info.defs.add(stmt.target.id)
+
+    if info.is_control:
+        info.header_uses = set(info.uses)
+
+
+def _fixpoint(infos: List[_StmtInfo], aliases: _Aliases) -> None:
+    needed: Set[str] = set()
+
+    def canon(names: Set[str]) -> Set[str]:
+        return aliases.canon(names)
+
+    changed = True
+    while changed:
+        changed = False
+        any_kept_positions = [i.pos for i in infos if i.kept]
+        max_kept = max(any_kept_positions) if any_kept_positions else -1
+        for info in infos:
+            newly_needed: Set[str] = set()
+            keep = False
+            if info.has_db:
+                keep = True
+                newly_needed |= _db_dependency_names_of(info)
+            if canon(info.defs) & needed:
+                keep = True
+                if not info.kept_for_def:
+                    info.kept_for_def = True
+                    changed = True
+                newly_needed |= info.uses
+            if info.is_control and any(c.kept for c in info.children):
+                keep = True
+                newly_needed |= info.header_uses
+            if info.is_breaker:
+                later_kept = any(k.pos > info.pos and k.kept for k in infos)
+                loop_kept = _enclosing_loop_has_kept(info)
+                if later_kept or loop_kept:
+                    keep = True
+                    # Only access dependencies of the return value matter;
+                    # those were added by the has_db rule if present.
+            if keep and not info.kept:
+                info.kept = True
+                changed = True
+            if info.kept:
+                add = canon(newly_needed) - needed
+                if add:
+                    needed |= add
+                    changed = True
+
+
+def _db_dependency_names_of(info: _StmtInfo) -> Set[str]:
+    names: Set[str] = set()
+    for expr in _own_exprs(info):
+        names |= _db_dependency_names(expr)
+    return names
+
+
+def _enclosing_loop_has_kept(info: _StmtInfo) -> bool:
+    node = info.parent
+    while node is not None:
+        if isinstance(node.stmt, (ast.For, ast.While)):
+            if _subtree_has_kept(node):
+                return True
+        node = node.parent
+    return False
+
+
+def _subtree_has_kept(info: _StmtInfo) -> bool:
+    if info.kept and not info.is_breaker:
+        return True
+    return any(_subtree_has_kept(c) for c in info.children)
+
+
+def _detect_dependent_reads(infos: List[_StmtInfo]) -> bool:
+    """A dependent access (§3.3, Table 1's asterisk) exists when the *key*
+    of some storage access data-depends on the result of a prior db_get —
+    "a simple function that reads from one key and uses that result as
+    input to a second read".
+
+    This is narrower than the slice's needed-set: a read whose result only
+    feeds an existence check (control) or a written value does not make the
+    later access's key indeterminable, and the paper does not count it.
+    """
+    # Names that (transitively) feed table/key arguments of db calls.
+    key_feeding: Set[str] = set()
+    for info in infos:
+        key_feeding |= _db_dependency_names_of(info)
+    changed = True
+    while changed:
+        changed = False
+        for info in infos:
+            if not info.defs & key_feeding:
+                continue
+            add = info.uses - key_feeding
+            if add:
+                key_feeding |= add
+                changed = True
+    for info in infos:
+        if info.defs & key_feeding and any(
+            c.func.id in DB_READ_NAMES for c in _db_calls_own(info)
+        ):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Rewriting
+# --------------------------------------------------------------------------
+
+class _DbRewriter(ast.NodeTransformer):
+    """Rewrite db_get → __rw_read and db_put → __rw_write in place."""
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:
+        # Decide whether a db_put's value contains nested accesses *before*
+        # rewriting, since rewriting renames them away from db_* names.
+        keep_value = (
+            isinstance(node.func, ast.Name)
+            and node.func.id in DB_WRITE_NAMES
+            and len(node.args) == 3
+            and _contains_db(node.args[2])
+        )
+        self.generic_visit(node)
+        if isinstance(node.func, ast.Name):
+            if node.func.id in DB_READ_NAMES:
+                return ast.Call(
+                    func=ast.Name(id=RW_READ, ctx=ast.Load()),
+                    args=node.args,
+                    keywords=[],
+                )
+            if node.func.id in DB_WRITE_NAMES:
+                args = list(node.args[:2])
+                if keep_value:
+                    args.append(node.args[2])
+                return ast.Call(
+                    func=ast.Name(id=RW_WRITE, ctx=ast.Load()),
+                    args=args,
+                    keywords=[],
+                )
+        return node
+
+
+def _rewrite_expr(expr: ast.expr) -> ast.expr:
+    import copy as _copy
+
+    return _DbRewriter().visit(_copy.deepcopy(expr))
+
+
+def _extract_access_stmts(expr: ast.expr) -> List[ast.stmt]:
+    """Emit only the db accesses of ``expr`` as bare expression statements,
+    preserving left-to-right evaluation order.  Nested db calls inside a
+    kept call's arguments stay embedded (they are rewritten recursively)."""
+    out: List[ast.stmt] = []
+    top_calls = _top_level_db_calls(expr)
+    for call in top_calls:
+        out.append(ast.Expr(value=_rewrite_expr(call)))
+    return out
+
+
+def _top_level_db_calls(expr: ast.AST) -> List[ast.Call]:
+    calls: List[ast.Call] = []
+
+    def walk(node: ast.AST) -> None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _DB_NAMES
+        ):
+            calls.append(node)
+            return  # nested calls stay inside this one
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    walk(expr)
+    return calls
+
+
+def _rewrite_block(infos: List[_StmtInfo]) -> List[ast.stmt]:
+    out: List[ast.stmt] = []
+    for info in infos:
+        if info.kept:
+            out.extend(_rewrite_stmt(info))
+    return out
+
+
+def _rewrite_stmt(info: _StmtInfo) -> List[ast.stmt]:
+    stmt = info.stmt
+    if isinstance(stmt, ast.Assign):
+        if info.kept_for_def:
+            new = ast.Assign(
+                targets=[_rewrite_expr(t) for t in stmt.targets],
+                value=_rewrite_expr(stmt.value),
+            )
+            return [new]
+        return _extract_access_stmts(stmt.value)
+    if isinstance(stmt, ast.AugAssign):
+        if info.kept_for_def:
+            return [
+                ast.AugAssign(
+                    target=_rewrite_expr(stmt.target),
+                    op=stmt.op,
+                    value=_rewrite_expr(stmt.value),
+                )
+            ]
+        return _extract_access_stmts(stmt.value)
+    if isinstance(stmt, ast.Expr):
+        if info.kept_for_def:
+            return [ast.Expr(value=_rewrite_expr(stmt.value))]
+        return _extract_access_stmts(stmt.value)
+    if isinstance(stmt, ast.Return):
+        out: List[ast.stmt] = []
+        if stmt.value is not None:
+            out.extend(_extract_access_stmts(stmt.value))
+        out.append(ast.Return(value=ast.Constant(value=None)))
+        return out
+    if isinstance(stmt, (ast.Break, ast.Continue)):
+        return [stmt.__class__()]
+    if isinstance(stmt, ast.If):
+        body_infos = [c for c in info.children if c.stmt in stmt.body]
+        else_infos = [c for c in info.children if c.stmt in stmt.orelse]
+        body = _rewrite_block(body_infos) or [ast.Pass()]
+        orelse = _rewrite_block(else_infos)
+        return [ast.If(test=_rewrite_expr(stmt.test), body=body, orelse=orelse)]
+    if isinstance(stmt, ast.While):
+        body = _rewrite_block(info.children) or [ast.Pass()]
+        return [ast.While(test=_rewrite_expr(stmt.test), body=body, orelse=[])]
+    if isinstance(stmt, ast.For):
+        body = _rewrite_block(info.children) or [ast.Pass()]
+        return [
+            ast.For(
+                target=stmt.target,
+                iter=_rewrite_expr(stmt.iter),
+                body=body,
+                orelse=[],
+            )
+        ]
+    if isinstance(stmt, ast.Pass):
+        return [ast.Pass()]
+    raise AnalysisError(f"cannot rewrite statement {type(stmt).__name__}")

@@ -1,0 +1,41 @@
+"""The paper's benchmark applications (§5.1): five applications, 27
+serverless functions.  The evaluation (Figures 4-6) focuses on social
+media, hotel reservation, and forum; the image board and project-management
+apps complete the analyzer-coverage claim."""
+
+from .base import App, AppFunction, ArgGen, WorkloadContext
+from .forum import forum_app
+from .hotel import hotel_app
+from .imageboard import imageboard_app
+from .projectmgmt import projectmgmt_app
+from .social import social_media_app
+
+__all__ = [
+    "App",
+    "AppFunction",
+    "ArgGen",
+    "WorkloadContext",
+    "all_apps",
+    "forum_app",
+    "hotel_app",
+    "imageboard_app",
+    "main_apps",
+    "projectmgmt_app",
+    "social_media_app",
+]
+
+
+def main_apps():
+    """The three applications the paper's figures evaluate."""
+    return [social_media_app(), hotel_app(), forum_app()]
+
+
+def all_apps():
+    """All five ported applications (27 functions, §5.1)."""
+    return [
+        social_media_app(),
+        hotel_app(),
+        forum_app(),
+        imageboard_app(),
+        projectmgmt_app(),
+    ]

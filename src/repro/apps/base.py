@@ -1,0 +1,99 @@
+"""Application scaffolding: how benchmark apps describe themselves.
+
+Each application (paper §5.1) is a set of serverless functions — source in
+the restricted subset, a Table 1 service time, a workload weight — plus a
+data seeder and per-function argument generators driving the paper's
+workload mixes (zipf 0.99 for social users and forum stories, uniform for
+hotels).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core import FunctionSpec
+from ..sim import RandomStreams, ZipfSampler
+from ..storage import KVStore
+
+__all__ = ["ArgGen", "AppFunction", "App", "WorkloadContext"]
+
+#: Generates the argument list for one invocation.
+ArgGen = Callable[["WorkloadContext", random.Random], List[Any]]
+
+
+@dataclass
+class WorkloadContext:
+    """Shared population parameters the argument generators draw from."""
+
+    users: int = 1000
+    hotels: int = 200
+    stories: int = 2000
+    cities: int = 20
+    geo_cells: int = 50
+    dates: int = 30
+    zipf_s: float = 0.99  # the paper's skew (Tapir / lobste.rs parameters)
+    _samplers: Dict[str, ZipfSampler] = field(default_factory=dict)
+
+    def zipf(self, name: str, n: int, rng: random.Random) -> int:
+        """Draw a zipf-skewed rank over population ``name`` of size n."""
+        sampler = self._samplers.get(name)
+        if sampler is None or sampler.n != n:
+            sampler = ZipfSampler(n, self.zipf_s, rng)
+            self._samplers[name] = sampler
+        return sampler.sample()
+
+
+@dataclass
+class AppFunction:
+    """One serverless function plus how the workload invokes it."""
+
+    spec: FunctionSpec
+    arggen: ArgGen
+
+    @property
+    def function_id(self) -> str:
+        return self.spec.function_id
+
+    @property
+    def weight(self) -> float:
+        return self.spec.workload_weight
+
+
+@dataclass
+class App:
+    """A benchmark application."""
+
+    name: str
+    functions: List[AppFunction]
+    seed: Callable[[KVStore, RandomStreams, WorkloadContext], None]
+    context: WorkloadContext = field(default_factory=WorkloadContext)
+
+    def specs(self) -> List[FunctionSpec]:
+        return [f.spec for f in self.functions]
+
+    def function(self, function_id: str) -> AppFunction:
+        for f in self.functions:
+            if f.function_id == function_id:
+                return f
+        raise KeyError(function_id)
+
+    def total_weight(self) -> float:
+        return sum(f.weight for f in self.functions)
+
+    def pick_function(self, rng: random.Random) -> AppFunction:
+        """Sample a function according to the Table 1 workload mix."""
+        total = self.total_weight()
+        u = rng.random() * total
+        acc = 0.0
+        for f in self.functions:
+            acc += f.weight
+            if u <= acc:
+                return f
+        return self.functions[-1]
+
+    def generate_request(self, rng: random.Random) -> tuple:
+        """(function_id, args) for one workload request."""
+        f = self.pick_function(rng)
+        return f.function_id, f.arggen(self.context, rng)

@@ -1,0 +1,205 @@
+"""The forum application (Lobsters port, paper Table 1).
+
+========================  ======  =======  =========
+function                  writes  time     workload%
+========================  ======  =======  =========
+forum.homepage            no      209 ms   80%
+forum.post                yes      18 ms   1%
+forum.interact            yes      16 ms   9%
+forum.view                no      123 ms   8%
+forum.login               no      212 ms   2%
+========================  ======  =======  =========
+
+Data model:
+
+* ``stories/story:{sid}``     — title, author, body
+* ``stories/comments:{sid}``  — comment list
+* ``stories/votes:{sid}``     — vote counter (the interact hot spot)
+* ``front/frontpage``         — one hot key: [sid, title, score] summaries
+* ``users/fuser:{uid}``       — accounts
+
+Stories are selected with zipf(0.99) (lobste.rs statistics, §5.3), so
+``forum.interact`` concentrates writes on a few hot stories, and every
+``forum.post`` write-locks the single ``frontpage`` key that 80% of the
+workload reads — the skew stress on Radical's locking scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core import FunctionSpec
+from ..sim import RandomStreams
+from ..storage import KVStore
+from .base import App, AppFunction, WorkloadContext
+
+__all__ = ["forum_app"]
+
+HOMEPAGE_SRC = '''
+def forum_homepage(limit):
+    front = db_get("front", "frontpage")
+    if front is None:
+        return []
+    busy(20600)
+    out = []
+    for entry in front[:limit]:
+        out.append({"sid": entry[0], "title": entry[1], "score": entry[2]})
+    return out
+'''
+
+POST_SRC = '''
+def forum_post(uid, text, comment_on):
+    busy(1500)
+    if comment_on != "":
+        comments = db_get("stories", f"comments:{comment_on}")
+        if comments is None:
+            return {"ok": False, "sid": comment_on}
+        comments = [[uid, text]] + comments[:29]
+        db_put("stories", f"comments:{comment_on}", comments)
+        return {"ok": True, "sid": comment_on}
+    sid = digest(f"{uid}:{text}")
+    db_put("stories", f"story:{sid}", {"sid": sid, "author": uid, "title": text})
+    db_put("stories", f"comments:{sid}", [])
+    db_put("stories", f"votes:{sid}", {"up": 1})
+    front = db_get("front", "frontpage")
+    if front is None:
+        front = []
+    front = [[sid, text, 1]] + front[:19]
+    db_put("front", "frontpage", front)
+    return {"ok": True, "sid": sid}
+'''
+
+INTERACT_SRC = '''
+def forum_interact(uid, sid, favorite):
+    busy(1300)
+    if favorite == 1:
+        favs = db_get("users", f"favs:{uid}")
+        if favs is None:
+            favs = []
+        if sid not in favs:
+            favs = [sid] + favs[:49]
+        db_put("users", f"favs:{uid}", favs)
+        return {"ok": True, "favs": len(favs)}
+    votes = db_get("stories", f"votes:{sid}")
+    if votes is None:
+        return {"ok": False}
+    votes["up"] = votes["up"] + 1
+    db_put("stories", f"votes:{sid}", votes)
+    return {"ok": True, "up": votes["up"]}
+'''
+
+VIEW_SRC = '''
+def forum_view(sid):
+    story = db_get("stories", f"story:{sid}")
+    if story is None:
+        return {"ok": False}
+    busy(12000)
+    comments = db_get("stories", f"comments:{sid}")
+    if comments is None:
+        comments = []
+    return {"ok": True, "title": story["title"], "comments": comments[:20]}
+'''
+
+LOGIN_SRC = '''
+def forum_login(uid, password):
+    user = db_get("users", f"fuser:{uid}")
+    if user is None:
+        return {"ok": False}
+    busy(21000)
+    hashed = pbkdf2_hash(password, user["salt"])
+    return {"ok": hashed == user["hash"], "uid": uid}
+'''
+
+
+def _sid(i: int) -> str:
+    return f"s{i:05d}"
+
+
+def forum_app(context: WorkloadContext = None) -> App:
+    """Build the forum benchmark application."""
+    ctx = context or WorkloadContext()
+
+    def gen_homepage(c: WorkloadContext, rng: random.Random) -> List:
+        return [20]
+
+    def gen_post(c: WorkloadContext, rng: random.Random) -> List:
+        # Table 1: "Make a comment or post" — half new stories, half
+        # comments on (zipf-hot) existing stories.
+        uid = f"f{rng.randrange(c.users)}"
+        text = f"text-{rng.randrange(10**9)}"
+        if rng.random() < 0.5:
+            return [uid, text, _sid(c.zipf("forum.stories", c.stories, rng))]
+        return [uid, text, ""]
+
+    def gen_interact(c: WorkloadContext, rng: random.Random) -> List:
+        # Half upvotes (contended, zipf-hot stories), half favourites
+        # (private per-user lists) — "upvote or favorite" in Table 1.
+        return [
+            f"f{rng.randrange(c.users)}",
+            _sid(c.zipf("forum.stories", c.stories, rng)),
+            rng.randrange(2),
+        ]
+
+    def gen_view(c: WorkloadContext, rng: random.Random) -> List:
+        return [_sid(c.zipf("forum.stories", c.stories, rng))]
+
+    def gen_login(c: WorkloadContext, rng: random.Random) -> List:
+        return [f"f{rng.randrange(c.users)}", "hunter2"]
+
+    functions = [
+        AppFunction(
+            FunctionSpec("forum.homepage", HOMEPAGE_SRC, 209.0, 80.0,
+                         "View most recent/popular posts"),
+            gen_homepage,
+        ),
+        AppFunction(
+            FunctionSpec("forum.post", POST_SRC, 18.0, 1.0,
+                         "Make a comment or post"),
+            gen_post,
+        ),
+        AppFunction(
+            FunctionSpec("forum.interact", INTERACT_SRC, 16.0, 9.0,
+                         "Upvote or favorite comments/posts"),
+            gen_interact,
+        ),
+        AppFunction(
+            FunctionSpec("forum.view", VIEW_SRC, 123.0, 8.0,
+                         "View a post and all comments"),
+            gen_view,
+        ),
+        AppFunction(
+            FunctionSpec("forum.login", LOGIN_SRC, 212.0, 2.0,
+                         "Performs pbkdf2-based password check"),
+            gen_login,
+        ),
+    ]
+
+    def seed(store: KVStore, streams: RandomStreams, c: WorkloadContext) -> None:
+        rng = streams.stream("seed.forum")
+        from ..wasm.intrinsics import REGISTRY
+
+        pbkdf2 = REGISTRY["pbkdf2_hash"].fn
+        front = []
+        for i in range(c.stories):
+            sid = _sid(i)
+            title = f"Story {i}"
+            store.put("stories", f"story:{sid}", {"sid": sid, "author": "seed", "title": title})
+            store.put(
+                "stories",
+                f"comments:{sid}",
+                [["seed", f"comment-{j}"] for j in range(rng.randrange(0, 6))],
+            )
+            store.put("stories", f"votes:{sid}", {"up": rng.randrange(1, 50)})
+            if i < 20:
+                front.append([sid, title, 1])
+        store.put("front", "frontpage", front)
+        for i in range(c.users):
+            salt = f"fs{i}"
+            store.put("users", f"fuser:f{i}", {
+                "salt": salt,
+                "hash": pbkdf2("hunter2", salt),
+            })
+            store.put("users", f"favs:f{i}", [])
+
+    return App(name="forum", functions=functions, seed=seed, context=ctx)

@@ -1,0 +1,226 @@
+"""The hotel reservation application (DeathStarBench port, paper Table 1).
+
+========================  ======  =======  =========
+function                  writes  time     workload%
+========================  ======  =======  =========
+hotel.search              no*     161 ms   60%    (* dependent reads)
+hotel.recommend           no      207 ms   30%
+hotel.book                yes     272 ms   0.5%
+hotel.review              yes      13 ms   0.5%
+hotel.login               no      213 ms   0.5%
+hotel.attractions         no      111 ms   8.5%
+========================  ======  =======  =========
+
+Data model:
+
+* ``hotels/hotel:{hid}``      — name, geo cell, rate
+* ``geo/cell:{c}``            — hotel ids in the cell (the search index)
+* ``rooms/avail:{hid}:{d}``   — capacity + bookings for a date
+* ``reviews/reviews:{hid}``   — recent reviews
+* ``recs/city:{city}``        — precomputed recommendations per city
+* ``attr/cell:{c}``           — attractions near a cell
+* ``users/huser:{uid}``       — account records
+
+``hotel.search`` reads the geo cell to learn *which* hotels to read —
+the dependent-access optimization (§3.3), hence Table 1's asterisk.
+Hotels and users are selected uniformly at random (DeathStarBench's mixed
+workload parameters, §5.3), so contention is low-skew.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core import FunctionSpec
+from ..sim import RandomStreams
+from ..storage import KVStore
+from .base import App, AppFunction, WorkloadContext
+
+__all__ = ["hotel_app"]
+
+SEARCH_SRC = '''
+def hotel_search(cell, date):
+    hids = db_get("geo", f"cell:{cell}")
+    if hids is None:
+        return []
+    busy(14000)
+    ranked = []
+    for hid in hids:
+        hotel = db_get("hotels", f"hotel:{hid}")
+        avail = db_get("rooms", f"avail:{hid}:{date}")
+        if hotel is None or avail is None:
+            continue
+        free = avail["capacity"] - len(avail["booked"])
+        if free > 0:
+            ranked.append([hotel["rate"], hid, hotel["name"], free])
+    ranked.sort()
+    results = []
+    for entry in ranked[:10]:
+        results.append({"id": entry[1], "name": entry[2], "rate": entry[0], "free": entry[3]})
+    return results
+'''
+
+RECOMMEND_SRC = '''
+def hotel_recommend(city, need):
+    recs = db_get("recs", f"city:{city}")
+    if recs is None:
+        return []
+    busy(20500)
+    scored = []
+    for hid in recs:
+        scored.append([score_text(f"{city}:{hid}"), hid])
+    scored.sort()
+    scored.reverse()
+    out = []
+    for pair in scored[:need]:
+        out.append(pair[1])
+    return out
+'''
+
+BOOK_SRC = '''
+def hotel_book(uid, hid, date):
+    busy(27000)
+    avail = db_get("rooms", f"avail:{hid}:{date}")
+    if avail is None:
+        return {"ok": False, "reason": "no-such-room"}
+    if uid in avail["booked"]:
+        return {"ok": False, "reason": "already-booked"}
+    if len(avail["booked"]) >= avail["capacity"]:
+        return {"ok": False, "reason": "full"}
+    avail["booked"] = avail["booked"] + [uid]
+    db_put("rooms", f"avail:{hid}:{date}", avail)
+    db_put("bookings", f"booking:{uid}:{hid}:{date}", {"status": "confirmed"})
+    return {"ok": True, "reason": ""}
+'''
+
+REVIEW_SRC = '''
+def hotel_review(uid, hid, text):
+    busy(1000)
+    reviews = db_get("reviews", f"reviews:{hid}")
+    if reviews is None:
+        reviews = []
+    reviews = [[uid, text]] + reviews[:19]
+    db_put("reviews", f"reviews:{hid}", reviews)
+    return {"ok": True, "count": len(reviews)}
+'''
+
+LOGIN_SRC = '''
+def hotel_login(uid, password):
+    user = db_get("users", f"huser:{uid}")
+    if user is None:
+        return {"ok": False}
+    busy(21000)
+    hashed = pbkdf2_hash(password, user["salt"])
+    return {"ok": hashed == user["hash"], "uid": uid}
+'''
+
+ATTRACTIONS_SRC = '''
+def hotel_attractions(hid):
+    hotel = db_get("hotels", f"hotel:{hid}")
+    if hotel is None:
+        return []
+    busy(10800)
+    attractions = db_get("attr", f"hotel:{hid}")
+    if attractions is None:
+        return []
+    return attractions[:10]
+'''
+
+
+def hotel_app(context: WorkloadContext = None) -> App:
+    """Build the hotel reservation benchmark application."""
+    ctx = context or WorkloadContext()
+
+    def gen_search(c: WorkloadContext, rng: random.Random) -> List:
+        return [rng.randrange(c.geo_cells), f"d{rng.randrange(c.dates)}"]
+
+    def gen_recommend(c: WorkloadContext, rng: random.Random) -> List:
+        return [f"city{rng.randrange(c.cities)}", 5]
+
+    def gen_book(c: WorkloadContext, rng: random.Random) -> List:
+        return [
+            f"g{rng.randrange(c.users)}",
+            f"h{rng.randrange(c.hotels)}",
+            f"d{rng.randrange(c.dates)}",
+        ]
+
+    def gen_review(c: WorkloadContext, rng: random.Random) -> List:
+        return [
+            f"g{rng.randrange(c.users)}",
+            f"h{rng.randrange(c.hotels)}",
+            f"review-{rng.randrange(10**9)}",
+        ]
+
+    def gen_login(c: WorkloadContext, rng: random.Random) -> List:
+        return [f"g{rng.randrange(c.users)}", "hunter2"]
+
+    def gen_attractions(c: WorkloadContext, rng: random.Random) -> List:
+        return [f"h{rng.randrange(c.hotels)}"]
+
+    functions = [
+        AppFunction(
+            FunctionSpec("hotel.search", SEARCH_SRC, 161.0, 60.0,
+                         "Finds all hotels near a user's location"),
+            gen_search,
+        ),
+        AppFunction(
+            FunctionSpec("hotel.recommend", RECOMMEND_SRC, 207.0, 30.0,
+                         "Get recommendations based on prior reviews"),
+            gen_recommend,
+        ),
+        AppFunction(
+            FunctionSpec("hotel.book", BOOK_SRC, 272.0, 0.5,
+                         "Book a room in a hotel"),
+            gen_book,
+        ),
+        AppFunction(
+            FunctionSpec("hotel.review", REVIEW_SRC, 13.0, 0.5,
+                         "Make a review for a hotel"),
+            gen_review,
+        ),
+        AppFunction(
+            FunctionSpec("hotel.login", LOGIN_SRC, 213.0, 0.5,
+                         "Performs pbkdf2-based password check"),
+            gen_login,
+        ),
+        AppFunction(
+            FunctionSpec("hotel.attractions", ATTRACTIONS_SRC, 111.0, 8.5,
+                         "View all nearby attractions to a hotel"),
+            gen_attractions,
+        ),
+    ]
+
+    def seed(store: KVStore, streams: RandomStreams, c: WorkloadContext) -> None:
+        rng = streams.stream("seed.hotel")
+        from ..wasm.intrinsics import REGISTRY
+
+        pbkdf2 = REGISTRY["pbkdf2_hash"].fn
+        cells: dict = {i: [] for i in range(c.geo_cells)}
+        for i in range(c.hotels):
+            hid = f"h{i}"
+            cell = rng.randrange(c.geo_cells)
+            cells[cell].append(hid)
+            store.put("hotels", f"hotel:{hid}", {
+                "name": f"Hotel {i}",
+                "cell": cell,
+                "rate": 80 + (i % 120),
+            })
+            for d in range(c.dates):
+                store.put("rooms", f"avail:{hid}:d{d}", {"capacity": 10, "booked": []})
+            store.put("reviews", f"reviews:{hid}", [["seed", "fine stay"]])
+        for cell, hids in cells.items():
+            store.put("geo", f"cell:{cell}", hids)
+            for hid in hids:
+                store.put("attr", f"hotel:{hid}", [f"attraction-{cell}-{j}" for j in range(5)])
+        for i in range(c.cities):
+            sample = [f"h{rng.randrange(c.hotels)}" for _j in range(8)]
+            store.put("recs", f"city:city{i}", sample)
+        for i in range(c.users):
+            salt = f"hs{i}"
+            store.put("users", f"huser:g{i}", {
+                "salt": salt,
+                "hash": pbkdf2("hunter2", salt),
+            })
+
+    return App(name="hotel", functions=functions, seed=seed, context=ctx)

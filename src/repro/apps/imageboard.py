@@ -1,0 +1,138 @@
+"""The image board application (Danbooru-style, paper §5.1).
+
+One of the five ported applications (the evaluation focuses on the other
+three; this one exists to reach the paper's "27 serverless functions across
+the five applications", all analyzable).  ``imageboard.tag_search`` is the
+third function requiring the dependent-read optimization (§5.1 reports
+three of 27): it reads the tag index to learn which images to fetch.
+
+Data model:
+
+* ``images/image:{iid}``   — metadata (uploader, tags, digest)
+* ``tags/tag:{name}``      — image ids carrying the tag (the search index)
+* ``favs/favs:{uid}``      — a user's favourites
+* ``mods/queue``           — moderation queue
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core import FunctionSpec
+from ..sim import RandomStreams
+from ..storage import KVStore
+from .base import App, AppFunction, WorkloadContext
+
+__all__ = ["imageboard_app"]
+
+UPLOAD_SRC = '''
+def image_upload(uid, blob, tag):
+    busy(9000)
+    iid = digest(f"{uid}:{blob}")
+    db_put("images", f"image:{iid}", {"id": iid, "by": uid, "tag": tag})
+    index = db_get("tags", f"tag:{tag}")
+    if index is None:
+        index = []
+    index = [iid] + index[:49]
+    db_put("tags", f"tag:{tag}", index)
+    return {"ok": True, "iid": iid}
+'''
+
+VIEW_SRC = '''
+def image_view(iid):
+    image = db_get("images", f"image:{iid}")
+    if image is None:
+        return {"ok": False}
+    busy(8000)
+    return {"ok": True, "image": image}
+'''
+
+TAG_SEARCH_SRC = '''
+def image_tag_search(tag, limit):
+    index = db_get("tags", f"tag:{tag}")
+    if index is None:
+        return []
+    busy(13000)
+    out = []
+    for iid in index[:limit]:
+        image = db_get("images", f"image:{iid}")
+        if image is not None:
+            out.append(image)
+    return out
+'''
+
+FAVORITE_SRC = '''
+def image_favorite(uid, iid):
+    busy(1100)
+    favs = db_get("favs", f"favs:{uid}")
+    if favs is None:
+        favs = []
+    if iid not in favs:
+        favs.append(iid)
+    db_put("favs", f"favs:{uid}", favs)
+    return {"ok": True, "count": len(favs)}
+'''
+
+MODERATE_SRC = '''
+def image_moderate(moderator, iid, verdict):
+    busy(2000)
+    queue = db_get("mods", "queue")
+    if queue is None:
+        queue = []
+    remaining = []
+    for entry in queue:
+        if entry != iid:
+            remaining.append(entry)
+    db_put("mods", "queue", remaining)
+    db_put("mods", f"verdict:{iid}", {"by": moderator, "verdict": verdict})
+    return {"ok": True, "pending": len(remaining)}
+'''
+
+
+def imageboard_app(context: WorkloadContext = None) -> App:
+    """Build the image board application."""
+    ctx = context or WorkloadContext()
+    tags = [f"tag{i}" for i in range(30)]
+
+    def gen_upload(c, rng: random.Random) -> List:
+        return [f"i{rng.randrange(c.users)}", f"blob-{rng.randrange(10**9)}", rng.choice(tags)]
+
+    def gen_view(c, rng: random.Random) -> List:
+        return [f"img{rng.randrange(300)}"]
+
+    def gen_search(c, rng: random.Random) -> List:
+        return [rng.choice(tags), 8]
+
+    def gen_favorite(c, rng: random.Random) -> List:
+        return [f"i{rng.randrange(c.users)}", f"img{rng.randrange(300)}"]
+
+    def gen_moderate(c, rng: random.Random) -> List:
+        return ["mod0", f"img{rng.randrange(300)}", "ok"]
+
+    functions = [
+        AppFunction(FunctionSpec("imageboard.upload", UPLOAD_SRC, 90.0, 5.0,
+                                 "Upload an image and index its tag"), gen_upload),
+        AppFunction(FunctionSpec("imageboard.view", VIEW_SRC, 80.0, 55.0,
+                                 "View one image"), gen_view),
+        AppFunction(FunctionSpec("imageboard.tag_search", TAG_SEARCH_SRC, 130.0, 30.0,
+                                 "List images carrying a tag"), gen_search),
+        AppFunction(FunctionSpec("imageboard.favorite", FAVORITE_SRC, 11.0, 8.0,
+                                 "Add an image to favourites"), gen_favorite),
+        AppFunction(FunctionSpec("imageboard.moderate", MODERATE_SRC, 20.0, 2.0,
+                                 "Resolve a moderation-queue entry"), gen_moderate),
+    ]
+
+    def seed(store: KVStore, streams: RandomStreams, c: WorkloadContext) -> None:
+        rng = streams.stream("seed.imageboard")
+        index: dict = {t: [] for t in tags}
+        for i in range(300):
+            iid = f"img{i}"
+            tag = rng.choice(tags)
+            store.put("images", f"image:{iid}", {"id": iid, "by": "seed", "tag": tag})
+            index[tag].append(iid)
+        for tag, iids in index.items():
+            store.put("tags", f"tag:{tag}", iids)
+        store.put("mods", "queue", [f"img{i}" for i in range(10)])
+
+    return App(name="imageboard", functions=functions, seed=seed, context=ctx)

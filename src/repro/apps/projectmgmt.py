@@ -1,0 +1,173 @@
+"""The project/team-management application (paper §5.1's fourth category).
+
+Rounds out the five ported applications (27 functions total).  Kanban-ish
+data model:
+
+* ``tasks/task:{tid}``        — title, assignee, status, comments count
+* ``boards/board:{bid}``      — column lists of task ids
+* ``tasks/comments:{tid}``    — comment list
+* ``users/puser:{uid}``       — accounts
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core import FunctionSpec
+from ..sim import RandomStreams
+from ..storage import KVStore
+from .base import App, AppFunction, WorkloadContext
+
+__all__ = ["projectmgmt_app"]
+
+CREATE_SRC = '''
+def pm_create_task(uid, bid, title):
+    busy(2500)
+    tid = digest(f"{bid}:{title}")
+    db_put("tasks", f"task:{tid}", {"tid": tid, "title": title, "by": uid, "status": "todo"})
+    board = db_get("boards", f"board:{bid}")
+    if board is None:
+        board = {"todo": [], "doing": [], "done": []}
+    board["todo"] = [tid] + board["todo"][:49]
+    db_put("boards", f"board:{bid}", board)
+    return {"ok": True, "tid": tid}
+'''
+
+ASSIGN_SRC = '''
+def pm_assign_task(uid, tid):
+    busy(1500)
+    task = db_get("tasks", f"task:{tid}")
+    if task is None:
+        return {"ok": False}
+    task["assignee"] = uid
+    task["status"] = "doing"
+    db_put("tasks", f"task:{tid}", task)
+    return {"ok": True}
+'''
+
+COMPLETE_SRC = '''
+def pm_complete_task(uid, bid, tid):
+    busy(2000)
+    task = db_get("tasks", f"task:{tid}")
+    if task is None:
+        return {"ok": False}
+    task["status"] = "done"
+    db_put("tasks", f"task:{tid}", task)
+    board = db_get("boards", f"board:{bid}")
+    if board is None:
+        return {"ok": False}
+    moved = []
+    for existing in board["doing"]:
+        if existing != tid:
+            moved.append(existing)
+    board["doing"] = moved
+    board["done"] = [tid] + board["done"][:49]
+    db_put("boards", f"board:{bid}", board)
+    return {"ok": True}
+'''
+
+BOARD_SRC = '''
+def pm_board(bid):
+    board = db_get("boards", f"board:{bid}")
+    if board is None:
+        return {"ok": False}
+    busy(9000)
+    return {
+        "ok": True,
+        "todo": len(board["todo"]),
+        "doing": len(board["doing"]),
+        "done": len(board["done"]),
+        "top": board["todo"][:10],
+    }
+'''
+
+COMMENT_SRC = '''
+def pm_comment_task(uid, tid, text):
+    busy(1200)
+    comments = db_get("tasks", f"comments:{tid}")
+    if comments is None:
+        comments = []
+    comments = [[uid, text]] + comments[:29]
+    db_put("tasks", f"comments:{tid}", comments)
+    return {"ok": True, "count": len(comments)}
+'''
+
+LOGIN_SRC = '''
+def pm_login(uid, password):
+    user = db_get("users", f"puser:{uid}")
+    if user is None:
+        return {"ok": False}
+    busy(21000)
+    hashed = pbkdf2_hash(password, user["salt"])
+    return {"ok": hashed == user["hash"], "uid": uid}
+'''
+
+
+def projectmgmt_app(context: WorkloadContext = None) -> App:
+    """Build the project-management application."""
+    ctx = context or WorkloadContext()
+    boards = 20
+    task_pool = 200
+
+    def gen_create(c, rng: random.Random) -> List:
+        return [f"p{rng.randrange(c.users)}", f"b{rng.randrange(boards)}",
+                f"task-{rng.randrange(10**9)}"]
+
+    def gen_assign(c, rng: random.Random) -> List:
+        return [f"p{rng.randrange(c.users)}", f"t{rng.randrange(task_pool)}"]
+
+    def gen_complete(c, rng: random.Random) -> List:
+        return [f"p{rng.randrange(c.users)}", f"b{rng.randrange(boards)}",
+                f"t{rng.randrange(task_pool)}"]
+
+    def gen_board(c, rng: random.Random) -> List:
+        return [f"b{rng.randrange(boards)}"]
+
+    def gen_comment(c, rng: random.Random) -> List:
+        return [f"p{rng.randrange(c.users)}", f"t{rng.randrange(task_pool)}",
+                f"comment-{rng.randrange(10**9)}"]
+
+    def gen_login(c, rng: random.Random) -> List:
+        return [f"p{rng.randrange(c.users)}", "hunter2"]
+
+    functions = [
+        AppFunction(FunctionSpec("pm.create_task", CREATE_SRC, 25.0, 5.0,
+                                 "Create a task and add it to a board"), gen_create),
+        AppFunction(FunctionSpec("pm.assign_task", ASSIGN_SRC, 15.0, 5.0,
+                                 "Assign a task to a user"), gen_assign),
+        AppFunction(FunctionSpec("pm.complete_task", COMPLETE_SRC, 22.0, 5.0,
+                                 "Move a task to done"), gen_complete),
+        AppFunction(FunctionSpec("pm.board", BOARD_SRC, 95.0, 70.0,
+                                 "Render a board summary"), gen_board),
+        AppFunction(FunctionSpec("pm.comment_task", COMMENT_SRC, 14.0, 10.0,
+                                 "Comment on a task"), gen_comment),
+        AppFunction(FunctionSpec("pm.login", LOGIN_SRC, 213.0, 5.0,
+                                 "Performs pbkdf2-based password check"), gen_login),
+    ]
+
+    def seed(store: KVStore, streams: RandomStreams, c: WorkloadContext) -> None:
+        rng = streams.stream("seed.pm")
+        from ..wasm.intrinsics import REGISTRY
+
+        pbkdf2 = REGISTRY["pbkdf2_hash"].fn
+        for i in range(task_pool):
+            tid = f"t{i}"
+            store.put("tasks", f"task:{tid}", {
+                "tid": tid, "title": f"Task {i}", "by": "seed", "status": "doing",
+            })
+            store.put("tasks", f"comments:{tid}", [])
+        for b in range(boards):
+            mine = [f"t{i}" for i in range(b, task_pool, boards)]  # 10 tasks
+            store.put("boards", f"board:b{b}", {
+                "todo": mine[:5],
+                "doing": mine[5:],
+                "done": [],
+            })
+        for i in range(c.users):
+            salt = f"ps{i}"
+            store.put("users", f"puser:p{i}", {
+                "salt": salt, "hash": pbkdf2("hunter2", salt),
+            })
+
+    return App(name="projectmgmt", functions=functions, seed=seed, context=ctx)

@@ -1,0 +1,207 @@
+"""The social media application (Diaspora-style, paper Table 1).
+
+Five functions with the paper's service times and workload mix:
+
+========================  ======  =======  =========
+function                  writes  time     workload%
+========================  ======  =======  =========
+social.login              no      213 ms   9.5%
+social.post               yes*    106 ms   0.5%   (* dependent reads)
+social.follow             yes      16 ms   0.5%
+social.timeline           no      120 ms   80%
+social.profile            no      124 ms   9.5%
+========================  ======  =======  =========
+
+Data model (fanout-on-write, Twitter-style):
+
+* ``users/user:{uid}``        — profile, salt, password hash
+* ``graph/follows:{uid}``     — list of followees
+* ``graph/followers:{uid}``   — list of followers
+* ``timelines/timeline:{uid}``— materialised feed: [post_id, author, text]
+* ``posts/post:{pid}``        — post body
+* ``posts/authored:{uid}``    — the user's own posts (for profiles)
+
+``social.post`` must read the author's follower list to know which
+timelines to update — the dependent-access pattern §3.3 describes, hence
+the Table 1 asterisk.  Users are selected with zipf(0.99) (Tapir's
+workload parameters, §5.3), so hot users' timelines see concurrent writes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core import FunctionSpec
+from ..sim import RandomStreams
+from ..storage import KVStore
+from .base import App, AppFunction, WorkloadContext
+
+__all__ = ["social_media_app"]
+
+LOGIN_SRC = '''
+def social_login(uid, password):
+    user = db_get("users", f"user:{uid}")
+    if user is None:
+        return {"ok": False}
+    busy(21000)
+    hashed = pbkdf2_hash(password, user["salt"])
+    return {"ok": hashed == user["hash"], "uid": uid}
+'''
+
+POST_SRC = '''
+def social_post(uid, text):
+    busy(10000)
+    pid = digest(f"{uid}:{text}")
+    post = {"id": pid, "author": uid, "text": text}
+    db_put("posts", f"post:{pid}", post)
+    authored = db_get("posts", f"authored:{uid}")
+    if authored is None:
+        authored = []
+    authored = [pid] + authored[:19]
+    db_put("posts", f"authored:{uid}", authored)
+    followers = db_get("graph", f"followers:{uid}")
+    if followers is None:
+        followers = []
+    entry = [pid, uid, text]
+    for fo in followers:
+        tl = db_get("timelines", f"timeline:{fo}")
+        if tl is None:
+            tl = []
+        tl = [entry] + tl[:19]
+        db_put("timelines", f"timeline:{fo}", tl)
+    return {"ok": True, "post_id": pid}
+'''
+
+FOLLOW_SRC = '''
+def social_follow(uid, target):
+    busy(1200)
+    if uid == target:
+        return {"ok": False}
+    follows = db_get("graph", f"follows:{uid}")
+    if follows is None:
+        follows = []
+    if target in follows:
+        return {"ok": True, "already": True}
+    follows.append(target)
+    db_put("graph", f"follows:{uid}", follows)
+    followers = db_get("graph", f"followers:{target}")
+    if followers is None:
+        followers = []
+    followers.append(uid)
+    db_put("graph", f"followers:{target}", followers)
+    return {"ok": True, "already": False}
+'''
+
+TIMELINE_SRC = '''
+def social_timeline(uid, limit):
+    tl = db_get("timelines", f"timeline:{uid}")
+    if tl is None:
+        tl = []
+    busy(11800)
+    out = []
+    for entry in tl[:limit]:
+        out.append({"post_id": entry[0], "author": entry[1], "text": entry[2]})
+    return out
+'''
+
+PROFILE_SRC = '''
+def social_profile(viewer, target):
+    user = db_get("users", f"user:{target}")
+    if user is None:
+        return {"ok": False}
+    busy(12200)
+    authored = db_get("posts", f"authored:{target}")
+    if authored is None:
+        authored = []
+    return {"ok": True, "name": user["name"], "posts": authored[:10]}
+'''
+
+
+def _uid(i: int) -> str:
+    return f"u{i}"
+
+
+def social_media_app(context: WorkloadContext = None) -> App:
+    """Build the social media benchmark application."""
+    ctx = context or WorkloadContext()
+
+    def gen_login(c: WorkloadContext, rng: random.Random) -> List:
+        return [_uid(c.zipf("social.users", c.users, rng)), "hunter2"]
+
+    def gen_post(c: WorkloadContext, rng: random.Random) -> List:
+        uid = _uid(c.zipf("social.users", c.users, rng))
+        return [uid, f"post-{rng.randrange(10**9)}"]
+
+    def gen_follow(c: WorkloadContext, rng: random.Random) -> List:
+        a = _uid(c.zipf("social.users", c.users, rng))
+        b = _uid(rng.randrange(c.users))
+        return [a, b]
+
+    def gen_timeline(c: WorkloadContext, rng: random.Random) -> List:
+        return [_uid(c.zipf("social.users", c.users, rng)), 10]
+
+    def gen_profile(c: WorkloadContext, rng: random.Random) -> List:
+        viewer = _uid(rng.randrange(c.users))
+        target = _uid(c.zipf("social.users", c.users, rng))
+        return [viewer, target]
+
+    functions = [
+        AppFunction(
+            FunctionSpec("social.login", LOGIN_SRC, 213.0, 9.5,
+                         "Performs pbkdf2-based password check"),
+            gen_login,
+        ),
+        AppFunction(
+            FunctionSpec("social.post", POST_SRC, 106.0, 0.5,
+                         "Make a post and add to followers' timelines"),
+            gen_post,
+        ),
+        AppFunction(
+            FunctionSpec("social.follow", FOLLOW_SRC, 16.0, 0.5,
+                         "Follow another user"),
+            gen_follow,
+        ),
+        AppFunction(
+            FunctionSpec("social.timeline", TIMELINE_SRC, 120.0, 80.0,
+                         "View the posts from following users"),
+            gen_timeline,
+        ),
+        AppFunction(
+            FunctionSpec("social.profile", PROFILE_SRC, 124.0, 9.5,
+                         "View a user's profile and their posts"),
+            gen_profile,
+        ),
+    ]
+
+    def seed(store: KVStore, streams: RandomStreams, c: WorkloadContext) -> None:
+        """Users, a zipf-ish follow graph, and warm timelines."""
+        rng = streams.stream("seed.social")
+        from ..wasm.intrinsics import REGISTRY
+
+        pbkdf2 = REGISTRY["pbkdf2_hash"].fn
+        for i in range(c.users):
+            uid = _uid(i)
+            salt = f"salt{i}"
+            store.put("users", f"user:{uid}", {
+                "name": f"User {i}",
+                "salt": salt,
+                "hash": pbkdf2("hunter2", salt),
+            })
+        follows = {i: set() for i in range(c.users)}
+        followers = {i: set() for i in range(c.users)}
+        for i in range(c.users):
+            count = rng.randrange(3, 12)
+            for _j in range(count):
+                target = rng.randrange(c.users)
+                if target != i:
+                    follows[i].add(target)
+                    followers[target].add(i)
+        for i in range(c.users):
+            uid = _uid(i)
+            store.put("graph", f"follows:{uid}", [_uid(t) for t in sorted(follows[i])])
+            store.put("graph", f"followers:{uid}", [_uid(t) for t in sorted(followers[i])])
+            store.put("timelines", f"timeline:{uid}", [])
+            store.put("posts", f"authored:{uid}", [])
+
+    return App(name="social", functions=functions, seed=seed, context=ctx)

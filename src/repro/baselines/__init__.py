@@ -1,0 +1,15 @@
+"""The three comparison systems of the evaluation: the primary-datacenter
+baseline, the geo-replicated quorum deployment (Figure 1), and the
+inconsistent local-storage lower bound (the red lines)."""
+
+from .georeplicated import GeoReplicatedApp, SimpleWorkload
+from .local import LocalIdeal
+from .primary import BaselineOutcome, PrimaryBaseline
+
+__all__ = [
+    "BaselineOutcome",
+    "GeoReplicatedApp",
+    "LocalIdeal",
+    "PrimaryBaseline",
+    "SimpleWorkload",
+]

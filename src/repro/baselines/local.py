@@ -1,0 +1,66 @@
+"""The inconsistent-local-storage lower bound (the red lines, §5.3).
+
+Each region runs the application against its *own* local store with no
+coordination whatsoever.  This is the best possible latency — and it is
+not strongly consistent: regions silently diverge.  Radical's quality
+metric is how close it gets to this bound while staying linearizable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from ..core import FunctionRegistry, RadicalConfig
+from ..core.storage_library import PrimaryEnv
+from ..sim import Metrics, RandomStreams, Simulator
+from ..storage import KVStore
+from ..wasm import VM
+from .primary import BaselineOutcome
+
+__all__ = ["LocalIdeal"]
+
+
+class LocalIdeal:
+    """One region's local, uncoordinated deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        region: str,
+        registry: FunctionRegistry,
+        config: Optional[RadicalConfig] = None,
+        streams: Optional[RandomStreams] = None,
+        metrics: Optional[Metrics] = None,
+        store: Optional[KVStore] = None,
+    ):
+        self.sim = sim
+        self.region = region
+        self.registry = registry
+        self.config = config or RadicalConfig()
+        self.metrics = metrics or Metrics()
+        self.store = store if store is not None else KVStore(name=f"local-{region}")
+        self._jitter = (streams or RandomStreams(0)).stream(f"local.{region}")
+
+    def invoke(self, function_id: str, args: List[Any]) -> Generator:
+        """Run a function against local storage only; generator returning a
+        :class:`BaselineOutcome`.  No network leaves the region."""
+        invoked_at = self.sim.now
+        record = self.registry.get(function_id)
+        yield self.sim.timeout(self.config.invoke_ms + self.config.wasm_load_ms)
+        sigma = self.config.service_jitter_sigma
+        factor = math.exp(self._jitter.gauss(0.0, sigma)) if sigma > 0 else 1.0
+        yield self.sim.timeout(record.service_time_ms * factor)
+        env = PrimaryEnv(self.store)
+        trace = VM(env, gas_limit=self.config.gas_limit).execute(record.f, list(args))
+        self.metrics.incr("local.requests")
+        return BaselineOutcome(
+            result=trace.result,
+            invoked_at=invoked_at,
+            responded_at=self.sim.now,
+            read_versions=dict(env.read_versions),
+            write_versions=dict(env.write_versions),
+            function_id=function_id,
+            path="local-ideal",
+        )

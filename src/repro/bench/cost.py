@@ -1,0 +1,113 @@
+"""Cost analysis (§5.7): the paper's AWS price arithmetic, reproduced.
+
+The paper prices a deployment serving at most 50,000 reads/s and 500
+writes/s.  All constants below are the paper's published numbers; the
+functions reproduce its arithmetic exactly:
+
+* baseline = DynamoDB ($1077.36/mo) + Lambda invocations;
+* Radical  = baseline infra + ScyllaDB caches (5 x m6g.large = $170/mo)
+  + the LVI server ($166/mo) + the extra near-storage executions paid for
+  the ~5% of requests whose validation fails.
+
+The paper's Lambda figure works out to $2.87 per million 100 ms
+invocations (it quotes $2.87/1M directly and $0.14 for the extra 50,000
+failure re-executions, i.e. the same rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["AwsPricing", "CostBreakdown", "monthly_costs", "cost_table"]
+
+
+@dataclass(frozen=True)
+class AwsPricing:
+    """Unit prices from §5.7 (US-East, 2025)."""
+
+    dynamodb_monthly: float = 1077.36        # 50k reads/s + 500 writes/s
+    scylla_node_monthly: float = 34.0        # m6g.large
+    scylla_nodes: int = 5                    # one per near-user location
+    lvi_server_monthly: float = 166.0        # EC2 t3.2xlarge
+    lambda_per_million_100ms: float = 2.87   # 1M x 100 ms invocations
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One deployment's monthly bill."""
+
+    invocations: int
+    storage: float
+    caches: float
+    lvi_server: float
+    function_executions: float
+    failure_reexecutions: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.storage
+            + self.caches
+            + self.lvi_server
+            + self.function_executions
+            + self.failure_reexecutions
+        )
+
+
+def monthly_costs(
+    invocations: int,
+    validation_failure_rate: float = 0.05,
+    pricing: AwsPricing = AwsPricing(),
+) -> tuple:
+    """(baseline, radical) :class:`CostBreakdown` for a monthly volume."""
+    lam = pricing.lambda_per_million_100ms * invocations / 1_000_000
+    baseline = CostBreakdown(
+        invocations=invocations,
+        storage=pricing.dynamodb_monthly,
+        caches=0.0,
+        lvi_server=0.0,
+        function_executions=lam,
+        failure_reexecutions=0.0,
+    )
+    radical = CostBreakdown(
+        invocations=invocations,
+        storage=pricing.dynamodb_monthly,
+        caches=pricing.scylla_node_monthly * pricing.scylla_nodes,
+        lvi_server=pricing.lvi_server_monthly,
+        function_executions=lam,
+        failure_reexecutions=lam * validation_failure_rate,
+    )
+    return baseline, radical
+
+
+def infrastructure_overhead(pricing: AwsPricing = AwsPricing()) -> float:
+    """Radical's infrastructure cost increase over the baseline (§5.7
+    reports 31%)."""
+    base = pricing.dynamodb_monthly
+    radical = (
+        pricing.dynamodb_monthly
+        + pricing.scylla_node_monthly * pricing.scylla_nodes
+        + pricing.lvi_server_monthly
+    )
+    return radical / base - 1.0
+
+
+def cost_table(
+    volumes: List[int] = (1_000_000, 10_000_000, 100_000_000),
+    validation_failure_rate: float = 0.05,
+    pricing: AwsPricing = AwsPricing(),
+) -> List[dict]:
+    """The §5.7 invocation-scaling table: one row per monthly volume."""
+    rows = []
+    for n in volumes:
+        baseline, radical = monthly_costs(n, validation_failure_rate, pricing)
+        rows.append(
+            {
+                "invocations": n,
+                "baseline_total": round(baseline.total, 2),
+                "radical_total": round(radical.total, 2),
+                "overhead": radical.total / baseline.total - 1.0,
+            }
+        )
+    return rows

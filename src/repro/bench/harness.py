@@ -1,0 +1,232 @@
+"""Experiment harness: build deployments, drive workloads, collect results.
+
+Three deployment builders mirror the paper's three systems (§5.3):
+
+* :func:`run_radical_experiment` — Radical: runtimes + caches in each of
+  the five regions, one LVI server + primary store in Virginia.
+* :func:`run_baseline_experiment` — the primary-datacenter baseline.
+* :func:`run_local_ideal_experiment` — the inconsistent lower bound (the
+  red lines): per-region apps on per-region stores.
+
+Each returns an :class:`ExperimentResult` with the latency distributions
+(overall / per region / per function), protocol counters (validation
+success rate, paths taken), and optionally the full consistency history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..apps import App
+from ..baselines import LocalIdeal, PrimaryBaseline
+from ..consistency import HistoryRecorder
+from ..core import FunctionRegistry, LVIServer, NearUserRuntime, RadicalConfig
+from ..sim import (
+    Metrics,
+    Network,
+    RandomStreams,
+    Region,
+    Simulator,
+    Summary,
+    paper_latency_table,
+)
+from ..storage import KVStore, NearUserCache
+from ..workloads import ClosedLoopClient, run_clients
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_radical_experiment",
+    "run_baseline_experiment",
+    "run_local_ideal_experiment",
+]
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by every experiment in the reproduction."""
+
+    requests: int = 2000                  # total, split across regions/clients
+    regions: tuple = Region.NEAR_USER     # the five deployment locations
+    clients_per_region: int = 2
+    seed: int = 42
+    warm_caches: bool = True              # pre-populate near-user caches
+    record_history: bool = False          # collect TxnRecords (tests)
+    network_jitter_sigma: float = 0.02
+    radical: RadicalConfig = field(default_factory=RadicalConfig)
+
+    def per_client_requests(self) -> int:
+        per_region = max(1, self.requests // len(self.regions))
+        return max(1, per_region // self.clients_per_region)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced."""
+
+    metrics: Metrics
+    history: Optional[HistoryRecorder]
+    store: KVStore
+    virtual_time_ms: float
+
+    def summary(self, label: str = "e2e") -> Summary:
+        return self.metrics.summary(label)
+
+    def region_summary(self, region: str) -> Summary:
+        return self.metrics.summary(f"e2e.region.{region}")
+
+    def function_summary(self, function_id: str) -> Summary:
+        return self.metrics.summary(f"e2e.fn.{function_id}")
+
+    def validation_success_rate(self) -> Optional[float]:
+        ok = self.metrics.counter("validation.success")
+        bad = self.metrics.counter("validation.failure")
+        if ok + bad == 0:
+            return None
+        return ok / (ok + bad)
+
+
+def _warm_cache(cache: NearUserCache, store: KVStore) -> None:
+    """Copy the primary's current contents into a near-user cache —
+    the steady-state starting point (the paper's runs measure warmed
+    deployments; cold-start is the §3.2 bootstrap ablation)."""
+    for table in store.table_names():
+        if table.startswith("_radical"):
+            continue
+        for key, item in store.scan(table):
+            cache.install(table, key, item)
+
+
+def run_radical_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
+    """Deploy Radical across the configured regions and drive the workload."""
+    sim = Simulator()
+    streams = RandomStreams(cfg.seed)
+    net = Network(sim, paper_latency_table(), streams, jitter_sigma=cfg.network_jitter_sigma)
+    metrics = Metrics()
+    history = HistoryRecorder() if cfg.record_history else None
+
+    registry = FunctionRegistry()
+    registry.register_all(app.specs())
+    store = KVStore()
+    app.seed(store, streams, app.context)
+
+    raft_cluster = None
+    if cfg.radical.replicated:
+        from ..raft import RaftCluster
+
+        raft_cluster = RaftCluster(sim, streams)
+        raft_cluster.start()
+        sim.run(until=500.0)  # elect an initial leader before traffic
+
+    LVIServer(
+        sim, net, registry, store, cfg.radical, streams, metrics,
+        raft_cluster=raft_cluster,
+    )
+
+    clients: List[ClosedLoopClient] = []
+    for region in cfg.regions:
+        cache = NearUserCache(region, persistent=True)
+        if cfg.warm_caches:
+            _warm_cache(cache, store)
+        runtime = NearUserRuntime(
+            sim, net, region, cache, registry, cfg.radical, streams, metrics
+        )
+        for i in range(cfg.clients_per_region):
+            clients.append(
+                ClosedLoopClient(
+                    sim=sim,
+                    app=app,
+                    region=region,
+                    invoke=runtime.invoke,
+                    metrics=metrics,
+                    rng=streams.fork(f"client.{region}.{i}").stream("workload"),
+                    requests=cfg.per_client_requests(),
+                    client_app_rtt_ms=cfg.radical.client_app_rtt_ms,
+                    history=history,
+                )
+            )
+    run_clients(sim, clients)
+    return ExperimentResult(metrics=metrics, history=history, store=store, virtual_time_ms=sim.now)
+
+
+def run_baseline_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
+    """The primary-datacenter baseline under the identical workload."""
+    sim = Simulator()
+    streams = RandomStreams(cfg.seed)
+    net = Network(sim, paper_latency_table(), streams, jitter_sigma=cfg.network_jitter_sigma)
+    metrics = Metrics()
+    history = HistoryRecorder() if cfg.record_history else None
+
+    registry = FunctionRegistry()
+    registry.register_all(app.specs())
+    store = KVStore()
+    app.seed(store, streams, app.context)
+    baseline = PrimaryBaseline(sim, net, registry, store, cfg.radical, streams, metrics)
+
+    clients: List[ClosedLoopClient] = []
+    for region in cfg.regions:
+        for i in range(cfg.clients_per_region):
+            if region == baseline.region:
+                # Co-located clients skip the WAN entirely.
+                invoke = baseline.invoke_local
+            else:
+                endpoint = f"client-{region}-{i}"
+                net.register(endpoint, region)
+
+                def invoke(function_id, args, _ep=endpoint):
+                    return baseline.invoke_from(_ep, function_id, args)
+
+            clients.append(
+                ClosedLoopClient(
+                    sim=sim,
+                    app=app,
+                    region=region,
+                    invoke=invoke,
+                    metrics=metrics,
+                    rng=streams.fork(f"client.{region}.{i}").stream("workload"),
+                    requests=cfg.per_client_requests(),
+                    # The WAN hop to Virginia is inside invoke_from; the
+                    # local client hop is negligible for remote clients.
+                    client_app_rtt_ms=0.0,
+                    history=history,
+                )
+            )
+    run_clients(sim, clients)
+    return ExperimentResult(metrics=metrics, history=history, store=store, virtual_time_ms=sim.now)
+
+
+def run_local_ideal_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
+    """The inconsistent local lower bound: no coordination at all."""
+    sim = Simulator()
+    streams = RandomStreams(cfg.seed)
+    metrics = Metrics()
+
+    registry = FunctionRegistry()
+    registry.register_all(app.specs())
+
+    clients: List[ClosedLoopClient] = []
+    shared_store_for_result = KVStore()
+    app.seed(shared_store_for_result, streams, app.context)
+    for region in cfg.regions:
+        store = KVStore(name=f"local-{region}")
+        app.seed(store, streams, app.context)
+        local = LocalIdeal(sim, region, registry, cfg.radical, streams, metrics, store=store)
+        for i in range(cfg.clients_per_region):
+            clients.append(
+                ClosedLoopClient(
+                    sim=sim,
+                    app=app,
+                    region=region,
+                    invoke=local.invoke,
+                    metrics=metrics,
+                    rng=streams.fork(f"client.{region}.{i}").stream("workload"),
+                    requests=cfg.per_client_requests(),
+                    client_app_rtt_ms=cfg.radical.client_app_rtt_ms,
+                    history=None,
+                )
+            )
+    run_clients(sim, clients)
+    return ExperimentResult(
+        metrics=metrics, history=None, store=shared_store_for_result, virtual_time_ms=sim.now
+    )

@@ -1,0 +1,63 @@
+"""Plain-text table rendering and JSON persistence for experiment output.
+
+Every benchmark prints the same rows/series the paper's figures and tables
+report, via these helpers, and drops a JSON copy under ``results/`` so
+EXPERIMENTS.md can be regenerated from artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "save_results", "results_dir"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}" if abs(value) >= 10 else f"{value:.2f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> None:
+    print()
+    print(format_table(headers, rows, title))
+    print()
+
+
+def results_dir() -> str:
+    """The repo-local results directory (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+    path = os.path.join(here, "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_results(name: str, payload: Dict[str, Any]) -> str:
+    """Persist one experiment's structured output as JSON."""
+    path = os.path.join(results_dir(), f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+    return path

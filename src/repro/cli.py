@@ -1,0 +1,268 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    radical-repro table2                 # print Table 2
+    radical-repro fig4 --requests 5000   # Figure 4 with a bigger run
+    radical-repro all                    # everything (writes results/*.json)
+
+Each subcommand prints the same rows/series the paper reports and writes a
+JSON artifact under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (
+    ExperimentConfig,
+    ablation_cache_bootstrap,
+    ablation_lock_modes,
+    ablation_overlap,
+    ablation_two_rtt,
+    cost_table,
+    fig1_motivation,
+    fig4_rows,
+    fig5_rows,
+    fig6_rows,
+    infrastructure_overhead,
+    print_table,
+    run_eval_trio,
+    save_results,
+    sec56_replication,
+    table1_functions,
+    table2_rtt,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_fig1(args: argparse.Namespace) -> None:
+    rows = fig1_motivation(requests_per_region=max(50, args.requests // 10), seed=args.seed)
+    print_table(
+        ["region", "centralized (ms)", "geo-replicated (ms)", "local ideal (ms)"],
+        [[r["region"].upper(), r["centralized_median_ms"],
+          r["geo_replicated_median_ms"], r["local_ideal_median_ms"]] for r in rows],
+        title="Figure 1: motivation",
+    )
+    save_results("fig1_motivation", {"rows": rows})
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    rows = table1_functions()
+    print_table(
+        ["function", "writes", "analyzable", "exec (ms)", "workload %"],
+        [[r["function"], r["writes"], r["analyzable"], r["exec_time_ms"],
+          r["workload_pct"]] for r in rows],
+        title="Table 1: benchmark functions",
+    )
+    save_results("table1_functions", {"rows": rows})
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    rows = table2_rtt()
+    print_table(
+        ["region", "RTT to primary (ms)"],
+        [[r["region"], r["rtt_to_primary_ms"]] for r in rows],
+        title="Table 2: round-trip latencies",
+    )
+    save_results("table2_rtt", {"rows": rows})
+
+
+def _trios(args: argparse.Namespace):
+    cfg = ExperimentConfig(requests=args.requests, seed=args.seed)
+    return {app: run_eval_trio(app, cfg) for app in ("social", "hotel", "forum")}
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    from .bench.plots import grouped_bar_chart
+
+    rows = [fig4_rows(trio) for trio in _trios(args).values()]
+    print_table(
+        ["app", "radical med", "baseline med", "ideal med", "improve %",
+         "of max %", "valid %"],
+        [[r["app"], r["radical_median_ms"], r["baseline_median_ms"],
+          r["ideal_median_ms"], r["improvement_pct"], r["fraction_of_max_pct"],
+          r["validation_success_rate"] * 100] for r in rows],
+        title="Figure 4: end-to-end latency",
+    )
+    print(grouped_bar_chart(
+        [r["app"] for r in rows],
+        {
+            "radical": [r["radical_median_ms"] for r in rows],
+            "baseline": [r["baseline_median_ms"] for r in rows],
+            "ideal": [r["ideal_median_ms"] for r in rows],
+        },
+        title="median end-to-end latency",
+    ))
+    save_results("fig4_end_to_end", {"rows": rows})
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    from .bench.plots import grouped_bar_chart
+
+    payload = {}
+    for app, trio in _trios(args).items():
+        rows = fig5_rows(trio)
+        payload[app] = rows
+        print_table(
+            ["region", "radical med", "baseline med", "ideal med"],
+            [[r["region"].upper(), r["radical_median_ms"], r["baseline_median_ms"],
+              r["ideal_median_ms"]] for r in rows],
+            title=f"Figure 5 ({app}): regional variation",
+        )
+        print(grouped_bar_chart(
+            [r["region"].upper() for r in rows],
+            {
+                "radical": [r["radical_median_ms"] for r in rows],
+                "baseline": [r["baseline_median_ms"] for r in rows],
+            },
+            title=f"{app}: median latency by region",
+        ))
+    save_results("fig5_regional", payload)
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    from .bench.plots import bar_chart
+
+    rows = []
+    for trio in _trios(args).values():
+        rows.extend(fig6_rows(trio))
+    print_table(
+        ["function", "exec (ms)", "radical med", "baseline med", "n"],
+        [[r["function"], r["service_time_ms"], r["radical_median_ms"],
+          r["baseline_median_ms"], r["samples"]] for r in rows],
+        title="Figure 6: per-function latency",
+    )
+    stable = [r for r in rows if r["samples"] >= 30]
+    print(bar_chart(
+        [r["function"] for r in stable],
+        [r["radical_median_ms"] for r in stable],
+        markers=[r["radical_p99_ms"] for r in stable],
+        title="Radical per-function median (p99 markers)",
+    ))
+    save_results("fig6_functions", {"rows": rows})
+
+
+def _cmd_sweeps(args: argparse.Namespace) -> None:
+    from .bench import sweep_concurrency, sweep_offered_load, sweep_skew
+
+    skew = sweep_skew(requests=args.requests)
+    print_table(
+        ["zipf s", "validation", "median (ms)", "p99 (ms)"],
+        [[r["zipf_s"], r["validation_success"], r["median_ms"], r["p99_ms"]]
+         for r in skew],
+        title="Sweep: skew (counter microbenchmark)",
+    )
+    conc = sweep_concurrency(requests=args.requests)
+    print_table(
+        ["clients/region", "validation", "median (ms)", "p99 (ms)"],
+        [[r["clients_per_region"], r["validation_success"], r["median_ms"],
+          r["p99_ms"]] for r in conc],
+        title="Sweep: concurrency (forum)",
+    )
+    load = sweep_offered_load()
+    print_table(
+        ["rate (rps/region)", "requests", "median", "p99", "validation",
+         "lock wait (ms)"],
+        [[r["rate_rps_per_region"], r["requests"], r["median_ms"], r["p99_ms"],
+          r["validation_success"], r["lock_wait_total_ms"]] for r in load],
+        title="Sweep: offered load (forum, open loop)",
+    )
+    save_results("sweeps", {"skew": skew, "concurrency": conc, "offered_load": load})
+
+
+def _cmd_sec56(args: argparse.Namespace) -> None:
+    result = sec56_replication(seed=args.seed)
+    print(f"Raft per-lock commit: {result['raft_per_lock_commit_ms']:.2f} ms "
+          f"(paper: 2.3 ms)")
+    print_table(
+        ["locks", "model 3+2.3L", "measured added (ms)"],
+        [[m["locks"], model["added_latency_model_ms"], m["measured_added_ms"]]
+         for m, model in zip(result["measured"], result["model"])],
+        title="Section 5.6: replicated LVI server",
+    )
+    save_results("sec56_replication", result)
+
+
+def _cmd_cost(args: argparse.Namespace) -> None:
+    rows = cost_table()
+    print_table(
+        ["monthly invocations", "baseline ($)", "radical ($)", "overhead %"],
+        [[f"{r['invocations']:,}", r["baseline_total"], r["radical_total"],
+          r["overhead"] * 100] for r in rows],
+        title=f"Section 5.7: cost (infrastructure overhead "
+              f"{infrastructure_overhead():.1%})",
+    )
+    save_results("sec57_cost", {"rows": rows})
+
+
+def _cmd_ablations(args: argparse.Namespace) -> None:
+    overlap = ablation_overlap(requests=args.requests, seed=args.seed)
+    two_rtt = ablation_two_rtt(requests=args.requests, seed=args.seed)
+    locks = ablation_lock_modes(requests=args.requests, seed=args.seed)
+    bootstrap = ablation_cache_bootstrap(requests=args.requests, seed=args.seed)
+    print_table(
+        ["ablation", "radical", "ablated"],
+        [
+            ["overlap off (median ms)", overlap["overlap_median_ms"],
+             overlap["no_overlap_median_ms"]],
+            ["2-RTT commit (overall ms)", two_rtt["overall_single_ms"],
+             two_rtt["overall_two_rtt_ms"]],
+            ["exclusive locks (p99 ms)", locks["rw_locks_p99_ms"],
+             locks["exclusive_p99_ms"]],
+            ["cold cache (median ms)", bootstrap["warm_median_ms"],
+             bootstrap["cold_median_ms"]],
+        ],
+        title="Design-choice ablations",
+    )
+    save_results("ablations", {
+        "overlap": overlap, "two_rtt": two_rtt,
+        "lock_modes": locks, "cache_bootstrap": bootstrap,
+    })
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "sec56": _cmd_sec56,
+    "cost": _cmd_cost,
+    "ablations": _cmd_ablations,
+    "sweeps": _cmd_sweeps,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``radical-repro`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro",
+        description="Reproduce the evaluation of Radical (SOSP 2025).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--requests", type=int, default=2000,
+                        help="workload size for latency experiments")
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        for name in ("table2", "table1", "cost", "fig1", "sec56", "fig4", "fig5",
+                     "fig6", "ablations", "sweeps"):
+            print(f"\n##### {name} #####")
+            _COMMANDS[name](args)
+    else:
+        _COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

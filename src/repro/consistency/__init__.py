@@ -1,0 +1,26 @@
+"""History recording and consistency checking.
+
+The paper proves Linearizability (§3.6); this package *checks* it: every
+integration test records the versions each client operation observed and
+verifies the resulting transaction history is strictly serializable.
+"""
+
+from .checker import (
+    DependencyGraph,
+    RegisterOp,
+    build_dependency_graph,
+    check_register_linearizable,
+    check_strict_serializability,
+)
+from .history import HistoryRecorder, Key, TxnRecord
+
+__all__ = [
+    "DependencyGraph",
+    "HistoryRecorder",
+    "Key",
+    "RegisterOp",
+    "TxnRecord",
+    "build_dependency_graph",
+    "check_register_linearizable",
+    "check_strict_serializability",
+]

@@ -1,0 +1,197 @@
+"""Strict-serializability checking over versioned transaction histories.
+
+Because the primary store gives every item a dense, totally ordered version
+sequence (v=1,2,3,...) and each record carries the exact versions it read
+and wrote, serializability checking avoids the NP-hard polygraph search:
+
+* **ww order** per key is the version order itself;
+* **wr edges**: the reader of version v depends on the writer of v;
+* **rw anti-dependency**: a transaction that *read* version v must precede
+  the transaction that wrote v+1;
+* **real-time edges**: if T1's response precedes T2's invocation, T1 must
+  come first (this is what upgrades serializability to strictness, i.e.
+  Linearizability at transaction granularity — §3.6's property).
+
+The history is strictly serializable iff the resulting dependency graph is
+acyclic.  On violation the checker reports a cycle as a human-readable
+explanation.
+
+A classic Wing & Gill exhaustive checker for single-register histories
+lives in :func:`check_register_linearizable`, used to validate the ABD
+replicated store independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConsistencyViolation
+from .history import Key, TxnRecord
+
+__all__ = [
+    "check_strict_serializability",
+    "DependencyGraph",
+    "RegisterOp",
+    "check_register_linearizable",
+]
+
+
+@dataclass
+class DependencyGraph:
+    """Adjacency sets over transaction ids, with labelled edges for
+    violation reporting."""
+
+    edges: Dict[int, set]
+    labels: Dict[Tuple[int, int], str]
+
+    def find_cycle(self) -> Optional[List[int]]:
+        """Return one cycle as a node list, or None if the graph is a DAG."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in self.edges}
+        stack: List[int] = []
+
+        def dfs(node: int) -> Optional[List[int]]:
+            color[node] = GRAY
+            stack.append(node)
+            for nxt in sorted(self.edges.get(node, ())):
+                if color.get(nxt, WHITE) == GRAY:
+                    i = stack.index(nxt)
+                    return stack[i:] + [nxt]
+                if color.get(nxt, WHITE) == WHITE:
+                    found = dfs(nxt)
+                    if found:
+                        return found
+            stack.pop()
+            color[node] = BLACK
+            return None
+
+        for node in sorted(self.edges):
+            if color[node] == WHITE:
+                found = dfs(node)
+                if found:
+                    return found
+        return None
+
+
+def build_dependency_graph(records: Sequence[TxnRecord]) -> DependencyGraph:
+    """Construct the wr/ww/rw/real-time dependency graph."""
+    edges: Dict[int, set] = {r.txn_id: set() for r in records}
+    labels: Dict[Tuple[int, int], str] = {}
+
+    def add(a: int, b: int, label: str) -> None:
+        if a == b:
+            return
+        if b not in edges[a]:
+            edges[a].add(b)
+            labels[(a, b)] = label
+
+    # Index writers by (key, version).
+    writer_of: Dict[Tuple[Key, int], int] = {}
+    for r in records:
+        for key, version in r.writes.items():
+            prev = writer_of.get((key, version))
+            if prev is not None and prev != r.txn_id:
+                raise ConsistencyViolation(
+                    f"two transactions ({prev}, {r.txn_id}) both wrote "
+                    f"{key} version {version}: duplicate write application"
+                )
+            writer_of[(key, version)] = r.txn_id
+
+    for r in records:
+        # wr: reading v depends on the writer of v (version 0 = initial).
+        for key, version in r.reads.items():
+            if version > 0:
+                writer = writer_of.get((key, version))
+                if writer is not None:
+                    add(writer, r.txn_id, f"wr {key}@v{version}")
+            # rw: the writer of v+1 must come after this read.
+            overwriter = writer_of.get((key, version + 1))
+            if overwriter is not None:
+                add(r.txn_id, overwriter, f"rw {key}@v{version}->v{version + 1}")
+        # ww: version order per key.
+        for key, version in r.writes.items():
+            nxt = writer_of.get((key, version + 1))
+            if nxt is not None:
+                add(r.txn_id, nxt, f"ww {key}@v{version}->v{version + 1}")
+
+    # Real-time edges.  O(n^2) worst case; fine at experiment sizes, and we
+    # sort to only add edges between temporally close pairs transitively.
+    ordered = sorted(records, key=lambda r: (r.responded_at, r.invoked_at))
+    for i, earlier in enumerate(ordered):
+        for later in ordered[i + 1:]:
+            if earlier.responded_at < later.invoked_at:
+                add(earlier.txn_id, later.txn_id, "rt")
+
+    return DependencyGraph(edges=edges, labels=labels)
+
+
+def check_strict_serializability(records: Sequence[TxnRecord]) -> None:
+    """Raise :class:`ConsistencyViolation` (with a cycle explanation) if
+    the history is not strictly serializable."""
+    graph = build_dependency_graph(records)
+    cycle = graph.find_cycle()
+    if cycle is None:
+        return
+    parts = []
+    for a, b in zip(cycle, cycle[1:]):
+        parts.append(f"T{a} --[{graph.labels.get((a, b), '?')}]--> T{b}")
+    raise ConsistencyViolation("dependency cycle: " + "; ".join(parts))
+
+
+# ---------------------------------------------------------------------------
+# Register-level linearizability (Wing & Gill) for the ABD store.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RegisterOp:
+    """A read or write on a single register, with its real-time window."""
+
+    op_id: int
+    kind: str          # "read" | "write"
+    value: object      # written value, or value the read returned
+    invoked_at: float
+    responded_at: float
+
+
+def check_register_linearizable(ops: Sequence[RegisterOp], initial: object = None) -> bool:
+    """Exhaustively decide linearizability of a single-register history.
+
+    Wing & Gill style search: repeatedly pick a *minimal* operation (one
+    whose invocation precedes every unfinished operation's response),
+    simulate it against the register, and recurse.  Exponential in the
+    worst case — use for small histories (tests use <= ~12 ops).
+    """
+    ops = list(ops)
+    n = len(ops)
+    if n == 0:
+        return True
+    # Memoize on (frozenset of remaining op ids, current value index).
+    from functools import lru_cache
+
+    values = {id(op): op for op in ops}
+
+    def minimal_ops(remaining: frozenset) -> List[RegisterOp]:
+        rem = [o for o in ops if o.op_id in remaining]
+        min_response = min(o.responded_at for o in rem)
+        return [o for o in rem if o.invoked_at <= min_response]
+
+    seen = set()
+
+    def search(remaining: frozenset, current) -> bool:
+        if not remaining:
+            return True
+        state = (remaining, repr(current))
+        if state in seen:
+            return False
+        for op in minimal_ops(remaining):
+            if op.kind == "write":
+                if search(remaining - {op.op_id}, op.value):
+                    return True
+            else:
+                if op.value == current and search(remaining - {op.op_id}, current):
+                    return True
+        seen.add(state)
+        return False
+
+    return search(frozenset(o.op_id for o in ops), initial)

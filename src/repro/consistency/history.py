@@ -1,0 +1,80 @@
+"""Operation histories: what clients observed, for consistency checking.
+
+Radical's correctness claim (§3.6) is Linearizability at function
+granularity — each function invocation reads and writes multiple items
+atomically, so the property to check is *strict serializability* of the
+transaction history.  The harness records a :class:`TxnRecord` per client
+request: real-time invoke/response window, the versions read, the versions
+written.  :mod:`repro.consistency.checker` decides whether a legal
+serial order exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+Key = Tuple[str, str]
+
+__all__ = ["TxnRecord", "HistoryRecorder"]
+
+
+@dataclass
+class TxnRecord:
+    """One completed client operation (a function execution)."""
+
+    txn_id: int
+    function: str
+    invoked_at: float
+    responded_at: float
+    reads: Dict[Key, int] = field(default_factory=dict)    # key -> version read
+    writes: Dict[Key, int] = field(default_factory=dict)   # key -> version written
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.writes
+
+    def overlaps(self, other: "TxnRecord") -> bool:
+        return not (
+            self.responded_at < other.invoked_at or other.responded_at < self.invoked_at
+        )
+
+
+class HistoryRecorder:
+    """Collects completed operations during an experiment run."""
+
+    def __init__(self):
+        self._records: List[TxnRecord] = []
+        self._ids = itertools.count()
+
+    def begin(self, function: str, now: float) -> TxnRecord:
+        """Open a record at invocation time; fill in reads/writes and call
+        :meth:`finish` when the response reaches the client."""
+        return TxnRecord(
+            txn_id=next(self._ids),
+            function=function,
+            invoked_at=now,
+            responded_at=-1.0,
+        )
+
+    def finish(
+        self,
+        record: TxnRecord,
+        now: float,
+        reads: Optional[Dict[Key, int]] = None,
+        writes: Optional[Dict[Key, int]] = None,
+    ) -> TxnRecord:
+        record.responded_at = now
+        if reads:
+            record.reads.update(reads)
+        if writes:
+            record.writes.update(writes)
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[TxnRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

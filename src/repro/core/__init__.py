@@ -1,0 +1,47 @@
+"""Radical's core: the LVI protocol, near-user runtime, and LVI server."""
+
+from .config import RadicalConfig
+from .external import ExternalCall, ExternalService, ExternalServiceHub
+from .messages import (
+    DirectExecRequest,
+    FreshItem,
+    LVIRequest,
+    LVIResponse,
+    WriteFollowup,
+)
+from .registry import FunctionRegistry, FunctionSpec, RegisteredFunction
+from .runtime import (
+    InvocationOutcome,
+    NearUserRuntime,
+    PATH_BACKUP,
+    PATH_DIRECT,
+    PATH_MISS,
+    PATH_SPECULATIVE,
+)
+from .server import LVIServer
+from .storage_library import PrimaryEnv, SnapshotReader, SpeculativeEnv
+
+__all__ = [
+    "DirectExecRequest",
+    "ExternalCall",
+    "ExternalService",
+    "ExternalServiceHub",
+    "FreshItem",
+    "FunctionRegistry",
+    "FunctionSpec",
+    "InvocationOutcome",
+    "LVIRequest",
+    "LVIResponse",
+    "LVIServer",
+    "NearUserRuntime",
+    "PATH_BACKUP",
+    "PATH_DIRECT",
+    "PATH_MISS",
+    "PATH_SPECULATIVE",
+    "PrimaryEnv",
+    "RadicalConfig",
+    "RegisteredFunction",
+    "SnapshotReader",
+    "SpeculativeEnv",
+    "WriteFollowup",
+]

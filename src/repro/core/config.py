@@ -1,0 +1,60 @@
+"""Configuration for Radical deployments (timings from the paper's §5.2).
+
+All times are milliseconds of virtual time.  The defaults reproduce the
+paper's measured constants:
+
+* ``invoke_ms`` — invoking a Lambda in the same datacenter is ~12 ms;
+* the latency table's intra-region RTT (7 ms) is Table 2's VA row: the
+  round trip from a function to the storage service in the same region;
+* ``replicated_per_lock_ms``/``replicated_idem_ms`` — §5.6 measures 2.3 ms
+  per serial lock through etcd and 3 ms for the idempotency-key write.
+
+Function *service times* (Table 1's execution-time column) live on each
+:class:`~repro.core.registry.FunctionSpec`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RadicalConfig"]
+
+
+@dataclass
+class RadicalConfig:
+    """Timing and behaviour knobs shared by runtimes and servers."""
+
+    # Near-user invocation overheads (§5.5 components 1-2).
+    invoke_ms: float = 12.0            # Lambda instantiation
+    wasm_load_ms: float = 1.0          # loading the WASM blob from disk
+    client_app_rtt_ms: float = 1.0     # client to its co-located deployment
+
+    # Near-storage processing.
+    server_storage_rtt_ms: float = 2.0   # LVI server <-> DynamoDB round trip
+    followup_timeout_ms: float = 1500.0  # write-intent timer (§3.4)
+
+    # Service-time variability (the p99 whiskers in Figs 4-6).
+    service_jitter_sigma: float = 0.08   # lognormal sigma on exec time
+
+    # §5.6 replicated server costs.
+    replicated: bool = False
+    replicated_per_lock_ms: float = 2.3  # serial Raft commit per lock
+    replicated_idem_ms: float = 3.0      # idempotency-key write
+    # §5.6's suggested future optimization: commit all of a request's lock
+    # records in one consensus round instead of serially.
+    replicated_batch_locks: bool = False
+
+    # Sandbox budget.
+    gas_limit: int = 2_000_000
+
+    # Speculation switches (ablations; the paper's system has both on).
+    speculate: bool = True               # overlap f with the LVI request
+    single_request: bool = True          # False = validate then commit (2 RTT)
+    exclusive_locks: bool = False        # True = no shared read locks (ablation)
+
+    def server_processing_budget(self, lock_count: int) -> float:
+        """Extra latency the replicated server adds to one LVI request:
+        3 + 2.3 * L ms (§5.6)."""
+        if not self.replicated:
+            return 0.0
+        return self.replicated_idem_ms + self.replicated_per_lock_ms * lock_count

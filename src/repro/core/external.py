@@ -1,0 +1,113 @@
+"""External services with at-most-once semantics (paper §3.5).
+
+A single Radical request can execute its function twice: the backup copy
+runs when validation fails, and deterministic re-execution runs when a
+followup is lost.  A function that calls an external service — the paper's
+example is a payment API — could therefore invoke it twice.  §3.5 requires
+that functions only talk to services providing *at-most-once* mechanisms,
+citing Stripe's ``IdempotencyKey``.
+
+This module is that world:
+
+* :class:`ExternalService` — a named service with a deterministic handler
+  and Stripe-style idempotency-key semantics: the first invocation under a
+  key executes the handler (one side effect) and records the response;
+  every repeat under the same key returns the recorded response without
+  re-executing.
+* :class:`ExternalServiceHub` — the registry a deployment shares.  The
+  sandbox's ``external(service, payload)`` calls arrive here tagged with a
+  key derived from the *execution id* and the call's sequence number — the
+  same for the speculative run, the backup run, and any re-execution, so a
+  logical request produces at most one side effect per call site.
+
+Returning the recorded response on key reuse is also what makes
+re-execution deterministic (§3.4): the replay observes the identical
+service response the original execution did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+
+__all__ = ["ExternalService", "ExternalServiceHub", "ExternalCall"]
+
+
+@dataclass(frozen=True)
+class ExternalCall:
+    """A recorded invocation (for assertions and audits)."""
+
+    service: str
+    idempotency_key: str
+    payload: Any
+    response: Any
+    executed: bool  # False when served from the idempotency record
+
+
+class ExternalService:
+    """One external service with idempotency-key deduplication.
+
+    ``handler(payload)`` must be deterministic — the service analogue of
+    the sandbox's determinism contract.
+    """
+
+    def __init__(self, name: str, handler: Callable[[Any], Any]):
+        self.name = name
+        self.handler = handler
+        self._responses: Dict[str, Any] = {}
+        self.side_effects = 0       # actual handler executions
+        self.invocations = 0        # total calls incl. deduplicated ones
+        self.calls: List[ExternalCall] = []
+
+    def invoke(self, idempotency_key: str, payload: Any) -> Any:
+        """Invoke with at-most-once semantics per idempotency key."""
+        self.invocations += 1
+        if idempotency_key in self._responses:
+            response = self._responses[idempotency_key]
+            self.calls.append(
+                ExternalCall(self.name, idempotency_key, payload, response, executed=False)
+            )
+            return response
+        response = self.handler(payload)
+        self._responses[idempotency_key] = response
+        self.side_effects += 1
+        self.calls.append(
+            ExternalCall(self.name, idempotency_key, payload, response, executed=True)
+        )
+        return response
+
+
+class ExternalServiceHub:
+    """The deployment-wide registry of external services."""
+
+    def __init__(self):
+        self._services: Dict[str, ExternalService] = {}
+
+    def register(self, name: str, handler: Callable[[Any], Any]) -> ExternalService:
+        if name in self._services:
+            raise ProtocolError(f"external service {name!r} already registered")
+        service = ExternalService(name, handler)
+        self._services[name] = service
+        return service
+
+    def get(self, name: str) -> ExternalService:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ProtocolError(f"unknown external service {name!r}") from None
+
+    def caller_for(self, execution_id: str) -> Callable[[str, Any, int], Any]:
+        """The hook handed to a sandbox execution: derives the idempotency
+        key from (execution id, call sequence), so all runs of the same
+        logical request share keys per call site."""
+
+        def call(service_name: str, payload: Any, seq: int) -> Any:
+            key = f"{execution_id}:{seq}"
+            return self.get(service_name).invoke(key, payload)
+
+        return call
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services

@@ -1,0 +1,86 @@
+"""Wire messages of the LVI protocol (§3.2, Figure 3).
+
+Exactly one request/response pair is on the client's critical path — the
+:class:`LVIRequest`/:class:`LVIResponse` round trip — plus the off-path
+:class:`WriteFollowup` sent after the client already has its answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+Key = Tuple[str, str]
+
+__all__ = ["LVIRequest", "LVIResponse", "WriteFollowup", "DirectExecRequest", "FreshItem"]
+
+
+@dataclass(frozen=True)
+class LVIRequest:
+    """The single coordination request of the protocol.
+
+    Carries the predicted read/write sets (from f^rw), the cache's version
+    for every read item (-1 marks a miss), and — so the near-storage
+    location can run the backup/re-execution copy of the function — the
+    function id and its arguments.
+    """
+
+    execution_id: str
+    function_id: str
+    args: Tuple[Any, ...]
+    read_keys: Tuple[Key, ...]
+    write_keys: Tuple[Key, ...]
+    versions: Dict[Key, int]          # cached version per read key
+    origin_region: str
+
+    @property
+    def lock_count(self) -> int:
+        return len(set(self.read_keys) | set(self.write_keys))
+
+
+@dataclass(frozen=True)
+class FreshItem:
+    """An authoritative (value, version) shipped back on validation failure
+    so the near-user cache can repair itself (§3.2 step 8b).  ``absent``
+    records that the primary has no such key."""
+
+    value: Any
+    version: int
+    absent: bool = False
+
+
+@dataclass
+class LVIResponse:
+    """The server's answer to an LVI request."""
+
+    execution_id: str
+    ok: bool                                   # validation outcome
+    # Success path: versions the writes WILL have once applied, so the
+    # cache can be updated without waiting for the followup round trip.
+    new_versions: Dict[Key, int] = field(default_factory=dict)
+    validated_versions: Dict[Key, int] = field(default_factory=dict)
+    # Failure path: the backup execution's result plus cache repairs.
+    result: Any = None
+    fresh: Dict[Key, FreshItem] = field(default_factory=dict)
+    backup_read_versions: Dict[Key, int] = field(default_factory=dict)
+    backup_write_versions: Dict[Key, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WriteFollowup:
+    """Speculative writes, sent *after* responding to the client (§3.2
+    step 8a).  ``writes`` are (table, key, value) in execution order."""
+
+    execution_id: str
+    writes: Tuple[Tuple[str, str, Any], ...]
+
+
+@dataclass(frozen=True)
+class DirectExecRequest:
+    """Fallback for unanalyzable functions: run near storage, no
+    speculation (§3.3 'Failure case')."""
+
+    execution_id: str
+    function_id: str
+    args: Tuple[Any, ...]
+    origin_region: str

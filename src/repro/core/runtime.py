@@ -1,0 +1,315 @@
+"""The near-user runtime: speculation overlapped with the LVI request.
+
+This is the component deployed at every near-user location (§3.1).  For
+each client request it:
+
+1. charges the invocation overheads (Lambda start + WASM load, §5.5),
+2. runs ``f^rw`` against the cache snapshot to get the read/write set,
+3. sends the single LVI request *and* speculatively executes ``f`` against
+   the same snapshot, overlapping the two (the paper's core latency trick),
+4. on validation success, applies the speculative writes to the local
+   cache, responds to the client, and ships the write followup afterwards,
+5. on validation failure (or cache miss), returns the backup execution's
+   result from the response and repairs the cache with the fresh items.
+
+Simulation note: the VM executes ``f`` *logically* at snapshot time and the
+service time is charged to the virtual clock afterwards.  Because reads
+come from a pinned snapshot and writes are buffered, this is equivalent to
+the real interleaving — the values read are exactly the ones whose versions
+the LVI request validated.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..analysis import derive_rwset
+from ..errors import GasExhausted, ProtocolError, VMTrap
+from ..sim import Metrics, Network, RandomStreams, RpcTimeout, Simulator
+from ..storage import NearUserCache
+from ..wasm import VM
+from .config import RadicalConfig
+from .messages import DirectExecRequest, LVIRequest, LVIResponse, WriteFollowup
+from .registry import FunctionRegistry, RegisteredFunction
+from .storage_library import SnapshotReader, SpeculativeEnv
+
+Key = Tuple[str, str]
+
+__all__ = ["InvocationOutcome", "NearUserRuntime", "PATH_SPECULATIVE", "PATH_BACKUP", "PATH_MISS", "PATH_DIRECT"]
+
+PATH_SPECULATIVE = "speculative"  # validation succeeded; edge result used
+PATH_BACKUP = "backup"            # validation failed; near-storage result
+PATH_MISS = "miss"                # cache miss; speculation skipped (§3.2)
+PATH_DIRECT = "direct"            # unanalyzable function (§3.3)
+
+
+@dataclass
+class InvocationOutcome:
+    """Everything the client (and the history recorder) learns."""
+
+    result: Any
+    path: str
+    invoked_at: float
+    responded_at: float
+    read_versions: Dict[Key, int] = field(default_factory=dict)
+    write_versions: Dict[Key, int] = field(default_factory=dict)
+    frw_ms: float = 0.0
+    exec_ms: float = 0.0
+    function_id: str = ""
+
+    @property
+    def latency_ms(self) -> float:
+        return self.responded_at - self.invoked_at
+
+
+class NearUserRuntime:
+    """One near-user deployment location (runtime + storage library)."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        region: str,
+        cache: NearUserCache,
+        registry: FunctionRegistry,
+        config: Optional[RadicalConfig] = None,
+        streams: Optional[RandomStreams] = None,
+        metrics: Optional[Metrics] = None,
+        server_name: str = "lvi-server",
+        external_hub=None,
+    ):
+        self.sim = sim
+        self.net = net
+        self.region = region
+        self.cache = cache
+        self.registry = registry
+        self.config = config or RadicalConfig()
+        self.metrics = metrics or Metrics()
+        self.server_name = server_name
+        self.external_hub = external_hub  # §3.5 services, shared deployment-wide
+        self.name = f"runtime-{region}-{next(NearUserRuntime._ids)}"
+        # Jitter is keyed by region (not by the process-global instance
+        # counter) so identical experiments draw identical sequences.
+        self._jitter = (streams or RandomStreams(0)).stream(f"runtime.{region}")
+        self._exec_counter = itertools.count()
+        net.register(self.name, region)
+
+    # -- public API -----------------------------------------------------------
+
+    def invoke(self, function_id: str, args: List[Any]) -> Generator:
+        """Handle one client request; generator returning an
+        :class:`InvocationOutcome`."""
+        invoked_at = self.sim.now
+        record = self.registry.get(function_id)
+        execution_id = f"{self.name}:{next(self._exec_counter)}"
+        cfg = self.config
+
+        # (§5.5 components 1-2) Lambda instantiation + WASM load.
+        yield self.sim.timeout(cfg.invoke_ms + cfg.wasm_load_ms)
+
+        if not record.analyzable:
+            outcome = yield from self._direct(record, args, execution_id, invoked_at)
+            return outcome
+
+        # (1) Run f^rw on the cache snapshot to predict the access set.
+        snapshot = SnapshotReader(self.cache)
+        try:
+            rwset, frw_gas = derive_rwset(
+                record.frw, list(args), snapshot.read, gas_limit=cfg.gas_limit
+            )
+        except (VMTrap, GasExhausted):
+            # f^rw failed at runtime (analysis edge case): fall back to
+            # near-storage execution, as §3.3 prescribes.
+            self.metrics.incr("frw.runtime_failure")
+            outcome = yield from self._direct(record, args, execution_id, invoked_at)
+            return outcome
+
+        # (2a) Speculative execution against the same snapshot.  Executed
+        # logically now; its service time is charged to the clock below.
+        spec_env = SpeculativeEnv(snapshot)
+        external = (
+            self.external_hub.caller_for(execution_id)
+            if self.external_hub is not None
+            else None
+        )
+        spec_trace = VM(
+            spec_env, gas_limit=cfg.gas_limit, external=external
+        ).execute(record.f, list(args))
+        self._check_prediction(record, rwset, spec_trace)
+
+        exec_ms = self._exec_time(record)
+        frw_ms = self._frw_time(record, frw_gas, spec_trace.gas_used, exec_ms)
+        yield self.sim.timeout(frw_ms)
+
+        # (2b) Gather cached versions for the LVI request.
+        versions = {k: snapshot.version_of(*k) for k in rwset.reads}
+        request = LVIRequest(
+            execution_id=execution_id,
+            function_id=function_id,
+            args=tuple(args),
+            read_keys=tuple(rwset.reads),
+            write_keys=tuple(rwset.writes),
+            versions=versions,
+            origin_region=self.region,
+        )
+
+        has_miss = any(v == -1 for v in versions.values())
+        if has_miss:
+            # Validation is guaranteed to fail: skip speculation (§3.2).
+            self.metrics.incr("path.miss")
+            response = yield from self.net.call(self.name, self.server_name, request)
+            outcome = self._finish_backup(response, invoked_at, frw_ms, record, PATH_MISS)
+            return outcome
+
+        if cfg.speculate:
+            # Overlap the LVI round trip with the function's execution.
+            lvi_proc = self.sim.spawn(
+                self.net.call(self.name, self.server_name, request),
+                name=f"lvi({execution_id})",
+            )
+            exec_done = self.sim.timeout(exec_ms)
+            yield self.sim.all_of([exec_done, lvi_proc.done_event])
+            response: LVIResponse = lvi_proc.result
+        else:
+            # Ablation: serialize the LVI request before execution.
+            response = yield from self.net.call(self.name, self.server_name, request)
+            yield self.sim.timeout(exec_ms)
+
+        if not response.ok:
+            self.metrics.incr("path.backup")
+            outcome = self._finish_backup(response, invoked_at, frw_ms, record, PATH_BACKUP)
+            return outcome
+
+        # Validation succeeded: the speculative result is linearizable.
+        self.metrics.incr("path.speculative")
+        writes = spec_env.buffered_writes()
+        for table, key, value in writes:
+            self.cache.apply_local_write(
+                table, key, value, response.new_versions[(table, key)]
+            )
+        if request.write_keys:
+            # The server created an intent whenever the *predicted* write
+            # set was non-empty; the followup must settle it even if the
+            # execution took a branch that wrote nothing (otherwise the
+            # intent timer would pointlessly re-execute the function).
+            if cfg.single_request:
+                # (8a) Followup goes out *after* responding to the client.
+                self.sim.spawn(self._send_followup(execution_id, writes),
+                               name=f"followup({execution_id})")
+            else:
+                # Ablation: a second synchronous round trip (validate-then-
+                # commit), paying the latency Radical's design avoids.
+                yield from self._send_followup(execution_id, writes)
+
+        return InvocationOutcome(
+            result=spec_trace.result,
+            path=PATH_SPECULATIVE,
+            invoked_at=invoked_at,
+            responded_at=self.sim.now,
+            read_versions=dict(response.validated_versions),
+            write_versions=dict(response.new_versions),
+            frw_ms=frw_ms,
+            exec_ms=exec_ms,
+            function_id=record.function_id,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _send_followup(self, execution_id: str, writes) -> Generator:
+        followup = WriteFollowup(execution_id=execution_id, writes=tuple(writes))
+        try:
+            yield from self.net.call(
+                self.name, self.server_name, followup,
+                timeout=self.config.followup_timeout_ms * 2,
+            )
+        except RpcTimeout:
+            # The network ate it; the intent timer's deterministic
+            # re-execution will apply the writes (§3.4).
+            self.metrics.incr("followup.lost")
+
+    def _direct(
+        self,
+        record: RegisteredFunction,
+        args: List[Any],
+        execution_id: str,
+        invoked_at: float,
+    ) -> Generator:
+        request = DirectExecRequest(
+            execution_id=execution_id,
+            function_id=record.function_id,
+            args=tuple(args),
+            origin_region=self.region,
+        )
+        self.metrics.incr("path.direct")
+        response = yield from self.net.call(self.name, self.server_name, request)
+        return InvocationOutcome(
+            result=response.result,
+            path=PATH_DIRECT,
+            invoked_at=invoked_at,
+            responded_at=self.sim.now,
+            read_versions=dict(response.backup_read_versions),
+            write_versions=dict(response.backup_write_versions),
+            function_id=record.function_id,
+        )
+
+    def _finish_backup(
+        self,
+        response: LVIResponse,
+        invoked_at: float,
+        frw_ms: float,
+        record: RegisteredFunction,
+        path: str,
+    ) -> InvocationOutcome:
+        """(8b)-(9b): install cache repairs, return the backup result."""
+        for (table, key), item in response.fresh.items():
+            if item.absent:
+                self.cache.install(table, key, None)
+            else:
+                from ..storage import Item
+
+                self.cache.install(table, key, Item(item.value, item.version))
+        return InvocationOutcome(
+            result=response.result,
+            path=path,
+            invoked_at=invoked_at,
+            responded_at=self.sim.now,
+            read_versions=dict(response.backup_read_versions),
+            write_versions=dict(response.backup_write_versions),
+            frw_ms=frw_ms,
+            function_id=record.function_id,
+        )
+
+    def _check_prediction(self, record, rwset, trace) -> None:
+        """The analyzer's contract: predicted sets cover the actual ones.
+        A miss here is an analyzer bug — consistency would be at risk — so
+        it fails loudly."""
+        actual_reads = set(trace.read_keys())
+        actual_writes = set(trace.write_keys())
+        if not actual_reads <= set(rwset.reads) or not actual_writes <= set(rwset.writes):
+            raise ProtocolError(
+                f"{record.function_id}: f^rw under-predicted the access set "
+                f"(reads {actual_reads - set(rwset.reads)}, "
+                f"writes {actual_writes - set(rwset.writes)})"
+            )
+
+    def _exec_time(self, record: RegisteredFunction) -> float:
+        sigma = self.config.service_jitter_sigma
+        factor = math.exp(self._jitter.gauss(0.0, sigma)) if sigma > 0 else 1.0
+        return record.service_time_ms * factor
+
+    def _frw_time(
+        self, record: RegisteredFunction, frw_gas: int, f_gas: int, exec_ms: float
+    ) -> float:
+        """f^rw latency model: the slice's share of the function's gas,
+        scaled by the (jittered) service time.  Login's f^rw is ~8 gas vs
+        ~20k for f, so this is microseconds; a dependent-read heavy
+        function pays proportionally more (§3.3's overhead discussion)."""
+        if f_gas <= 0:
+            return 0.0
+        fraction = min(1.0, frw_gas / max(f_gas, 1))
+        return exec_ms * fraction

@@ -1,0 +1,345 @@
+"""The LVI server: the near-storage half of the protocol (§3.2, Figure 3).
+
+One server (per deployment) runs alongside the primary store and handles:
+
+* **LVI requests** — acquire read/write locks in lexicographic order,
+  validate cached versions against the primary (one storage round trip),
+  then either (a) install a write intent + timer and answer success, or
+  (b) run the backup copy of the function under the held locks and answer
+  failure with the result and cache repairs.
+* **Write followups** — apply the speculative writes, complete the intent,
+  release the locks.  Late/duplicate followups lose the intent's
+  compare-and-set and are discarded (§3.6 case 3).
+* **Intent timers** — if no followup arrives in time, deterministically
+  re-execute the function against the primary (read locks guarantee it
+  sees the same state the speculation validated) and apply its writes.
+
+§5.6's replicated variant stores each lock through a real Raft cluster
+(serial commits, ~2.3 ms each) and claims an idempotency key (~3 ms) before
+any near-storage execution, making executions at-most-once per site even
+across server failovers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..raft import RaftCluster
+from ..sim import Metrics, Network, RandomStreams, Region, Simulator
+from ..storage import (
+    IdempotencyTable,
+    IntentTable,
+    KVStore,
+    LockManager,
+)
+from ..wasm import VM
+from .config import RadicalConfig
+from .messages import (
+    DirectExecRequest,
+    FreshItem,
+    LVIRequest,
+    LVIResponse,
+    WriteFollowup,
+)
+from .registry import FunctionRegistry
+from .storage_library import PrimaryEnv
+
+Key = Tuple[str, str]
+
+__all__ = ["LVIServer"]
+
+
+class LVIServer:
+    """Handles LVI requests and followups at the near-storage location."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        registry: FunctionRegistry,
+        store: KVStore,
+        config: Optional[RadicalConfig] = None,
+        streams: Optional[RandomStreams] = None,
+        metrics: Optional[Metrics] = None,
+        region: str = Region.VA,
+        name: str = "lvi-server",
+        raft_cluster: Optional[RaftCluster] = None,
+        external_hub=None,
+    ):
+        self.sim = sim
+        self.net = net
+        self.registry = registry
+        self.store = store
+        self.config = config or RadicalConfig()
+        self.metrics = metrics or Metrics()
+        self.region = region
+        self.name = name
+        self.locks = LockManager(sim)
+        self.intents = IntentTable(store)
+        self.idem = IdempotencyTable(store)
+        self._jitter = (streams or RandomStreams(0)).stream(f"server.{name}.exec")
+        self.raft = raft_cluster
+        self.external_hub = external_hub  # shared with the near-user runtimes
+        if self.config.replicated and self.raft is None:
+            raise ProtocolError("replicated config requires a raft cluster")
+        # execution_id -> (function_id, args) retained while an intent is
+        # pending so the re-execution path has its inputs.
+        self._pending_exec: Dict[str, Tuple[str, Tuple[Any, ...]]] = {}
+        # Delivered-request dedup: the network is at-least-once under
+        # failure injection, and replaying an LVI request would double-
+        # acquire locks and double-execute.
+        self._seen_requests: set = set()
+        net.serve(name, region, self._handle)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _handle(self, payload: Any, src: str) -> Generator:
+        if isinstance(payload, LVIRequest):
+            return self._handle_lvi(payload)
+        if isinstance(payload, WriteFollowup):
+            return self._handle_followup(payload)
+        if isinstance(payload, DirectExecRequest):
+            return self._handle_direct(payload)
+        raise ProtocolError(f"unknown message {type(payload).__name__}")
+
+    # -- the LVI request path -------------------------------------------------
+
+    def _handle_lvi(self, req: LVIRequest) -> Generator:
+        if req.execution_id in self._seen_requests:
+            # Duplicate delivery: the original handler owns this execution
+            # and will answer; a duplicate must stay completely silent (a
+            # fast ok=False here would race ahead of the real response).
+            from ..sim.network import NO_REPLY
+
+            self.metrics.incr("lvi.duplicate_request")
+            return NO_REPLY
+        self._seen_requests.add(req.execution_id)
+        record = self.registry.get(req.function_id)
+        all_keys = list(dict.fromkeys(list(req.read_keys) + list(req.write_keys)))
+
+        # (4) Acquire locks, sorted lexicographically (deadlock freedom).
+        # The exclusive_locks ablation (§3.6 discusses why read/write locks
+        # matter for read-heavy workloads) takes everything as a write lock.
+        lock_reads = () if self.config.exclusive_locks else req.read_keys
+        lock_writes = all_keys if self.config.exclusive_locks else req.write_keys
+        yield self.sim.spawn(
+            self.locks.acquire_all(req.execution_id, lock_reads, lock_writes),
+            name=f"locks({req.execution_id})",
+        )
+        if self.config.replicated:
+            yield from self._persist_locks_via_raft(req.execution_id, all_keys)
+            yield self.sim.timeout(self.config.replicated_idem_ms)
+
+        # (5) Validate: one storage round trip fetches every version.
+        yield self.sim.timeout(self.config.server_storage_rtt_ms)
+        authoritative = self.store.batch_versions(all_keys)
+        stale = [
+            k for k in req.read_keys if authoritative.get(k, 0) != req.versions.get(k, -1)
+        ]
+
+        if not stale:
+            self.metrics.incr("validation.success")
+            response = LVIResponse(
+                execution_id=req.execution_id,
+                ok=True,
+                validated_versions={k: authoritative[k] for k in req.read_keys},
+                new_versions={k: authoritative.get(k, 0) + 1 for k in req.write_keys},
+            )
+            if req.write_keys:
+                # (6a) Write intent + timer; locks stay held until the
+                # followup (or re-execution) applies the writes.  The args
+                # ride along in the intent so re-execution works even from
+                # a recovered replacement server.
+                yield self.sim.timeout(self.config.server_storage_rtt_ms)
+                self.intents.create(
+                    req.execution_id, req.function_id, now=self.sim.now, args=req.args
+                )
+                self._pending_exec[req.execution_id] = (req.function_id, req.args)
+                self.sim.schedule(
+                    self.config.followup_timeout_ms,
+                    self._on_intent_timer,
+                    req.execution_id,
+                )
+            else:
+                # Read-only execution: nothing to wait for.
+                self._release(req.execution_id)
+            return response
+
+        # (6b) Validation failed: run the backup copy under the held locks.
+        self.metrics.incr("validation.failure")
+        if self.config.replicated and not self.idem.claim(
+            req.execution_id, IdempotencyTable.NEAR_STORAGE
+        ):
+            # Another server instance already ran this execution.
+            self._release(req.execution_id)
+            raise ProtocolError(f"duplicate near-storage execution {req.execution_id}")
+        env = PrimaryEnv(self.store)
+        yield self.sim.timeout(self._exec_time(record))
+        trace = VM(
+            env, gas_limit=self.config.gas_limit,
+            external=self._external_for(req.execution_id),
+        ).execute(record.f, list(req.args))
+
+        # (7b) Release locks, then ship the result plus cache repairs.
+        fresh = self._collect_fresh(stale, list(env.write_versions))
+        self._release(req.execution_id)
+        return LVIResponse(
+            execution_id=req.execution_id,
+            ok=False,
+            result=trace.result,
+            fresh=fresh,
+            backup_read_versions=dict(env.read_versions),
+            backup_write_versions=dict(env.write_versions),
+        )
+
+    def _persist_locks_via_raft(self, execution_id: str, keys: List[Key]) -> Generator:
+        """§5.6: every lock is a serial Raft commit (~2.3 ms each) — or,
+        with the batching optimization the paper suggests, one commit for
+        the whole lock set."""
+        if self.config.replicated_batch_locks:
+            pairs = tuple(
+                (f"lock:{t}/{k}", execution_id) for (t, k) in sorted(keys)
+            )
+            yield from self.raft.submit(("mput", pairs))
+            return
+        for table, key in sorted(keys):
+            yield from self.raft.submit(("put", f"lock:{table}/{key}", execution_id))
+
+    def _release(self, execution_id: str) -> None:
+        released = self.locks.release_all(execution_id)
+        self.metrics.incr("locks.released", released)
+        if self.config.replicated:
+            # Lock-record deletion replicates off the critical path.
+            self.sim.spawn(
+                self._unpersist_locks(execution_id), name=f"unlock({execution_id})"
+            )
+
+    def _unpersist_locks(self, execution_id: str) -> Generator:
+        yield from self.raft.submit(("put", f"unlock:{execution_id}", True))
+
+    # -- the followup path ---------------------------------------------------------
+
+    def _handle_followup(self, followup: WriteFollowup) -> Generator:
+        """(9)-(10): apply speculative writes, complete intent, unlock."""
+        if not self.intents.try_complete(followup.execution_id):
+            # Late or duplicate: the timer's re-execution won the race and
+            # the writes are already durable.  Discard (§3.6 case 3).
+            self.metrics.incr("followup.discarded")
+            return "discarded"
+        yield self.sim.timeout(self.config.server_storage_rtt_ms)
+        from ..storage import WriteOp
+
+        self.store.apply_writes([WriteOp(t, k, v) for (t, k, v) in followup.writes])
+        self.intents.remove(followup.execution_id)
+        self._pending_exec.pop(followup.execution_id, None)
+        self._release(followup.execution_id)
+        self.metrics.incr("followup.applied")
+        return "applied"
+
+    # -- the re-execution path --------------------------------------------------------
+
+    def _on_intent_timer(self, execution_id: str) -> None:
+        from ..storage import IntentStatus
+
+        intent = self.intents.get(execution_id)
+        if intent is None or intent.status != IntentStatus.PENDING:
+            return  # followup handled it
+        self.sim.spawn(self._reexecute(execution_id), name=f"reexec({execution_id})")
+
+    def _reexecute(self, execution_id: str) -> Generator:
+        """Deterministic re-execution (§3.4): the followup never arrived.
+
+        The replay inputs come from the intent record in primary storage,
+        so this path also works on a replacement server recovering after
+        the original crashed (see :meth:`recover_pending`).
+        """
+        intent = self.intents.get(execution_id)
+        if intent is None:
+            return
+        if not self.intents.try_complete(execution_id):
+            return  # lost the race to a very late followup
+        if self.config.replicated and not self.idem.claim(
+            execution_id, IdempotencyTable.NEAR_STORAGE
+        ):
+            return
+        self._pending_exec.pop(execution_id, None)
+        record = self.registry.get(intent.function_id)
+        self.metrics.incr("reexecution.count")
+        env = PrimaryEnv(self.store)
+        yield self.sim.timeout(self._exec_time(record))
+        VM(
+            env, gas_limit=self.config.gas_limit,
+            external=self._external_for(execution_id),
+        ).execute(record.f, list(intent.args))
+        yield self.sim.timeout(self.config.server_storage_rtt_ms)
+        self.intents.remove(execution_id)
+        # A recovered replacement server never held this execution's locks
+        # (the lock table died with the original server).
+        if self.locks.held_by(execution_id):
+            self._release(execution_id)
+
+    def recover_pending(self) -> Generator:
+        """Crash recovery: settle every intent left PENDING in primary
+        storage by a failed predecessor (§3.4 durability + §5.6).  Run
+        before serving traffic on a replacement server; a generator
+        returning the number of intents recovered."""
+        pending = self.intents.pending()
+        for intent in pending:
+            yield self.sim.spawn(
+                self._reexecute(intent.execution_id),
+                name=f"recover({intent.execution_id})",
+            )
+        self.metrics.incr("recovery.intents", len(pending))
+        return len(pending)
+
+    # -- direct execution (unanalyzable functions, §3.3) ---------------------------------
+
+    def _handle_direct(self, req: DirectExecRequest) -> Generator:
+        if req.execution_id in self._seen_requests:
+            from ..sim.network import NO_REPLY
+
+            self.metrics.incr("lvi.duplicate_request")
+            return NO_REPLY
+        self._seen_requests.add(req.execution_id)
+        record = self.registry.get(req.function_id)
+        env = PrimaryEnv(self.store)
+        yield self.sim.timeout(self._exec_time(record))
+        trace = VM(
+            env, gas_limit=self.config.gas_limit,
+            external=self._external_for(req.execution_id),
+        ).execute(record.f, list(req.args))
+        self.metrics.incr("direct.count")
+        return LVIResponse(
+            execution_id=req.execution_id,
+            ok=False,
+            result=trace.result,
+            backup_read_versions=dict(env.read_versions),
+            backup_write_versions=dict(env.write_versions),
+        )
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _external_for(self, execution_id: str):
+        """The §3.5 service hook for a near-storage execution; keys are
+        derived from the execution id, so backup/re-execution calls dedup
+        against the speculative execution's calls."""
+        if self.external_hub is None:
+            return None
+        return self.external_hub.caller_for(execution_id)
+
+    def _exec_time(self, record) -> float:
+        sigma = self.config.service_jitter_sigma
+        factor = math.exp(self._jitter.gauss(0.0, sigma)) if sigma > 0 else 1.0
+        return record.service_time_ms * factor
+
+    def _collect_fresh(self, stale: List[Key], written: List[Key]) -> Dict[Key, FreshItem]:
+        fresh: Dict[Key, FreshItem] = {}
+        for table, key in dict.fromkeys(stale + written):
+            item = self.store.get_or_none(table, key)
+            if item is None:
+                fresh[(table, key)] = FreshItem(value=None, version=0, absent=True)
+            else:
+                fresh[(table, key)] = FreshItem(value=item.value, version=item.version)
+        return fresh

@@ -1,0 +1,95 @@
+"""Exception hierarchy shared across the reproduction.
+
+Each layer raises subclasses of :class:`ReproError` so callers can catch
+"anything from this library" in one clause while tests pin down specific
+failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "StorageError",
+    "KeyMissing",
+    "ConditionFailed",
+    "LockError",
+    "VMError",
+    "VMTrap",
+    "NonDeterminismError",
+    "GasExhausted",
+    "CompileError",
+    "AnalysisError",
+    "AnalysisTimeout",
+    "ProtocolError",
+    "FunctionNotRegistered",
+    "ConsistencyViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class KeyMissing(StorageError):
+    """A read referenced a key that does not exist in the table."""
+
+    def __init__(self, table: str, key: str):
+        super().__init__(f"key {key!r} not found in table {table!r}")
+        self.table = table
+        self.key = key
+
+
+class ConditionFailed(StorageError):
+    """A conditional write's precondition did not hold."""
+
+
+class LockError(StorageError):
+    """Misuse of the lock manager (double release, unknown holder, ...)."""
+
+
+class VMError(ReproError):
+    """Base class for deterministic-VM failures."""
+
+
+class VMTrap(VMError):
+    """The program performed an illegal operation (the WASM 'trap')."""
+
+
+class NonDeterminismError(VMError):
+    """The program attempted to use a non-deterministic facility.
+
+    Radical's determinism contract (§3.4) forbids timers and randomness;
+    the sandbox rejects them at compile time or traps at run time.
+    """
+
+
+class GasExhausted(VMError):
+    """The program exceeded its instruction budget (non-termination guard)."""
+
+
+class CompileError(VMError):
+    """The function source is outside the supported deterministic subset."""
+
+
+class AnalysisError(ReproError):
+    """The static analyzer could not derive a read/write set."""
+
+
+class AnalysisTimeout(AnalysisError):
+    """Symbolic execution exceeded its exploration budget (§3.3)."""
+
+
+class ProtocolError(ReproError):
+    """An LVI protocol invariant was violated (always a bug)."""
+
+
+class FunctionNotRegistered(ProtocolError):
+    """A request referenced a function id unknown to the registry."""
+
+
+class ConsistencyViolation(ReproError):
+    """The history checker found a non-linearizable execution."""

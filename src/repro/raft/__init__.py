@@ -1,0 +1,14 @@
+"""From-scratch Raft consensus: the etcd stand-in for §5.6's replicated
+LVI server (leader election, log replication, commit, crash/recovery)."""
+
+from .kv import KVStateMachine, RaftCluster
+from .node import LogEntry, NotLeader, RaftConfig, RaftNode
+
+__all__ = [
+    "KVStateMachine",
+    "LogEntry",
+    "NotLeader",
+    "RaftCluster",
+    "RaftConfig",
+    "RaftNode",
+]

@@ -1,0 +1,60 @@
+"""Deterministic discrete-event simulation substrate.
+
+Everything in this reproduction — storage, network, Raft, the LVI protocol,
+clients — runs on this kernel in virtual time (milliseconds), making the
+paper's WAN-scale latency experiments reproducible in seconds of wall time.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupted,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .monitor import Metrics, Summary, percentile
+from .network import (
+    Endpoint,
+    LatencyTable,
+    Message,
+    NO_REPLY,
+    Network,
+    PAPER_RTT_TO_PRIMARY,
+    Region,
+    RpcTimeout,
+    paper_latency_table,
+)
+from .primitives import Channel, Gate, Mutex, Semaphore
+from .rand import RandomStreams, ZipfSampler
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Endpoint",
+    "Event",
+    "Gate",
+    "Interrupted",
+    "LatencyTable",
+    "Message",
+    "Metrics",
+    "Mutex",
+    "NO_REPLY",
+    "Network",
+    "PAPER_RTT_TO_PRIMARY",
+    "Process",
+    "RandomStreams",
+    "Region",
+    "RpcTimeout",
+    "Semaphore",
+    "SimulationError",
+    "Simulator",
+    "Summary",
+    "Timeout",
+    "ZipfSampler",
+    "paper_latency_table",
+    "percentile",
+]

@@ -1,0 +1,525 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module is the substrate for the whole reproduction.  The paper's
+evaluation is latency-driven (WAN round trips of 7-146 ms, function service
+times of 13-272 ms); re-running it in real time would take hours and be
+non-deterministic.  Instead every component in this repository is written as
+a *process* — a Python generator — scheduled on a virtual clock measured in
+milliseconds.  Event ordering is fully deterministic: events that fire at
+the same virtual time are executed in scheduling order.
+
+The programming model is intentionally close to SimPy's:
+
+    def client(sim: Simulator):
+        yield sim.timeout(5.0)          # advance virtual time
+        reply = yield server_proc       # join another process
+        ev = sim.event()
+        ...
+        value = yield ev                # wait for a one-shot event
+
+Processes are spawned with :meth:`Simulator.spawn` and the world is advanced
+with :meth:`Simulator.run`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupted",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused or a process crashes.
+
+    A process generator that raises an exception which no other process is
+    waiting on aborts the simulation: silent failure would mask protocol
+    bugs, which is exactly what this reproduction exists to surface.
+    """
+
+
+class Interrupted(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.  Used by failure-injection tests to model
+    crashes of near-user runtimes and LVI servers.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on by yielding it.
+
+    An event starts *pending*; it is completed exactly once with either
+    :meth:`trigger` (success, carrying an optional value) or :meth:`fail`
+    (carrying an exception that is re-raised inside every waiter).
+    Triggering an already-completed event raises :class:`SimulationError`.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "_done", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._done = False
+        self._waiters: list[Process] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been triggered or failed."""
+        return self._done
+
+    @property
+    def ok(self) -> bool:
+        """True if the event completed successfully (not failed)."""
+        return self._done and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        Raises :class:`SimulationError` if the event is still pending and
+        re-raises the failure exception if the event failed.
+        """
+        if not self._done:
+            raise SimulationError(f"event {self.name!r} has not completed")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Complete the event successfully, waking all waiters."""
+        if self._done:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._done = True
+        self._value = value
+        self._wake()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Complete the event with an exception, which waiters will see."""
+        if self._done:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._done = True
+        self._exc = exc
+        self._wake()
+        return self
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule_resume(proc, self)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._done:
+            self.sim._schedule_resume(proc, self)
+        else:
+            self._waiters.append(proc)
+
+    def _discard_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers itself after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        sim._schedule(delay, self.trigger, value)
+
+
+class AnyOf(Event):
+    """Triggers when the *first* of the given events completes.
+
+    The value is a dict mapping the completed event(s) to their values at
+    the moment of first completion.  A failure of any child fails this
+    event.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        for ev in self.events:
+            self._attach(ev)
+
+    def _attach(self, ev: Event) -> None:
+        watcher = _Watcher(self.sim, ev, self._child_done)
+        watcher.start()
+
+    def _child_done(self, ev: Event) -> None:
+        if self._done:
+            return
+        if not ev.ok:
+            self.fail(ev._exc)  # type: ignore[arg-type]
+            return
+        self.trigger({e: e._value for e in self.events if e.ok})
+
+
+class AllOf(Event):
+    """Triggers when *all* of the given events complete successfully.
+
+    The value is a dict mapping each event to its value.  The first child
+    failure fails this event immediately.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.sim._schedule(0, self._maybe_trigger_empty)
+            return
+        for ev in self.events:
+            watcher = _Watcher(self.sim, ev, self._child_done)
+            watcher.start()
+
+    def _maybe_trigger_empty(self) -> None:
+        if not self._done:
+            self.trigger({})
+
+    def _child_done(self, ev: Event) -> None:
+        if self._done:
+            return
+        if not ev.ok:
+            self.fail(ev._exc)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.trigger({e: e._value for e in self.events})
+
+
+class _Watcher:
+    """Internal: invokes a callback when an event completes.
+
+    Implemented as a pseudo-process so it can sit in an event's waiter list
+    alongside real processes.
+    """
+
+    __slots__ = ("sim", "event", "callback")
+
+    def __init__(self, sim: "Simulator", event: Event, callback: Callable[[Event], None]):
+        self.sim = sim
+        self.event = event
+        self.callback = callback
+
+    def start(self) -> None:
+        self.event._add_waiter(self)  # type: ignore[arg-type]
+
+    def _resume(self, event: Event) -> None:
+        self.callback(event)
+
+
+class Process:
+    """A running generator scheduled on the simulator.
+
+    A process is created by :meth:`Simulator.spawn`.  Its generator may
+    yield:
+
+    * an :class:`Event` (including :class:`Timeout`) — suspend until it
+      completes; the ``yield`` expression evaluates to the event's value.
+    * another :class:`Process` — suspend until that process finishes; the
+      ``yield`` evaluates to its return value (``StopIteration.value``).
+
+    A process is itself an :class:`Event`-like object: other processes may
+    yield it, and :attr:`done_event` completes when it returns or raises.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"spawn() requires a generator, got {gen!r}")
+        self.sim = sim
+        self.gen = gen
+        self.pid = next(Process._ids)
+        self.name = name or getattr(gen, "__name__", f"proc-{self.pid}")
+        self.done_event = Event(sim, name=f"done({self.name})")
+        self._waiting_on: Optional[Event] = None
+        self._defunct = False
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the process generator has returned or raised."""
+        return self.done_event.triggered
+
+    @property
+    def result(self) -> Any:
+        """The process return value; raises if still running or failed."""
+        return self.done_event.value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at its current wait.
+
+        Interrupting a finished process is a no-op, mirroring SimPy, so
+        failure-injection code does not need to race against completion.
+        """
+        if self.done or self._defunct:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        self.sim._schedule(0, self._step_throw, Interrupted(cause))
+
+    def kill(self) -> None:
+        """Terminate the process without running any more of its code.
+
+        Unlike :meth:`interrupt`, the generator gets no chance to clean up
+        via ``except``/``finally`` blocks running simulation waits; used to
+        model hard crashes.  The done event fails with ``Interrupted``.
+        """
+        if self.done or self._defunct:
+            return
+        self._defunct = True
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        self.gen.close()
+        self.done_event.fail(Interrupted("killed"))
+
+    # -- kernel plumbing --------------------------------------------------
+
+    def _start(self) -> None:
+        self.sim._schedule(0, self._step_send, None)
+
+    def _resume(self, event: Event) -> None:
+        # Called when an event this process waits on completes.
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step_throw(event._exc)
+        else:
+            self._step_send(event._value)
+
+    def _step_send(self, value: Any) -> None:
+        if self._defunct:
+            return
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except Interrupted as exc:
+            self._finish(None, exc)
+            return
+        except Exception as exc:
+            self._finish(None, exc)
+            return
+        self._wait_on(yielded)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if self._defunct or self.done:
+            return
+        try:
+            yielded = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except Interrupted as caught:
+            self._finish(None, caught)
+            return
+        except Exception as caught:
+            self._finish(None, caught)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Process):
+            yielded = yielded.done_event
+        if not isinstance(yielded, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {yielded!r}; processes may "
+                "only yield Event, Timeout, or Process objects"
+            )
+            self.gen.close()
+            self._finish(None, err)
+            return
+        self._waiting_on = yielded
+        yielded._add_waiter(self)
+
+    def _finish(self, value: Any, exc: Optional[BaseException]) -> None:
+        self._defunct = True
+        if exc is None:
+            self.done_event.trigger(value)
+            return
+        had_waiters = bool(self.done_event._waiters)
+        self.done_event.fail(exc)
+        if not had_waiters and not isinstance(exc, Interrupted):
+            # Nobody observed a genuine crash: abort the simulation rather
+            # than fail silently.  Uncaught *interrupts* are deliberate
+            # failure injection and simply terminate the process.
+            self.sim._crash(self, exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name!r} pid={self.pid} {state}>"
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a priority queue of callbacks.
+
+    Time is a float in **milliseconds**, matching the units the paper
+    reports.  All state in the simulated world must be mutated from within
+    scheduled callbacks or processes so that ordering stays deterministic.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self._crashed: Optional[tuple[Process, BaseException]] = None
+        self._running = False
+
+    # -- construction helpers ---------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Wait for the first of several events."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Wait for all of several events."""
+        return AllOf(self, events)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator and return its handle."""
+        proc = Process(self, gen, name)
+        proc._start()
+        return proc
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> "TimerHandle":
+        """Run a plain callback ``delay`` ms from now; returns a cancellable
+        handle.  Used for lightweight timers (e.g. write-intent expiry)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        handle = TimerHandle(fn, args)
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), handle._fire, ()))
+        return handle
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, until_event: Optional[Event] = None) -> float:
+        """Execute events until the queue drains, the clock passes
+        ``until``, or ``until_event`` triggers.
+
+        Returns the final virtual time.  Raises :class:`SimulationError` if
+        any process died with an exception no other process observed.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            while self._heap:
+                if until_event is not None and until_event.triggered:
+                    break
+                when, _seq, fn, args = self._heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = when
+                fn(*args)
+                if self._crashed is not None:
+                    proc, exc = self._crashed
+                    self._crashed = None
+                    raise SimulationError(
+                        f"process {proc.name!r} died at t={self.now:.3f}: {exc!r}"
+                    ) from exc
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "", until: Optional[float] = None) -> Any:
+        """Spawn a process, run the simulation until it finishes (or the
+        deadline passes), and return its result.
+
+        Execution stops as soon as the process completes, even if other
+        periodic activity (heartbeats, timers) would keep the event queue
+        non-empty forever.
+        """
+        proc = self.spawn(gen, name)
+        self.run(until=until, until_event=proc.done_event)
+        if not proc.done:
+            raise SimulationError(f"process {proc.name!r} did not finish by t={self.now}")
+        return proc.result
+
+    # -- kernel internals ---------------------------------------------------
+
+    def _schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+
+    def _schedule_resume(self, waiter: Any, event: Event) -> None:
+        # ``waiter`` is a Process or a _Watcher; both expose _resume().
+        self._schedule(0, waiter._resume, event)
+
+    def _crash(self, proc: Process, exc: BaseException) -> None:
+        if self._crashed is None:
+            self._crashed = (proc, exc)
+
+
+class TimerHandle:
+    """Cancellable handle returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("_fn", "_args", "cancelled", "fired")
+
+    def __init__(self, fn: Callable, args: tuple):
+        self._fn = fn
+        self._args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running if it has not fired yet."""
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fired = True
+        self._fn(*self._args)

@@ -1,0 +1,114 @@
+"""Measurement plumbing: latency recorders, counters, and summaries.
+
+The paper reports medians and p99s over 10,000 requests per configuration
+(§5.2).  This module gives every experiment the same vocabulary: record a
+sample with a label, then ask for a :class:`Summary` of any label.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["Metrics", "Summary", "percentile"]
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """Linear-interpolated percentile ``p`` in [0, 100] of ``samples``.
+
+    Matches numpy's default ('linear') method but avoids pulling numpy into
+    the hot simulation path.  Raises ``ValueError`` on an empty sample set.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    # This form is exactly bounded by [data[lo], data[hi]] under floating
+    # point, unlike the symmetric weighted sum.
+    return data[lo] + (data[hi] - data[lo]) * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary for one metric label."""
+
+    count: int
+    mean: float
+    median: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def of(samples: List[float]) -> "Summary":
+        if not samples:
+            raise ValueError("summary of empty sample set")
+        return Summary(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            median=percentile(samples, 50.0),
+            p99=percentile(samples, 99.0),
+            minimum=min(samples),
+            maximum=max(samples),
+        )
+
+
+class Metrics:
+    """A bag of labelled samples and counters for one experiment run."""
+
+    def __init__(self):
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    # -- samples -----------------------------------------------------------
+
+    def record(self, label: str, value: float) -> None:
+        """Append one sample (e.g. a request's end-to-end latency)."""
+        self._samples[label].append(value)
+
+    def samples(self, label: str) -> List[float]:
+        """The raw samples recorded under ``label`` (empty if none)."""
+        return list(self._samples.get(label, ()))
+
+    def summary(self, label: str) -> Summary:
+        """Distribution summary of ``label``; raises if nothing recorded."""
+        if label not in self._samples or not self._samples[label]:
+            raise KeyError(f"no samples recorded for {label!r}")
+        return Summary.of(self._samples[label])
+
+    def has(self, label: str) -> bool:
+        return bool(self._samples.get(label))
+
+    def labels(self) -> Iterable[str]:
+        return sorted(self._samples)
+
+    # -- counters ----------------------------------------------------------
+
+    def incr(self, name: str, by: int = 1) -> None:
+        """Increment a named counter (validation failures, retries, ...)."""
+        self._counters[name] += by
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def ratio(self, numerator: str, denominator: str) -> Optional[float]:
+        """Counter ratio, or None when the denominator is zero."""
+        denom = self.counter(denominator)
+        if denom == 0:
+            return None
+        return self.counter(numerator) / denom

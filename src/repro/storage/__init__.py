@@ -1,0 +1,36 @@
+"""Storage substrates: primary store, caches, locks, intents, replication."""
+
+from .cache import CacheEntry, NearUserCache
+from .intents import (
+    IDEM_TABLE,
+    INTENT_TABLE,
+    IdempotencyTable,
+    IntentStatus,
+    IntentTable,
+    WriteIntent,
+)
+from .kvstore import Item, KVStore, VERSION_ABSENT, VERSION_MISS, WriteOp
+from .locks import LockManager, LockMode, LockRequest
+from .replicated import QuorumClient, ReplicatedStore, Timestamp
+
+__all__ = [
+    "CacheEntry",
+    "IDEM_TABLE",
+    "INTENT_TABLE",
+    "IdempotencyTable",
+    "IntentStatus",
+    "IntentTable",
+    "Item",
+    "KVStore",
+    "LockManager",
+    "LockMode",
+    "LockRequest",
+    "NearUserCache",
+    "QuorumClient",
+    "ReplicatedStore",
+    "Timestamp",
+    "VERSION_ABSENT",
+    "VERSION_MISS",
+    "WriteIntent",
+    "WriteOp",
+]

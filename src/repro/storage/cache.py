@@ -1,0 +1,125 @@
+"""The near-user cache: eventually consistent, possibly stale, never trusted.
+
+Each near-user location runs one of these (paper §3.1).  The cache needs
+neither durability nor consistency: the LVI protocol validates every cached
+version against the primary before a speculative result is released, and a
+version mismatch ships fresh values back in the LVI response (§3.2,
+"Managing caches").  A wiped cache therefore re-bootstraps gradually —
+requests fail validation until the working set is re-fetched.
+
+``persistent=True`` models the paper's implementation choice of backing the
+cache with persistent storage so a restart does not cold-start it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from .kvstore import Item, VERSION_MISS
+
+__all__ = ["CacheEntry", "NearUserCache"]
+
+
+@dataclass
+class CacheEntry:
+    """A cached item: possibly-stale value plus the version it came from.
+
+    ``absent=True`` caches the knowledge that the primary had no such key
+    (at the recorded version, always 0), so reads of missing keys can still
+    speculate and validate.
+    """
+
+    value: Any
+    version: int
+    absent: bool = False
+
+
+class NearUserCache:
+    """Per-location cache keyed by (table, key)."""
+
+    def __init__(self, region: str, persistent: bool = False):
+        self.region = region
+        self.persistent = persistent
+        self._entries: Dict[Tuple[str, str], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- reads -------------------------------------------------------------
+
+    def lookup(self, table: str, key: str) -> Optional[CacheEntry]:
+        """The cached entry, or ``None`` on a miss (version -1 in the LVI
+        request; speculation is skipped because validation must fail)."""
+        entry = self._entries.get((table, key))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def version(self, table: str, key: str) -> int:
+        """Cached version, or :data:`VERSION_MISS` if not cached."""
+        entry = self._entries.get((table, key))
+        return VERSION_MISS if entry is None else entry.version
+
+    def contains(self, table: str, key: str) -> bool:
+        return (table, key) in self._entries
+
+    # -- updates -----------------------------------------------------------
+
+    def install(self, table: str, key: str, item: Optional[Item]) -> None:
+        """Install an authoritative (value, version) from an LVI response.
+
+        ``item=None`` records that the primary has no such key.
+        """
+        if item is None:
+            self._entries[(table, key)] = CacheEntry(value=None, version=0, absent=True)
+        else:
+            self._entries[(table, key)] = CacheEntry(value=item.value, version=item.version)
+
+    def install_batch(self, fresh: Dict[Tuple[str, str], Optional[Item]]) -> None:
+        """Install many authoritative items (the stale set of an LVI
+        failure response, §3.2 step 8b)."""
+        for (table, key), item in fresh.items():
+            self.install(table, key, item)
+
+    def apply_local_write(self, table: str, key: str, value: Any, version: int) -> None:
+        """Apply a successfully-validated speculative write locally.
+
+        Called only after the LVI request succeeds — Radical delays cache
+        updates (including the version bump) until then (§3.2 step 2).
+        The value is deep-copied: the cache must never alias objects a
+        still-running execution could mutate.
+        """
+        import copy
+
+        self._entries[(table, key)] = CacheEntry(value=copy.deepcopy(value), version=version)
+
+    def invalidate(self, table: str, key: str) -> None:
+        """Drop one entry (next access will be a miss)."""
+        self._entries.pop((table, key), None)
+
+    def wipe(self) -> None:
+        """Lose all cached state, unless the cache is persistent.
+
+        Models a near-user location failure; correctness is unaffected
+        because validation rejects whatever the cache cannot prove fresh.
+        """
+        if not self.persistent:
+            self._entries.clear()
+
+    def force_wipe(self) -> None:
+        """Lose all state even if persistent (disk also failed)."""
+        self._entries.clear()
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hit_rate(self) -> Optional[float]:
+        total = self.hits + self.misses
+        return None if total == 0 else self.hits / total
+
+    def entries(self) -> Iterable[Tuple[Tuple[str, str], CacheEntry]]:
+        return list(self._entries.items())

@@ -1,0 +1,160 @@
+"""The primary storage system: a linearizable, versioned, multi-table KV store.
+
+This is the reproduction's stand-in for DynamoDB in the near-storage
+location (paper §3.1): it is linearizable (a single-site store mutated
+atomically within the simulation), durable by assumption, and keeps a
+*version number* per item which Radical increments on every update — the
+LVI protocol's validation step compares cached versions against these.
+
+Versions start at 0 for a key that has never been written and increase by
+exactly 1 per write; the near-user cache uses -1 as its "not cached"
+sentinel (§3.2), which therefore never matches any primary version.
+
+The store itself is passive and synchronous; *access latency* is modelled by
+the component making the access (e.g. the LVI server charges one
+in-datacenter round trip per batch of storage operations), matching how the
+paper attributes latency to the network rather than to DynamoDB's innards.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConditionFailed, KeyMissing
+
+__all__ = ["Item", "KVStore", "WriteOp", "VERSION_ABSENT", "VERSION_MISS"]
+
+#: Version of a key that exists in no table (never written).
+VERSION_ABSENT = 0
+#: Sentinel a cache reports for a key it has no entry for (paper §3.2).
+VERSION_MISS = -1
+
+
+@dataclass(frozen=True)
+class Item:
+    """An immutable snapshot of one stored item: value plus version."""
+
+    value: Any
+    version: int
+
+    def copy_value(self) -> Any:
+        """A defensive deep copy of the value for handing to callers."""
+        return copy.deepcopy(self.value)
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One write in a batch: table, key, and the new value."""
+
+    table: str
+    key: str
+    value: Any
+
+
+class KVStore:
+    """Linearizable multi-table key-value store with per-item versions."""
+
+    def __init__(self, name: str = "primary"):
+        self.name = name
+        self._tables: Dict[str, Dict[str, Item]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # -- single-item operations ------------------------------------------------
+
+    def get(self, table: str, key: str) -> Item:
+        """Return the item; raises :class:`KeyMissing` if absent."""
+        self.reads += 1
+        item = self._tables.get(table, {}).get(key)
+        if item is None:
+            raise KeyMissing(table, key)
+        return Item(item.copy_value(), item.version)
+
+    def get_or_none(self, table: str, key: str) -> Optional[Item]:
+        """Return the item or ``None`` if absent (no exception)."""
+        self.reads += 1
+        item = self._tables.get(table, {}).get(key)
+        if item is None:
+            return None
+        return Item(item.copy_value(), item.version)
+
+    def version(self, table: str, key: str) -> int:
+        """The item's version, or :data:`VERSION_ABSENT` if never written."""
+        item = self._tables.get(table, {}).get(key)
+        return VERSION_ABSENT if item is None else item.version
+
+    def put(self, table: str, key: str, value: Any) -> int:
+        """Write a value, incrementing the version; returns the new version.
+
+        Radical interposes on every write to bump the version (§3.1); here
+        the store does it natively, which is equivalent.
+        """
+        self.writes += 1
+        tbl = self._tables.setdefault(table, {})
+        old = tbl.get(key)
+        new_version = (old.version if old is not None else VERSION_ABSENT) + 1
+        tbl[key] = Item(copy.deepcopy(value), new_version)
+        return new_version
+
+    def conditional_put(self, table: str, key: str, value: Any, expected_version: int) -> int:
+        """Write only if the current version equals ``expected_version``.
+
+        Raises :class:`ConditionFailed` otherwise.  Used by the intent
+        table to make duplicate followup/re-execution application safe.
+        """
+        current = self.version(table, key)
+        if current != expected_version:
+            raise ConditionFailed(
+                f"{table}/{key}: expected version {expected_version}, found {current}"
+            )
+        return self.put(table, key, value)
+
+    def delete(self, table: str, key: str) -> bool:
+        """Remove a key; returns True if it existed.
+
+        Deletion erases the version history; Radical only deletes from its
+        metadata tables (intents, idempotency keys), never from app data.
+        """
+        self.writes += 1
+        tbl = self._tables.get(table)
+        if tbl is None or key not in tbl:
+            return False
+        del tbl[key]
+        return True
+
+    def exists(self, table: str, key: str) -> bool:
+        return key in self._tables.get(table, {})
+
+    # -- batch operations (one storage round trip in the protocol) ---------------
+
+    def batch_versions(self, keys: Iterable[Tuple[str, str]]) -> Dict[Tuple[str, str], int]:
+        """Versions for many (table, key) pairs at once."""
+        return {(t, k): self.version(t, k) for (t, k) in keys}
+
+    def batch_get(self, keys: Iterable[Tuple[str, str]]) -> Dict[Tuple[str, str], Optional[Item]]:
+        """Items for many (table, key) pairs; absent keys map to ``None``."""
+        return {(t, k): self.get_or_none(t, k) for (t, k) in keys}
+
+    def apply_writes(self, writes: Iterable[WriteOp]) -> Dict[Tuple[str, str], int]:
+        """Apply a batch of writes atomically; returns the new versions.
+
+        Atomicity is trivial here (single-site, no yielding between puts),
+        which matches the LVI server applying a followup's writes while
+        still holding that execution's write locks.
+        """
+        return {(w.table, w.key): self.put(w.table, w.key, w.value) for w in writes}
+
+    # -- introspection ------------------------------------------------------------
+
+    def scan(self, table: str) -> List[Tuple[str, Item]]:
+        """All (key, item) pairs of a table, sorted by key (for tests)."""
+        tbl = self._tables.get(table, {})
+        return [(k, Item(v.copy_value(), v.version)) for k, v in sorted(tbl.items())]
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def size(self, table: str) -> int:
+        return len(self._tables.get(table, {}))

@@ -1,0 +1,131 @@
+"""Host intrinsics available to wasm-lite functions.
+
+Radical runs functions in a WasmTime sandbox whose imports are restricted
+to deterministic facilities (§3.4): no timers, no randomness.  We reproduce
+that contract with an explicit registry.  Deterministic intrinsics (hashing
+for password checks, geo distance for the hotel app, ...) may be imported;
+non-deterministic ones are *known to the compiler but banned* — referencing
+them is a :class:`~repro.errors.NonDeterminismError` at registration time,
+mirroring how Radical rejects functions that import them.
+
+Intrinsic ``cost`` is the gas charged per call.  Gas is both the
+non-termination guard and the basis of the f^rw latency model: an expensive
+computation that does not feed any storage key (e.g. pbkdf2 in the login
+functions) is sliced out of f^rw, so its gas disappears from the derived
+function — which is exactly why login's f^rw is cheap while f is 213 ms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from ..errors import VMTrap
+
+__all__ = ["Intrinsic", "REGISTRY", "register_intrinsic", "lookup"]
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """A host function importable by sandboxed code."""
+
+    name: str
+    fn: Callable[..., Any]
+    deterministic: bool
+    cost: int = 1
+
+
+REGISTRY: Dict[str, Intrinsic] = {}
+
+
+def register_intrinsic(
+    name: str, fn: Callable[..., Any], deterministic: bool = True, cost: int = 1
+) -> Intrinsic:
+    """Add an intrinsic to the global registry (idempotent re-registration
+    with identical attributes is allowed for test convenience)."""
+    intrinsic = Intrinsic(name, fn, deterministic, cost)
+    existing = REGISTRY.get(name)
+    if existing is not None and (existing.deterministic, existing.cost) != (
+        deterministic,
+        cost,
+    ):
+        raise ValueError(f"intrinsic {name!r} already registered with different attributes")
+    REGISTRY[name] = intrinsic
+    return intrinsic
+
+
+def lookup(name: str) -> Intrinsic:
+    """Fetch an intrinsic; raises :class:`VMTrap` for unknown names."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise VMTrap(f"unknown intrinsic {name!r}") from None
+
+
+# --------------------------------------------------------------------------
+# Deterministic intrinsics used by the benchmark applications.
+# --------------------------------------------------------------------------
+
+def _pbkdf2_hash(password: str, salt: str) -> str:
+    """Deterministic, deliberately expensive password hash.
+
+    The paper's login functions spend ~213 ms in a pbkdf2 check; the heavy
+    gas cost on this intrinsic plays that role in the VM's cost model.
+    """
+    digest = hashlib.pbkdf2_hmac("sha256", str(password).encode(), str(salt).encode(), 1000)
+    return digest.hex()
+
+
+def _pbkdf2_verify(password: str, salt: str, expected: str) -> bool:
+    return _pbkdf2_hash(password, salt) == expected
+
+
+def _digest(text: str) -> str:
+    """Short stable digest, used for content ids."""
+    return hashlib.sha256(str(text).encode()).hexdigest()[:16]
+
+
+def _distance_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Haversine distance (hotel search's 'hotels near a location')."""
+    r = 6371.0
+    p1, p2 = math.radians(lat1), math.radians(lat2)
+    dp = math.radians(lat2 - lat1)
+    dl = math.radians(lon2 - lon1)
+    a = math.sin(dp / 2) ** 2 + math.cos(p1) * math.cos(p2) * math.sin(dl / 2) ** 2
+    return 2 * r * math.asin(math.sqrt(a))
+
+
+def _score_text(text: str) -> int:
+    """Deterministic 'ranking' signal used by feeds (stable pseudo-score)."""
+    return int(hashlib.sha256(str(text).encode()).hexdigest()[:8], 16) % 1000
+
+
+register_intrinsic("pbkdf2_hash", _pbkdf2_hash, deterministic=True, cost=20000)
+register_intrinsic("pbkdf2_verify", _pbkdf2_verify, deterministic=True, cost=20000)
+register_intrinsic("digest", _digest, deterministic=True, cost=50)
+register_intrinsic("distance_km", _distance_km, deterministic=True, cost=20)
+register_intrinsic("score_text", _score_text, deterministic=True, cost=30)
+
+
+# --------------------------------------------------------------------------
+# Non-deterministic intrinsics: present in the registry so the compiler can
+# reject them by name with a clear error, never callable.
+# --------------------------------------------------------------------------
+
+def _banned(name: str) -> Callable[..., Any]:
+    def fn(*_args: Any) -> Any:
+        raise VMTrap(f"non-deterministic intrinsic {name!r} invoked")
+
+    return fn
+
+
+register_intrinsic("now", _banned("now"), deterministic=False)
+register_intrinsic("random_int", _banned("random_int"), deterministic=False)
+register_intrinsic("uuid", _banned("uuid"), deterministic=False)
+
+
+def banned_names() -> Tuple[str, ...]:
+    """Names the compiler must reject (§3.4's determinism contract)."""
+    return tuple(sorted(n for n, i in REGISTRY.items() if not i.deterministic))

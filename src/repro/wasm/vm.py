@@ -1,0 +1,485 @@
+"""The deterministic stack-machine interpreter for wasm-lite functions.
+
+The VM plays the role WasmTime plays in the paper (§4): it executes
+compiled functions in a sandbox whose only window to the world is the
+*host environment* — ``db_get``/``db_put`` for storage (wired to the
+near-user cache during speculation and to primary storage during backup
+execution / re-execution) and registered deterministic intrinsics.
+
+Properties the protocol relies on and the VM enforces:
+
+* **Determinism** — same function, same arguments, same storage responses
+  ⇒ same writes and same result.  There is no clock, no randomness, and
+  dict iteration order is insertion order (deterministic in Python).
+* **Interposition** — every storage access is recorded in the execution
+  trace; the LVI followup is built from the recorded writes, and tests
+  compare recorded reads against the analyzer's predictions.
+* **Gas metering** — a hard instruction budget turns non-termination into
+  :class:`~repro.errors.GasExhausted` instead of a hung simulation; gas is
+  also the VM's abstract cost measure, from which the f^rw latency model
+  derives its slice ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from ..errors import GasExhausted, VMTrap
+from .intrinsics import lookup
+from .ir import Instr, Op, WasmFunction
+
+__all__ = ["HostEnv", "DictEnv", "ExecutionTrace", "VM", "DEFAULT_GAS_LIMIT"]
+
+DEFAULT_GAS_LIMIT = 2_000_000
+
+
+class HostEnv(Protocol):
+    """What the sandbox can see of the outside world."""
+
+    def db_get(self, table: str, key: str) -> Any:
+        """Return the current value for (table, key), or None if absent."""
+        ...
+
+    def db_put(self, table: str, key: str, value: Any) -> None:
+        """Write a value.  The VM records it; the env decides what
+        'writing' means (buffering, applying to a cache, ...)."""
+        ...
+
+
+class DictEnv:
+    """A trivial in-memory environment for tests and examples."""
+
+    def __init__(self, data: Optional[Dict[Tuple[str, str], Any]] = None):
+        self.data: Dict[Tuple[str, str], Any] = dict(data or {})
+
+    def db_get(self, table: str, key: str) -> Any:
+        return self.data.get((table, key))
+
+    def db_put(self, table: str, key: str, value: Any) -> None:
+        self.data[(table, key)] = value
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything observable about one sandboxed execution."""
+
+    result: Any = None
+    reads: List[Tuple[str, str]] = field(default_factory=list)
+    writes: List[Tuple[str, str, Any]] = field(default_factory=list)
+    external_calls: List[Tuple[str, int]] = field(default_factory=list)  # (service, seq)
+    gas_used: int = 0
+
+    def read_keys(self) -> List[Tuple[str, str]]:
+        return list(self.reads)
+
+    def write_keys(self) -> List[Tuple[str, str]]:
+        return [(t, k) for (t, k, _v) in self.writes]
+
+
+class VM:
+    """Interpreter instance; stateless between :meth:`execute` calls."""
+
+    def __init__(
+        self,
+        env: HostEnv,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+        external: Optional[Callable[[str, Any, int], Any]] = None,
+    ):
+        self.env = env
+        self.gas_limit = gas_limit
+        # §3.5 external-service hook: (service, payload, call_seq) -> response.
+        # Wired by Radical to the idempotency-keyed service hub; absent in
+        # plain sandboxes, where external() traps.
+        self.external = external
+
+    def execute(self, func: WasmFunction, args: List[Any]) -> ExecutionTrace:
+        """Run ``func`` on ``args`` to completion; returns the trace.
+
+        Raises :class:`VMTrap` on illegal operations and
+        :class:`GasExhausted` when the budget runs out.
+        """
+        if len(args) != len(func.params):
+            raise VMTrap(
+                f"{func.name}: expected {len(func.params)} arguments, got {len(args)}"
+            )
+        trace = ExecutionTrace()
+        locals_: Dict[str, Any] = dict(zip(func.params, args))
+        stack: List[Any] = []
+        code = func.instructions
+        pc = 0
+        gas = 0
+        limit = self.gas_limit
+
+        while True:
+            if pc >= len(code):
+                raise VMTrap(f"{func.name}: fell off the end of the code")
+            instr = code[pc]
+            gas += 1
+            if gas > limit:
+                trace.gas_used = gas
+                raise GasExhausted(f"{func.name}: exceeded {limit} gas at pc={pc}")
+            op = instr.op
+            pc += 1
+
+            if op == Op.PUSH:
+                stack.append(instr.arg)
+            elif op == Op.LOAD:
+                try:
+                    stack.append(locals_[instr.arg])
+                except KeyError:
+                    raise VMTrap(f"{func.name}: unbound variable {instr.arg!r}") from None
+            elif op == Op.STORE:
+                locals_[instr.arg] = stack.pop()
+            elif op == Op.POP:
+                stack.pop()
+            elif op == Op.DUP:
+                stack.append(stack[-1])
+            elif op == Op.BINOP:
+                rhs = stack.pop()
+                lhs = stack.pop()
+                stack.append(self._binop(func, instr.arg, lhs, rhs))
+            elif op == Op.UNARY:
+                value = stack.pop()
+                stack.append(self._unary(func, instr.arg, value))
+            elif op == Op.COMPARE:
+                rhs = stack.pop()
+                lhs = stack.pop()
+                stack.append(self._compare(func, instr.arg, lhs, rhs))
+            elif op == Op.JUMP:
+                pc = instr.arg
+            elif op == Op.JUMP_IF_FALSE:
+                if not stack.pop():
+                    pc = instr.arg
+            elif op == Op.JUMP_IF_TRUE:
+                if stack.pop():
+                    pc = instr.arg
+            elif op == Op.JUMP_IF_FALSE_KEEP:
+                if not stack[-1]:
+                    pc = instr.arg
+            elif op == Op.JUMP_IF_TRUE_KEEP:
+                if stack[-1]:
+                    pc = instr.arg
+            elif op == Op.CALL:
+                name, argc = instr.arg
+                call_args = stack[len(stack) - argc:]
+                del stack[len(stack) - argc:]
+                result, extra_gas = self._builtin(func, name, call_args)
+                gas += extra_gas
+                stack.append(result)
+            elif op == Op.INTRINSIC:
+                name, argc = instr.arg
+                call_args = stack[len(stack) - argc:]
+                del stack[len(stack) - argc:]
+                intrinsic = lookup(name)
+                gas += intrinsic.cost
+                try:
+                    stack.append(intrinsic.fn(*call_args))
+                except VMTrap:
+                    raise
+                except Exception as exc:
+                    raise VMTrap(f"{func.name}: intrinsic {name} failed: {exc}") from exc
+            elif op == Op.METHOD:
+                name, argc = instr.arg
+                call_args = stack[len(stack) - argc:]
+                del stack[len(stack) - argc:]
+                receiver = stack.pop()
+                result, extra_gas = self._method(func, receiver, name, call_args)
+                gas += extra_gas
+                stack.append(result)
+            elif op == Op.BUILD_LIST:
+                n = instr.arg
+                items = stack[len(stack) - n:]
+                del stack[len(stack) - n:]
+                stack.append(items)
+            elif op == Op.BUILD_TUPLE:
+                n = instr.arg
+                items = tuple(stack[len(stack) - n:])
+                del stack[len(stack) - n:]
+                stack.append(items)
+            elif op == Op.BUILD_DICT:
+                n = instr.arg
+                flat = stack[len(stack) - 2 * n:]
+                del stack[len(stack) - 2 * n:]
+                d = {}
+                for i in range(0, 2 * n, 2):
+                    key = flat[i]
+                    if not isinstance(key, (str, int, float, bool, tuple)):
+                        raise VMTrap(f"{func.name}: unhashable dict key {key!r}")
+                    d[key] = flat[i + 1]
+                stack.append(d)
+            elif op == Op.INDEX:
+                index = stack.pop()
+                obj = stack.pop()
+                stack.append(self._index(func, obj, index))
+            elif op == Op.STORE_INDEX:
+                value = stack.pop()
+                index = stack.pop()
+                obj = stack.pop()
+                self._store_index(func, obj, index, value)
+            elif op == Op.SLICE:
+                hi = stack.pop()
+                lo = stack.pop()
+                obj = stack.pop()
+                if not isinstance(obj, (list, str, tuple)):
+                    raise VMTrap(f"{func.name}: cannot slice {type(obj).__name__}")
+                stack.append(obj[lo:hi])
+            elif op == Op.DB_GET:
+                key = stack.pop()
+                table = stack.pop()
+                self._check_key(func, table, key)
+                value = self.env.db_get(table, key)
+                trace.reads.append((table, key))
+                stack.append(value)
+            elif op == Op.DB_PUT:
+                value = stack.pop()
+                key = stack.pop()
+                table = stack.pop()
+                self._check_key(func, table, key)
+                self.env.db_put(table, key, value)
+                trace.writes.append((table, key, value))
+                stack.append(None)
+            elif op == Op.EXT_CALL:
+                payload = stack.pop()
+                service = stack.pop()
+                if not isinstance(service, str):
+                    raise VMTrap(f"{func.name}: external service name must be a string")
+                if self.external is None:
+                    raise VMTrap(
+                        f"{func.name}: no external services available in this sandbox"
+                    )
+                seq = len(trace.external_calls)
+                try:
+                    response = self.external(service, payload, seq)
+                except VMTrap:
+                    raise
+                except Exception as exc:
+                    raise VMTrap(
+                        f"{func.name}: external service {service} failed: {exc}"
+                    ) from exc
+                trace.external_calls.append((service, seq))
+                stack.append(response)
+            elif op == Op.RW_READ:
+                key = stack.pop()
+                table = stack.pop()
+                self._check_key(func, table, key)
+                value = self.env.db_get(table, key)
+                trace.reads.append((table, key))
+                stack.append(value)
+            elif op == Op.RW_WRITE:
+                if instr.arg == 3:
+                    stack.pop()  # value evaluated only for its nested reads
+                key = stack.pop()
+                table = stack.pop()
+                self._check_key(func, table, key)
+                trace.writes.append((table, key, None))
+                stack.append(None)
+            elif op == Op.FORMAT:
+                n = instr.arg
+                parts = stack[len(stack) - n:]
+                del stack[len(stack) - n:]
+                stack.append("".join(self._to_str(func, p) for p in parts))
+            elif op == Op.RETURN:
+                trace.result = stack.pop()
+                trace.gas_used = gas
+                return trace
+            else:  # pragma: no cover - compiler emits only known opcodes
+                raise VMTrap(f"{func.name}: unknown opcode {op!r}")
+
+    # -- operand helpers -----------------------------------------------------
+
+    def _binop(self, func: WasmFunction, op: str, lhs: Any, rhs: Any) -> Any:
+        try:
+            if op == "+":
+                if isinstance(lhs, (list, str)) != isinstance(rhs, (list, str)):
+                    # Allow numeric + numeric, str + str, list + list only.
+                    if not (isinstance(lhs, (int, float)) and isinstance(rhs, (int, float))):
+                        raise TypeError(f"cannot add {type(lhs).__name__} and {type(rhs).__name__}")
+                return lhs + rhs
+            if op == "-":
+                return lhs - rhs
+            if op == "*":
+                return lhs * rhs
+            if op == "/":
+                return lhs / rhs
+            if op == "//":
+                return lhs // rhs
+            if op == "%":
+                return lhs % rhs
+            if op == "**":
+                return lhs ** rhs
+        except VMTrap:
+            raise
+        except Exception as exc:
+            raise VMTrap(f"{func.name}: {op} failed: {exc}") from exc
+        raise VMTrap(f"{func.name}: unknown binop {op!r}")
+
+    def _unary(self, func: WasmFunction, op: str, value: Any) -> Any:
+        try:
+            if op == "-":
+                return -value
+            if op == "+":
+                return +value
+            if op == "not":
+                return not value
+        except Exception as exc:
+            raise VMTrap(f"{func.name}: unary {op} failed: {exc}") from exc
+        raise VMTrap(f"{func.name}: unknown unary {op!r}")
+
+    def _compare(self, func: WasmFunction, op: str, lhs: Any, rhs: Any) -> bool:
+        try:
+            if op == "==":
+                return lhs == rhs
+            if op == "!=":
+                return lhs != rhs
+            if op == "<":
+                return lhs < rhs
+            if op == "<=":
+                return lhs <= rhs
+            if op == ">":
+                return lhs > rhs
+            if op == ">=":
+                return lhs >= rhs
+            if op == "in":
+                return lhs in rhs
+            if op == "not in":
+                return lhs not in rhs
+            if op == "is":
+                # Only identity against None is meaningful in the sandbox.
+                return lhs is rhs
+            if op == "is not":
+                return lhs is not rhs
+        except Exception as exc:
+            raise VMTrap(f"{func.name}: comparison {op} failed: {exc}") from exc
+        raise VMTrap(f"{func.name}: unknown comparison {op!r}")
+
+    def _index(self, func: WasmFunction, obj: Any, index: Any) -> Any:
+        try:
+            return obj[index]
+        except (KeyError, IndexError, TypeError) as exc:
+            raise VMTrap(f"{func.name}: index failed: {exc}") from exc
+
+    def _store_index(self, func: WasmFunction, obj: Any, index: Any, value: Any) -> None:
+        if not isinstance(obj, (list, dict)):
+            raise VMTrap(f"{func.name}: cannot assign into {type(obj).__name__}")
+        try:
+            obj[index] = value
+        except (KeyError, IndexError, TypeError) as exc:
+            raise VMTrap(f"{func.name}: index assignment failed: {exc}") from exc
+
+    def _check_key(self, func: WasmFunction, table: Any, key: Any) -> None:
+        if not isinstance(table, str) or not isinstance(key, str):
+            raise VMTrap(
+                f"{func.name}: storage table and key must be strings, "
+                f"got ({type(table).__name__}, {type(key).__name__})"
+            )
+
+    @staticmethod
+    def _to_str(func: WasmFunction, value: Any) -> str:
+        if value is None or isinstance(value, (str, int, float, bool)):
+            return str(value)
+        raise VMTrap(f"{func.name}: cannot format {type(value).__name__} in f-string")
+
+    # -- builtins ------------------------------------------------------------
+
+    def _builtin(self, func: WasmFunction, name: str, args: List[Any]) -> Tuple[Any, int]:
+        """Execute a whitelisted builtin; returns (result, extra gas)."""
+        try:
+            if name == "busy":
+                # Pure computation: burns gas, returns nothing.
+                amount = int(args[0])
+                if amount < 0:
+                    raise ValueError(f"busy() amount must be >= 0, got {amount}")
+                return None, amount
+            if name == "len":
+                return len(args[0]), 0
+            if name == "str":
+                return self._to_str(func, args[0]), 0
+            if name == "int":
+                return int(args[0]), 0
+            if name == "float":
+                return float(args[0]), 0
+            if name == "bool":
+                return bool(args[0]), 0
+            if name == "abs":
+                return abs(args[0]), 0
+            if name == "min":
+                target = args[0] if len(args) == 1 else args
+                return min(target), len(target)
+            if name == "max":
+                target = args[0] if len(args) == 1 else args
+                return max(target), len(target)
+            if name == "sum":
+                return sum(args[0]), len(args[0])
+            if name == "sorted":
+                result = sorted(args[0])
+                return result, len(result)
+            if name == "range":
+                result = list(range(*args))
+                return result, len(result)
+            if name == "round":
+                return round(*args), 0
+            if name == "list":
+                if not args:
+                    return [], 0
+                src = args[0]
+                if isinstance(src, dict):
+                    result = list(src.keys())
+                elif isinstance(src, (list, tuple, str)):
+                    result = list(src)
+                else:
+                    raise TypeError(f"cannot make a list from {type(src).__name__}")
+                return result, len(result)
+            if name == "dict":
+                if not args:
+                    return {}, 0
+                return dict(args[0]), len(args[0])
+        except VMTrap:
+            raise
+        except Exception as exc:
+            raise VMTrap(f"{func.name}: builtin {name} failed: {exc}") from exc
+        raise VMTrap(f"{func.name}: unknown builtin {name!r}")
+
+    # -- methods -------------------------------------------------------------
+
+    _LIST_METHODS = {
+        "append", "extend", "pop", "insert", "remove", "index", "count",
+        "sort", "reverse", "copy",
+    }
+    _DICT_METHODS = {"get", "keys", "values", "items", "pop", "setdefault", "copy"}
+    _STR_METHODS = {
+        "lower", "upper", "split", "join", "strip", "startswith", "endswith",
+        "replace", "find", "zfill", "count", "index",
+    }
+
+    def _method(
+        self, func: WasmFunction, receiver: Any, name: str, args: List[Any]
+    ) -> Tuple[Any, int]:
+        if isinstance(receiver, list):
+            allowed = self._LIST_METHODS
+        elif isinstance(receiver, dict):
+            allowed = self._DICT_METHODS
+        elif isinstance(receiver, str):
+            allowed = self._STR_METHODS
+        else:
+            raise VMTrap(
+                f"{func.name}: no methods on {type(receiver).__name__} values"
+            )
+        if name not in allowed:
+            raise VMTrap(
+                f"{func.name}: method {name!r} not allowed on {type(receiver).__name__}"
+            )
+        try:
+            result = getattr(receiver, name)(*args)
+        except VMTrap:
+            raise
+        except Exception as exc:
+            raise VMTrap(f"{func.name}: method {name} failed: {exc}") from exc
+        # dict views must become plain lists so values stay in the sandbox's
+        # simple data model.
+        if name in ("keys", "values"):
+            return list(result), len(receiver)
+        if name == "items":
+            return [list(pair) for pair in result], len(receiver)
+        extra = len(receiver) if name in ("sort", "reverse", "copy", "extend") else 0
+        return result, extra

@@ -1,0 +1,5 @@
+"""Workload generation: zipf-skewed request mixes and closed-loop clients."""
+
+from .clients import ClosedLoopClient, Invoker, OpenLoopClient, run_clients
+
+__all__ = ["ClosedLoopClient", "Invoker", "OpenLoopClient", "run_clients"]

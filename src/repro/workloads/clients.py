@@ -1,0 +1,137 @@
+"""Closed-loop workload clients (paper §5.2).
+
+The paper drives each configuration with logical client processes issuing
+requests back-to-back; latencies are medians/p99s over the full run.  A
+:class:`ClosedLoopClient` draws (function, args) pairs from its app's
+workload mix with a private deterministic RNG, invokes through whatever
+deployment it is bound to, and records per-request samples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from ..apps import App
+from ..consistency import HistoryRecorder
+from ..sim import Metrics, Simulator
+
+__all__ = ["Invoker", "ClosedLoopClient", "run_clients"]
+
+#: A deployment binding: invoke(function_id, args) -> generator -> outcome.
+#: Outcomes must expose .result/.latency_ms/.read_versions/.write_versions
+#: (InvocationOutcome and BaselineOutcome both do).
+Invoker = Callable[[str, List[Any]], Generator]
+
+
+@dataclass
+class ClosedLoopClient:
+    """One logical client bound to a region's deployment."""
+
+    sim: Simulator
+    app: App
+    region: str
+    invoke: Invoker
+    metrics: Metrics
+    rng: random.Random
+    requests: int
+    client_app_rtt_ms: float = 1.0
+    label_prefix: str = "e2e"
+    history: Optional[HistoryRecorder] = None
+    think_time_ms: float = 0.0
+
+    def run(self) -> Generator:
+        """The client process: issue ``requests`` requests sequentially."""
+        for _i in range(self.requests):
+            function_id, args = self.app.generate_request(self.rng)
+            start = self.sim.now
+            record = None if self.history is None else self.history.begin(function_id, start)
+            # Client -> co-located deployment hop.
+            yield self.sim.timeout(self.client_app_rtt_ms / 2.0)
+            outcome = yield self.sim.spawn(
+                self.invoke(function_id, args), name=f"req({function_id})"
+            )
+            yield self.sim.timeout(self.client_app_rtt_ms / 2.0)
+            latency = self.sim.now - start
+            self.metrics.record(self.label_prefix, latency)
+            self.metrics.record(f"{self.label_prefix}.region.{self.region}", latency)
+            self.metrics.record(f"{self.label_prefix}.fn.{function_id}", latency)
+            self.metrics.incr("requests.total")
+            if record is not None:
+                self.history.finish(
+                    record,
+                    self.sim.now,
+                    reads=outcome.read_versions,
+                    writes=outcome.write_versions,
+                )
+            if self.think_time_ms > 0:
+                yield self.sim.timeout(self.rng.expovariate(1.0 / self.think_time_ms))
+        return self.metrics
+
+
+@dataclass
+class OpenLoopClient:
+    """Poisson arrivals at a fixed offered rate, independent of responses.
+
+    Unlike the closed-loop client, requests are spawned without waiting
+    for the previous one — queueing (lock waits, invalidation storms)
+    shows up as latency growth instead of throughput collapse.  Used by
+    the offered-load sweep to probe §5.3's "the only bottleneck Radical
+    introduces is the singleton LVI server" claim.
+    """
+
+    sim: Simulator
+    app: App
+    region: str
+    invoke: Invoker
+    metrics: Metrics
+    rng: random.Random
+    rate_rps: float          # offered load, requests per (virtual) second
+    duration_ms: float       # how long to keep generating
+    label_prefix: str = "e2e"
+
+    def run(self) -> Generator:
+        """The generator process: emits requests until the duration ends,
+        then waits for all in-flight requests to complete."""
+        deadline = self.sim.now + self.duration_ms
+        in_flight = []
+        mean_gap_ms = 1000.0 / self.rate_rps
+        while self.sim.now < deadline:
+            yield self.sim.timeout(self.rng.expovariate(1.0 / mean_gap_ms))
+            if self.sim.now >= deadline:
+                break
+            function_id, args = self.app.generate_request(self.rng)
+            in_flight.append(
+                self.sim.spawn(
+                    self._one(function_id, args), name=f"openreq({function_id})"
+                )
+            )
+        for proc in in_flight:
+            yield proc
+
+    def _one(self, function_id: str, args) -> Generator:
+        start = self.sim.now
+        yield self.sim.spawn(self.invoke(function_id, args))
+        latency = self.sim.now - start
+        self.metrics.record(self.label_prefix, latency)
+        self.metrics.record(f"{self.label_prefix}.region.{self.region}", latency)
+        self.metrics.incr("requests.total")
+
+
+def run_clients(sim: Simulator, clients: List[ClosedLoopClient]) -> None:
+    """Spawn every client and run the world until all complete.
+
+    A client that dies (e.g. an application function trapped in the VM)
+    re-raises here — experiments must fail loudly, not report partial
+    latency distributions.
+    """
+    procs = [sim.spawn(c.run(), name=f"client-{c.region}-{i}") for i, c in enumerate(clients)]
+    done = sim.all_of([p.done_event for p in procs])
+    sim.run(until_event=done)
+    for proc in procs:
+        if not proc.done:
+            raise RuntimeError(f"client {proc.name} did not finish (deadlock?)")
+        _ = proc.result  # re-raises the client's failure, if any
+    # Drain followups and timers so the primary reaches quiescence.
+    sim.run(until=sim.now + 10_000.0)

@@ -1,0 +1,229 @@
+"""Tests for the f^rw slicer: what is kept, what is dropped, soundness."""
+
+import pytest
+
+from repro.errors import AnalysisError, AnalysisTimeout
+from repro.analysis import slice_function
+
+
+class TestSliceBasics:
+    def test_pure_function_slices_to_nothing(self):
+        result = slice_function("def f(x):\n    return x * 2")
+        assert result.kept_statements == 0
+        assert not result.reads and not result.writes
+        assert "pass" in result.frw_source
+
+    def test_single_read_kept(self):
+        result = slice_function('def f(k):\n    return db_get("t", f"item:{k}")')
+        assert "__rw_read" in result.frw_source
+        assert result.reads and not result.writes
+
+    def test_write_value_dropped(self):
+        src = """
+def f(k):
+    expensive = pbkdf2_hash(k, "salt")
+    db_put("t", f"k:{k}", expensive)
+"""
+        result = slice_function(src)
+        assert "pbkdf2" not in result.frw_source
+        assert "__rw_write" in result.frw_source
+        assert result.writes
+
+    def test_key_dependency_kept(self):
+        src = """
+def f(x):
+    key = f"item:{x + 1}"
+    unrelated = x * 99
+    return db_get("t", key)
+"""
+        result = slice_function(src)
+        assert "key = " in result.frw_source
+        assert "unrelated" not in result.frw_source
+
+    def test_transitive_dependencies_kept(self):
+        src = """
+def f(x):
+    a = x + 1
+    b = a * 2
+    c = b - 3
+    noise = x * 1000
+    return db_get("t", f"k:{c}")
+"""
+        result = slice_function(src)
+        for name in ("a = ", "b = ", "c = "):
+            assert name in result.frw_source
+        assert "noise" not in result.frw_source
+
+    def test_slice_ratio_between_zero_and_one(self):
+        result = slice_function('def f(k):\n    x = 1\n    return db_get("t", k)')
+        assert 0.0 < result.slice_ratio <= 1.0
+
+    def test_invalid_source_raises(self):
+        with pytest.raises(AnalysisError):
+            slice_function("not even python (")
+
+    def test_budget_exceeded_raises_timeout(self):
+        big = "def f(x):\n" + "\n".join(f"    v{i} = x + {i}" for i in range(200))
+        big += "\n    return db_get('t', f'k:{v199}')"
+        with pytest.raises(AnalysisTimeout):
+            slice_function(big, node_budget=100)
+
+
+class TestControlDependence:
+    def test_branch_guarding_access_kept(self):
+        src = """
+def f(x, flag):
+    if flag > 0:
+        return db_get("t", f"a:{x}")
+    return None
+"""
+        result = slice_function(src)
+        assert "if flag > 0" in result.frw_source
+
+    def test_early_return_before_access_kept(self):
+        # `if user is None: return` decides whether later accesses run.
+        src = """
+def f(uid):
+    user = db_get("users", f"u:{uid}")
+    if user is None:
+        return None
+    return db_get("profiles", f"p:{uid}")
+"""
+        result = slice_function(src)
+        assert "if user is None" in result.frw_source
+        assert "return None" in result.frw_source
+
+    def test_early_return_after_last_access_dropped(self):
+        src = """
+def f(uid):
+    user = db_get("users", f"u:{uid}")
+    if user is None:
+        return {"error": "no such user"}
+    return {"ok": True}
+"""
+        result = slice_function(src)
+        # The access happened already; neither branch matters for rw-sets.
+        assert "error" not in result.frw_source
+
+    def test_loop_over_read_result_kept(self):
+        src = """
+def f(uid):
+    ids = db_get("follows", f"f:{uid}")
+    out = []
+    for i in ids:
+        item = db_get("posts", f"p:{i}")
+        out.append(item)
+    return out
+"""
+        result = slice_function(src)
+        assert "for i in ids" in result.frw_source
+        assert result.dependent_reads
+
+    def test_while_condition_variables_kept(self):
+        src = """
+def f(n):
+    i = 0
+    junk = 0
+    while i < n:
+        db_put("t", f"k:{i}", 0)
+        i += 1
+        junk += 99
+    return junk
+"""
+        result = slice_function(src)
+        assert "i += 1" in result.frw_source
+        assert "junk += 99" not in result.frw_source
+
+    def test_break_inside_loop_with_access_kept(self):
+        src = """
+def f(items):
+    for x in items:
+        if x == "stop":
+            break
+        db_put("t", f"k:{x}", 1)
+    return None
+"""
+        result = slice_function(src)
+        assert "break" in result.frw_source
+
+
+class TestDependentReads:
+    def test_flagged_when_read_feeds_key(self):
+        src = """
+def f(uid):
+    user = db_get("users", f"u:{uid}")
+    return db_get("teams", f"t:{user['team']}")
+"""
+        result = slice_function(src)
+        assert result.dependent_reads
+        assert result.frw_source.count("__rw_read") == 2
+
+    def test_not_flagged_for_independent_reads(self):
+        src = """
+def f(a, b):
+    x = db_get("t", f"k:{a}")
+    y = db_get("t", f"k:{b}")
+    return [x, y]
+"""
+        result = slice_function(src)
+        assert not result.dependent_reads
+
+    def test_read_feeding_only_control_is_not_flagged(self):
+        # The read's result gates *whether* the write happens, but every
+        # access key is computable from the inputs alone — the paper's
+        # Table 1 does not count existence checks as dependent accesses.
+        # The slice still keeps the branch (f^rw must follow the same
+        # path), it just is not flagged.
+        src = """
+def f(uid):
+    flag = db_get("flags", f"flag:{uid}")
+    if flag == 1:
+        db_put("audit", f"a:{uid}", 1)
+    return None
+"""
+        result = slice_function(src)
+        assert not result.dependent_reads
+        assert "if flag == 1" in result.frw_source
+
+
+class TestAliasing:
+    def test_alias_mutation_kept(self):
+        src = """
+def f(uid):
+    keys = []
+    alias = keys
+    alias.append(f"k:{uid}")
+    for k in keys:
+        db_put("t", k, 1)
+    return None
+"""
+        result = slice_function(src)
+        assert "append" in result.frw_source
+
+    def test_mutation_of_needed_list_kept(self):
+        src = """
+def f(n):
+    keys = []
+    for i in range(n):
+        keys.append(f"k:{i}")
+    garbage = []
+    for i in range(n):
+        garbage.append(i * i)
+    for k in keys:
+        db_put("t", k, 0)
+    return None
+"""
+        result = slice_function(src)
+        assert 'keys.append(f"k:{i}")' in result.frw_source.replace("'", '"')
+        assert "garbage.append" not in result.frw_source
+
+
+class TestPutWithNestedRead:
+    def test_nested_read_inside_put_value_survives(self):
+        src = """
+def f(a, b):
+    db_put("t", f"dst:{a}", db_get("t", f"src:{b}"))
+"""
+        result = slice_function(src)
+        assert "__rw_read" in result.frw_source
+        assert "__rw_write" in result.frw_source

@@ -1,0 +1,326 @@
+"""Tests for the benchmark applications: semantics, analysis, workloads."""
+
+import random
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.apps import (
+    all_apps,
+    forum_app,
+    hotel_app,
+    imageboard_app,
+    main_apps,
+    projectmgmt_app,
+    social_media_app,
+)
+from repro.sim import RandomStreams
+from repro.storage import KVStore
+from repro.core.storage_library import PrimaryEnv
+from repro.wasm import VM, compile_source
+
+
+def seeded(app):
+    store = KVStore()
+    app.seed(store, RandomStreams(3), app.context)
+    return store
+
+
+def run_fn(app, store, function_id, args):
+    fn = compile_source(app.function(function_id).spec.source)
+    env = PrimaryEnv(store)
+    return VM(env).execute(fn, args)
+
+
+class TestInventory:
+    def test_27_functions_across_5_apps(self):
+        # §5.1: "we implemented 27 serverless functions across the five
+        # applications".
+        assert sum(len(a.functions) for a in all_apps()) == 27
+
+    def test_16_functions_in_main_apps(self):
+        assert sum(len(a.functions) for a in main_apps()) == 16
+
+    def test_all_functions_analyzable(self):
+        for app in all_apps():
+            for fn in app.functions:
+                analyzed = analyze_source(fn.spec.source)
+                assert analyzed.analyzable, fn.function_id
+
+    def test_exactly_three_dependent_read_functions(self):
+        # §5.1: "three of which required the optimization for dependent
+        # reads presented in §3.3".
+        dependent = [
+            fn.function_id
+            for app in all_apps()
+            for fn in app.functions
+            if analyze_source(fn.spec.source).dependent_reads
+        ]
+        assert sorted(dependent) == [
+            "hotel.search",
+            "imageboard.tag_search",
+            "social.post",
+        ]
+
+    def test_table1_service_times(self):
+        expected = {
+            "social.login": 213.0, "social.post": 106.0, "social.follow": 16.0,
+            "social.timeline": 120.0, "social.profile": 124.0,
+            "hotel.search": 161.0, "hotel.recommend": 207.0, "hotel.book": 272.0,
+            "hotel.review": 13.0, "hotel.login": 213.0, "hotel.attractions": 111.0,
+            "forum.homepage": 209.0, "forum.post": 18.0, "forum.interact": 16.0,
+            "forum.view": 123.0, "forum.login": 212.0,
+        }
+        for app in main_apps():
+            for fn in app.functions:
+                assert fn.spec.service_time_ms == expected[fn.function_id]
+
+    def test_workload_weights_sum_to_100(self):
+        for app in main_apps():
+            assert app.total_weight() == pytest.approx(100.0)
+
+
+class TestSocialSemantics:
+    def test_login_success_and_failure(self):
+        app = social_media_app()
+        store = seeded(app)
+        ok = run_fn(app, store, "social.login", ["u0", "hunter2"]).result
+        bad = run_fn(app, store, "social.login", ["u0", "wrong"]).result
+        ghost = run_fn(app, store, "social.login", ["nobody", "x"]).result
+        assert ok["ok"] is True
+        assert bad["ok"] is False
+        assert ghost["ok"] is False
+
+    def test_post_fans_out_to_followers(self):
+        app = social_media_app()
+        store = seeded(app)
+        followers = store.get("graph", "followers:u0").value
+        result = run_fn(app, store, "social.post", ["u0", "hello world"]).result
+        assert result["ok"]
+        pid = result["post_id"]
+        for fo in followers:
+            tl = store.get("timelines", f"timeline:{fo}").value
+            assert tl[0][0] == pid
+
+    def test_follow_updates_both_sides(self):
+        app = social_media_app()
+        store = seeded(app)
+        run_fn(app, store, "social.follow", ["u1", "u2"])
+        assert "u2" in store.get("graph", "follows:u1").value
+        assert "u1" in store.get("graph", "followers:u2").value
+
+    def test_follow_self_rejected(self):
+        app = social_media_app()
+        store = seeded(app)
+        result = run_fn(app, store, "social.follow", ["u1", "u1"]).result
+        assert result["ok"] is False
+
+    def test_follow_idempotent(self):
+        app = social_media_app()
+        store = seeded(app)
+        run_fn(app, store, "social.follow", ["u1", "u2"])
+        result = run_fn(app, store, "social.follow", ["u1", "u2"]).result
+        assert result["already"] is True
+        assert store.get("graph", "follows:u1").value.count("u2") == 1
+
+    def test_timeline_returns_posts_after_post(self):
+        app = social_media_app()
+        store = seeded(app)
+        followers = store.get("graph", "followers:u0").value
+        assert followers, "seeded graph should give u0 followers"
+        run_fn(app, store, "social.post", ["u0", "fresh post"])
+        viewer = followers[0]
+        timeline = run_fn(app, store, "social.timeline", [viewer, 10]).result
+        assert timeline[0]["author"] == "u0"
+        assert timeline[0]["text"] == "fresh post"
+
+    def test_profile_shows_authored_posts(self):
+        app = social_media_app()
+        store = seeded(app)
+        run_fn(app, store, "social.post", ["u3", "mine"])
+        profile = run_fn(app, store, "social.profile", ["u1", "u3"]).result
+        assert profile["ok"]
+        assert len(profile["posts"]) == 1
+
+
+class TestHotelSemantics:
+    def test_search_returns_available_hotels_sorted_by_rate(self):
+        app = hotel_app()
+        store = seeded(app)
+        results = run_fn(app, store, "hotel.search", [0, "d0"]).result
+        assert results, "cell 0 should have hotels"
+        rates = [r["rate"] for r in results]
+        assert rates == sorted(rates)
+
+    def test_booking_reduces_availability(self):
+        app = hotel_app()
+        store = seeded(app)
+        before = run_fn(app, store, "hotel.search", [0, "d0"]).result
+        hid = before[0]["id"]
+        result = run_fn(app, store, "hotel.book", ["g1", hid, "d0"]).result
+        assert result["ok"]
+        after = run_fn(app, store, "hotel.search", [0, "d0"]).result
+        free_before = next(r["free"] for r in before if r["id"] == hid)
+        free_after = next(r["free"] for r in after if r["id"] == hid)
+        assert free_after == free_before - 1
+
+    def test_double_booking_rejected(self):
+        app = hotel_app()
+        store = seeded(app)
+        run_fn(app, store, "hotel.book", ["g1", "h0", "d0"])
+        result = run_fn(app, store, "hotel.book", ["g1", "h0", "d0"]).result
+        assert result["ok"] is False
+        assert result["reason"] == "already-booked"
+
+    def test_full_hotel_rejected(self):
+        app = hotel_app()
+        store = seeded(app)
+        for i in range(10):
+            assert run_fn(app, store, "hotel.book", [f"g{i}", "h0", "d1"]).result["ok"]
+        result = run_fn(app, store, "hotel.book", ["g99", "h0", "d1"]).result
+        assert result["ok"] is False
+        assert result["reason"] == "full"
+
+    def test_review_prepends(self):
+        app = hotel_app()
+        store = seeded(app)
+        result = run_fn(app, store, "hotel.review", ["g1", "h0", "great"]).result
+        assert result["ok"]
+        reviews = store.get("reviews", "reviews:h0").value
+        assert reviews[0] == ["g1", "great"]
+
+    def test_recommend_deterministic(self):
+        app = hotel_app()
+        store = seeded(app)
+        a = run_fn(app, store, "hotel.recommend", ["city0", 5]).result
+        b = run_fn(app, store, "hotel.recommend", ["city0", 5]).result
+        assert a == b
+        assert len(a) <= 5
+
+    def test_attractions_for_known_hotel(self):
+        app = hotel_app()
+        store = seeded(app)
+        result = run_fn(app, store, "hotel.attractions", ["h0"]).result
+        assert result and all(isinstance(a, str) for a in result)
+
+
+class TestForumSemantics:
+    def test_homepage_lists_stories(self):
+        app = forum_app()
+        store = seeded(app)
+        home = run_fn(app, store, "forum.homepage", [20]).result
+        assert len(home) == 20
+        assert {"sid", "title", "score"} <= set(home[0])
+
+    def test_post_prepends_to_frontpage(self):
+        app = forum_app()
+        store = seeded(app)
+        result = run_fn(app, store, "forum.post", ["f1", "big news", ""]).result
+        home = run_fn(app, store, "forum.homepage", [20]).result
+        assert home[0]["sid"] == result["sid"]
+        assert home[0]["title"] == "big news"
+
+    def test_comment_on_existing_story(self):
+        app = forum_app()
+        store = seeded(app)
+        result = run_fn(app, store, "forum.post", ["f1", "nice!", "s00002"]).result
+        assert result["ok"] and result["sid"] == "s00002"
+        comments = store.get("stories", "comments:s00002").value
+        assert comments[0] == ["f1", "nice!"]
+        # A comment does not touch the front page.
+        home = run_fn(app, store, "forum.homepage", [20]).result
+        assert home[0]["sid"] == "s00000"
+
+    def test_comment_on_missing_story_fails(self):
+        app = forum_app()
+        store = seeded(app)
+        result = run_fn(app, store, "forum.post", ["f1", "x", "s99999"]).result
+        assert result["ok"] is False
+
+    def test_upvote_increments(self):
+        app = forum_app()
+        store = seeded(app)
+        before = store.get("stories", "votes:s00000").value["up"]
+        result = run_fn(app, store, "forum.interact", ["f1", "s00000", 0]).result
+        assert result["up"] == before + 1
+
+    def test_favorite_is_private(self):
+        app = forum_app()
+        store = seeded(app)
+        result = run_fn(app, store, "forum.interact", ["f1", "s00003", 1]).result
+        assert result["ok"]
+        assert "s00003" in store.get("users", "favs:f1").value
+
+    def test_view_story_with_comments(self):
+        app = forum_app()
+        store = seeded(app)
+        result = run_fn(app, store, "forum.view", ["s00000"]).result
+        assert result["ok"]
+        assert result["title"] == "Story 0"
+
+    def test_view_missing_story(self):
+        app = forum_app()
+        store = seeded(app)
+        assert run_fn(app, store, "forum.view", ["s99999"]).result["ok"] is False
+
+
+class TestExtraApps:
+    def test_imageboard_upload_and_search(self):
+        app = imageboard_app()
+        store = seeded(app)
+        result = run_fn(app, store, "imageboard.upload", ["i1", "blob", "tag0"]).result
+        found = run_fn(app, store, "imageboard.tag_search", ["tag0", 50]).result
+        assert any(img["id"] == result["iid"] for img in found)
+
+    def test_pm_task_lifecycle(self):
+        app = projectmgmt_app()
+        store = seeded(app)
+        created = run_fn(app, store, "pm.create_task", ["p1", "b0", "ship it"]).result
+        assert created["ok"]
+        run_fn(app, store, "pm.assign_task", ["p2", created["tid"]])
+        task = store.get("tasks", f"task:{created['tid']}").value
+        assert task["assignee"] == "p2"
+        assert task["status"] == "doing"
+
+    def test_pm_board_counts(self):
+        app = projectmgmt_app()
+        store = seeded(app)
+        board = run_fn(app, store, "pm.board", ["b0"]).result
+        assert board["ok"]
+        assert board["todo"] == 5 and board["doing"] == 5
+
+
+class TestWorkloadGeneration:
+    def test_request_mix_tracks_weights(self):
+        app = social_media_app()
+        rng = random.Random(1)
+        counts = {}
+        for _i in range(5000):
+            fid, _args = app.generate_request(rng)
+            counts[fid] = counts.get(fid, 0) + 1
+        # Timeline is 80% of the mix.
+        assert 0.75 < counts["social.timeline"] / 5000 < 0.85
+        assert counts.get("social.post", 0) < 100
+
+    def test_generated_args_are_valid(self):
+        for app in all_apps():
+            store = seeded(app)
+            rng = random.Random(7)
+            for _i in range(50):
+                fid, args = app.generate_request(rng)
+                trace = run_fn(app, store, fid, args)
+                assert trace.result is not None or fid.endswith("view")
+
+    def test_zipf_skew_in_story_selection(self):
+        app = forum_app()
+        rng = random.Random(2)
+        hits = 0
+        draws = 0
+        for _i in range(3000):
+            fid, args = app.generate_request(rng)
+            if fid == "forum.view":
+                draws += 1
+                if args[0] in ("s00000", "s00001", "s00002"):
+                    hits += 1
+        assert draws > 0
+        assert hits / draws > 0.1  # top-3 stories draw a large share

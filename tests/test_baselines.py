@@ -1,0 +1,116 @@
+"""Tests for the three comparison deployments."""
+
+import pytest
+
+from repro.baselines import GeoReplicatedApp, LocalIdeal, PrimaryBaseline, SimpleWorkload
+from repro.core import FunctionRegistry, FunctionSpec, RadicalConfig
+from repro.sim import Network, RandomStreams, Region, Simulator, paper_latency_table
+from repro.storage import KVStore, ReplicatedStore
+
+SRC = '''
+def echo(k):
+    item = db_get("data", f"k:{k}")
+    busy(10000)
+    return item
+'''
+
+WRITE_SRC = '''
+def set_item(k, v):
+    db_put("data", f"k:{k}", v)
+    busy(1000)
+    return v
+'''
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    streams = RandomStreams(9)
+    net = Network(sim, paper_latency_table(), streams)
+    registry = FunctionRegistry()
+    registry.register(FunctionSpec("echo", SRC, 100.0))
+    registry.register(FunctionSpec("set", WRITE_SRC, 20.0))
+    return sim, streams, net, registry
+
+
+class TestPrimaryBaseline:
+    def test_far_client_pays_wan_rtt(self, world):
+        sim, streams, net, registry = world
+        store = KVStore()
+        store.put("data", "k:0", "v")
+        baseline = PrimaryBaseline(
+            sim, net, registry, store, RadicalConfig(service_jitter_sigma=0.0), streams
+        )
+        net.register("client-jp", Region.JP)
+        outcome = sim.run_process(baseline.invoke_from("client-jp", "echo", [0]))
+        # rtt(jp,va)=146 + invoke 13 + exec 100.
+        assert outcome.result == "v"
+        assert 255 <= outcome.latency_ms <= 265
+
+    def test_local_client_is_fast(self, world):
+        sim, streams, net, registry = world
+        store = KVStore()
+        store.put("data", "k:0", "v")
+        baseline = PrimaryBaseline(
+            sim, net, registry, store, RadicalConfig(service_jitter_sigma=0.0), streams
+        )
+        outcome = sim.run_process(baseline.invoke_local("echo", [0]))
+        # client hop 1 + invoke 13 + exec 100.
+        assert 112 <= outcome.latency_ms <= 117
+
+    def test_writes_hit_primary_with_versions(self, world):
+        sim, streams, net, registry = world
+        store = KVStore()
+        baseline = PrimaryBaseline(sim, net, registry, store, RadicalConfig(), streams)
+        outcome = sim.run_process(baseline.invoke_local("set", [1, "hello"]))
+        assert store.get("data", "k:1").value == "hello"
+        assert outcome.write_versions == {("data", "k:1"): 1}
+
+
+class TestLocalIdeal:
+    def test_no_wan_anywhere(self, world):
+        sim, streams, _net, registry = world
+        store = KVStore()
+        store.put("data", "k:0", "v")
+        ideal = LocalIdeal(
+            sim, Region.JP, registry, RadicalConfig(service_jitter_sigma=0.0),
+            streams, store=store,
+        )
+        outcome = sim.run_process(ideal.invoke("echo", [0]))
+        assert outcome.result == "v"
+        assert 110 <= outcome.latency_ms <= 116  # invoke + exec only
+
+    def test_regions_diverge(self, world):
+        # The red line is *inconsistent*: writes in one region are
+        # invisible in another.  (That is why it is only a bound.)
+        sim, streams, _net, registry = world
+        ideal_a = LocalIdeal(sim, Region.JP, registry, RadicalConfig(), streams)
+        ideal_b = LocalIdeal(sim, Region.CA, registry, RadicalConfig(), streams)
+        sim.run_process(ideal_a.invoke("set", [0, "from-jp"]))
+        outcome = sim.run_process(ideal_b.invoke("echo", [0]))
+        assert outcome.result is None  # CA never saw JP's write
+
+
+class TestGeoReplicated:
+    def test_strongly_consistent_but_slow(self, world):
+        sim, streams, net, registry = world
+        quorum = ReplicatedStore(sim, net, [Region.VA, Region.OH, Region.OR])
+        app = GeoReplicatedApp(
+            sim, net, Region.JP, quorum, RadicalConfig(service_jitter_sigma=0.0), streams
+        )
+        outcome = sim.run_process(app.invoke(SimpleWorkload(compute_ms=100.0, reads=1)))
+        # compute 100 + invoke 12 + quorum read from JP: way above local.
+        assert outcome.latency_ms > 250
+
+    def test_write_then_remote_read_consistent(self, world):
+        sim, streams, net, registry = world
+        quorum = ReplicatedStore(sim, net, [Region.VA, Region.OH, Region.OR])
+        writer = GeoReplicatedApp(sim, net, Region.CA, quorum, RadicalConfig(), streams)
+        reader = GeoReplicatedApp(sim, net, Region.DE, quorum, RadicalConfig(), streams)
+
+        def flow():
+            yield sim.spawn(writer.invoke(SimpleWorkload(compute_ms=1.0, reads=0, writes=1)))
+            outcome = yield sim.spawn(reader.invoke(SimpleWorkload(compute_ms=1.0, reads=1)))
+            return outcome.result
+
+        assert sim.run_process(flow()) == {"from": Region.CA}

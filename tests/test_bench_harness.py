@@ -1,0 +1,169 @@
+"""Tests for the experiment harness and per-figure experiment drivers."""
+
+import pytest
+
+from repro.apps import social_media_app
+from repro.bench import (
+    ExperimentConfig,
+    cost_table,
+    fig4_rows,
+    fig5_rows,
+    fig6_rows,
+    infrastructure_overhead,
+    monthly_costs,
+    run_baseline_experiment,
+    run_eval_trio,
+    run_local_ideal_experiment,
+    run_radical_experiment,
+    table1_functions,
+    table2_rtt,
+)
+from repro.core import RadicalConfig
+from repro.sim import Region
+
+
+SMALL = ExperimentConfig(requests=300, seed=11, clients_per_region=1)
+
+
+class TestHarness:
+    def test_radical_experiment_completes_all_requests(self):
+        result = run_radical_experiment(social_media_app(), SMALL)
+        assert result.metrics.counter("requests.total") == 300
+        assert result.summary().count == 300
+
+    def test_all_regions_and_functions_sampled(self):
+        result = run_radical_experiment(social_media_app(), SMALL)
+        for region in Region.NEAR_USER:
+            assert result.region_summary(region).count > 0
+        assert result.function_summary("social.timeline").count > 100
+
+    def test_baseline_fastest_in_va(self):
+        result = run_baseline_experiment(social_media_app(), SMALL)
+        medians = {r: result.region_summary(r).median for r in Region.NEAR_USER}
+        assert medians["va"] == min(medians.values())
+        assert medians["jp"] == max(medians.values())
+
+    def test_local_ideal_flat_across_regions(self):
+        result = run_local_ideal_experiment(social_media_app(), SMALL)
+        medians = [result.region_summary(r).median for r in Region.NEAR_USER]
+        assert max(medians) - min(medians) < 30
+
+    def test_radical_beats_baseline(self):
+        trio = run_eval_trio("social", SMALL)
+        assert trio.improvement() > 0.15
+        assert 0 < trio.fraction_of_max() < 1.2
+
+    def test_validation_success_rate_high_when_warm(self):
+        result = run_radical_experiment(social_media_app(), SMALL)
+        assert result.validation_success_rate() > 0.9
+
+    def test_cold_cache_run_completes(self):
+        cfg = ExperimentConfig(requests=150, seed=11, warm_caches=False, clients_per_region=1)
+        result = run_radical_experiment(social_media_app(), cfg)
+        assert result.metrics.counter("path.miss") > 0
+
+    def test_deterministic_given_seed(self):
+        a = run_radical_experiment(social_media_app(), SMALL)
+        b = run_radical_experiment(social_media_app(), SMALL)
+        assert a.summary().median == b.summary().median
+        assert a.metrics.counters() == b.metrics.counters()
+
+    def test_different_seeds_differ(self):
+        other = ExperimentConfig(requests=300, seed=12, clients_per_region=1)
+        a = run_radical_experiment(social_media_app(), SMALL)
+        b = run_radical_experiment(social_media_app(), other)
+        assert a.summary().median != b.summary().median
+
+    def test_history_recording(self):
+        cfg = ExperimentConfig(
+            requests=100, seed=11, clients_per_region=1, record_history=True
+        )
+        result = run_radical_experiment(social_media_app(), cfg)
+        assert result.history is not None
+        assert len(result.history) == 100
+
+    def test_recorded_history_strictly_serializable(self):
+        from repro.consistency import check_strict_serializability
+
+        cfg = ExperimentConfig(
+            requests=200, seed=13, clients_per_region=1, record_history=True
+        )
+        result = run_radical_experiment(social_media_app(), cfg)
+        check_strict_serializability(result.history.records())
+
+
+class TestExperimentViews:
+    def test_fig4_row_fields(self):
+        trio = run_eval_trio("social", SMALL)
+        row = fig4_rows(trio)
+        assert row["app"] == "social"
+        assert row["radical_median_ms"] < row["baseline_median_ms"]
+        assert 0 < row["validation_success_rate"] <= 1
+
+    def test_fig5_rows_cover_regions(self):
+        trio = run_eval_trio("social", SMALL)
+        rows = fig5_rows(trio)
+        assert [r["region"] for r in rows] == list(Region.NEAR_USER)
+
+    def test_fig6_rows_have_service_times(self):
+        trio = run_eval_trio("social", SMALL)
+        rows = fig6_rows(trio)
+        assert any(r["function"] == "social.timeline" for r in rows)
+        for r in rows:
+            assert r["service_time_ms"] > 0
+
+    def test_table1_matches_paper_flags(self):
+        rows = table1_functions()
+        by_fn = {r["function"]: r for r in rows}
+        assert by_fn["social.post"]["analyzable"] == "Yes*"
+        assert by_fn["hotel.search"]["analyzable"] == "Yes*"
+        assert by_fn["social.timeline"]["analyzable"] == "Yes"
+        assert by_fn["hotel.book"]["writes"] is True
+        assert by_fn["forum.homepage"]["writes"] is False
+
+    def test_table2_is_papers(self):
+        rows = {r["region"]: r["rtt_to_primary_ms"] for r in table2_rtt()}
+        assert rows == {"VA": 7.0, "CA": 74.0, "IE": 70.0, "DE": 93.0, "JP": 146.0}
+
+
+class TestCostModel:
+    def test_paper_exact_values(self):
+        baseline, radical = monthly_costs(1_000_000)
+        assert baseline.total == pytest.approx(1080.23, abs=0.01)
+        assert radical.total == pytest.approx(1416.37, abs=0.02)
+
+    def test_infrastructure_overhead_31pct(self):
+        assert infrastructure_overhead() == pytest.approx(0.312, abs=0.002)
+
+    def test_table_shrinking_relative_overhead(self):
+        rows = cost_table()
+        overheads = [r["overhead"] for r in rows]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_failure_rate_scales_reexecution_cost(self):
+        _b1, r1 = monthly_costs(1_000_000, validation_failure_rate=0.05)
+        _b2, r2 = monthly_costs(1_000_000, validation_failure_rate=0.10)
+        assert r2.failure_reexecutions == pytest.approx(2 * r1.failure_reexecutions)
+
+
+class TestReplicatedMode:
+    def test_replicated_experiment_runs(self):
+        cfg = ExperimentConfig(
+            requests=60, seed=11, clients_per_region=1,
+            regions=(Region.CA,),
+            radical=RadicalConfig(replicated=True),
+        )
+        result = run_radical_experiment(social_media_app(), cfg)
+        assert result.metrics.counter("requests.total") == 60
+
+    def test_replicated_adds_latency(self):
+        base_cfg = ExperimentConfig(
+            requests=100, seed=11, clients_per_region=1, regions=(Region.CA,)
+        )
+        repl_cfg = ExperimentConfig(
+            requests=100, seed=11, clients_per_region=1, regions=(Region.CA,),
+            radical=RadicalConfig(replicated=True),
+        )
+        single = run_radical_experiment(social_media_app(), base_cfg)
+        replicated = run_radical_experiment(social_media_app(), repl_cfg)
+        assert replicated.summary().mean >= single.summary().mean

@@ -1,0 +1,105 @@
+"""Tests for table rendering and result persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.report import format_table, results_dir, save_results
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["alpha", 1.2345], ["b", 42]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert "alpha" in lines[2]
+        # All rows padded to the same width.
+        assert len(set(len(line.rstrip()) for line in lines[:1])) == 1
+
+    def test_title_underlined(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159], [123.456]])
+        assert "3.14" in text
+        assert "123.5" in text
+
+    def test_bool_formatting(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_wide_cells_stretch_column(self):
+        text = format_table(["h"], [["a-very-long-cell-value"]])
+        header_line = text.splitlines()[0]
+        assert len(header_line) >= len("a-very-long-cell-value")
+
+
+class TestSaveResults:
+    def test_roundtrip(self):
+        path = save_results("_test_artifact", {"rows": [{"x": 1}], "note": "hi"})
+        assert os.path.exists(path)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["rows"][0]["x"] == 1
+        os.remove(path)
+
+    def test_results_dir_is_repo_local(self):
+        d = results_dir()
+        assert d.endswith("results")
+        assert os.path.isdir(d)
+
+    def test_non_json_values_stringified(self):
+        class Odd:
+            def __repr__(self):
+                return "odd!"
+
+        path = save_results("_test_artifact2", {"v": Odd()})
+        with open(path) as fh:
+            data = json.load(fh)
+        assert "odd" in data["v"]
+        os.remove(path)
+
+
+class TestLockWaitMetrics:
+    def test_wait_time_accumulates_under_contention(self):
+        from repro.sim import Simulator
+        from repro.storage import LockManager
+
+        sim = Simulator()
+        locks = LockManager(sim)
+        K = ("t", "hot")
+
+        def holder():
+            yield sim.spawn(locks.acquire_all("w1", [], [K]))
+            yield sim.timeout(50.0)
+            locks.release_all("w1")
+
+        def waiter():
+            yield sim.timeout(1.0)
+            yield sim.spawn(locks.acquire_all("w2", [], [K]))
+            locks.release_all("w2")
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        assert locks.total_wait_ms == pytest.approx(49.0)
+        assert locks.max_wait_ms == pytest.approx(49.0)
+
+    def test_no_wait_when_uncontended(self):
+        from repro.sim import Simulator
+        from repro.storage import LockManager
+
+        sim = Simulator()
+        locks = LockManager(sim)
+
+        def flow():
+            yield sim.spawn(locks.acquire_all("o", [("t", "a")], [("t", "b")]))
+            locks.release_all("o")
+
+        sim.run_process(flow())
+        assert locks.total_wait_ms == 0.0

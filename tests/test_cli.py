@@ -1,0 +1,49 @@
+"""Tests for the radical-repro command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "146.0" in out  # JP RTT
+
+    def test_cost(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "1416.4" in out
+        assert "31" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "social.post" in out
+        assert "Yes*" in out
+
+    def test_fig1_small(self, capsys):
+        assert main(["fig1", "--requests", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        for region in ("VA", "CA", "IE", "DE", "JP"):
+            assert region in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_results_artifact_written(self, capsys):
+        main(["table2"])
+        from repro.bench.report import results_dir
+
+        path = os.path.join(results_dir(), "table2_rtt.json")
+        assert os.path.exists(path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert any(r["region"] == "JP" for r in payload["rows"])

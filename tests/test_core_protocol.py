@@ -1,0 +1,352 @@
+"""Integration tests for the LVI protocol: every path of Figure 3.
+
+These drive real runtimes, a real server, and real storage through the
+simulator, and assert both behaviour (results, cache state, primary state)
+and protocol bookkeeping (locks released, intents settled).
+"""
+
+import pytest
+
+from repro.core import (
+    FunctionRegistry,
+    FunctionSpec,
+    LVIServer,
+    NearUserRuntime,
+    PATH_BACKUP,
+    PATH_MISS,
+    PATH_SPECULATIVE,
+    RadicalConfig,
+)
+from repro.sim import Metrics, Network, RandomStreams, Region, Simulator, paper_latency_table
+from repro.storage import KVStore, NearUserCache
+
+
+READ_SRC = '''
+def read_item(k):
+    item = db_get("items", f"item:{k}")
+    busy(10000)
+    return item
+'''
+
+WRITE_SRC = '''
+def write_item(k, v):
+    old = db_get("items", f"item:{k}")
+    busy(5000)
+    db_put("items", f"item:{k}", v)
+    return old
+'''
+
+COUNTER_SRC = '''
+def bump(k):
+    busy(2000)
+    count = db_get("counters", f"c:{k}")
+    if count is None:
+        count = 0
+    db_put("counters", f"c:{k}", count + 1)
+    return count + 1
+'''
+
+
+class World:
+    """A two-region Radical deployment for protocol tests."""
+
+    def __init__(self, seed=1, config=None, regions=(Region.JP, Region.CA)):
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.net = Network(self.sim, paper_latency_table(), self.streams)
+        self.metrics = Metrics()
+        self.config = config or RadicalConfig(service_jitter_sigma=0.0)
+        self.store = KVStore()
+        self.registry = FunctionRegistry()
+        self.registry.register(FunctionSpec("t.read", READ_SRC, 100.0))
+        self.registry.register(FunctionSpec("t.write", WRITE_SRC, 50.0))
+        self.registry.register(FunctionSpec("t.bump", COUNTER_SRC, 20.0))
+        self.server = LVIServer(
+            self.sim, self.net, self.registry, self.store,
+            self.config, self.streams, self.metrics,
+        )
+        self.runtimes = {}
+        self.caches = {}
+        for region in regions:
+            cache = NearUserCache(region)
+            self.caches[region] = cache
+            self.runtimes[region] = NearUserRuntime(
+                self.sim, self.net, region, cache, self.registry,
+                self.config, self.streams, self.metrics,
+            )
+
+    def invoke(self, region, function_id, args):
+        """Run one invocation to completion and return the outcome."""
+        outcome = self.sim.run_process(self.runtimes[region].invoke(function_id, args))
+        return outcome
+
+    def drain(self, ms=20_000.0):
+        self.sim.run(until=self.sim.now + ms)
+
+
+@pytest.fixture
+def world():
+    return World()
+
+
+class TestSpeculativePath:
+    def test_warm_read_is_speculative(self, world):
+        world.store.put("items", "item:a", "v")
+        world.invoke(Region.JP, "t.read", ["a"])  # miss, warms cache
+        outcome = world.invoke(Region.JP, "t.read", ["a"])
+        assert outcome.path == PATH_SPECULATIVE
+        assert outcome.result == "v"
+
+    def test_speculative_latency_hides_lvi(self, world):
+        # exec 100ms > JP<->VA 146+proc: latency = invoke + max components.
+        world.store.put("items", "item:a", "v")
+        world.invoke(Region.JP, "t.read", ["a"])
+        outcome = world.invoke(Region.JP, "t.read", ["a"])
+        # invoke(12)+load(1)+frw(~0)+max(100, 146+2) ~= 161
+        assert 155 <= outcome.latency_ms <= 170
+
+    def test_write_applied_to_primary_via_followup(self, world):
+        world.store.put("items", "item:a", "v0")
+        world.invoke(Region.JP, "t.read", ["a"])
+        outcome = world.invoke(Region.JP, "t.write", ["a", "v1"])
+        assert outcome.path == PATH_SPECULATIVE
+        assert outcome.result == "v0"
+        world.drain()
+        item = world.store.get("items", "item:a")
+        assert item.value == "v1"
+        assert item.version == 2
+        assert world.metrics.counter("followup.applied") == 1
+
+    def test_cache_updated_with_new_version_before_followup(self, world):
+        world.store.put("items", "item:a", "v0")
+        world.invoke(Region.JP, "t.read", ["a"])
+        world.invoke(Region.JP, "t.write", ["a", "v1"])
+        entry = world.caches[Region.JP].lookup("items", "item:a")
+        assert entry.value == "v1"
+        assert entry.version == 2
+
+    def test_read_only_function_releases_locks_immediately(self, world):
+        world.store.put("items", "item:a", "v")
+        world.invoke(Region.JP, "t.read", ["a"])
+        world.invoke(Region.JP, "t.read", ["a"])
+        assert world.server.locks.holders(("items", "item:a")) == (set(), None)
+
+    def test_all_locks_released_after_drain(self, world):
+        world.store.put("items", "item:a", "v0")
+        for _ in range(3):
+            world.invoke(Region.JP, "t.write", ["a", "x"])
+        world.drain()
+        assert world.server.locks.holders(("items", "item:a")) == (set(), None)
+        assert world.server.intents.pending() == []
+
+
+class TestMissPath:
+    def test_cold_cache_takes_miss_path(self, world):
+        world.store.put("items", "item:a", "v")
+        outcome = world.invoke(Region.JP, "t.read", ["a"])
+        assert outcome.path == PATH_MISS
+        assert outcome.result == "v"
+
+    def test_miss_repairs_cache(self, world):
+        world.store.put("items", "item:a", "v")
+        world.invoke(Region.JP, "t.read", ["a"])
+        entry = world.caches[Region.JP].lookup("items", "item:a")
+        assert entry.value == "v" and entry.version == 1
+
+    def test_miss_of_absent_key_caches_absence(self, world):
+        outcome = world.invoke(Region.JP, "t.read", ["ghost"])
+        assert outcome.path == PATH_MISS
+        assert outcome.result is None
+        # Second read speculates successfully on the cached absence.
+        outcome2 = world.invoke(Region.JP, "t.read", ["ghost"])
+        assert outcome2.path == PATH_SPECULATIVE
+        assert outcome2.result is None
+
+    def test_miss_latency_close_to_near_storage_execution(self, world):
+        world.store.put("items", "item:a", "v")
+        outcome = world.invoke(Region.JP, "t.read", ["a"])
+        # invoke + one-way + validate + exec + one-way ~= 13+73+2+100+73.
+        assert 255 <= outcome.latency_ms <= 275
+
+
+class TestBackupPath:
+    def test_stale_cache_detected_and_backup_result_returned(self, world):
+        world.store.put("items", "item:a", "v0")
+        world.invoke(Region.JP, "t.read", ["a"])   # JP caches v0@1
+        world.invoke(Region.CA, "t.read", ["a"])   # CA caches v0@1
+        world.invoke(Region.CA, "t.write", ["a", "v1"])  # bumps to v1@2
+        world.drain()
+        outcome = world.invoke(Region.JP, "t.read", ["a"])  # JP stale
+        assert outcome.path == PATH_BACKUP
+        assert outcome.result == "v1"
+
+    def test_backup_repairs_stale_cache(self, world):
+        world.store.put("items", "item:a", "v0")
+        world.invoke(Region.JP, "t.read", ["a"])
+        world.invoke(Region.CA, "t.read", ["a"])
+        world.invoke(Region.CA, "t.write", ["a", "v1"])
+        world.drain()
+        world.invoke(Region.JP, "t.read", ["a"])
+        entry = world.caches[Region.JP].lookup("items", "item:a")
+        assert entry.value == "v1" and entry.version == 2
+        # And the next request speculates again.
+        outcome = world.invoke(Region.JP, "t.read", ["a"])
+        assert outcome.path == PATH_SPECULATIVE
+
+    def test_backup_write_applied_directly(self, world):
+        world.store.put("counters", "c:x", 10)
+        world.invoke(Region.JP, "t.bump", ["x"])  # miss -> backup exec
+        assert world.store.get("counters", "c:x").value == 11
+        world.drain()
+        assert world.server.intents.pending() == []
+
+    def test_speculative_writes_discarded_on_failure(self, world):
+        # Both regions warm, CA writes, JP then writes on stale cache: JP's
+        # speculative write must be discarded and the backup's used.
+        world.store.put("counters", "c:x", 0)
+        world.invoke(Region.JP, "t.bump", ["x"])
+        world.drain()
+        world.invoke(Region.CA, "t.bump", ["x"])
+        world.drain()
+        outcome = world.invoke(Region.JP, "t.bump", ["x"])  # stale: saw 1
+        world.drain()
+        assert outcome.path == PATH_BACKUP
+        assert outcome.result == 3  # backup saw the true count 2
+        assert world.store.get("counters", "c:x").value == 3
+
+
+class TestFollowupLossAndReexecution:
+    def test_lost_followup_triggers_deterministic_reexecution(self):
+        world = World(config=RadicalConfig(service_jitter_sigma=0.0, followup_timeout_ms=500.0))
+        world.store.put("items", "item:a", "v0")
+        world.invoke(Region.JP, "t.read", ["a"])
+        # Drop everything JP -> VA after the LVI request goes out... we
+        # instead drop just followups by partitioning after the response.
+        outcome_proc = world.sim.spawn(
+            world.runtimes[Region.JP].invoke("t.write", ["a", "v1"])
+        )
+        world.sim.run(until_event=outcome_proc.done_event)
+        assert outcome_proc.result.path == PATH_SPECULATIVE
+        # The client already has its answer; now eat the followup.
+        world.net.partition(Region.JP, Region.VA)
+        world.drain(5_000.0)
+        item = world.store.get("items", "item:a")
+        assert item.value == "v1"  # re-execution applied the same write
+        assert item.version == 2
+        assert world.metrics.counter("reexecution.count") == 1
+        assert world.server.intents.pending() == []
+        assert world.server.locks.holders(("items", "item:a")) == (set(), None)
+
+    def test_duplicate_followup_discarded(self):
+        world = World()
+        world.net.set_duplicate_probability(Region.JP, Region.VA, 1.0)
+        world.store.put("items", "item:a", "v0")
+        world.invoke(Region.JP, "t.read", ["a"])
+        world.invoke(Region.JP, "t.write", ["a", "v1"])
+        world.drain()
+        item = world.store.get("items", "item:a")
+        assert item.value == "v1"
+        assert item.version == 2  # applied exactly once
+        assert world.metrics.counter("followup.discarded") >= 1
+
+    def test_late_followup_after_reexecution_discarded(self):
+        world = World(config=RadicalConfig(service_jitter_sigma=0.0, followup_timeout_ms=200.0))
+        world.store.put("items", "item:a", "v0")
+        world.invoke(Region.JP, "t.read", ["a"])
+        # Delay the JP->VA link so the followup arrives after the timer.
+        proc = world.sim.spawn(world.runtimes[Region.JP].invoke("t.write", ["a", "v1"]))
+        world.sim.run(until_event=proc.done_event)
+        world.net.set_extra_delay(Region.JP, Region.VA, 1_000.0)
+        world.drain(10_000.0)
+        item = world.store.get("items", "item:a")
+        assert item.value == "v1"
+        assert item.version == 2  # re-execution applied; followup discarded
+        assert world.metrics.counter("reexecution.count") == 1
+
+
+class TestLocking:
+    def test_concurrent_writers_serialize(self, world):
+        world.store.put("counters", "c:x", 0)
+        # Warm both regions.
+        world.invoke(Region.JP, "t.bump", ["x"])
+        world.drain()
+        world.invoke(Region.CA, "t.read", ["a"])  # unrelated; keeps caches alive
+        # Issue two bumps concurrently from both regions.
+        p1 = world.sim.spawn(world.runtimes[Region.JP].invoke("t.bump", ["x"]))
+        p2 = world.sim.spawn(world.runtimes[Region.CA].invoke("t.bump", ["x"]))
+        world.sim.run(until_event=world.sim.all_of([p1.done_event, p2.done_event]))
+        world.drain()
+        # Exactly one increment each: final count is 3 (1 warmup + 2).
+        assert world.store.get("counters", "c:x").value == 3
+
+    def test_no_deadlock_under_concurrent_mixed_load(self, world):
+        world.store.put("items", "item:a", "v")
+        world.store.put("counters", "c:x", 0)
+        procs = []
+        for i in range(10):
+            region = Region.JP if i % 2 == 0 else Region.CA
+            fid = "t.bump" if i % 3 == 0 else "t.read"
+            args = ["x"] if fid == "t.bump" else ["a"]
+            procs.append(world.sim.spawn(world.runtimes[region].invoke(fid, args)))
+        world.sim.run(until_event=world.sim.all_of([p.done_event for p in procs]))
+        assert all(p.done for p in procs)
+        world.drain()
+        assert world.server.intents.pending() == []
+
+
+class TestAblations:
+    def test_no_overlap_is_slower(self):
+        fast = World(seed=3)
+        slow = World(seed=3, config=RadicalConfig(service_jitter_sigma=0.0, speculate=False))
+        for w in (fast, slow):
+            w.store.put("items", "item:a", "v")
+            w.invoke(Region.JP, "t.read", ["a"])
+        a = fast.invoke(Region.JP, "t.read", ["a"]).latency_ms
+        b = slow.invoke(Region.JP, "t.read", ["a"]).latency_ms
+        # Without overlap the RTT and the execution serialize.
+        assert b > a + 90
+
+    def test_two_rtt_commit_is_slower_for_writes(self):
+        one = World(seed=3)
+        two = World(seed=3, config=RadicalConfig(service_jitter_sigma=0.0, single_request=False))
+        for w in (one, two):
+            w.store.put("items", "item:a", "v0")
+            w.invoke(Region.JP, "t.read", ["a"])
+        a = one.invoke(Region.JP, "t.write", ["a", "x"]).latency_ms
+        b = two.invoke(Region.JP, "t.write", ["a", "x"]).latency_ms
+        assert b > a + 100  # the second JP<->VA round trip
+
+
+class TestHistoryIsLinearizable:
+    def test_concurrent_cross_region_history_strictly_serializable(self):
+        from repro.consistency import HistoryRecorder, check_strict_serializability
+
+        world = World(seed=5)
+        world.store.put("counters", "c:x", 0)
+        world.store.put("items", "item:a", "v")
+        history = HistoryRecorder()
+
+        def client(region, ops):
+            def flow():
+                for fid, args in ops:
+                    rec = history.begin(fid, world.sim.now)
+                    outcome = yield world.sim.spawn(
+                        world.runtimes[region].invoke(fid, args)
+                    )
+                    history.finish(
+                        rec, world.sim.now,
+                        reads=outcome.read_versions,
+                        writes=outcome.write_versions,
+                    )
+
+            return flow()
+
+        ops_a = [("t.bump", ["x"]), ("t.read", ["a"]), ("t.bump", ["x"])] * 3
+        ops_b = [("t.read", ["a"]), ("t.bump", ["x"]), ("t.bump", ["x"])] * 3
+        p1 = world.sim.spawn(client(Region.JP, ops_a))
+        p2 = world.sim.spawn(client(Region.CA, ops_b))
+        world.sim.run(until_event=world.sim.all_of([p1.done_event, p2.done_event]))
+        world.drain()
+        check_strict_serializability(history.records())
+        # And the counter equals the number of bumps: no lost updates.
+        assert world.store.get("counters", "c:x").value == 12

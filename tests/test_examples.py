@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example must run cleanly end-to-end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "path=miss" in out
+        assert "path=speculative" in out
+        assert "version 2" in out
+
+    def test_hotel_booking_race(self):
+        out = run_example("hotel_booking.py")
+        assert "strictly serializable" in out
+        assert out.count("'ok': True") == 1  # exactly one winner
+
+    def test_failure_injection(self):
+        out = run_example("failure_injection.py")
+        assert out.count("PASS") == 3
+        assert "All failure scenarios behaved as the paper specifies." in out
+
+    def test_social_network(self):
+        out = run_example("social_network.py", timeout=420.0)
+        assert "Improvement (%)" in out
+        assert "Per-region latency" in out
+
+    def test_analyze_functions(self):
+        out = run_example("analyze_functions.py")
+        assert "All 27 functions" in out
+        assert "social.post" in out
+        assert "[dependent]" in out

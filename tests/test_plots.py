@@ -1,0 +1,63 @@
+"""Tests for the terminal bar-chart helpers."""
+
+import pytest
+
+from repro.bench.plots import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_structure(self):
+        text = bar_chart(["a", "bb"], [10.0, 20.0], width=20, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 3
+        assert "10 ms" in lines[1]
+        assert "20 ms" in lines[2]
+
+    def test_bars_scale_to_peak(self):
+        text = bar_chart(["x", "y"], [5.0, 10.0], width=20)
+        bar_x = text.splitlines()[0].split("|")[1]
+        bar_y = text.splitlines()[1].split("|")[1]
+        assert bar_y.count("█") == 20
+        assert bar_x.count("█") == 10
+
+    def test_markers_rendered(self):
+        text = bar_chart(["x"], [10.0], markers=[20.0], width=20)
+        line = text.splitlines()[0]
+        assert "▏" in line
+        assert "(p99 20)" in line
+
+    def test_zero_value_has_empty_bar(self):
+        text = bar_chart(["x", "y"], [0.0, 10.0], width=10)
+        assert text.splitlines()[0].split("|")[1].count("█") == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_labels_right_aligned(self):
+        text = bar_chart(["a", "long-label"], [1.0, 2.0], width=5)
+        first, second = text.splitlines()
+        assert first.index("|") == second.index("|")
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        text = grouped_bar_chart(
+            ["social", "hotel"],
+            {"radical": [100.0, 200.0], "baseline": [150.0, 300.0]},
+            width=30,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "social"
+        assert "radical" in lines[1]
+        assert "baseline" in lines[2]
+        assert lines[3] == "hotel"
+
+    def test_scaling_across_all_series(self):
+        text = grouped_bar_chart(
+            ["g"], {"a": [50.0], "b": [100.0]}, width=10
+        )
+        bars = [line.split("|")[1] for line in text.splitlines()[1:]]
+        assert bars[1].count("█") == 10
+        assert bars[0].count("█") == 5

@@ -1,0 +1,148 @@
+"""Chaos tests for Raft: lossy networks, repeated crashes, partitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raft import NotLeader, RaftCluster, RaftConfig
+from repro.sim import RandomStreams, Simulator
+
+
+def make_cluster(seed=1, n=3):
+    sim = Simulator()
+    cluster = RaftCluster(sim, RandomStreams(seed), n=n)
+    cluster.start()
+    sim.run(until=500.0)
+    return sim, cluster
+
+
+class TestLossyNetwork:
+    def test_commits_despite_message_loss(self):
+        sim, cluster = make_cluster()
+        # 20% loss on every AZ link, both directions.
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    cluster.net.set_drop_probability(f"az{i}", f"az{j}", 0.2)
+
+        def flow():
+            for k in range(10):
+                yield from cluster.submit(("put", f"k{k}", k))
+            result = yield from cluster.submit(("get", "k9"))
+            return result
+
+        assert sim.run_process(flow(), until=120_000.0) == 9
+
+    def test_commits_despite_duplication(self):
+        sim, cluster = make_cluster()
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    cluster.net.set_duplicate_probability(f"az{i}", f"az{j}", 0.5)
+
+        def flow():
+            for k in range(10):
+                yield from cluster.submit(("put", "x", k))
+            result = yield from cluster.submit(("get", "x"))
+            return result
+
+        assert sim.run_process(flow(), until=120_000.0) == 9
+
+    def test_no_split_brain_under_partition(self):
+        sim, cluster = make_cluster()
+        leader = cluster.leader()
+        leader_az = leader.region
+        others = [f"az{i}" for i in range(3) if f"az{i}" != leader_az]
+        # Isolate the old leader.
+        for az in others:
+            cluster.net.partition(leader_az, az)
+        sim.run(until=sim.now + 1000.0)
+        new = cluster.leader()
+        assert new is not None
+        assert new.node_id != leader.node_id
+        # The isolated node may still think it leads, but it cannot commit:
+        # submissions to it never resolve, while the majority side works.
+        def flow():
+            result = yield from cluster.submit(("put", "key", "majority"))
+            return result
+
+        sim.run_process(flow(), until=sim.now + 30_000.0)
+        majority_machines = [
+            cluster.machines[n.node_id]
+            for n in cluster.nodes.values()
+            if n.region != leader_az
+        ]
+        assert any(m.data.get("key") == "majority" for m in majority_machines)
+        # The isolated replica never applied it.
+        assert cluster.machines[leader.node_id].data.get("key") is None
+
+    def test_heal_after_partition_converges(self):
+        sim, cluster = make_cluster()
+        leader = cluster.leader()
+        leader_az = leader.region
+        others = [f"az{i}" for i in range(3) if f"az{i}" != leader_az]
+        for az in others:
+            cluster.net.partition(leader_az, az)
+        sim.run(until=sim.now + 1000.0)
+
+        def write():
+            yield from cluster.submit(("put", "during", "partition"))
+
+        sim.run_process(write(), until=sim.now + 30_000.0)
+        for az in others:
+            cluster.net.heal(leader_az, az)
+        sim.run(until=sim.now + 2000.0)
+        # The previously isolated node catches up.
+        assert cluster.machines[leader.node_id].data.get("during") == "partition"
+
+
+class TestRepeatedCrashes:
+    def test_survives_sequential_leader_crashes_with_recovery(self):
+        sim, cluster = make_cluster()
+        for round_i in range(3):
+            def write(round_i=round_i):
+                yield from cluster.submit(("put", f"round{round_i}", round_i))
+
+            sim.run_process(write(), until=sim.now + 30_000.0)
+            crashed = cluster.crash_leader()
+            sim.run(until=sim.now + 1200.0)
+            cluster.nodes[crashed].recover()
+            sim.run(until=sim.now + 1200.0)
+
+        def read():
+            values = []
+            for i in range(3):
+                v = yield from cluster.submit(("get", f"round{i}"))
+                values.append(v)
+            return values
+
+        assert sim.run_process(read(), until=sim.now + 30_000.0) == [0, 1, 2]
+
+    @given(crash_schedule=st.lists(st.booleans(), min_size=2, max_size=5),
+           seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_property_no_committed_write_lost(self, crash_schedule, seed):
+        sim, cluster = make_cluster(seed=seed)
+        committed = []
+        for i, crash in enumerate(crash_schedule):
+            def write(i=i):
+                yield from cluster.submit(("put", f"w{i}", i))
+
+            sim.run_process(write(), until=sim.now + 60_000.0)
+            committed.append(f"w{i}")
+            if crash:
+                crashed = cluster.crash_leader()
+                sim.run(until=sim.now + 1500.0)
+                if crashed:
+                    cluster.nodes[crashed].recover()
+                    sim.run(until=sim.now + 500.0)
+
+        def read_all():
+            out = {}
+            for key in committed:
+                out[key] = yield from cluster.submit(("get", key))
+            return out
+
+        result = sim.run_process(read_all(), until=sim.now + 60_000.0)
+        for i, key in enumerate(committed):
+            assert result[key] == i, key

@@ -1,0 +1,366 @@
+"""Unit tests for the discrete-event kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import (
+    Interrupted,
+    SimulationError,
+    Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestClockAndTimeouts:
+    def test_time_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 5.0
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+            yield sim.timeout(7.5)
+            return sim.now
+
+        assert sim.run_process(proc()) == 12.5
+
+    def test_zero_timeout_is_allowed(self, sim):
+        def proc():
+            yield sim.timeout(0.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_timeout_carries_value(self, sim):
+        def proc():
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        assert sim.run_process(proc()) == "hello"
+
+    def test_run_until_stops_clock(self, sim):
+        def proc():
+            yield sim.timeout(100.0)
+
+        sim.spawn(proc())
+        final = sim.run(until=40.0)
+        assert final == 40.0
+        assert sim.now == 40.0
+
+    def test_run_until_beyond_queue_advances_clock(self, sim):
+        final = sim.run(until=99.0)
+        assert final == 99.0
+
+    def test_events_at_same_time_fire_in_schedule_order(self, sim):
+        order = []
+        sim.schedule(5.0, order.append, "first")
+        sim.schedule(5.0, order.append, "second")
+        sim.schedule(5.0, order.append, "third")
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_returns_cancellable_handle(self, sim):
+        fired = []
+        handle = sim.schedule(5.0, fired.append, 1)
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled and not handle.fired
+
+    def test_negative_schedule_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+
+class TestEvents:
+    def test_event_value_before_completion_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_trigger_wakes_waiter_with_value(self, sim):
+        ev = sim.event()
+
+        def waiter():
+            got = yield ev
+            return got
+
+        def firer():
+            yield sim.timeout(3.0)
+            ev.trigger(42)
+
+        proc = sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert proc.result == 42
+
+    def test_yield_on_already_triggered_event_returns_immediately(self, sim):
+        ev = sim.event()
+        ev.trigger("ready")
+
+        def waiter():
+            got = yield ev
+            return got, sim.now
+
+        assert sim.run_process(waiter()) == ("ready", 0.0)
+
+    def test_double_trigger_raises(self, sim):
+        ev = sim.event()
+        ev.trigger(1)
+        with pytest.raises(SimulationError):
+            ev.trigger(2)
+
+    def test_fail_propagates_into_waiter(self, sim):
+        ev = sim.event()
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        def firer():
+            yield sim.timeout(1.0)
+            ev.fail(RuntimeError("boom"))
+
+        proc = sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert proc.result == "caught boom"
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_multiple_waiters_all_wake(self, sim):
+        ev = sim.event()
+        results = []
+
+        def waiter(i):
+            got = yield ev
+            results.append((i, got))
+
+        for i in range(3):
+            sim.spawn(waiter(i))
+        sim.schedule(1.0, ev.trigger, "go")
+        sim.run()
+        assert sorted(results) == [(0, "go"), (1, "go"), (2, "go")]
+
+
+class TestCombinators:
+    def test_any_of_returns_on_first(self, sim):
+        def proc():
+            fast = sim.timeout(1.0, "fast")
+            slow = sim.timeout(10.0, "slow")
+            done = yield sim.any_of([fast, slow])
+            return sim.now, done[fast]
+
+        now, value = sim.run_process(proc())
+        assert now == 1.0
+        assert value == "fast"
+
+    def test_all_of_waits_for_all(self, sim):
+        def proc():
+            a = sim.timeout(1.0, "a")
+            b = sim.timeout(10.0, "b")
+            done = yield sim.all_of([a, b])
+            return sim.now, done[a], done[b]
+
+        assert sim.run_process(proc()) == (10.0, "a", "b")
+
+    def test_all_of_empty_triggers_immediately(self, sim):
+        def proc():
+            got = yield sim.all_of([])
+            return got
+
+        assert sim.run_process(proc()) == {}
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+    def test_any_of_propagates_failure(self, sim):
+        ev = sim.event()
+
+        def proc():
+            try:
+                yield sim.any_of([ev, sim.timeout(50.0)])
+            except ValueError:
+                return "failed"
+
+        sim.schedule(1.0, lambda: ev.fail(ValueError("x")))
+        assert sim.run_process(proc()) == "failed"
+
+
+class TestProcesses:
+    def test_join_returns_child_result(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return "child-done"
+
+        def parent():
+            result = yield sim.spawn(child())
+            return result, sim.now
+
+        assert sim.run_process(parent()) == ("child-done", 2.0)
+
+    def test_child_exception_propagates_to_joiner(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise KeyError("oops")
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except KeyError:
+                return "caught"
+
+        assert sim.run_process(parent()) == "caught"
+
+    def test_unobserved_process_exception_aborts_run(self, sim):
+        def crasher():
+            yield sim.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        sim.spawn(crasher())
+        with pytest.raises(SimulationError, match="unhandled"):
+            sim.run()
+
+    def test_yielding_garbage_is_an_error(self, sim):
+        def bad():
+            yield 42
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError, match="yielded"):
+            sim.run()
+
+    def test_spawn_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.spawn(lambda: None)
+
+    def test_interrupt_raises_inside_process(self, sim):
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupted as exc:
+                return f"interrupted by {exc.cause} at {sim.now}"
+
+        proc = sim.spawn(victim())
+        sim.schedule(5.0, proc.interrupt, "failure-injection")
+        sim.run()
+        assert proc.result == "interrupted by failure-injection at 5.0"
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def quick():
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.spawn(quick())
+        sim.run()
+        proc.interrupt("late")
+        sim.run()
+        assert proc.result == "done"
+
+    def test_kill_terminates_without_cleanup(self, sim):
+        cleaned = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupted:
+                cleaned.append(True)
+
+        proc = sim.spawn(victim())
+        sim.schedule(5.0, proc.kill)
+
+        def observer():
+            try:
+                yield proc
+            except Interrupted:
+                return "observed-kill"
+
+        obs = sim.spawn(observer())
+        sim.run()
+        assert obs.result == "observed-kill"
+        assert cleaned == []  # generator never saw the exception
+
+    def test_uncaught_interrupt_finishes_process_quietly(self, sim):
+        # An interrupt the process does not catch terminates it; joiners see
+        # the Interrupted, and if nobody joins the sim does not abort
+        # (interrupts are deliberate, unlike crashes).
+        def victim():
+            yield sim.timeout(100.0)
+
+        proc = sim.spawn(victim())
+        sim.schedule(1.0, proc.interrupt, "crash")
+        sim.run()
+        assert proc.done
+        with pytest.raises(Interrupted):
+            _ = proc.result
+
+    def test_process_result_before_done_raises(self, sim):
+        def slow():
+            yield sim.timeout(10.0)
+
+        proc = sim.spawn(slow())
+        with pytest.raises(SimulationError):
+            _ = proc.result
+
+    def test_run_process_unfinished_raises(self, sim):
+        def forever():
+            while True:
+                yield sim.timeout(10.0)
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            sim.run_process(forever(), until=25.0)
+
+    def test_nested_joins(self, sim):
+        def grandchild():
+            yield sim.timeout(1.0)
+            return 1
+
+        def child():
+            v = yield sim.spawn(grandchild())
+            yield sim.timeout(1.0)
+            return v + 1
+
+        def parent():
+            v = yield sim.spawn(child())
+            return v + 1
+
+        assert sim.run_process(parent()) == 3
+
+    def test_many_concurrent_processes_deterministic(self, sim):
+        log = []
+
+        def worker(i, delay):
+            yield sim.timeout(delay)
+            log.append(i)
+
+        for i in range(10):
+            sim.spawn(worker(i, delay=float(10 - i)))
+        sim.run()
+        assert log == list(range(9, -1, -1))
+
+    def test_reentrant_run_rejected(self, sim):
+        def proc():
+            sim.run()
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,107 @@
+"""Tests for metrics recording and percentile math."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Metrics, Summary, percentile
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_p(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single_sample(self):
+        assert percentile([3.0], 0) == 3.0
+        assert percentile([3.0], 50) == 3.0
+        assert percentile([3.0], 100) == 3.0
+
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_p0_and_p100_are_extremes(self):
+        data = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_matches_numpy(self):
+        numpy = pytest.importorskip("numpy")
+        data = [12.5, 3.1, 99.0, 42.0, 7.7, 18.2, 0.4]
+        for p in (1, 25, 50, 75, 99):
+            assert percentile(data, p) == pytest.approx(float(numpy.percentile(data, p)))
+
+    @given(
+        data=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50),
+        p=st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_bounded_by_extremes(self, data, p):
+        result = percentile(data, p)
+        assert min(data) <= result <= max(data)
+
+
+class TestSummary:
+    def test_of_simple_set(self):
+        s = Summary.of([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.median == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+    def test_p99_near_max_for_large_sets(self):
+        samples = list(map(float, range(1000)))
+        s = Summary.of(samples)
+        assert 985 <= s.p99 <= 999
+
+
+class TestMetrics:
+    def test_record_and_summary(self):
+        m = Metrics()
+        for v in (10.0, 20.0, 30.0):
+            m.record("e2e", v)
+        assert m.summary("e2e").median == 20.0
+
+    def test_summary_of_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            Metrics().summary("nope")
+
+    def test_samples_returns_copy(self):
+        m = Metrics()
+        m.record("x", 1.0)
+        m.samples("x").append(99.0)
+        assert m.samples("x") == [1.0]
+
+    def test_has_and_labels(self):
+        m = Metrics()
+        m.record("b", 1.0)
+        m.record("a", 1.0)
+        assert m.has("a") and not m.has("c")
+        assert list(m.labels()) == ["a", "b"]
+
+    def test_counters(self):
+        m = Metrics()
+        m.incr("validation.success", 19)
+        m.incr("validation.failure")
+        assert m.counter("validation.success") == 19
+        assert m.counter("never") == 0
+        assert m.counters() == {"validation.success": 19, "validation.failure": 1}
+
+    def test_ratio(self):
+        m = Metrics()
+        m.incr("hits", 95)
+        m.incr("total", 100)
+        assert m.ratio("hits", "total") == pytest.approx(0.95)
+        assert m.ratio("hits", "zero") is None

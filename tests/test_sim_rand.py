@@ -1,0 +1,107 @@
+"""Tests for deterministic random streams and the bounded Zipf sampler."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RandomStreams, ZipfSampler
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(42).stream("jitter")
+        b = RandomStreams(42).stream("jitter")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(42)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random()
+        b = RandomStreams(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_fork_is_deterministic_and_distinct(self):
+        parent = RandomStreams(42)
+        child1 = parent.fork("client-1")
+        child2 = RandomStreams(42).fork("client-1")
+        other = parent.fork("client-2")
+        assert child1.stream("w").random() == child2.stream("w").random()
+        assert child1.seed != other.seed
+
+
+class TestZipfSampler:
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.99, random.Random(0))
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0, random.Random(0))
+
+    def test_samples_in_range(self):
+        z = ZipfSampler(100, 0.99, random.Random(0))
+        for _ in range(1000):
+            assert 0 <= z.sample() < 100
+
+    def test_zero_exponent_is_uniform(self):
+        z = ZipfSampler(4, 0.0, random.Random(0))
+        for rank in range(4):
+            assert z.probability(rank) == pytest.approx(0.25)
+
+    def test_probability_masses_sum_to_one(self):
+        z = ZipfSampler(50, 0.99, random.Random(0))
+        assert sum(z.probability(k) for k in range(50)) == pytest.approx(1.0)
+
+    def test_rank_zero_most_popular(self):
+        z = ZipfSampler(1000, 0.99, random.Random(0))
+        assert z.probability(0) > z.probability(1) > z.probability(999)
+
+    def test_skew_concentrates_mass(self):
+        # At zipf 0.99 over 1000 keys (the paper's workload skew), the top
+        # 10 keys should draw a large share of samples.
+        z = ZipfSampler(1000, 0.99, random.Random(7))
+        hits = sum(1 for _ in range(10000) if z.sample() < 10)
+        assert hits > 3000
+
+    def test_empirical_matches_theoretical_head(self):
+        z = ZipfSampler(100, 0.99, random.Random(3))
+        n = 50000
+        hits = sum(1 for _ in range(n) if z.sample() == 0)
+        expected = z.probability(0)
+        assert hits / n == pytest.approx(expected, rel=0.1)
+
+    def test_probability_out_of_range(self):
+        z = ZipfSampler(5, 1.0, random.Random(0))
+        with pytest.raises(IndexError):
+            z.probability(5)
+
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        s=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_samples_always_valid(self, n, s, seed):
+        z = ZipfSampler(n, s, random.Random(seed))
+        for _ in range(20):
+            k = z.sample()
+            assert 0 <= k < n
+        assert math.isclose(sum(z.probability(i) for i in range(n)), 1.0, rel_tol=1e-9)
+
+    @given(s=st.floats(min_value=0.1, max_value=2.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_property_monotone_decreasing_mass(self, s):
+        z = ZipfSampler(20, s, random.Random(0))
+        masses = [z.probability(k) for k in range(20)]
+        assert all(masses[i] >= masses[i + 1] for i in range(19))

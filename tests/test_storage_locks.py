@@ -1,0 +1,210 @@
+"""Tests for the read/write lock manager, including property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LockError
+from repro.sim import Simulator
+from repro.storage import LockManager, LockMode
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def locks(sim):
+    return LockManager(sim)
+
+
+def acquire(sim, locks, owner, reads=(), writes=(), per_lock_latency=0.0):
+    """Spawn an acquisition process and return it."""
+    return sim.spawn(
+        locks.acquire_all(owner, reads, writes, per_lock_latency),
+        name=f"acquire({owner})",
+    )
+
+
+K1 = ("t", "a")
+K2 = ("t", "b")
+K3 = ("t", "c")
+
+
+class TestNormalize:
+    def test_sorted_lexicographically(self, locks):
+        reqs = locks.normalize(read_keys=[K3, K1], write_keys=[K2])
+        assert [r.key for r in reqs] == [K1, K2, K3]
+
+    def test_write_subsumes_read(self, locks):
+        reqs = locks.normalize(read_keys=[K1], write_keys=[K1])
+        assert len(reqs) == 1
+        assert reqs[0].mode == LockMode.WRITE
+
+    def test_duplicates_collapsed(self, locks):
+        reqs = locks.normalize(read_keys=[K1, K1], write_keys=[K2, K2])
+        assert len(reqs) == 2
+
+
+class TestBasicAcquisition:
+    def test_uncontended_acquire_is_instant(self, sim, locks):
+        proc = acquire(sim, locks, "e1", reads=[K1], writes=[K2])
+        sim.run()
+        assert proc.result == 2
+        assert locks.held_by("e1") == [(K1, LockMode.READ), (K2, LockMode.WRITE)]
+
+    def test_readers_share(self, sim, locks):
+        p1 = acquire(sim, locks, "e1", reads=[K1])
+        p2 = acquire(sim, locks, "e2", reads=[K1])
+        sim.run()
+        assert p1.done and p2.done
+        readers, writer = locks.holders(K1)
+        assert readers == {"e1", "e2"} and writer is None
+
+    def test_writer_excludes_reader(self, sim, locks):
+        acquire(sim, locks, "w", writes=[K1])
+        p2 = acquire(sim, locks, "r", reads=[K1])
+        sim.run()
+        assert not p2.done  # blocked until release
+        locks.release_all("w")
+        sim.run()
+        assert p2.done
+
+    def test_writer_excludes_writer(self, sim, locks):
+        acquire(sim, locks, "w1", writes=[K1])
+        p2 = acquire(sim, locks, "w2", writes=[K1])
+        sim.run()
+        assert not p2.done
+        locks.release_all("w1")
+        sim.run()
+        assert p2.done
+
+    def test_reader_blocks_writer(self, sim, locks):
+        acquire(sim, locks, "r", reads=[K1])
+        pw = acquire(sim, locks, "w", writes=[K1])
+        sim.run()
+        assert not pw.done
+        locks.release_all("r")
+        sim.run()
+        assert pw.done
+
+    def test_double_acquire_same_owner_rejected(self, sim, locks):
+        acquire(sim, locks, "e1", reads=[K1])
+        sim.run()
+        with pytest.raises(LockError):
+            next(locks.acquire_all("e1", [K2], []))
+
+    def test_per_lock_latency_charged(self, sim, locks):
+        proc = acquire(sim, locks, "e1", reads=[K1, K2], writes=[K3], per_lock_latency=2.3)
+
+        def observer():
+            yield proc
+            return sim.now
+
+        obs = sim.spawn(observer())
+        sim.run()
+        assert obs.result == pytest.approx(3 * 2.3)
+
+
+class TestFairnessAndOrdering:
+    def test_fifo_queue_prevents_barging(self, sim, locks):
+        # r1 holds read; w waits; r2 arrives later and must NOT jump the
+        # queued writer even though it would be compatible with r1.
+        acquire(sim, locks, "r1", reads=[K1])
+        pw = acquire(sim, locks, "w", writes=[K1])
+        pr2 = acquire(sim, locks, "r2", reads=[K1])
+        sim.run()
+        assert not pw.done and not pr2.done
+        locks.release_all("r1")
+        sim.run()
+        assert pw.done and not pr2.done  # writer got it first
+        locks.release_all("w")
+        sim.run()
+        assert pr2.done
+
+    def test_reader_batch_wakeup(self, sim, locks):
+        acquire(sim, locks, "w", writes=[K1])
+        readers = [acquire(sim, locks, f"r{i}", reads=[K1]) for i in range(3)]
+        sim.run()
+        locks.release_all("w")
+        sim.run()
+        assert all(r.done for r in readers)
+        held, writer = locks.holders(K1)
+        assert held == {"r0", "r1", "r2"} and writer is None
+
+    def test_no_deadlock_on_opposite_order_requests(self, sim, locks):
+        # Both owners want K1 and K2; sorted acquisition means no deadlock
+        # regardless of the order the keys were listed in.
+        p1 = acquire(sim, locks, "e1", writes=[K1, K2])
+        p2 = acquire(sim, locks, "e2", writes=[K2, K1])
+        sim.run()
+        done_first = "e1" if p1.done else "e2"
+        locks.release_all(done_first)
+        sim.run()
+        assert p1.done and p2.done
+
+    def test_contended_counter(self, sim, locks):
+        acquire(sim, locks, "w1", writes=[K1])
+        acquire(sim, locks, "w2", writes=[K1])
+        sim.run()
+        assert locks.contended_acquisitions == 1
+
+
+class TestRelease:
+    def test_release_unknown_owner_raises(self, locks):
+        with pytest.raises(LockError):
+            locks.release_all("ghost")
+
+    def test_double_release_raises(self, sim, locks):
+        acquire(sim, locks, "e1", reads=[K1])
+        sim.run()
+        assert locks.release_all("e1") == 1
+        with pytest.raises(LockError):
+            locks.release_all("e1")
+
+    def test_record_garbage_collected_when_idle(self, sim, locks):
+        acquire(sim, locks, "e1", reads=[K1])
+        sim.run()
+        locks.release_all("e1")
+        assert locks.holders(K1) == (set(), None)
+        assert locks.queue_length(K1) == 0
+
+
+class TestInvariantsPropertyBased:
+    @given(
+        script=st.lists(
+            st.tuples(
+                st.integers(0, 5),                 # owner index
+                st.sets(st.integers(0, 3), max_size=3),  # read key indexes
+                st.sets(st.integers(0, 3), max_size=2),  # write key indexes
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_rw_invariants_hold_under_random_schedules(self, script):
+        sim = Simulator()
+        locks = LockManager(sim)
+        keys = [("t", f"k{i}") for i in range(4)]
+        active = {}
+
+        def worker(owner, reads, writes, hold):
+            yield sim.spawn(locks.acquire_all(owner, reads, writes))
+            locks.assert_invariants()
+            yield sim.timeout(hold)
+            locks.release_all(owner)
+            locks.assert_invariants()
+
+        for step, (owner_i, reads_i, writes_i) in enumerate(script):
+            owner = f"o{owner_i}-{step}"
+            reads = [keys[i] for i in reads_i]
+            writes = [keys[i] for i in writes_i]
+            if not reads and not writes:
+                continue
+            active[owner] = sim.spawn(worker(owner, reads, writes, hold=float(step % 3)))
+        sim.run()
+        for proc in active.values():
+            assert proc.done
+        locks.assert_invariants()

@@ -1,0 +1,265 @@
+"""Tests for the wasm-lite compiler: subset enforcement and codegen."""
+
+import pytest
+
+from repro.errors import CompileError, NonDeterminismError
+from repro.wasm import Op, compile_source
+
+
+def run(source, args, data=None):
+    """Compile and execute, returning the result (helper)."""
+    from repro.wasm import DictEnv, VM
+
+    fn = compile_source(source)
+    return VM(DictEnv(data or {})).execute(fn, args).result
+
+
+class TestStructure:
+    def test_requires_single_function(self):
+        with pytest.raises(CompileError):
+            compile_source("x = 1")
+        with pytest.raises(CompileError):
+            compile_source("def a():\n    pass\n\ndef b():\n    pass")
+
+    def test_syntax_error_wrapped(self):
+        with pytest.raises(CompileError, match="syntax"):
+            compile_source("def broken(:\n    pass")
+
+    def test_params_extracted(self):
+        fn = compile_source("def f(a, b, c):\n    return a")
+        assert fn.params == ["a", "b", "c"]
+
+    def test_default_args_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("def f(a=1):\n    return a")
+
+    def test_varargs_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("def f(*args):\n    return 0")
+
+    def test_dedent_applied(self):
+        fn = compile_source(
+            """
+            def f(x):
+                return x + 1
+            """
+        )
+        assert fn.name == "f"
+
+
+class TestDeterminismContract:
+    def test_banned_intrinsic_call_rejected(self):
+        with pytest.raises(NonDeterminismError):
+            compile_source("def f():\n    return now()")
+
+    def test_banned_intrinsic_reference_rejected(self):
+        with pytest.raises(NonDeterminismError):
+            compile_source("def f():\n    x = random_int\n    return 0")
+
+    def test_uuid_rejected(self):
+        with pytest.raises(NonDeterminismError):
+            compile_source("def f():\n    return uuid()")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            compile_source("def f():\n    return open('x')")
+
+    def test_attribute_access_rejected(self):
+        with pytest.raises(CompileError, match="attribute"):
+            compile_source("def f(x):\n    return x.field")
+
+    def test_unwhitelisted_method_rejected(self):
+        with pytest.raises(CompileError, match="whitelisted"):
+            compile_source("def f(x):\n    return x.clear()")
+
+    def test_import_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("def f():\n    import os\n    return 0")
+
+    def test_keyword_args_rejected(self):
+        with pytest.raises(CompileError, match="keyword"):
+            compile_source("def f(x):\n    return sorted(x, reverse=True)")
+
+    def test_lambda_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("def f():\n    g = lambda: 0\n    return 0")
+
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(CompileError, match="chained"):
+            compile_source("def f(a, b, c):\n    return a < b < c")
+
+    def test_deterministic_intrinsic_allowed(self):
+        fn = compile_source("def f(x):\n    return digest(x)")
+        assert any(i.op == Op.INTRINSIC for i in fn.instructions)
+
+
+class TestStorageOpcodes:
+    def test_db_get_compiles_to_opcode(self):
+        fn = compile_source('def f(k):\n    return db_get("t", k)')
+        assert [op for _pc, op in fn.storage_opcodes()] == [Op.DB_GET]
+
+    def test_db_put_compiles_to_opcode(self):
+        fn = compile_source('def f(k, v):\n    db_put("t", k, v)')
+        assert fn.may_write()
+
+    def test_db_get_arity_checked(self):
+        with pytest.raises(CompileError, match="exactly 2"):
+            compile_source('def f(k):\n    return db_get("t")')
+
+    def test_db_put_arity_checked(self):
+        with pytest.raises(CompileError, match="exactly 3"):
+            compile_source('def f(k):\n    db_put("t", k)')
+
+    def test_pure_function_has_no_storage_ops(self):
+        fn = compile_source("def f(x):\n    return x * 2")
+        assert fn.storage_opcodes() == []
+        assert not fn.may_write()
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run("def f(a, b):\n    return (a + b) * 2 - a // b % 3", [7, 2]) == 18
+
+    def test_power_and_division(self):
+        assert run("def f(a):\n    return a ** 2 / 4", [6]) == 9.0
+
+    def test_unary(self):
+        assert run("def f(a):\n    return -a + (not a)", [5]) == -5
+
+    def test_comparisons(self):
+        assert run("def f(a, b):\n    return a <= b", [1, 2]) is True
+        assert run('def f(x):\n    return "a" in x', ["cat"]) is True
+        assert run("def f(x):\n    return x is None", [None]) is True
+
+    def test_boolop_short_circuit_and(self):
+        # If `and` did not short-circuit, indexing [] would trap.
+        src = "def f(lst):\n    return len(lst) > 0 and lst[0] == 1"
+        assert run(src, [[]]) is False
+        assert run(src, [[1]]) is True
+
+    def test_boolop_short_circuit_or(self):
+        src = "def f(d):\n    return d.get(\"x\") or 99"
+        assert run(src, [{}]) == 99
+        assert run(src, [{"x": 5}]) == 5
+
+    def test_ternary(self):
+        assert run("def f(a):\n    return 'big' if a > 10 else 'small'", [11]) == "big"
+
+    def test_fstring(self):
+        assert run('def f(u, n):\n    return f"user:{u}:{n + 1}"', ["bob", 1]) == "user:bob:2"
+
+    def test_fstring_format_spec_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source('def f(x):\n    return f"{x:>10}"')
+
+    def test_collections_literals(self):
+        assert run("def f():\n    return [1, 2] + [3]", []) == [1, 2, 3]
+        assert run("def f():\n    return {'a': 1, 'b': 2}", []) == {"a": 1, "b": 2}
+        assert run("def f():\n    return (1, 2)", []) == (1, 2)
+
+    def test_subscript_and_slice(self):
+        assert run("def f(x):\n    return x[1]", [[10, 20, 30]]) == 20
+        assert run("def f(x):\n    return x[1:3]", [[0, 1, 2, 3]]) == [1, 2]
+        assert run("def f(x):\n    return x[:2]", ["hello"]) == "he"
+
+    def test_slice_step_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("def f(x):\n    return x[::2]")
+
+
+class TestStatements:
+    def test_if_elif_else(self):
+        src = """
+def f(x):
+    if x > 10:
+        return "big"
+    elif x > 5:
+        return "mid"
+    else:
+        return "small"
+"""
+        assert run(src, [20]) == "big"
+        assert run(src, [7]) == "mid"
+        assert run(src, [1]) == "small"
+
+    def test_while_loop(self):
+        src = """
+def f(n):
+    total = 0
+    i = 0
+    while i < n:
+        total = total + i
+        i += 1
+    return total
+"""
+        assert run(src, [5]) == 10
+
+    def test_for_over_range(self):
+        src = """
+def f(n):
+    acc = []
+    for i in range(n):
+        acc.append(i * i)
+    return acc
+"""
+        assert run(src, [4]) == [0, 1, 4, 9]
+
+    def test_for_over_list_with_break_continue(self):
+        src = """
+def f(items):
+    out = []
+    for x in items:
+        if x < 0:
+            continue
+        if x > 100:
+            break
+        out.append(x)
+    return out
+"""
+        assert run(src, [[1, -5, 2, 300, 9]]) == [1, 2]
+
+    def test_nested_loops(self):
+        src = """
+def f(n):
+    total = 0
+    for i in range(n):
+        for j in range(i):
+            total += 1
+    return total
+"""
+        assert run(src, [4]) == 6
+
+    def test_subscript_assignment(self):
+        src = """
+def f(d):
+    d["k"] = 42
+    return d
+"""
+        assert run(src, [{}]) == {"k": 42}
+
+    def test_implicit_return_none(self):
+        assert run("def f():\n    x = 1", []) is None
+
+    def test_augassign_on_subscript_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("def f(d):\n    d['k'] += 1")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("def f():\n    break")
+
+    def test_while_else_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("def f():\n    while True:\n        break\n    else:\n        pass")
+
+    def test_try_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("def f():\n    try:\n        pass\n    except:\n        pass")
+
+
+class TestDisassembly:
+    def test_disassemble_is_readable(self):
+        fn = compile_source("def f(x):\n    return x + 1")
+        text = fn.disassemble()
+        assert "func f(x)" in text
+        assert "binop" in text

@@ -1,0 +1,160 @@
+"""Coverage for the full whitelisted method and builtin surface of the VM."""
+
+import pytest
+
+from repro.errors import VMTrap
+from repro.wasm import DictEnv, VM, compile_source
+
+
+def run(source, args):
+    fn = compile_source(source)
+    return VM(DictEnv()).execute(fn, list(args)).result
+
+
+class TestListMethods:
+    def test_pop_default_and_indexed(self):
+        assert run("def f(x):\n    return [x.pop(), x]", [[1, 2, 3]]) == [3, [1, 2]]
+        assert run("def f(x):\n    return [x.pop(0), x]", [[1, 2, 3]]) == [1, [2, 3]]
+
+    def test_pop_empty_traps(self):
+        with pytest.raises(VMTrap):
+            run("def f(x):\n    return x.pop()", [[]])
+
+    def test_insert(self):
+        assert run("def f(x):\n    x.insert(1, 99)\n    return x", [[1, 2]]) == [1, 99, 2]
+
+    def test_remove(self):
+        assert run("def f(x):\n    x.remove(2)\n    return x", [[1, 2, 3]]) == [1, 3]
+
+    def test_remove_missing_traps(self):
+        with pytest.raises(VMTrap):
+            run("def f(x):\n    x.remove(9)", [[1]])
+
+    def test_index_and_count(self):
+        assert run("def f(x):\n    return [x.index(2), x.count(2)]", [[1, 2, 2]]) == [1, 2]
+
+    def test_index_missing_traps(self):
+        with pytest.raises(VMTrap):
+            run("def f(x):\n    return x.index(9)", [[1]])
+
+    def test_extend(self):
+        assert run("def f(x):\n    x.extend([4, 5])\n    return x", [[1]]) == [1, 4, 5]
+
+    def test_copy_is_shallow_but_new(self):
+        src = """
+def f(x):
+    y = x.copy()
+    y.append(99)
+    return [x, y]
+"""
+        assert run(src, [[1]]) == [[1], [1, 99]]
+
+    def test_sort_with_mixed_types_traps(self):
+        with pytest.raises(VMTrap):
+            run("def f(x):\n    x.sort()\n    return x", [[1, "a"]])
+
+
+class TestDictMethods:
+    def test_get_with_and_without_default(self):
+        src = "def f(d):\n    return [d.get('a'), d.get('z'), d.get('z', 9)]"
+        assert run(src, [{"a": 1}]) == [1, None, 9]
+
+    def test_setdefault(self):
+        src = """
+def f(d):
+    first = d.setdefault("k", [])
+    first.append(1)
+    return d
+"""
+        assert run(src, [{}]) == {"k": [1]}
+
+    def test_pop_with_default(self):
+        assert run("def f(d):\n    return [d.pop('a'), d]", [{"a": 1}]) == [1, {}]
+        assert run("def f(d):\n    return d.pop('z', 7)", [{}]) == 7
+
+    def test_pop_missing_traps(self):
+        with pytest.raises(VMTrap):
+            run("def f(d):\n    return d.pop('z')", [{}])
+
+    def test_copy(self):
+        src = """
+def f(d):
+    c = d.copy()
+    c["new"] = 1
+    return [d, c]
+"""
+        assert run(src, [{"a": 1}]) == [{"a": 1}, {"a": 1, "new": 1}]
+
+
+class TestStringMethods:
+    def test_replace(self):
+        assert run("def f(s):\n    return s.replace('a', 'o')", ["banana"]) == "bonono"
+
+    def test_find_present_and_absent(self):
+        assert run("def f(s):\n    return [s.find('n'), s.find('z')]", ["banana"]) == [2, -1]
+
+    def test_zfill(self):
+        assert run("def f(s):\n    return s.zfill(5)", ["42"]) == "00042"
+
+    def test_strip(self):
+        assert run("def f(s):\n    return s.strip()", ["  hi  "]) == "hi"
+
+    def test_endswith(self):
+        assert run("def f(s):\n    return s.endswith('.txt')", ["a.txt"]) is True
+
+    def test_count_and_index(self):
+        assert run("def f(s):\n    return [s.count('a'), s.index('n')]", ["banana"]) == [3, 2]
+
+    def test_upper(self):
+        assert run("def f(s):\n    return s.upper()", ["abc"]) == "ABC"
+
+    def test_split_with_no_args_rejected_at_runtime(self):
+        # split() with no separator is whitespace split — allowed.
+        assert run("def f(s):\n    return s.split()", ["a b  c"]) == ["a", "b", "c"]
+
+    def test_join_requires_string_elements(self):
+        with pytest.raises(VMTrap):
+            run("def f(x):\n    return ','.join(x)", [[1, 2]])
+
+
+class TestBuiltinEdges:
+    def test_int_of_bad_string_traps(self):
+        with pytest.raises(VMTrap):
+            run("def f(s):\n    return int(s)", ["not-a-number"])
+
+    def test_min_empty_traps(self):
+        with pytest.raises(VMTrap):
+            run("def f(x):\n    return min(x)", [[]])
+
+    def test_round_with_digits(self):
+        assert run("def f(x):\n    return round(x, 2)", [3.14159]) == 3.14
+
+    def test_range_three_args(self):
+        assert run("def f():\n    return range(10, 0, -3)", []) == [10, 7, 4, 1]
+
+    def test_dict_from_pairs(self):
+        assert run("def f(p):\n    return dict(p)", [[("a", 1), ("b", 2)]]) == {"a": 1, "b": 2}
+
+    def test_list_of_string_chars(self):
+        assert run("def f(s):\n    return list(s)", ["abc"]) == ["a", "b", "c"]
+
+    def test_bool_of_collections(self):
+        assert run("def f():\n    return [bool([]), bool([0]), bool(''), bool('x')]", []) == [
+            False, True, False, True,
+        ]
+
+    def test_sum_of_floats(self):
+        assert run("def f(x):\n    return sum(x)", [[0.5, 0.25]]) == 0.75
+
+    def test_abs_and_negative_floor_div(self):
+        assert run("def f(a, b):\n    return [abs(a), a // b]", [-7, 2]) == [7, -4]
+
+    def test_busy_returns_none_and_burns_gas(self):
+        fn = compile_source("def f():\n    return busy(5000)")
+        trace = VM(DictEnv()).execute(fn, [])
+        assert trace.result is None
+        assert trace.gas_used > 5000
+
+    def test_busy_negative_traps(self):
+        with pytest.raises(VMTrap):
+            run("def f():\n    busy(-1)", [])

@@ -1,0 +1,221 @@
+"""Tests for the VM: semantics, traps, gas, determinism, interposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GasExhausted, VMTrap
+from repro.wasm import DictEnv, VM, compile_source
+
+
+def execute(source, args, data=None, gas_limit=2_000_000):
+    fn = compile_source(source)
+    env = DictEnv(data or {})
+    return VM(env, gas_limit=gas_limit).execute(fn, args), env
+
+
+class TestStorageInterposition:
+    def test_reads_recorded_in_order(self):
+        src = """
+def f(a, b):
+    x = db_get("t", a)
+    y = db_get("t", b)
+    return [x, y]
+"""
+        trace, _env = execute(src, ["k1", "k2"], {("t", "k1"): 1, ("t", "k2"): 2})
+        assert trace.reads == [("t", "k1"), ("t", "k2")]
+        assert trace.result == [1, 2]
+
+    def test_missing_key_reads_none(self):
+        trace, _env = execute('def f():\n    return db_get("t", "nope")', [])
+        assert trace.result is None
+
+    def test_writes_recorded_with_values(self):
+        src = 'def f(k, v):\n    db_put("t", k, v)'
+        trace, env = execute(src, ["key", {"x": 1}])
+        assert trace.writes == [("t", "key", {"x": 1})]
+        assert env.data[("t", "key")] == {"x": 1}
+
+    def test_read_your_own_write(self):
+        src = """
+def f(k):
+    db_put("t", k, 7)
+    return db_get("t", k)
+"""
+        trace, _env = execute(src, ["k"])
+        assert trace.result == 7
+
+    def test_non_string_key_traps(self):
+        with pytest.raises(VMTrap, match="strings"):
+            execute('def f(k):\n    return db_get("t", k)', [42])
+
+    def test_duplicate_reads_both_recorded(self):
+        src = """
+def f(k):
+    a = db_get("t", k)
+    b = db_get("t", k)
+    return 0
+"""
+        trace, _env = execute(src, ["k"])
+        assert len(trace.reads) == 2
+
+
+class TestTraps:
+    def test_unbound_variable(self):
+        with pytest.raises(VMTrap, match="unbound"):
+            execute("def f():\n    return missing_var", [])
+
+    def test_division_by_zero(self):
+        with pytest.raises(VMTrap):
+            execute("def f(a):\n    return a / 0", [1])
+
+    def test_bad_index(self):
+        with pytest.raises(VMTrap, match="index"):
+            execute("def f(x):\n    return x[10]", [[1]])
+
+    def test_missing_dict_key(self):
+        with pytest.raises(VMTrap):
+            execute("def f(d):\n    return d['nope']", [{}])
+
+    def test_wrong_arity(self):
+        fn = compile_source("def f(a, b):\n    return a")
+        with pytest.raises(VMTrap, match="arguments"):
+            VM(DictEnv()).execute(fn, [1])
+
+    def test_method_on_wrong_type(self):
+        with pytest.raises(VMTrap):
+            execute("def f(x):\n    return x.append(1)", [42])
+
+    def test_adding_list_and_int_traps(self):
+        with pytest.raises(VMTrap):
+            execute("def f(x):\n    return x + 1", [[1]])
+
+    def test_none_comparison_traps_on_order(self):
+        with pytest.raises(VMTrap):
+            execute("def f(x):\n    return x < 1", [None])
+
+
+class TestGas:
+    def test_infinite_loop_exhausts_gas(self):
+        with pytest.raises(GasExhausted):
+            execute("def f():\n    while True:\n        pass", [], gas_limit=10_000)
+
+    def test_gas_counts_instructions(self):
+        trace, _env = execute("def f():\n    return 1", [])
+        assert trace.gas_used >= 2  # PUSH + RETURN
+
+    def test_intrinsic_cost_charged(self):
+        cheap, _ = execute("def f(x):\n    return digest(x)", ["a"])
+        heavy, _ = execute("def f(x):\n    return pbkdf2_hash(x, 's')", ["a"])
+        assert heavy.gas_used > cheap.gas_used + 10_000
+
+    def test_range_charges_by_length(self):
+        small, _ = execute("def f():\n    x = range(10)\n    return 0", [])
+        big, _ = execute("def f():\n    x = range(1000)\n    return 0", [])
+        assert big.gas_used > small.gas_used + 900
+
+
+class TestBuiltinsAndMethods:
+    def test_len_str_int(self):
+        trace, _ = execute("def f(x):\n    return [len(x), str(7), int('3')]", [[1, 2]])
+        assert trace.result == [2, "7", 3]
+
+    def test_min_max_sum_sorted(self):
+        src = "def f(x):\n    return [min(x), max(x), sum(x), sorted(x)]"
+        trace, _ = execute(src, [[3, 1, 2]])
+        assert trace.result == [1, 3, 6, [1, 2, 3]]
+
+    def test_min_of_two_scalars(self):
+        trace, _ = execute("def f(a, b):\n    return min(a, b)", [4, 9])
+        assert trace.result == 4
+
+    def test_list_of_dict_returns_keys(self):
+        trace, _ = execute("def f(d):\n    return list(d)", [{"a": 1, "b": 2}])
+        assert trace.result == ["a", "b"]
+
+    def test_dict_methods(self):
+        src = """
+def f(d):
+    ks = d.keys()
+    vs = d.values()
+    return [ks, vs, d.get("missing", 9)]
+"""
+        trace, _ = execute(src, [{"a": 1}])
+        assert trace.result == [["a"], [1], 9]
+
+    def test_dict_items_as_lists(self):
+        trace, _ = execute("def f(d):\n    return d.items()", [{"a": 1}])
+        assert trace.result == [["a", 1]]
+
+    def test_str_methods(self):
+        src = """
+def f(s):
+    return [s.lower(), s.split(":"), s.startswith("A"), s.zfill(6)]
+"""
+        trace, _ = execute(src, ["A:b"])
+        assert trace.result == ["a:b", ["A", "b"], True, "000A:b"]
+
+    def test_join(self):
+        trace, _ = execute('def f(parts):\n    return ",".join(parts)', [["a", "b"]])
+        assert trace.result == "a,b"
+
+    def test_list_mutators(self):
+        src = """
+def f():
+    x = [3, 1]
+    x.append(2)
+    x.sort()
+    x.reverse()
+    return x
+"""
+        trace, _ = execute(src, [])
+        assert trace.result == [3, 2, 1]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        src = """
+def f(seed):
+    acc = []
+    for i in range(10):
+        acc.append(score_text(f"{seed}:{i}"))
+    db_put("t", f"out:{seed}", acc)
+    return acc
+"""
+        t1, e1 = execute(src, ["x"])
+        t2, e2 = execute(src, ["x"])
+        assert t1.result == t2.result
+        assert t1.writes == t2.writes
+        assert t1.gas_used == t2.gas_used
+        assert e1.data == e2.data
+
+    @given(
+        a=st.integers(min_value=-1000, max_value=1000),
+        b=st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_replay_equivalence(self, a, b):
+        # The deterministic re-execution guarantee (§3.4): same inputs and
+        # same storage responses => byte-identical writes and result.
+        src = """
+def f(a, b):
+    x = a % b
+    y = a // b
+    db_put("out", f"r:{a}:{b}", [x, y, x * y])
+    return x + y
+"""
+        t1, e1 = execute(src, [a, b])
+        t2, e2 = execute(src, [a, b])
+        assert t1.result == t2.result
+        assert e1.data == e2.data
+
+    def test_dict_iteration_order_is_insertion_order(self):
+        src = """
+def f():
+    d = {}
+    d["b"] = 1
+    d["a"] = 2
+    return d.keys()
+"""
+        trace, _ = execute(src, [])
+        assert trace.result == ["b", "a"]

@@ -1,0 +1,163 @@
+"""Direct tests for the workload clients (closed- and open-loop)."""
+
+import pytest
+
+from repro.apps import social_media_app
+from repro.consistency import HistoryRecorder
+from repro.sim import Metrics, RandomStreams, Simulator
+from repro.workloads import ClosedLoopClient, OpenLoopClient, run_clients
+
+
+def make_invoker(sim, latency_ms=10.0):
+    """A stub deployment: fixed-latency invocations with dummy outcomes."""
+    calls = []
+
+    class Outcome:
+        result = "ok"
+        read_versions = {("t", "k"): 1}
+        write_versions = {}
+
+    def invoke(function_id, args):
+        def flow():
+            calls.append((function_id, list(args)))
+            yield sim.timeout(latency_ms)
+            return Outcome()
+
+        return flow()
+
+    return invoke, calls
+
+
+class TestClosedLoop:
+    def test_issues_exact_request_count(self):
+        sim = Simulator()
+        metrics = Metrics()
+        invoke, calls = make_invoker(sim)
+        client = ClosedLoopClient(
+            sim=sim, app=social_media_app(), region="jp", invoke=invoke,
+            metrics=metrics, rng=RandomStreams(1).stream("w"), requests=25,
+        )
+        run_clients(sim, [client])
+        assert len(calls) == 25
+        assert metrics.counter("requests.total") == 25
+
+    def test_latency_includes_client_hop(self):
+        sim = Simulator()
+        metrics = Metrics()
+        invoke, _calls = make_invoker(sim, latency_ms=10.0)
+        client = ClosedLoopClient(
+            sim=sim, app=social_media_app(), region="jp", invoke=invoke,
+            metrics=metrics, rng=RandomStreams(1).stream("w"), requests=5,
+            client_app_rtt_ms=4.0,
+        )
+        run_clients(sim, [client])
+        assert metrics.summary("e2e").median == pytest.approx(14.0)
+
+    def test_per_region_and_per_function_labels(self):
+        sim = Simulator()
+        metrics = Metrics()
+        invoke, calls = make_invoker(sim)
+        client = ClosedLoopClient(
+            sim=sim, app=social_media_app(), region="de", invoke=invoke,
+            metrics=metrics, rng=RandomStreams(2).stream("w"), requests=40,
+        )
+        run_clients(sim, [client])
+        assert metrics.summary("e2e.region.de").count == 40
+        assert metrics.has("e2e.fn.social.timeline")
+
+    def test_history_recorded_when_provided(self):
+        sim = Simulator()
+        metrics = Metrics()
+        history = HistoryRecorder()
+        invoke, _calls = make_invoker(sim)
+        client = ClosedLoopClient(
+            sim=sim, app=social_media_app(), region="jp", invoke=invoke,
+            metrics=metrics, rng=RandomStreams(1).stream("w"), requests=7,
+            history=history,
+        )
+        run_clients(sim, [client])
+        assert len(history) == 7
+        assert all(r.responded_at > r.invoked_at for r in history.records())
+
+    def test_think_time_spaces_requests(self):
+        sim = Simulator()
+        fast_metrics, slow_metrics = Metrics(), Metrics()
+        invoke, _ = make_invoker(sim)
+        fast = ClosedLoopClient(
+            sim=sim, app=social_media_app(), region="jp", invoke=invoke,
+            metrics=fast_metrics, rng=RandomStreams(1).stream("w"), requests=10,
+        )
+        run_clients(sim, [fast])
+        t_fast = sim.now
+        sim2 = Simulator()
+        invoke2, _ = make_invoker(sim2)
+        slow = ClosedLoopClient(
+            sim=sim2, app=social_media_app(), region="jp", invoke=invoke2,
+            metrics=slow_metrics, rng=RandomStreams(1).stream("w"), requests=10,
+            think_time_ms=50.0,
+        )
+        run_clients(sim2, [slow])
+        assert sim2.now > t_fast
+
+    def test_client_failure_surfaces(self):
+        sim = Simulator()
+
+        def invoke(function_id, args):
+            def flow():
+                yield sim.timeout(1.0)
+                raise RuntimeError("app bug")
+
+            return flow()
+
+        client = ClosedLoopClient(
+            sim=sim, app=social_media_app(), region="jp", invoke=invoke,
+            metrics=Metrics(), rng=RandomStreams(1).stream("w"), requests=3,
+        )
+        with pytest.raises(Exception, match="app bug"):
+            run_clients(sim, [client])
+
+
+class TestOpenLoop:
+    def test_request_count_tracks_rate(self):
+        sim = Simulator()
+        metrics = Metrics()
+        invoke, calls = make_invoker(sim, latency_ms=5.0)
+        client = OpenLoopClient(
+            sim=sim, app=social_media_app(), region="jp", invoke=invoke,
+            metrics=metrics, rng=RandomStreams(3).stream("w"),
+            rate_rps=100.0, duration_ms=5000.0,
+        )
+        proc = sim.spawn(client.run())
+        sim.run(until_event=proc.done_event)
+        # Expect ~500 requests (100 rps for 5 virtual seconds).
+        assert 380 <= len(calls) <= 620
+
+    def test_arrivals_do_not_wait_for_responses(self):
+        # With a 1000 ms invocation latency and a 100 rps rate, a closed
+        # loop could do ~5 requests in 5 s; the open loop keeps emitting.
+        sim = Simulator()
+        metrics = Metrics()
+        invoke, calls = make_invoker(sim, latency_ms=1000.0)
+        client = OpenLoopClient(
+            sim=sim, app=social_media_app(), region="jp", invoke=invoke,
+            metrics=metrics, rng=RandomStreams(3).stream("w"),
+            rate_rps=100.0, duration_ms=5000.0,
+        )
+        proc = sim.spawn(client.run())
+        sim.run(until_event=proc.done_event)
+        assert len(calls) > 300
+
+    def test_waits_for_in_flight_before_finishing(self):
+        sim = Simulator()
+        metrics = Metrics()
+        invoke, calls = make_invoker(sim, latency_ms=500.0)
+        client = OpenLoopClient(
+            sim=sim, app=social_media_app(), region="jp", invoke=invoke,
+            metrics=metrics, rng=RandomStreams(3).stream("w"),
+            rate_rps=20.0, duration_ms=1000.0,
+        )
+        proc = sim.spawn(client.run())
+        sim.run(until_event=proc.done_event)
+        # All issued requests completed and were recorded.
+        assert metrics.counter("requests.total") == len(calls)
+        assert sim.now >= 1000.0
