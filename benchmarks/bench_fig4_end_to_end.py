@@ -11,9 +11,19 @@ Shape targets from the paper:
 * validation success stays high (paper: ~95%) despite zipf-0.99 skew.
 """
 
+import os
+
 from conftest import bench_requests
 
-from repro.bench import ExperimentConfig, fig4_rows, print_table, run_eval_trio, save_results
+from repro.bench import (
+    ExperimentConfig,
+    fig4_rows,
+    print_breakdown_report,
+    print_table,
+    run_eval_trio,
+    save_results,
+)
+from repro.bench.report import results_dir
 
 APPS = ("social", "hotel", "forum")
 
@@ -51,3 +61,52 @@ def test_fig4_end_to_end(benchmark):
     # The hotel app benefits most and the forum least (paper's ordering).
     by_app = {r["app"]: r for r in rows}
     assert by_app["forum"]["improvement_pct"] == min(r["improvement_pct"] for r in rows)
+
+
+def test_fig4_traced_breakdown(benchmark):
+    """Figure 4 under structured tracing: the per-invocation phase spans
+    exported to JSONL must sum to the recorded e2e latency within float
+    tolerance, and enabling tracing must not change a single latency
+    sample (same seed, identical summaries)."""
+    from repro.bench import MAIN_APP_BUILDERS, run_radical_experiment
+    from repro.obs import BALANCE_TOLERANCE_MS, orphan_spans, read_jsonl, write_jsonl
+    from repro.sim import Region
+
+    requests = max(200, bench_requests() // 5)
+    apps = dict(MAIN_APP_BUILDERS)
+
+    def run_traced():
+        cfg = ExperimentConfig(requests=requests, seed=42, trace=True)
+        return {app: run_radical_experiment(builder(), cfg)
+                for app, builder in apps.items()}
+
+    results = benchmark.pedantic(run_traced, rounds=1, iterations=1)
+
+    out = os.path.join(results_dir(), "fig4_trace.jsonl")
+    first, offset = True, 0
+    for app, res in results.items():
+        write_jsonl(out, res.trace.spans, extra={"app": app}, append=not first,
+                    trace_id_offset=offset)
+        first = False
+        offset += max((s.trace_id for s in res.trace.spans), default=0)
+
+    for app, res in results.items():
+        breakdowns = res.breakdowns()
+        assert len(breakdowns) > 0, app
+        for b in breakdowns:
+            assert abs(b.residual_ms) <= BALANCE_TOLERANCE_MS, (app, b)
+        assert orphan_spans(res.trace.spans) == [], app
+        print_breakdown_report(breakdowns, title=f"{app}: Radical latency breakdown")
+
+        # Tracing must be observationally free: the identical seed without
+        # the collector reproduces every latency summary bit for bit.
+        untraced = run_radical_experiment(
+            apps[app](), ExperimentConfig(requests=requests, seed=42, trace=False)
+        )
+        assert untraced.summary() == res.summary(), app
+        for region in Region.NEAR_USER:
+            assert untraced.region_summary(region) == res.region_summary(region), (app, region)
+
+    # Round-trip: the exported JSONL reloads into the same span population.
+    reloaded = read_jsonl(out)
+    assert len(reloaded) == sum(len(r.trace.spans) for r in results.values())

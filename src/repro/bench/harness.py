@@ -22,6 +22,7 @@ from ..apps import App
 from ..baselines import LocalIdeal, PrimaryBaseline
 from ..consistency import HistoryRecorder
 from ..core import FunctionRegistry, LVIServer, NearUserRuntime, RadicalConfig
+from ..obs import Breakdown, TraceCollector, all_breakdowns
 from ..sim import (
     Metrics,
     Network,
@@ -54,6 +55,10 @@ class ExperimentConfig:
     warm_caches: bool = True              # pre-populate near-user caches
     record_history: bool = False          # collect TxnRecords (tests)
     network_jitter_sigma: float = 0.02
+    # Structured tracing (repro.obs): spans for every invocation phase,
+    # network hop, and server stage.  Off by default — the no-op collector
+    # allocates nothing; on or off, identical seeds give identical results.
+    trace: bool = False
     radical: RadicalConfig = field(default_factory=RadicalConfig)
 
     def per_client_requests(self) -> int:
@@ -69,6 +74,14 @@ class ExperimentResult:
     history: Optional[HistoryRecorder]
     store: KVStore
     virtual_time_ms: float
+    #: The trace collector, when the experiment ran with ``cfg.trace``.
+    trace: Optional[TraceCollector] = None
+
+    def breakdowns(self) -> List[Breakdown]:
+        """Per-invocation latency decompositions (requires ``cfg.trace``)."""
+        if self.trace is None:
+            raise ValueError("experiment ran without tracing (set ExperimentConfig.trace)")
+        return all_breakdowns(self.trace.spans)
 
     def summary(self, label: str = "e2e") -> Summary:
         return self.metrics.summary(label)
@@ -101,6 +114,9 @@ def _warm_cache(cache: NearUserCache, store: KVStore) -> None:
 def run_radical_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
     """Deploy Radical across the configured regions and drive the workload."""
     sim = Simulator()
+    if cfg.trace:
+        # Installed before any component is built so every layer sees it.
+        sim.obs = TraceCollector(sim)
     streams = RandomStreams(cfg.seed)
     net = Network(sim, paper_latency_table(), streams, jitter_sigma=cfg.network_jitter_sigma)
     metrics = Metrics()
@@ -147,11 +163,19 @@ def run_radical_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
                 )
             )
     run_clients(sim, clients)
-    return ExperimentResult(metrics=metrics, history=history, store=store, virtual_time_ms=sim.now)
+    return ExperimentResult(
+        metrics=metrics, history=history, store=store, virtual_time_ms=sim.now,
+        trace=sim.obs if cfg.trace else None,
+    )
 
 
 def run_baseline_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
-    """The primary-datacenter baseline under the identical workload."""
+    """The primary-datacenter baseline under the identical workload.
+
+    ``cfg.trace`` is ignored here: the baseline's invocation path is not
+    phase-instrumented (it has no speculation phases to decompose), and a
+    partially-traced run would violate the phases-sum-to-e2e invariant.
+    """
     sim = Simulator()
     streams = RandomStreams(cfg.seed)
     net = Network(sim, paper_latency_table(), streams, jitter_sigma=cfg.network_jitter_sigma)

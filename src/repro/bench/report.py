@@ -11,7 +11,14 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["format_table", "print_table", "save_results", "results_dir"]
+__all__ = [
+    "format_table",
+    "print_table",
+    "save_results",
+    "results_dir",
+    "format_breakdown_report",
+    "print_breakdown_report",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
@@ -53,6 +60,35 @@ def results_dir() -> str:
     path = os.path.join(here, "results")
     os.makedirs(path, exist_ok=True)
     return path
+
+
+def format_breakdown_report(breakdowns: Sequence[Any], title: str = "Latency breakdown") -> str:
+    """Render the per-invocation latency decomposition (paper §5.5 style).
+
+    ``breakdowns`` are :class:`repro.obs.Breakdown` objects (one per
+    invocation); the report aggregates them per protocol path and phase.
+    Every breakdown is balance-checked first — phases must sum to the
+    recorded e2e latency within float tolerance, or rendering refuses.
+    """
+    from ..obs import assert_balanced, phase_summary_rows
+
+    breakdowns = list(breakdowns)
+    if not breakdowns:
+        return f"{title}: no invocation traces recorded"
+    assert_balanced(breakdowns)
+    rows = phase_summary_rows(breakdowns)
+    return format_table(
+        ["path", "phase", "count", "mean (ms)", "p50 (ms)", "p99 (ms)", "share %"],
+        [[r["path"], r["phase"], r["count"], r["mean_ms"], r["p50_ms"],
+          r["p99_ms"], r["share_pct"]] for r in rows],
+        title=title,
+    )
+
+
+def print_breakdown_report(breakdowns: Sequence[Any], title: str = "Latency breakdown") -> None:
+    print()
+    print(format_breakdown_report(breakdowns, title))
+    print()
 
 
 def save_results(name: str, payload: Dict[str, Any]) -> str:

@@ -4,15 +4,21 @@ Usage::
 
     radical-repro table2                 # print Table 2
     radical-repro fig4 --requests 5000   # Figure 4 with a bigger run
+    radical-repro fig4 --trace-out results/fig4_trace.jsonl
+    radical-repro trace summarize results/fig4_trace.jsonl
     radical-repro all                    # everything (writes results/*.json)
 
 Each subcommand prints the same rows/series the paper reports and writes a
-JSON artifact under ``results/``.
+JSON artifact under ``results/``.  ``--trace-out`` reruns the Radical
+deployments with structured tracing (:mod:`repro.obs`) enabled, dumps every
+span to a JSONL file, and prints the per-invocation latency breakdown;
+``trace summarize`` re-analyzes such a file offline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -28,6 +34,7 @@ from .bench import (
     fig5_rows,
     fig6_rows,
     infrastructure_overhead,
+    print_breakdown_report,
     print_table,
     run_eval_trio,
     save_results,
@@ -72,8 +79,36 @@ def _cmd_table2(args: argparse.Namespace) -> None:
 
 
 def _trios(args: argparse.Namespace):
-    cfg = ExperimentConfig(requests=args.requests, seed=args.seed)
-    return {app: run_eval_trio(app, cfg) for app in ("social", "hotel", "forum")}
+    trace_out = getattr(args, "trace_out", None)
+    cfg = ExperimentConfig(
+        requests=args.requests, seed=args.seed, trace=bool(trace_out)
+    )
+    trios = {app: run_eval_trio(app, cfg) for app in ("social", "hotel", "forum")}
+    if trace_out:
+        _export_traces(trace_out, trios)
+    return trios
+
+
+def _export_traces(path: str, trios: dict) -> None:
+    """Dump every Radical span to ``path`` (JSONL, one record per span,
+    tagged with the app it came from) and print each app's breakdown."""
+    from .obs import write_jsonl
+
+    first = True
+    offset = 0
+    for app, trio in trios.items():
+        spans = trio.radical.trace.spans
+        # Each collector numbers traces from 1; offset so the merged file
+        # keeps every app's invocations distinct for the analyzer.
+        write_jsonl(path, spans, extra={"app": app}, append=not first,
+                    trace_id_offset=offset)
+        first = False
+        offset += max((s.trace_id for s in spans), default=0)
+        print_breakdown_report(
+            trio.radical.breakdowns(),
+            title=f"Latency breakdown ({app}, Radical)",
+        )
+    print(f"trace spans written to {path}")
 
 
 def _cmd_fig4(args: argparse.Namespace) -> None:
@@ -224,6 +259,50 @@ def _cmd_ablations(args: argparse.Namespace) -> None:
     })
 
 
+def _trace_main(argv: List[str]) -> int:
+    """``radical-repro trace summarize <file.jsonl>`` — offline analysis of
+    an exported span file: the per-path phase breakdown table plus the
+    critical-path signature histogram."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro trace",
+        description="Analyze an exported trace span file (JSONL).",
+    )
+    parser.add_argument("action", choices=["summarize"],
+                        help="what to do with the trace file")
+    parser.add_argument("file", help="JSONL span file written by --trace-out")
+    args = parser.parse_args(argv)
+
+    from .bench import format_breakdown_report
+    from .obs import all_breakdowns, critical_path_signatures, read_jsonl
+
+    try:
+        spans = read_jsonl(args.file)
+    except OSError as exc:
+        print(f"{args.file}: {exc.strerror or exc}", file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"{args.file}: not a span JSONL file ({exc})", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"{args.file}: no spans")
+        return 1
+    breakdowns = all_breakdowns(spans)
+    print()
+    print(format_breakdown_report(
+        breakdowns, title=f"Latency breakdown ({args.file})"
+    ))
+    print()
+    signatures = critical_path_signatures(spans)
+    print_table(
+        ["critical path", "count"],
+        sorted(signatures.items(), key=lambda kv: (-kv[1], kv[0])),
+        title="Critical-path signatures",
+    )
+    total_spans = len(spans)
+    print(f"{total_spans} spans, {len(breakdowns)} invocations")
+    return 0
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "table1": _cmd_table1,
@@ -240,6 +319,11 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``radical-repro`` console script."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        # ``trace`` takes its own positional grammar (summarize <file>), so
+        # it is dispatched before the experiment parser sees it.
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="radical-repro",
         description="Reproduce the evaluation of Radical (SOSP 2025).",
@@ -247,11 +331,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(_COMMANDS) + ["all"],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate "
+             "(or: trace summarize <file.jsonl>)",
     )
     parser.add_argument("--requests", type=int, default=2000,
                         help="workload size for latency experiments")
     parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="rerun Radical with structured tracing and write "
+                             "all spans to PATH as JSONL (fig4/fig5/fig6)")
     args = parser.parse_args(argv)
 
     if args.experiment == "all":

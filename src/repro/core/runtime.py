@@ -68,8 +68,6 @@ class InvocationOutcome:
 class NearUserRuntime:
     """One near-user deployment location (runtime + storage library)."""
 
-    _ids = itertools.count()
-
     def __init__(
         self,
         sim: Simulator,
@@ -92,25 +90,41 @@ class NearUserRuntime:
         self.metrics = metrics or Metrics()
         self.server_name = server_name
         self.external_hub = external_hub  # §3.5 services, shared deployment-wide
-        self.name = f"runtime-{region}-{next(NearUserRuntime._ids)}"
+        # The index is scoped to this experiment's network (not a
+        # process-global counter): endpoint names land in trace-span
+        # attributes, and a global counter would make two same-seed runs
+        # in one process serialize differently.
+        self.name = net.unique_endpoint_name(f"runtime-{region}")
         # Jitter is keyed by region (not by the process-global instance
         # counter) so identical experiments draw identical sequences.
         self._jitter = (streams or RandomStreams(0)).stream(f"runtime.{region}")
         self._exec_counter = itertools.count()
+        # The cache reports hit/miss events to the same collector as the
+        # rest of the deployment (a no-op unless tracing is installed).
+        cache.obs = sim.obs
         net.register(self.name, region)
 
     # -- public API -----------------------------------------------------------
 
     def invoke(self, function_id: str, args: List[Any]) -> Generator:
         """Handle one client request; generator returning an
-        :class:`InvocationOutcome`."""
+        :class:`InvocationOutcome`.
+
+        When tracing is enabled, the runtime emits one *phase* span per
+        contiguous segment of its critical path (``phase.overhead``,
+        ``phase.frw``, then the path-dependent tail) — together with the
+        client's hops they sum exactly to the request's e2e latency.
+        """
         invoked_at = self.sim.now
         record = self.registry.get(function_id)
         execution_id = f"{self.name}:{next(self._exec_counter)}"
         cfg = self.config
+        obs = self.sim.obs
 
         # (§5.5 components 1-2) Lambda instantiation + WASM load.
         yield self.sim.timeout(cfg.invoke_ms + cfg.wasm_load_ms)
+        if obs.enabled:
+            obs.phase("phase.overhead", start_ms=invoked_at, region=self.region)
 
         if not record.analyzable:
             outcome = yield from self._direct(record, args, execution_id, invoked_at)
@@ -144,7 +158,13 @@ class NearUserRuntime:
 
         exec_ms = self._exec_time(record)
         frw_ms = self._frw_time(record, frw_gas, spec_trace.gas_used, exec_ms)
+        frw_started = self.sim.now
         yield self.sim.timeout(frw_ms)
+        if obs.enabled:
+            obs.phase(
+                "phase.frw", start_ms=frw_started,
+                reads=len(rwset.reads), writes=len(rwset.writes),
+            )
 
         # (2b) Gather cached versions for the LVI request.
         versions = {k: snapshot.version_of(*k) for k in rwset.reads}
@@ -162,12 +182,16 @@ class NearUserRuntime:
         if has_miss:
             # Validation is guaranteed to fail: skip speculation (§3.2).
             self.metrics.incr("path.miss")
+            rtt_started = self.sim.now
             response = yield from self.net.call(self.name, self.server_name, request)
+            if obs.enabled:
+                obs.phase("phase.lvi_rtt", start_ms=rtt_started, miss=True)
             outcome = self._finish_backup(response, invoked_at, frw_ms, record, PATH_MISS)
             return outcome
 
         if cfg.speculate:
             # Overlap the LVI round trip with the function's execution.
+            overlap_started = self.sim.now
             lvi_proc = self.sim.spawn(
                 self.net.call(self.name, self.server_name, request),
                 name=f"lvi({execution_id})",
@@ -175,10 +199,25 @@ class NearUserRuntime:
             exec_done = self.sim.timeout(exec_ms)
             yield self.sim.all_of([exec_done, lvi_proc.done_event])
             response: LVIResponse = lvi_proc.result
+            if obs.enabled:
+                # The phase's length is max(exec, LVI RTT) — the paper's
+                # core overlap (§3.2).  The enclosed spec.exec interval and
+                # the child rpc span let the analyzer name the winner.
+                obs.span_at(
+                    "spec.exec", overlap_started, overlap_started + exec_ms,
+                    kind="exec", function=function_id,
+                )
+                obs.phase("phase.spec_overlap", start_ms=overlap_started, exec_ms=exec_ms)
         else:
             # Ablation: serialize the LVI request before execution.
+            rtt_started = self.sim.now
             response = yield from self.net.call(self.name, self.server_name, request)
+            if obs.enabled:
+                obs.phase("phase.lvi_rtt", start_ms=rtt_started)
+            exec_started = self.sim.now
             yield self.sim.timeout(exec_ms)
+            if obs.enabled:
+                obs.phase("phase.exec", start_ms=exec_started, function=function_id)
 
         if not response.ok:
             self.metrics.incr("path.backup")
@@ -204,7 +243,10 @@ class NearUserRuntime:
             else:
                 # Ablation: a second synchronous round trip (validate-then-
                 # commit), paying the latency Radical's design avoids.
+                followup_started = self.sim.now
                 yield from self._send_followup(execution_id, writes)
+                if obs.enabled:
+                    obs.phase("phase.followup", start_ms=followup_started)
 
         return InvocationOutcome(
             result=spec_trace.result,
@@ -246,7 +288,11 @@ class NearUserRuntime:
             origin_region=self.region,
         )
         self.metrics.incr("path.direct")
+        obs = self.sim.obs
+        rtt_started = self.sim.now
         response = yield from self.net.call(self.name, self.server_name, request)
+        if obs.enabled:
+            obs.phase("phase.direct_rtt", start_ms=rtt_started, function=record.function_id)
         return InvocationOutcome(
             result=response.result,
             path=PATH_DIRECT,

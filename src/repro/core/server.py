@@ -77,7 +77,7 @@ class LVIServer:
         self.region = region
         self.name = name
         self.locks = LockManager(sim)
-        self.intents = IntentTable(store)
+        self.intents = IntentTable(store, sim=sim)
         self.idem = IdempotencyTable(store)
         self._jitter = (streams or RandomStreams(0)).stream(f"server.{name}.exec")
         self.raft = raft_cluster
@@ -117,6 +117,7 @@ class LVIServer:
             return NO_REPLY
         self._seen_requests.add(req.execution_id)
         record = self.registry.get(req.function_id)
+        obs = self.sim.obs
         all_keys = list(dict.fromkeys(list(req.read_keys) + list(req.write_keys)))
 
         # (4) Acquire locks, sorted lexicographically (deadlock freedom).
@@ -124,20 +125,32 @@ class LVIServer:
         # matter for read-heavy workloads) takes everything as a write lock.
         lock_reads = () if self.config.exclusive_locks else req.read_keys
         lock_writes = all_keys if self.config.exclusive_locks else req.write_keys
+        lock_started = self.sim.now
         yield self.sim.spawn(
             self.locks.acquire_all(req.execution_id, lock_reads, lock_writes),
             name=f"locks({req.execution_id})",
         )
+        if obs.enabled:
+            obs.span_at(
+                "server.lock_acquire", lock_started, self.sim.now,
+                kind="server", locks=len(all_keys),
+            )
         if self.config.replicated:
             yield from self._persist_locks_via_raft(req.execution_id, all_keys)
             yield self.sim.timeout(self.config.replicated_idem_ms)
 
         # (5) Validate: one storage round trip fetches every version.
+        validate_started = self.sim.now
         yield self.sim.timeout(self.config.server_storage_rtt_ms)
         authoritative = self.store.batch_versions(all_keys)
         stale = [
             k for k in req.read_keys if authoritative.get(k, 0) != req.versions.get(k, -1)
         ]
+        if obs.enabled:
+            obs.span_at(
+                "server.validate", validate_started, self.sim.now,
+                kind="server", stale=len(stale), ok=not stale,
+            )
 
         if not stale:
             self.metrics.incr("validation.success")
@@ -151,12 +164,24 @@ class LVIServer:
                 # (6a) Write intent + timer; locks stay held until the
                 # followup (or re-execution) applies the writes.  The args
                 # ride along in the intent so re-execution works even from
-                # a recovered replacement server.
+                # a recovered replacement server — and so does the trace
+                # id, so a recovered re-execution is attributed to the
+                # *original* invocation end-to-end.
+                intent_started = self.sim.now
                 yield self.sim.timeout(self.config.server_storage_rtt_ms)
+                ctx = self.sim.trace_context
                 self.intents.create(
-                    req.execution_id, req.function_id, now=self.sim.now, args=req.args
+                    req.execution_id, req.function_id, now=self.sim.now, args=req.args,
+                    trace_id=ctx.trace_id if ctx is not None else 0,
                 )
+                if obs.enabled:
+                    obs.span_at(
+                        "server.intent_write", intent_started, self.sim.now, kind="server",
+                    )
                 self._pending_exec[req.execution_id] = (req.function_id, req.args)
+                # The timer callback inherits this handler's trace context
+                # (the kernel snapshots it at schedule time), so a timer-
+                # driven re-execution lands in the invocation's trace.
                 self.sim.schedule(
                     self.config.followup_timeout_ms,
                     self._on_intent_timer,
@@ -176,11 +201,17 @@ class LVIServer:
             self._release(req.execution_id)
             raise ProtocolError(f"duplicate near-storage execution {req.execution_id}")
         env = PrimaryEnv(self.store)
+        backup_started = self.sim.now
         yield self.sim.timeout(self._exec_time(record))
         trace = VM(
             env, gas_limit=self.config.gas_limit,
             external=self._external_for(req.execution_id),
         ).execute(record.f, list(req.args))
+        if obs.enabled:
+            obs.span_at(
+                "server.backup_exec", backup_started, self.sim.now,
+                kind="exec", function=req.function_id,
+            )
 
         # (7b) Release locks, then ship the result plus cache repairs.
         fresh = self._collect_fresh(stale, list(env.write_versions))
@@ -228,6 +259,7 @@ class LVIServer:
             # the writes are already durable.  Discard (§3.6 case 3).
             self.metrics.incr("followup.discarded")
             return "discarded"
+        apply_started = self.sim.now
         yield self.sim.timeout(self.config.server_storage_rtt_ms)
         from ..storage import WriteOp
 
@@ -236,6 +268,12 @@ class LVIServer:
         self._pending_exec.pop(followup.execution_id, None)
         self._release(followup.execution_id)
         self.metrics.incr("followup.applied")
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.span_at(
+                "server.followup_apply", apply_started, self.sim.now,
+                kind="server", writes=len(followup.writes),
+            )
         return "applied"
 
     # -- the re-execution path --------------------------------------------------------
@@ -253,7 +291,11 @@ class LVIServer:
 
         The replay inputs come from the intent record in primary storage,
         so this path also works on a replacement server recovering after
-        the original crashed (see :meth:`recover_pending`).
+        the original crashed (see :meth:`recover_pending`).  Re-execution
+        spans carry the *original* invocation's trace id: the timer path
+        inherits it through the kernel, and the recovery path resurrects
+        it from the intent record, so recovered executions stay
+        attributable end-to-end.
         """
         intent = self.intents.get(execution_id)
         if intent is None:
@@ -264,6 +306,21 @@ class LVIServer:
             execution_id, IdempotencyTable.NEAR_STORAGE
         ):
             return
+        obs = self.sim.obs
+        span = None
+        if obs.enabled:
+            parent = self.sim.trace_context
+            recovered = False
+            if parent is None and intent.trace_id:
+                # Replacement server: the live context died with the crash;
+                # re-join the invocation's trace via the persisted id.
+                parent = obs.resume_context(intent.trace_id)
+                recovered = True
+            span = obs.start(
+                "server.reexec", kind="server", parent=parent,
+                execution_id=execution_id, function=intent.function_id,
+                recovered=recovered,
+            )
         self._pending_exec.pop(execution_id, None)
         record = self.registry.get(intent.function_id)
         self.metrics.incr("reexecution.count")
@@ -274,6 +331,8 @@ class LVIServer:
             external=self._external_for(execution_id),
         ).execute(record.f, list(intent.args))
         yield self.sim.timeout(self.config.server_storage_rtt_ms)
+        if span is not None:
+            span.finish(self.sim.now)
         self.intents.remove(execution_id)
         # A recovered replacement server never held this execution's locks
         # (the lock table died with the original server).
@@ -305,12 +364,19 @@ class LVIServer:
         self._seen_requests.add(req.execution_id)
         record = self.registry.get(req.function_id)
         env = PrimaryEnv(self.store)
+        exec_started = self.sim.now
         yield self.sim.timeout(self._exec_time(record))
         trace = VM(
             env, gas_limit=self.config.gas_limit,
             external=self._external_for(req.execution_id),
         ).execute(record.f, list(req.args))
         self.metrics.incr("direct.count")
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.span_at(
+                "server.direct_exec", exec_started, self.sim.now,
+                kind="exec", function=req.function_id,
+            )
         return LVIResponse(
             execution_id=req.execution_id,
             ok=False,

@@ -1,0 +1,67 @@
+"""Observability: structured tracing across every layer of the reproduction.
+
+``repro.obs`` is the spine that lets experiments answer *where* the virtual
+milliseconds went — per-invocation phase spans (overheads, f^rw, the
+speculation/LVI overlap), network hop spans, LVI-server stage spans, lock
+waits, and cache/intent events — with a JSONL exporter and a critical-path
+analyzer.  Tracing is off by default (:data:`NOOP_COLLECTOR`); enabling it
+must not perturb determinism: identical seeds yield identical event orders
+and results with tracing on or off.
+"""
+
+from .analyze import (
+    BALANCE_TOLERANCE_MS,
+    Breakdown,
+    all_breakdowns,
+    assert_balanced,
+    critical_path,
+    critical_path_signatures,
+    group_traces,
+    invocation_breakdown,
+    orphan_spans,
+    phase_summary_rows,
+)
+from .export import read_jsonl, spans_to_jsonl, trace_digest, write_jsonl
+from .trace import (
+    NOOP_COLLECTOR,
+    SPAN_KIND_EVENT,
+    SPAN_KIND_EXEC,
+    SPAN_KIND_INVOCATION,
+    SPAN_KIND_LOCK,
+    SPAN_KIND_NET,
+    SPAN_KIND_PHASE,
+    SPAN_KIND_SERVER,
+    NoopCollector,
+    Span,
+    TraceCollector,
+    TraceContext,
+)
+
+__all__ = [
+    "BALANCE_TOLERANCE_MS",
+    "Breakdown",
+    "NOOP_COLLECTOR",
+    "NoopCollector",
+    "SPAN_KIND_EVENT",
+    "SPAN_KIND_EXEC",
+    "SPAN_KIND_INVOCATION",
+    "SPAN_KIND_LOCK",
+    "SPAN_KIND_NET",
+    "SPAN_KIND_PHASE",
+    "SPAN_KIND_SERVER",
+    "Span",
+    "TraceCollector",
+    "TraceContext",
+    "all_breakdowns",
+    "assert_balanced",
+    "critical_path",
+    "critical_path_signatures",
+    "group_traces",
+    "invocation_breakdown",
+    "orphan_spans",
+    "phase_summary_rows",
+    "read_jsonl",
+    "spans_to_jsonl",
+    "trace_digest",
+    "write_jsonl",
+]

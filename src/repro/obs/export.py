@@ -1,0 +1,72 @@
+"""JSONL import/export for trace spans.
+
+One span per line, stable key order, no timestamps other than virtual-clock
+ones — so identical seeds produce byte-identical files, which the
+determinism regression tests hash directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .trace import Span
+
+__all__ = ["spans_to_jsonl", "write_jsonl", "read_jsonl", "trace_digest"]
+
+
+def spans_to_jsonl(
+    spans: Iterable[Span],
+    extra: Optional[Dict[str, Any]] = None,
+    trace_id_offset: int = 0,
+) -> str:
+    """Serialize spans to a JSONL string.
+
+    ``extra`` keys are merged into every record (e.g. ``{"app": "social"}``
+    when several experiments share one file).  ``trace_id_offset`` shifts
+    every trace id — required when concatenating spans from more than one
+    collector, since each collector numbers traces from 1 and colliding ids
+    would merge unrelated invocations in the analyzer.
+    """
+    lines = []
+    for span in spans:
+        record = span.to_record()
+        if trace_id_offset:
+            record["trace"] += trace_id_offset
+        if extra:
+            record = {**record, **extra}
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(
+    path: str,
+    spans: Iterable[Span],
+    extra: Optional[Dict[str, Any]] = None,
+    append: bool = False,
+    trace_id_offset: int = 0,
+) -> str:
+    """Write spans to ``path`` (one JSON object per line); returns the path."""
+    mode = "a" if append else "w"
+    with open(path, mode) as fh:
+        fh.write(spans_to_jsonl(spans, extra, trace_id_offset=trace_id_offset))
+    return path
+
+
+def read_jsonl(path: str) -> List[Span]:
+    """Load spans back from a JSONL file written by :func:`write_jsonl`."""
+    spans: List[Span] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            spans.append(Span.from_record(json.loads(line)))
+    return spans
+
+
+def trace_digest(spans: Iterable[Span]) -> str:
+    """SHA-256 over the canonical JSONL serialization — the determinism
+    regression tests assert this is identical across same-seed runs."""
+    return hashlib.sha256(spans_to_jsonl(spans).encode()).hexdigest()

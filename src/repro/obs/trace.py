@@ -1,0 +1,343 @@
+"""Structured tracing: contexts, spans, and collectors.
+
+The paper's headline result is a latency *decomposition* — speculation
+overlapped with a single LVI round trip makes end-to-end latency
+``max(exec, RTT)`` instead of ``exec + RTT`` (§3.2) — so a flat e2e number
+cannot tell you whether a p99 regression came from f^rw derivation, lock
+queueing, validation, or re-execution.  This module is the vocabulary every
+layer uses to attribute virtual milliseconds:
+
+* :class:`TraceContext` — (trace id, span id) pair identifying "the current
+  invocation"; the simulation kernel propagates it across ``spawn``,
+  ``timeout``/event joins, and scheduled timers (see ``sim.core``).
+* :class:`Span` — a named interval on the virtual clock with free-form
+  attributes.  ``kind`` partitions spans into *phases* (client-side,
+  non-overlapping, summing to e2e), network hops, server stages, lock
+  waits, and point events.
+* :class:`TraceCollector` — the recording sink.  :data:`NOOP_COLLECTOR` is
+  the always-installed default: ``enabled`` is False and every call site
+  guards on it, so tracing-off runs allocate nothing and perturb nothing.
+
+Determinism contract: collectors never draw randomness and never schedule
+simulation events.  Ids come from private counters and timestamps from the
+virtual clock, so identical seeds produce byte-identical span streams —
+and identical event orders whether tracing is on or off.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "TraceCollector",
+    "NoopCollector",
+    "NOOP_COLLECTOR",
+    "SPAN_KIND_INVOCATION",
+    "SPAN_KIND_PHASE",
+    "SPAN_KIND_NET",
+    "SPAN_KIND_SERVER",
+    "SPAN_KIND_LOCK",
+    "SPAN_KIND_EXEC",
+    "SPAN_KIND_EVENT",
+]
+
+# Span taxonomy (see docs/OBSERVABILITY.md for the full glossary).
+SPAN_KIND_INVOCATION = "invocation"  # one client request, root of a trace
+SPAN_KIND_PHASE = "phase"            # client-side critical-path segment
+SPAN_KIND_NET = "net"                # a message hop or RPC round trip
+SPAN_KIND_SERVER = "server"          # an LVI-server processing stage
+SPAN_KIND_LOCK = "lock"              # a contended lock wait
+SPAN_KIND_EXEC = "exec"              # a function execution interval
+SPAN_KIND_EVENT = "event"            # zero-duration point event
+
+
+class TraceContext:
+    """Identifies the active trace and the span new children hang off."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int = 0):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceContext trace={self.trace_id} span={self.span_id}>"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+
+class Span:
+    """A named interval of virtual time within one trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "kind",
+                 "start_ms", "end_ms", "attrs")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: int,
+        name: str,
+        kind: str,
+        start_ms: float,
+        end_ms: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
+
+    @property
+    def context(self) -> TraceContext:
+        """The context under which children of this span should start."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ms is not None
+
+    @property
+    def duration_ms(self) -> float:
+        """Span duration; raises if the span is still open."""
+        if self.end_ms is None:
+            raise ValueError(f"span {self.name!r} (id {self.span_id}) not finished")
+        return self.end_ms - self.start_ms
+
+    def finish(self, at_ms: float, **attrs: Any) -> "Span":
+        """Close the span at ``at_ms``.  Finishing twice is a bug — two
+        code paths both think they own this span's lifetime."""
+        if self.end_ms is not None:
+            raise ValueError(f"span {self.name!r} (id {self.span_id}) finished twice")
+        if at_ms < self.start_ms:
+            raise ValueError(f"span {self.name!r} ends before it starts")
+        self.end_ms = at_ms
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat dict for JSONL export (stable key set and ordering)."""
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "attrs": self.attrs,
+        }
+
+    @staticmethod
+    def from_record(record: Dict[str, Any]) -> "Span":
+        return Span(
+            trace_id=record["trace"],
+            span_id=record["span"],
+            parent_id=record["parent"],
+            name=record["name"],
+            kind=record["kind"],
+            start_ms=record["start_ms"],
+            end_ms=record["end_ms"],
+            attrs=dict(record.get("attrs") or {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.end_ms:.3f}" if self.end_ms is not None else "…"
+        return (f"<Span {self.name!r} kind={self.kind} trace={self.trace_id} "
+                f"[{self.start_ms:.3f}, {end}]>")
+
+
+class TraceCollector:
+    """Recording collector: every span of one experiment run, in creation
+    order.
+
+    ``clock`` is any object with a ``now`` attribute in milliseconds —
+    in practice the :class:`~repro.sim.Simulator` — and a mutable
+    ``trace_context`` attribute holding the active :class:`TraceContext`
+    (the kernel saves/restores it around every process step).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Any):
+        self.clock = clock
+        self.spans: List[Span] = []
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    # -- context ----------------------------------------------------------
+
+    def current(self) -> Optional[TraceContext]:
+        """The active context (what the kernel propagated to this step)."""
+        return self.clock.trace_context
+
+    def activate(self, ctx: Optional[TraceContext]) -> Optional[TraceContext]:
+        """Install ``ctx`` as the active context; returns the previous one.
+
+        The kernel snapshots the active context per process, so activation
+        inside a process sticks for that process (and its future spawns)
+        without leaking into unrelated processes.
+        """
+        prev = self.clock.trace_context
+        self.clock.trace_context = ctx
+        return prev
+
+    def resume_context(self, trace_id: int) -> TraceContext:
+        """Re-enter a trace by id only (no live parent span) — used when a
+        recovered LVI server replays an intent whose original invocation's
+        context died with the crashed predecessor."""
+        return TraceContext(trace_id, 0)
+
+    # -- span creation ----------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        kind: str = SPAN_KIND_SERVER,
+        parent: Optional[TraceContext] = None,
+        new_trace: bool = False,
+        start_ms: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span under ``parent`` (default: the active context).
+
+        ``new_trace=True`` mints a fresh trace id — the span becomes a
+        trace root (an invocation).  Orphan spans started with no parent
+        and no active context also get their own trace so they remain
+        addressable in exports.
+        """
+        if parent is None and not new_trace:
+            parent = self.clock.trace_context
+        if new_trace or parent is None:
+            trace_id = next(self._trace_ids)
+            parent_id = 0
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            trace_id=trace_id,
+            span_id=next(self._span_ids),
+            parent_id=parent_id,
+            name=name,
+            kind=kind,
+            start_ms=self.clock.now if start_ms is None else start_ms,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self.spans.append(span)
+        return span
+
+    def span_at(
+        self,
+        name: str,
+        start_ms: float,
+        end_ms: float,
+        kind: str = SPAN_KIND_SERVER,
+        parent: Optional[TraceContext] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-closed interval (both endpoints known)."""
+        span = self.start(name, kind=kind, parent=parent, start_ms=start_ms, **attrs)
+        span.finish(end_ms)
+        return span
+
+    def phase(self, name: str, start_ms: float, **attrs: Any) -> Span:
+        """Close out a client-side critical-path segment ``[start_ms, now]``.
+
+        Phase spans are the accounting primitive: for every invocation the
+        phases are contiguous and non-overlapping, so they sum to the
+        recorded end-to-end latency (within float tolerance).
+        """
+        return self.span_at(name, start_ms, self.clock.now, kind=SPAN_KIND_PHASE, **attrs)
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """A zero-duration point event (cache hit/miss, intent transition)."""
+        now = self.clock.now
+        return self.span_at(name, now, now, kind=SPAN_KIND_EVENT, **attrs)
+
+    # -- introspection ----------------------------------------------------
+
+    def open_spans(self) -> List[Span]:
+        """Spans never finished — each one is an accounting leak."""
+        return [s for s in self.spans if not s.finished]
+
+    def traces(self) -> Dict[int, List[Span]]:
+        """Spans grouped by trace id, in creation order."""
+        grouped: Dict[int, List[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class NoopCollector:
+    """The zero-cost disabled collector.
+
+    ``enabled`` is False and every instrumentation site guards on it, so a
+    tracing-off run performs no span allocation at all.  The methods exist
+    (and return a shared dummy span) so unguarded calls cannot crash.
+    """
+
+    enabled = False
+
+    def current(self) -> None:
+        return None
+
+    def activate(self, ctx: Optional[TraceContext]) -> None:
+        return None
+
+    def resume_context(self, trace_id: int) -> TraceContext:
+        return TraceContext(trace_id, 0)
+
+    def start(self, name: str, **kwargs: Any) -> Span:
+        return _NOOP_SPAN
+
+    def span_at(self, name: str, start_ms: float, end_ms: float, **kwargs: Any) -> Span:
+        return _NOOP_SPAN
+
+    def phase(self, name: str, start_ms: float, **kwargs: Any) -> Span:
+        return _NOOP_SPAN
+
+    def event(self, name: str, **kwargs: Any) -> Span:
+        return _NOOP_SPAN
+
+    def open_spans(self) -> List[Span]:
+        return []
+
+    def traces(self) -> Dict[int, List[Span]]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+class _NoopSpan(Span):
+    """Shared sink for unguarded calls against the no-op collector."""
+
+    __slots__ = ()
+
+    def finish(self, at_ms: float, **attrs: Any) -> "Span":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan(0, 0, 0, "noop", SPAN_KIND_EVENT, 0.0, 0.0)
+
+#: The process-wide disabled collector (stateless, safe to share).
+NOOP_COLLECTOR = NoopCollector()

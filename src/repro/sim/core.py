@@ -27,6 +27,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.trace import NOOP_COLLECTOR
+
 __all__ = [
     "Simulator",
     "Process",
@@ -272,6 +274,11 @@ class Process:
         self.done_event = Event(sim, name=f"done({self.name})")
         self._waiting_on: Optional[Event] = None
         self._defunct = False
+        # Trace-context inheritance: a spawned process joins whatever trace
+        # its spawner was in (None when tracing is disabled).  The kernel
+        # restores this around every step so contexts never leak between
+        # concurrently-scheduled processes.
+        self.ctx = sim.trace_context
 
     # -- public API ------------------------------------------------------
 
@@ -330,34 +337,50 @@ class Process:
     def _step_send(self, value: Any) -> None:
         if self._defunct:
             return
+        sim = self.sim
+        prev_ctx = sim.trace_context
+        sim.trace_context = self.ctx
         try:
-            yielded = self.gen.send(value)
-        except StopIteration as stop:
-            self._finish(stop.value, None)
-            return
-        except Interrupted as exc:
-            self._finish(None, exc)
-            return
-        except Exception as exc:
-            self._finish(None, exc)
-            return
-        self._wait_on(yielded)
+            try:
+                yielded = self.gen.send(value)
+            except StopIteration as stop:
+                self._finish(stop.value, None)
+                return
+            except Interrupted as exc:
+                self._finish(None, exc)
+                return
+            except Exception as exc:
+                self._finish(None, exc)
+                return
+            self._wait_on(yielded)
+        finally:
+            # The generator may have re-activated a different context
+            # (e.g. a client starting a new per-request trace): keep it.
+            self.ctx = sim.trace_context
+            sim.trace_context = prev_ctx
 
     def _step_throw(self, exc: BaseException) -> None:
         if self._defunct or self.done:
             return
+        sim = self.sim
+        prev_ctx = sim.trace_context
+        sim.trace_context = self.ctx
         try:
-            yielded = self.gen.throw(exc)
-        except StopIteration as stop:
-            self._finish(stop.value, None)
-            return
-        except Interrupted as caught:
-            self._finish(None, caught)
-            return
-        except Exception as caught:
-            self._finish(None, caught)
-            return
-        self._wait_on(yielded)
+            try:
+                yielded = self.gen.throw(exc)
+            except StopIteration as stop:
+                self._finish(stop.value, None)
+                return
+            except Interrupted as caught:
+                self._finish(None, caught)
+                return
+            except Exception as caught:
+                self._finish(None, caught)
+                return
+            self._wait_on(yielded)
+        finally:
+            self.ctx = sim.trace_context
+            sim.trace_context = prev_ctx
 
     def _wait_on(self, yielded: Any) -> None:
         if isinstance(yielded, Process):
@@ -401,10 +424,20 @@ class Simulator:
 
     def __init__(self):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._heap: list[tuple[float, int, Any, Callable, tuple]] = []
         self._seq = itertools.count()
         self._crashed: Optional[tuple[Process, BaseException]] = None
         self._running = False
+        #: The installed trace collector.  NOOP by default — experiments
+        #: that want tracing install a ``repro.obs.TraceCollector`` before
+        #: building any component.  Collectors never schedule events or
+        #: draw randomness, so determinism is identical on/off.
+        self.obs = NOOP_COLLECTOR
+        #: The active trace context.  Saved/restored around every process
+        #: step and scheduled callback, so spawns, timeouts, event joins,
+        #: and timers all inherit the context of the code that created
+        #: them (None whenever tracing is disabled).
+        self.trace_context = None
 
     # -- construction helpers ---------------------------------------------
 
@@ -436,7 +469,10 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         handle = TimerHandle(fn, args)
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), handle._fire, ()))
+        heapq.heappush(
+            self._heap,
+            (self.now + delay, next(self._seq), self.trace_context, handle._fire, ()),
+        )
         return handle
 
     # -- execution ---------------------------------------------------------
@@ -455,13 +491,17 @@ class Simulator:
             while self._heap:
                 if until_event is not None and until_event.triggered:
                     break
-                when, _seq, fn, args = self._heap[0]
+                when, _seq, ctx, fn, args = self._heap[0]
                 if until is not None and when > until:
                     self.now = until
                     break
                 heapq.heappop(self._heap)
                 self.now = when
-                fn(*args)
+                self.trace_context = ctx
+                try:
+                    fn(*args)
+                finally:
+                    self.trace_context = None
                 if self._crashed is not None:
                     proc, exc = self._crashed
                     self._crashed = None
@@ -492,7 +532,13 @@ class Simulator:
     # -- kernel internals ---------------------------------------------------
 
     def _schedule(self, delay: float, fn: Callable, *args: Any) -> None:
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+        # Callbacks carry the trace context active at scheduling time, so
+        # timers (e.g. intent expiry) fire attributed to the invocation
+        # that armed them.  The seq tiebreaker keeps heap ordering — and
+        # therefore determinism — independent of the ctx payload.
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._seq), self.trace_context, fn, args)
+        )
 
     def _schedule_resume(self, waiter: Any, event: Event) -> None:
         # ``waiter`` is a Process or a _Watcher; both expose _resume().

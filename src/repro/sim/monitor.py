@@ -10,9 +10,16 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["Metrics", "Summary", "percentile"]
+
+#: Canonical form of a tag set: sorted (key, value) pairs.
+TagKey = Tuple[Tuple[str, str], ...]
+
+
+def _tag_key(tags: Dict[str, str]) -> TagKey:
+    return tuple(sorted((str(k), str(v)) for k, v in tags.items()))
 
 
 def percentile(samples: List[float], p: float) -> float:
@@ -23,11 +30,18 @@ def percentile(samples: List[float], p: float) -> float:
     """
     if not samples:
         raise ValueError("percentile of empty sample set")
-    if not 0.0 <= p <= 100.0:
+    if math.isnan(p) or not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile out of range: {p}")
     data = sorted(samples)
     if len(data) == 1:
         return data[0]
+    # Explicit extremes: p=0/p=100 must be exactly min/max, with no float
+    # round-off from the interpolated rank (rank = 1.0 * (n-1) can land a
+    # hair below n-1 for large n).
+    if p == 0.0:
+        return data[0]
+    if p == 100.0:
+        return data[-1]
     rank = (p / 100.0) * (len(data) - 1)
     lo = math.floor(rank)
     hi = math.ceil(rank)
@@ -70,6 +84,9 @@ class Metrics:
     def __init__(self):
         self._samples: Dict[str, List[float]] = defaultdict(list)
         self._counters: Dict[str, int] = defaultdict(int)
+        # label -> tag set -> samples.  Tagged series are separate from the
+        # flat label namespace so the existing API is unchanged.
+        self._tagged: Dict[str, Dict[TagKey, List[float]]] = defaultdict(dict)
 
     # -- samples -----------------------------------------------------------
 
@@ -92,6 +109,43 @@ class Metrics:
 
     def labels(self) -> Iterable[str]:
         return sorted(self._samples)
+
+    # -- tagged histograms -------------------------------------------------
+
+    def record_tagged(self, label: str, value: float, **tags: str) -> None:
+        """Append one sample under ``label`` keyed by a tag set, e.g.
+        ``record_tagged("e2e", 81.3, region="jp", path="speculative")``.
+
+        The flat :meth:`record` namespace is untouched: callers that want a
+        sample in both record it twice.
+        """
+        series = self._tagged[label]
+        key = _tag_key(tags)
+        if key not in series:
+            series[key] = []
+        series[key].append(value)
+
+    def samples_tagged(self, label: str, **match: str) -> List[float]:
+        """All samples of ``label`` whose tag set contains every ``match``
+        pair (empty match selects every tagged series of the label)."""
+        want = set(_tag_key(match))
+        out: List[float] = []
+        for key, samples in self._tagged.get(label, {}).items():
+            if want <= set(key):
+                out.extend(samples)
+        return out
+
+    def summary_tagged(self, label: str, **match: str) -> Summary:
+        """Distribution summary over the matching tagged series; raises
+        ``KeyError`` when nothing matches (mirrors :meth:`summary`)."""
+        samples = self.samples_tagged(label, **match)
+        if not samples:
+            raise KeyError(f"no tagged samples for {label!r} matching {match!r}")
+        return Summary.of(samples)
+
+    def tag_sets(self, label: str) -> List[Dict[str, str]]:
+        """Every distinct tag set recorded under ``label``, sorted."""
+        return [dict(key) for key in sorted(self._tagged.get(label, {}))]
 
     # -- counters ----------------------------------------------------------
 

@@ -244,6 +244,15 @@ class Network:
         arrival (models a crashed host)."""
         self._endpoints.pop(name, None)
 
+    def unique_endpoint_name(self, prefix: str) -> str:
+        """The first ``{prefix}-{n}`` not yet registered.  Deterministic
+        given construction order, so same-seed runs name their endpoints
+        identically (names appear in trace-span attributes)."""
+        n = 0
+        while f"{prefix}-{n}" in self._endpoints:
+            n += 1
+        return f"{prefix}-{n}"
+
     def endpoint(self, name: str) -> Endpoint:
         return self._endpoints[name]
 
@@ -302,6 +311,19 @@ class Network:
             return True
         return fault.drop_probability > 0 and self._drop_rng.random() < fault.drop_probability
 
+    def _hop_span(self, src: str, dst: str, src_region: str, dst_region: str):
+        """Start one ``net.hop`` span per physical message copy (or None
+        with tracing disabled).  Every hop span is closed exactly once —
+        at delivery, or immediately when failure injection eats the copy —
+        so span accounting balances even under drops and partitions."""
+        obs = self.sim.obs
+        if not obs.enabled:
+            return None
+        return obs.start(
+            "net.hop", kind="net",
+            src=src, dst=dst, src_region=src_region, dst_region=dst_region,
+        )
+
     def send(self, src: str, dst: str, payload: Any) -> Optional[Message]:
         """Fire-and-forget delivery from endpoint ``src`` to endpoint ``dst``.
 
@@ -315,10 +337,16 @@ class Network:
         if self.tracer is not None:
             traced = payload[0] if isinstance(payload, tuple) and len(payload) == 2 else payload
             self.tracer(self.sim.now, src, dst, traced)
+        dst_region = dst_ep.region if dst_ep is not None else "?"
+        span = self._hop_span(src, dst, src_ep.region, dst_region)
         if dst_ep is None or self._lossy(src_ep.region, dst_ep.region):
             self.messages_dropped += 1
+            if span is not None:
+                span.finish(self.sim.now, status="dropped")
             return None
         delay = self._delay(src_ep.region, dst_ep.region)
+        if span is not None:
+            span.attrs["one_way_ms"] = delay
         msg = Message(
             msg_id=next(self._msg_ids),
             src=src,
@@ -327,21 +355,28 @@ class Network:
             sent_at=self.sim.now,
             deliver_at=self.sim.now + delay,
         )
-        self.sim.schedule(delay, self._deliver, msg)
+        self.sim.schedule(delay, self._deliver, msg, span)
         fault = self._faults.get((src_ep.region, dst_ep.region))
         if (
             fault is not None
             and fault.duplicate_probability > 0
             and self._drop_rng.random() < fault.duplicate_probability
         ):
-            self.sim.schedule(delay + 0.1, self._deliver, msg)
+            dup_span = self._hop_span(src, dst, src_ep.region, dst_ep.region)
+            if dup_span is not None:
+                dup_span.attrs["duplicate"] = True
+            self.sim.schedule(delay + 0.1, self._deliver, msg, dup_span)
         return msg
 
-    def _deliver(self, msg: Message) -> None:
+    def _deliver(self, msg: Message, span=None) -> None:
         ep = self._endpoints.get(msg.dst)
         if ep is None:
             self.messages_dropped += 1
+            if span is not None:
+                span.finish(self.sim.now, status="dropped")
             return
+        if span is not None:
+            span.finish(self.sim.now, status="delivered")
         if ep.handler is not None:
             result = ep.handler(msg.payload, msg.src)
             if result is not None and hasattr(result, "send"):
@@ -369,16 +404,33 @@ class Network:
         whose return value is sent back as the response.  Raises
         :class:`RpcTimeout` if no response arrives in ``timeout`` ms.
         """
-        reply = self.sim.event(name=f"rpc({src}->{dst})")
-        self._send_request(src, dst, payload, reply)
-        if timeout is None:
-            response = yield reply
-            return response
-        to = self.sim.timeout(timeout)
-        first = yield self.sim.any_of([reply, to])
-        if reply in first:
-            return first[reply]
-        raise RpcTimeout(f"rpc {src}->{dst} timed out after {timeout} ms")
+        obs = self.sim.obs
+        span = None
+        if obs.enabled:
+            span = obs.start(
+                "rpc", kind="net", src=src, dst=dst,
+                request=type(payload).__name__,
+            )
+        status = "ok"
+        try:
+            reply = self.sim.event(name=f"rpc({src}->{dst})")
+            self._send_request(src, dst, payload, reply)
+            if timeout is None:
+                response = yield reply
+                return response
+            to = self.sim.timeout(timeout)
+            first = yield self.sim.any_of([reply, to])
+            if reply in first:
+                return first[reply]
+            status = "timeout"
+            raise RpcTimeout(f"rpc {src}->{dst} timed out after {timeout} ms")
+        except BaseException:
+            if status == "ok":
+                status = "error"
+            raise
+        finally:
+            if span is not None:
+                span.finish(self.sim.now, status=status)
 
     def serve(self, name: str, region: str, fn: Callable[[Any, str], Generator]) -> Endpoint:
         """Register an RPC server endpoint.
@@ -420,12 +472,25 @@ class Network:
         self.bytes_proxy += 1
         if self.tracer is not None:
             self.tracer(self.sim.now, server, reply_ref.src, value)
+        span = self._hop_span(
+            server, reply_ref.src,
+            src_ep.region if src_ep is not None else "?",
+            dst_ep.region if dst_ep is not None else "?",
+        )
+        if span is not None:
+            span.attrs["reply"] = True
         if src_ep is None or dst_ep is None or self._lossy(src_ep.region, dst_ep.region):
             self.messages_dropped += 1
+            if span is not None:
+                span.finish(self.sim.now, status="dropped")
             return
         delay = self._delay(src_ep.region, dst_ep.region)
+        if span is not None:
+            span.attrs["one_way_ms"] = delay
 
         def complete() -> None:
+            if span is not None:
+                span.finish(self.sim.now, status="delivered")
             if reply_ref.reply.triggered:
                 return  # duplicate response (failure injection)
             if failed:

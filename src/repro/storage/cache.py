@@ -44,6 +44,10 @@ class NearUserCache:
         self._entries: Dict[Tuple[str, str], CacheEntry] = {}
         self.hits = 0
         self.misses = 0
+        #: Optional trace collector (set by the owning runtime).  When one
+        #: is installed and enabled, hits/misses are emitted as point
+        #: events in the current invocation's trace.
+        self.obs = None
 
     # -- reads -------------------------------------------------------------
 
@@ -51,10 +55,15 @@ class NearUserCache:
         """The cached entry, or ``None`` on a miss (version -1 in the LVI
         request; speculation is skipped because validation must fail)."""
         entry = self._entries.get((table, key))
+        obs = self.obs
         if entry is None:
             self.misses += 1
+            if obs is not None and obs.enabled:
+                obs.event("cache.miss", region=self.region, table=table, key=key)
             return None
         self.hits += 1
+        if obs is not None and obs.enabled:
+            obs.event("cache.hit", region=self.region, table=table, key=key)
         return entry
 
     def version(self, table: str, key: str) -> int:

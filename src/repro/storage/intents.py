@@ -48,6 +48,10 @@ class WriteIntent:
     function_id: str
     created_at: float
     args: tuple = ()
+    #: Trace id of the originating invocation (0 = untraced).  Persisted so
+    #: a replacement server's recovery re-execution can be attributed to
+    #: the original request end-to-end.
+    trace_id: int = 0
 
     def to_value(self) -> dict:
         return {
@@ -56,6 +60,7 @@ class WriteIntent:
             "function_id": self.function_id,
             "created_at": self.created_at,
             "args": list(self.args),
+            "trace_id": self.trace_id,
         }
 
     @staticmethod
@@ -66,6 +71,7 @@ class WriteIntent:
             function_id=value["function_id"],
             created_at=value["created_at"],
             args=tuple(value.get("args", ())),
+            trace_id=value.get("trace_id", 0),
         )
 
 
@@ -78,17 +84,35 @@ class IntentTable:
     writes (§3.6, "validation succeeds but the followup is late").
     """
 
-    def __init__(self, store: KVStore):
+    def __init__(self, store: KVStore, sim=None):
         self.store = store
+        # Optional simulator handle: with one installed, intent lifecycle
+        # transitions are emitted as trace events (no-op when tracing is
+        # disabled or no sim is attached — plain unit tests pass neither).
+        self.sim = sim
+
+    def _event(self, name: str, execution_id: str) -> None:
+        if self.sim is not None:
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.event(name, execution_id=execution_id)
 
     def create(
-        self, execution_id: str, function_id: str, now: float, args: tuple = ()
+        self,
+        execution_id: str,
+        function_id: str,
+        now: float,
+        args: tuple = (),
+        trace_id: int = 0,
     ) -> WriteIntent:
         """Install a PENDING intent; the execution id must be fresh."""
         if self.store.exists(INTENT_TABLE, execution_id):
             raise ProtocolError(f"intent for execution {execution_id!r} already exists")
-        intent = WriteIntent(execution_id, IntentStatus.PENDING, function_id, now, args)
+        intent = WriteIntent(
+            execution_id, IntentStatus.PENDING, function_id, now, args, trace_id
+        )
         self.store.put(INTENT_TABLE, execution_id, intent.to_value())
+        self._event("intent.create", execution_id)
         return intent
 
     def get(self, execution_id: str) -> Optional[WriteIntent]:
@@ -104,19 +128,24 @@ class IntentTable:
         """
         item = self.store.get_or_none(INTENT_TABLE, execution_id)
         if item is None:
+            self._event("intent.race_lost", execution_id)
             return False
         intent = WriteIntent.from_value(item.value)
         if intent.status != IntentStatus.PENDING:
+            self._event("intent.race_lost", execution_id)
             return False
         completed = WriteIntent(
-            intent.execution_id, IntentStatus.COMPLETED, intent.function_id, intent.created_at
+            intent.execution_id, IntentStatus.COMPLETED, intent.function_id,
+            intent.created_at, trace_id=intent.trace_id,
         )
         try:
             self.store.conditional_put(
                 INTENT_TABLE, execution_id, completed.to_value(), item.version
             )
         except ConditionFailed:
+            self._event("intent.race_lost", execution_id)
             return False
+        self._event("intent.complete", execution_id)
         return True
 
     def remove(self, execution_id: str) -> bool:

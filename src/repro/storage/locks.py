@@ -113,11 +113,30 @@ class LockManager:
         requests = self.normalize(read_keys, write_keys)
         self._held[owner] = []
         started = self.sim.now
+        obs = self.sim.obs
         for req in requests:
             ev = self._acquire_one(owner, req.key, req.mode)
             if not ev.triggered:
                 self.contended_acquisitions += 1
-            yield ev
+                # A contended acquisition is queue time on the server's
+                # critical path: record it as a lock.wait span so the
+                # analyzer can attribute p99 tails to hot keys.
+                wait_span = None
+                if obs.enabled:
+                    wait_span = obs.start(
+                        "lock.wait", kind="lock",
+                        table=req.key[0], key=req.key[1], mode=req.mode,
+                        queue=self.queue_length(req.key),
+                    )
+                try:
+                    yield ev
+                finally:
+                    # Close on the kill/interrupt path too, so failure
+                    # injection cannot leak open spans.
+                    if wait_span is not None and not wait_span.finished:
+                        wait_span.finish(self.sim.now)
+            else:
+                yield ev
             self._held[owner].append((req.key, req.mode))
             if per_lock_latency > 0:
                 yield self.sim.timeout(per_lock_latency)

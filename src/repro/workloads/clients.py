@@ -20,8 +20,9 @@ from ..sim import Metrics, Simulator
 __all__ = ["Invoker", "ClosedLoopClient", "run_clients"]
 
 #: A deployment binding: invoke(function_id, args) -> generator -> outcome.
-#: Outcomes must expose .result/.latency_ms/.read_versions/.write_versions
-#: (InvocationOutcome and BaselineOutcome both do).
+#: Outcomes must expose .result/.latency_ms/.path/.read_versions/
+#: .write_versions (InvocationOutcome and BaselineOutcome both do); .path
+#: tags the per-(region, path) latency histograms and trace root spans.
 Invoker = Callable[[str, List[Any]], Generator]
 
 
@@ -42,21 +43,46 @@ class ClosedLoopClient:
     think_time_ms: float = 0.0
 
     def run(self) -> Generator:
-        """The client process: issue ``requests`` requests sequentially."""
+        """The client process: issue ``requests`` requests sequentially.
+
+        With tracing enabled each request opens a fresh trace whose root
+        ``invocation`` span covers exactly the recorded e2e interval; the
+        two client-hop halves become ``phase.client_rtt`` spans so that
+        every virtual millisecond of e2e is attributed to some phase.
+        """
+        obs = self.sim.obs
         for _i in range(self.requests):
             function_id, args = self.app.generate_request(self.rng)
             start = self.sim.now
+            root = None
+            if obs.enabled:
+                root = obs.start(
+                    "invocation", kind="invocation", new_trace=True,
+                    function=function_id, region=self.region,
+                )
+                obs.activate(root.context)
             record = None if self.history is None else self.history.begin(function_id, start)
             # Client -> co-located deployment hop.
             yield self.sim.timeout(self.client_app_rtt_ms / 2.0)
+            if root is not None:
+                obs.phase("phase.client_rtt", start_ms=start)
             outcome = yield self.sim.spawn(
                 self.invoke(function_id, args), name=f"req({function_id})"
             )
+            reply_hop_start = self.sim.now
             yield self.sim.timeout(self.client_app_rtt_ms / 2.0)
             latency = self.sim.now - start
+            if root is not None:
+                obs.phase("phase.client_rtt", start_ms=reply_hop_start)
+                root.finish(self.sim.now, path=outcome.path)
+                obs.activate(None)
             self.metrics.record(self.label_prefix, latency)
             self.metrics.record(f"{self.label_prefix}.region.{self.region}", latency)
             self.metrics.record(f"{self.label_prefix}.fn.{function_id}", latency)
+            self.metrics.record_tagged(
+                self.label_prefix, latency,
+                region=self.region, path=outcome.path, function=function_id,
+            )
             self.metrics.incr("requests.total")
             if record is not None:
                 self.history.finish(
@@ -111,11 +137,26 @@ class OpenLoopClient:
             yield proc
 
     def _one(self, function_id: str, args) -> Generator:
+        obs = self.sim.obs
         start = self.sim.now
-        yield self.sim.spawn(self.invoke(function_id, args))
+        root = None
+        if obs.enabled:
+            root = obs.start(
+                "invocation", kind="invocation", new_trace=True,
+                function=function_id, region=self.region, open_loop=True,
+            )
+            obs.activate(root.context)
+        outcome = yield self.sim.spawn(self.invoke(function_id, args))
         latency = self.sim.now - start
+        if root is not None:
+            root.finish(self.sim.now, path=outcome.path)
+            obs.activate(None)
         self.metrics.record(self.label_prefix, latency)
         self.metrics.record(f"{self.label_prefix}.region.{self.region}", latency)
+        self.metrics.record_tagged(
+            self.label_prefix, latency,
+            region=self.region, path=outcome.path, function=function_id,
+        )
         self.metrics.incr("requests.total")
 
 

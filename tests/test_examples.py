@@ -47,3 +47,10 @@ class TestExamples:
         assert "All 27 functions" in out
         assert "social.post" in out
         assert "[dependent]" in out
+
+    def test_trace_breakdown(self):
+        out = run_example("trace_breakdown.py", timeout=420.0)
+        assert "0 orphans" in out
+        assert "phase.spec_overlap" in out
+        assert "Critical-path signatures" in out
+        assert "identical summaries: True" in out

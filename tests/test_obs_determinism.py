@@ -1,0 +1,89 @@
+"""Tracing must not perturb determinism (the tentpole's hard contract).
+
+Two regressions are pinned here:
+
+* the same seed run twice *with* tracing produces byte-identical span
+  streams (hashed via the canonical JSONL serialization) and identical
+  latency summaries;
+* the same seed run *without* tracing produces exactly the same
+  ExperimentResult summaries as the traced run — the collector never
+  draws randomness, never schedules events, and never changes event
+  order.
+"""
+
+import pytest
+
+from repro.bench import ExperimentConfig, run_radical_experiment
+from repro.bench.experiments import MAIN_APP_BUILDERS
+from repro.obs import orphan_spans, trace_digest
+from repro.sim import Region
+
+REQUESTS = 200
+SEED = 1234
+
+
+def run(trace, seed=SEED, app="social"):
+    cfg = ExperimentConfig(requests=REQUESTS, seed=seed, trace=trace)
+    return run_radical_experiment(MAIN_APP_BUILDERS[app](), cfg)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return run(trace=True)
+
+
+@pytest.fixture(scope="module")
+def traced_again():
+    return run(trace=True)
+
+
+@pytest.fixture(scope="module")
+def untraced():
+    return run(trace=False)
+
+
+class TestTracedRunsAreReproducible:
+    def test_span_streams_byte_identical(self, traced, traced_again):
+        assert trace_digest(traced.trace.spans) == trace_digest(traced_again.trace.spans)
+
+    def test_span_counts_match(self, traced, traced_again):
+        assert len(traced.trace.spans) == len(traced_again.trace.spans)
+        assert orphan_spans(traced.trace.spans) == []
+
+    def test_summaries_identical(self, traced, traced_again):
+        assert traced.summary() == traced_again.summary()
+        assert traced.virtual_time_ms == traced_again.virtual_time_ms
+
+    def test_event_timestamps_identical(self, traced, traced_again):
+        firsts = [(s.name, s.start_ms, s.end_ms) for s in traced.trace.spans]
+        seconds = [(s.name, s.start_ms, s.end_ms) for s in traced_again.trace.spans]
+        assert firsts == seconds
+
+
+class TestTracingIsObservationallyFree:
+    def test_overall_summary_identical(self, traced, untraced):
+        assert traced.summary() == untraced.summary()
+
+    def test_per_region_summaries_identical(self, traced, untraced):
+        for region in Region.NEAR_USER:
+            assert traced.region_summary(region) == untraced.region_summary(region)
+
+    def test_counters_identical(self, traced, untraced):
+        assert traced.metrics.counters() == untraced.metrics.counters()
+
+    def test_virtual_time_identical(self, traced, untraced):
+        assert traced.virtual_time_ms == untraced.virtual_time_ms
+
+    def test_raw_samples_identical(self, traced, untraced):
+        assert traced.metrics.samples("e2e") == untraced.metrics.samples("e2e")
+
+    def test_untraced_result_has_no_collector(self, untraced):
+        assert untraced.trace is None
+        with pytest.raises(ValueError):
+            untraced.breakdowns()
+
+
+class TestSeedsDiffer:
+    def test_different_seed_changes_the_trace(self, traced):
+        other = run(trace=True, seed=SEED + 1)
+        assert trace_digest(other.trace.spans) != trace_digest(traced.trace.spans)

@@ -1,0 +1,449 @@
+"""The tracing spine: contexts, spans, collectors, export, and analysis.
+
+Covers the unit surface of :mod:`repro.obs` plus the kernel integration
+contracts: context propagation across spawn/timeout/timer joins, and the
+§3.4 requirement that re-execution (timer-driven or crash recovery) stays
+attributed to the *original* invocation's trace.
+"""
+
+import pytest
+
+from repro.core import (
+    FunctionRegistry,
+    FunctionSpec,
+    LVIServer,
+    NearUserRuntime,
+    RadicalConfig,
+)
+from repro.obs import (
+    BALANCE_TOLERANCE_MS,
+    NOOP_COLLECTOR,
+    Breakdown,
+    Span,
+    TraceCollector,
+    TraceContext,
+    all_breakdowns,
+    assert_balanced,
+    critical_path,
+    invocation_breakdown,
+    orphan_spans,
+    read_jsonl,
+    spans_to_jsonl,
+    trace_digest,
+    write_jsonl,
+)
+from repro.sim import Metrics, Network, RandomStreams, Region, Simulator, paper_latency_table
+from repro.storage import KVStore, NearUserCache
+
+
+class FakeClock:
+    """Minimal stand-in for the simulator: a settable clock + context slot."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.trace_context = None
+
+
+class TestTraceContext:
+    def test_equality_and_hash(self):
+        assert TraceContext(1, 2) == TraceContext(1, 2)
+        assert TraceContext(1, 2) != TraceContext(1, 3)
+        assert TraceContext(1, 2) != "not a context"
+        assert len({TraceContext(1, 2), TraceContext(1, 2), TraceContext(2, 2)}) == 2
+
+
+class TestSpan:
+    def test_finish_records_interval_and_attrs(self):
+        span = Span(1, 1, 0, "x", "server", start_ms=10.0)
+        assert not span.finished
+        span.finish(15.0, status="ok")
+        assert span.finished
+        assert span.duration_ms == 5.0
+        assert span.attrs["status"] == "ok"
+
+    def test_double_finish_raises(self):
+        span = Span(1, 1, 0, "x", "server", start_ms=0.0)
+        span.finish(1.0)
+        with pytest.raises(ValueError):
+            span.finish(2.0)
+
+    def test_finish_before_start_raises(self):
+        span = Span(1, 1, 0, "x", "server", start_ms=5.0)
+        with pytest.raises(ValueError):
+            span.finish(4.0)
+
+    def test_duration_of_open_span_raises(self):
+        with pytest.raises(ValueError):
+            Span(1, 1, 0, "x", "server", start_ms=0.0).duration_ms
+
+    def test_record_round_trip(self):
+        span = Span(3, 7, 2, "net.hop", "net", 1.5, 2.5, attrs={"src": "a"})
+        again = Span.from_record(span.to_record())
+        assert again.to_record() == span.to_record()
+
+
+class TestTraceCollector:
+    def test_new_trace_mints_ids_and_children_inherit(self):
+        clock = FakeClock()
+        obs = TraceCollector(clock)
+        root = obs.start("invocation", kind="invocation", new_trace=True)
+        obs.activate(root.context)
+        child = obs.start("server.validate")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert root.parent_id == 0
+
+    def test_orphan_start_gets_its_own_trace(self):
+        obs = TraceCollector(FakeClock())
+        a = obs.start("a")
+        b = obs.start("b")
+        assert a.trace_id != b.trace_id
+
+    def test_phase_closes_interval_to_now(self):
+        clock = FakeClock()
+        obs = TraceCollector(clock)
+        clock.now = 30.0
+        span = obs.phase("phase.overhead", start_ms=17.0)
+        assert span.kind == "phase"
+        assert span.start_ms == 17.0
+        assert span.end_ms == 30.0
+
+    def test_event_is_zero_duration(self):
+        clock = FakeClock()
+        clock.now = 4.0
+        span = TraceCollector(clock).event("cache.hit", table="t")
+        assert span.duration_ms == 0.0
+        assert span.kind == "event"
+
+    def test_activate_returns_previous(self):
+        clock = FakeClock()
+        obs = TraceCollector(clock)
+        ctx = TraceContext(9, 0)
+        assert obs.activate(ctx) is None
+        assert obs.current() == ctx
+        assert obs.activate(None) == ctx
+
+    def test_open_spans(self):
+        clock = FakeClock()
+        obs = TraceCollector(clock)
+        open_one = obs.start("open")
+        obs.span_at("closed", 0.0, 1.0)
+        assert obs.open_spans() == [open_one]
+
+    def test_resume_context_reenters_trace(self):
+        obs = TraceCollector(FakeClock())
+        ctx = obs.resume_context(42)
+        assert ctx.trace_id == 42 and ctx.span_id == 0
+
+
+class TestNoopCollector:
+    def test_disabled_and_inert(self):
+        assert NOOP_COLLECTOR.enabled is False
+        span = NOOP_COLLECTOR.start("anything", kind="net", attr=1)
+        span.finish(0.0)
+        span.finish(0.0)  # double finish is a no-op, not an error
+        assert len(NOOP_COLLECTOR) == 0
+        assert NOOP_COLLECTOR.open_spans() == []
+        assert NOOP_COLLECTOR.traces() == {}
+        assert NOOP_COLLECTOR.phase("p", 0.0) is NOOP_COLLECTOR.event("e")
+
+    def test_simulator_default_is_noop(self):
+        assert Simulator().obs is NOOP_COLLECTOR
+
+
+class TestExport:
+    def _spans(self):
+        clock = FakeClock()
+        obs = TraceCollector(clock)
+        root = obs.start("invocation", kind="invocation", new_trace=True, region="jp")
+        obs.activate(root.context)
+        clock.now = 5.0
+        obs.phase("phase.overhead", start_ms=0.0)
+        root.finish(5.0, path="speculative")
+        return obs.spans
+
+    def test_round_trip(self, tmp_path):
+        spans = self._spans()
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(path, spans)
+        again = read_jsonl(path)
+        assert [s.to_record() for s in again] == [s.to_record() for s in spans]
+
+    def test_extra_tags_every_record(self):
+        text = spans_to_jsonl(self._spans(), extra={"app": "social"})
+        assert all('"app": "social"' in line for line in text.strip().splitlines())
+
+    def test_trace_id_offset_disambiguates_collectors(self, tmp_path):
+        path = str(tmp_path / "merged.jsonl")
+        write_jsonl(path, self._spans(), extra={"app": "a"})
+        write_jsonl(path, self._spans(), extra={"app": "b"}, append=True,
+                    trace_id_offset=100)
+        spans = read_jsonl(path)
+        assert {s.trace_id for s in spans} == {1, 101}
+        assert len(all_breakdowns(spans)) == 2
+
+    def test_digest_is_stable_and_content_sensitive(self):
+        a, b = self._spans(), self._spans()
+        assert trace_digest(a) == trace_digest(b)
+        b[0].attrs["extra"] = True
+        assert trace_digest(a) != trace_digest(b)
+
+    def test_empty_spans_serialize_to_empty_string(self):
+        assert spans_to_jsonl([]) == ""
+
+
+class TestAnalyze:
+    def _trace(self, e2e=10.0, phases=((0.0, 4.0), (4.0, 10.0))):
+        clock = FakeClock()
+        obs = TraceCollector(clock)
+        root = obs.start("invocation", kind="invocation", new_trace=True,
+                         region="ca", function="f", path="ignored")
+        obs.activate(root.context)
+        for i, (start, end) in enumerate(phases):
+            obs.span_at(f"phase.p{i}", start, end, kind="phase")
+        root.finish(e2e, path="speculative")
+        return obs.spans
+
+    def test_breakdown_balances(self):
+        bds = all_breakdowns(self._trace())
+        assert len(bds) == 1
+        bd = bds[0]
+        assert bd.e2e_ms == 10.0
+        assert bd.phases == {"phase.p0": 4.0, "phase.p1": 6.0}
+        assert bd.balanced()
+        assert_balanced(bds)
+
+    def test_unbalanced_trace_raises_with_residual(self):
+        bds = all_breakdowns(self._trace(e2e=12.0))
+        assert not bds[0].balanced()
+        with pytest.raises(AssertionError, match="residual"):
+            assert_balanced(bds)
+
+    def test_breakdown_carries_root_attrs(self):
+        bd = all_breakdowns(self._trace())[0]
+        assert (bd.path, bd.region, bd.function) == ("speculative", "ca", "f")
+
+    def test_trace_without_invocation_root_is_skipped(self):
+        obs = TraceCollector(FakeClock())
+        obs.span_at("server.reexec", 0.0, 5.0)
+        assert invocation_breakdown(obs.spans) is None
+        assert all_breakdowns(obs.spans) == []
+
+    def test_repeated_phase_names_accumulate(self):
+        spans = self._trace(
+            e2e=10.0, phases=((0.0, 1.0), (9.0, 10.0))
+        )
+        # Rename both to the same phase (the two client_rtt halves).
+        for s in spans:
+            if s.kind == "phase":
+                s.name = "phase.client_rtt"
+        bd = all_breakdowns(spans)[0]
+        assert bd.phases == {"phase.client_rtt": 2.0}
+        assert bd.residual_ms == pytest.approx(8.0)
+
+    def test_orphan_spans_detects_unfinished(self):
+        obs = TraceCollector(FakeClock())
+        obs.start("leaked")
+        assert [s.name for s in orphan_spans(obs.spans)] == ["leaked"]
+
+    def test_critical_path_annotates_dominant_enclosed_span(self):
+        clock = FakeClock()
+        obs = TraceCollector(clock)
+        root = obs.start("invocation", kind="invocation", new_trace=True)
+        obs.activate(root.context)
+        obs.span_at("phase.overhead", 0.0, 2.0, kind="phase")
+        # The overlap phase [2, 10] is ended by the rpc (exec ends early).
+        obs.span_at("spec.exec", 2.0, 6.0, kind="exec")
+        obs.span_at("rpc", 2.0, 10.0, kind="net")
+        obs.span_at("phase.spec_overlap", 2.0, 10.0, kind="phase")
+        root.finish(10.0, path="speculative")
+        path = critical_path(obs.spans)
+        assert path == [("phase.overhead", 2.0), ("phase.spec_overlap/rpc", 8.0)]
+
+    def test_balance_tolerance_is_tight(self):
+        assert BALANCE_TOLERANCE_MS == 1e-6
+        bd = Breakdown(trace_id=1, e2e_ms=1.0, phases={"p": 1.0 + 5e-7})
+        assert bd.balanced()
+        bd2 = Breakdown(trace_id=1, e2e_ms=1.0, phases={"p": 1.0 + 5e-6})
+        assert not bd2.balanced()
+
+
+class TestKernelPropagation:
+    def test_spawn_inherits_active_context(self):
+        sim = Simulator()
+        sim.obs = TraceCollector(sim)
+        seen = {}
+
+        def child():
+            seen["ctx"] = sim.obs.current()
+            yield sim.timeout(1.0)
+            seen["after_timeout"] = sim.obs.current()
+
+        ctx = TraceContext(5, 1)
+        sim.obs.activate(ctx)
+        sim.spawn(child())
+        sim.obs.activate(None)
+        sim.run()
+        assert seen["ctx"] == ctx
+        assert seen["after_timeout"] == ctx
+
+    def test_sibling_processes_do_not_leak_context(self):
+        sim = Simulator()
+        sim.obs = TraceCollector(sim)
+        seen = {}
+
+        def proc(name):
+            yield sim.timeout(1.0)
+            seen[name] = sim.obs.current()
+
+        sim.obs.activate(TraceContext(1, 0))
+        sim.spawn(proc("a"))
+        sim.obs.activate(TraceContext(2, 0))
+        sim.spawn(proc("b"))
+        sim.obs.activate(None)
+        sim.spawn(proc("c"))
+        sim.run()
+        assert seen["a"] == TraceContext(1, 0)
+        assert seen["b"] == TraceContext(2, 0)
+        assert seen["c"] is None
+
+    def test_scheduled_callback_captures_context_at_schedule_time(self):
+        sim = Simulator()
+        sim.obs = TraceCollector(sim)
+        seen = {}
+
+        def cb():
+            seen["ctx"] = sim.obs.current()
+
+        sim.obs.activate(TraceContext(7, 3))
+        sim.schedule(10.0, cb)
+        sim.obs.activate(None)
+        sim.run()
+        assert seen["ctx"] == TraceContext(7, 3)
+
+    def test_activation_inside_process_sticks_for_that_process(self):
+        sim = Simulator()
+        sim.obs = TraceCollector(sim)
+        seen = {}
+
+        def proc():
+            sim.obs.activate(TraceContext(11, 0))
+            yield sim.timeout(1.0)
+            seen["resumed"] = sim.obs.current()
+
+        sim.spawn(proc())
+        sim.run()
+        assert seen["resumed"] == TraceContext(11, 0)
+        assert sim.trace_context is None  # nothing leaks into the kernel
+
+
+BUMP_SRC = '''
+def bump(k):
+    busy(2000)
+    count = db_get("counters", f"c:{k}")
+    if count is None:
+        count = 0
+    db_put("counters", f"c:{k}", count + 1)
+    return count + 1
+'''
+
+
+def build_traced(followup_timeout_ms=1000.0):
+    sim = Simulator()
+    sim.obs = TraceCollector(sim)
+    streams = RandomStreams(12)
+    net = Network(sim, paper_latency_table(), streams)
+    metrics = Metrics()
+    config = RadicalConfig(
+        service_jitter_sigma=0.0, followup_timeout_ms=followup_timeout_ms
+    )
+    registry = FunctionRegistry()
+    registry.register(FunctionSpec("t.bump", BUMP_SRC, 20.0))
+    store = KVStore()
+    store.put("counters", "c:x", 0)
+    server = LVIServer(sim, net, registry, store, config, streams, metrics,
+                       name="lvi-server")
+    cache = NearUserCache(Region.CA)
+    cache.install("counters", "c:x", store.get("counters", "c:x"))
+    runtime = NearUserRuntime(sim, net, Region.CA, cache, registry, config,
+                              streams, metrics)
+    return sim, net, store, server, runtime, registry, config, streams, metrics
+
+
+def invoke_in_trace(sim, runtime, function_id, args):
+    """Open an invocation root (as a workload client would), run the
+    invocation under it, and return (root_span, outcome_process)."""
+    root = sim.obs.start("invocation", kind="invocation", new_trace=True,
+                         function=function_id, region=Region.CA)
+    sim.obs.activate(root.context)
+    proc = sim.spawn(runtime.invoke(function_id, args))
+    sim.obs.activate(None)
+    return root, proc
+
+
+def find_spans(obs, name):
+    return [s for s in obs.spans if s.name == name]
+
+
+class TestReexecutionAttribution:
+    def test_timer_reexecution_joins_original_trace(self):
+        sim, net, store, server, runtime, *_ = build_traced(followup_timeout_ms=1000.0)
+        # The followup crawls: the intent timer fires first and re-executes.
+        net.set_extra_delay(Region.CA, Region.VA, 5_000.0)
+        root, proc = invoke_in_trace(sim, runtime, "t.bump", ["x"])
+        sim.run(until_event=proc.done_event)
+        root.finish(sim.now, path=proc.result.path)
+        sim.run(until=sim.now + 20_000.0)
+        reexec = find_spans(sim.obs, "server.reexec")
+        assert len(reexec) == 1
+        assert reexec[0].trace_id == root.trace_id
+        assert reexec[0].attrs["recovered"] is False
+        assert reexec[0].finished
+        assert store.get("counters", "c:x").value == 1
+
+    def test_recovery_resurrects_trace_from_intent_record(self):
+        sim, net, store, server, runtime, registry, config, streams, metrics = (
+            build_traced(followup_timeout_ms=60_000.0)
+        )
+        root, proc = invoke_in_trace(sim, runtime, "t.bump", ["x"])
+        sim.run(until_event=proc.done_event)
+        root.finish(sim.now, path=proc.result.path)
+        net.unregister("lvi-server")  # crash before the followup lands
+        sim.run(until=sim.now + 2000.0)
+        assert len(server.intents.pending()) == 1
+        assert server.intents.pending()[0].trace_id == root.trace_id
+
+        replacement = LVIServer(
+            sim, net, registry, store, config, streams, metrics, name="lvi-server"
+        )
+        assert sim.run_process(replacement.recover_pending()) == 1
+        reexec = find_spans(sim.obs, "server.reexec")
+        assert len(reexec) == 1
+        # The replacement had no live context — the span re-joined the
+        # original invocation's trace via the id persisted in the intent.
+        assert reexec[0].trace_id == root.trace_id
+        assert reexec[0].attrs["recovered"] is True
+        assert store.get("counters", "c:x").value == 1
+
+    def test_intent_without_trace_id_still_reexecutes(self):
+        # Intents written by tracing-off runs carry trace_id=0; recovery on
+        # a traced replacement must not blow up on them.
+        sim, net, store, server, runtime, registry, config, streams, metrics = (
+            build_traced(followup_timeout_ms=60_000.0)
+        )
+        sim.obs = NOOP_COLLECTOR  # the original run is untraced
+        proc = sim.spawn(runtime.invoke("t.bump", ["x"]))
+        sim.run(until_event=proc.done_event)
+        net.unregister("lvi-server")
+        sim.run(until=sim.now + 2000.0)
+        assert server.intents.pending()[0].trace_id == 0
+
+        sim.obs = TraceCollector(sim)  # the replacement runs traced
+        replacement = LVIServer(
+            sim, net, registry, store, config, streams, metrics, name="lvi-server"
+        )
+        assert sim.run_process(replacement.recover_pending()) == 1
+        reexec = find_spans(sim.obs, "server.reexec")
+        assert len(reexec) == 1
+        assert reexec[0].attrs["recovered"] is False
+        assert store.get("counters", "c:x").value == 1

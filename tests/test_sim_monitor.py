@@ -1,5 +1,8 @@
 """Tests for metrics recording and percentile math."""
 
+import math
+import statistics
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -38,6 +41,26 @@ class TestPercentile:
         for p in (1, 25, 50, 75, 99):
             assert percentile(data, p) == pytest.approx(float(numpy.percentile(data, p)))
 
+    def test_nan_p_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], float("nan"))
+
+    def test_duplicate_values(self):
+        data = [7.0] * 5
+        for p in (0, 25, 50, 75, 100):
+            assert percentile(data, p) == 7.0
+        # Duplicates mixed with a distinct extreme still interpolate
+        # monotonically between the two values present.
+        mixed = [1.0, 1.0, 1.0, 9.0]
+        assert percentile(mixed, 0) == 1.0
+        assert percentile(mixed, 50) == 1.0
+        assert percentile(mixed, 100) == 9.0
+        assert 1.0 <= percentile(mixed, 80) <= 9.0
+
+    def test_fractional_p_on_two_samples(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+        assert percentile([0.0, 10.0], 75) == pytest.approx(7.5)
+
     @given(
         data=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50),
         p=st.floats(min_value=0, max_value=100),
@@ -46,6 +69,28 @@ class TestPercentile:
     def test_property_bounded_by_extremes(self, data, p):
         result = percentile(data, p)
         assert min(data) <= result <= max(data)
+
+    @given(
+        data=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=51),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_p50_is_median_odd_and_even(self, data):
+        # Linear interpolation at p=50 coincides with the classic median
+        # definition for both odd and even sample counts.
+        assert percentile(data, 50) == pytest.approx(
+            statistics.median(data), rel=1e-12, abs=1e-9
+        )
+
+    @given(
+        data=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=30),
+        p_lo=st.floats(min_value=0, max_value=100),
+        p_hi=st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_monotone_in_p(self, data, p_lo, p_hi):
+        if p_lo > p_hi:
+            p_lo, p_hi = p_hi, p_lo
+        assert percentile(data, p_lo) <= percentile(data, p_hi) + 1e-9
 
 
 class TestSummary:
@@ -60,6 +105,17 @@ class TestSummary:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             Summary.of([])
+
+    def test_single_sample(self):
+        s = Summary.of([42.0])
+        assert s.count == 1
+        assert s.mean == s.median == s.p99 == s.minimum == s.maximum == 42.0
+
+    def test_all_duplicates(self):
+        s = Summary.of([5.0, 5.0, 5.0, 5.0])
+        assert s.mean == s.median == s.p99 == 5.0
+        assert s.minimum == s.maximum == 5.0
+        assert not math.isnan(s.mean)
 
     def test_p99_near_max_for_large_sets(self):
         samples = list(map(float, range(1000)))
@@ -105,3 +161,45 @@ class TestMetrics:
         m.incr("total", 100)
         assert m.ratio("hits", "total") == pytest.approx(0.95)
         assert m.ratio("hits", "zero") is None
+
+
+class TestTaggedMetrics:
+    def test_record_and_match_by_subset(self):
+        m = Metrics()
+        m.record_tagged("e2e", 10.0, region="jp", path="speculative")
+        m.record_tagged("e2e", 20.0, region="jp", path="backup")
+        m.record_tagged("e2e", 30.0, region="ie", path="speculative")
+        assert sorted(m.samples_tagged("e2e", region="jp")) == [10.0, 20.0]
+        assert m.samples_tagged("e2e", path="speculative") == [10.0, 30.0]
+        assert m.samples_tagged("e2e", region="jp", path="backup") == [20.0]
+        # Empty match selects everything.
+        assert sorted(m.samples_tagged("e2e")) == [10.0, 20.0, 30.0]
+
+    def test_tag_order_is_irrelevant(self):
+        m = Metrics()
+        m.record_tagged("x", 1.0, a="1", b="2")
+        m.record_tagged("x", 2.0, b="2", a="1")
+        assert m.samples_tagged("x", a="1", b="2") == [1.0, 2.0]
+        assert len(m.tag_sets("x")) == 1
+
+    def test_flat_namespace_untouched(self):
+        m = Metrics()
+        m.record_tagged("e2e", 5.0, region="va")
+        assert not m.has("e2e")
+        with pytest.raises(KeyError):
+            m.summary("e2e")
+
+    def test_summary_tagged(self):
+        m = Metrics()
+        for v in (10.0, 20.0, 30.0):
+            m.record_tagged("e2e", v, path="speculative")
+        assert m.summary_tagged("e2e", path="speculative").median == 20.0
+        with pytest.raises(KeyError):
+            m.summary_tagged("e2e", path="direct")
+
+    def test_tag_sets_sorted(self):
+        m = Metrics()
+        m.record_tagged("e2e", 1.0, region="jp")
+        m.record_tagged("e2e", 1.0, region="ie")
+        assert m.tag_sets("e2e") == [{"region": "ie"}, {"region": "jp"}]
+        assert m.tag_sets("unknown") == []

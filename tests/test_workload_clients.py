@@ -14,6 +14,7 @@ def make_invoker(sim, latency_ms=10.0):
 
     class Outcome:
         result = "ok"
+        path = "stub"
         read_versions = {("t", "k"): 1}
         write_versions = {}
 
