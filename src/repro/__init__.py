@@ -33,6 +33,7 @@ from .errors import (
     CompileError,
     ConditionFailed,
     ConsistencyViolation,
+    FaultConfigError,
     FunctionNotRegistered,
     GasExhausted,
     KeyMissing,
@@ -41,6 +42,7 @@ from .errors import (
     ProtocolError,
     ReproError,
     StorageError,
+    UnavailableError,
     VMError,
     VMTrap,
 )
@@ -52,6 +54,7 @@ __all__ = [
     "CompileError",
     "ConditionFailed",
     "ConsistencyViolation",
+    "FaultConfigError",
     "FunctionNotRegistered",
     "GasExhausted",
     "KeyMissing",
@@ -60,6 +63,7 @@ __all__ = [
     "ProtocolError",
     "ReproError",
     "StorageError",
+    "UnavailableError",
     "VMError",
     "VMTrap",
 ]

@@ -303,6 +303,87 @@ def _trace_main(argv: List[str]) -> int:
     return 0
 
 
+def _chaos_main(argv: List[str]) -> int:
+    """``radical-repro chaos`` — run the fault-plan x seed chaos matrix and
+    fail (exit 1) on any strict-serializability violation, lost or
+    duplicated write, hang, or blown deadline."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro chaos",
+        description="Prove linearizability and exactly-once writes under "
+                    "scripted fault plans.",
+    )
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="number of seeds per plan (0..N-1)")
+    parser.add_argument("--plans", default="all",
+                        help="'all' or a comma-separated plan list")
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client per case")
+    parser.add_argument("--clients", type=int, default=1,
+                        help="clients per region per case")
+    parser.add_argument("--list-plans", action="store_true",
+                        help="list the built-in fault plans and exit")
+    args = parser.parse_args(argv)
+
+    from .errors import FaultConfigError
+    from .faults import builtin_plans, resolve_plans, run_chaos_case
+
+    if args.list_plans:
+        for name, plan in sorted(builtin_plans().items()):
+            print(f"{name:22s} {plan.description}")
+        return 0
+    try:
+        plans = resolve_plans(args.plans)
+    except FaultConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    rows = []
+    results = []
+    for plan in plans:
+        plan_results = [
+            run_chaos_case(
+                plan, seed=seed,
+                requests_per_client=args.requests,
+                clients_per_region=args.clients,
+            )
+            for seed in range(args.seeds)
+        ]
+        results.extend(plan_results)
+        acked = sum(r.acked for r in plan_results)
+        total = sum(r.requests for r in plan_results)
+        medians = [r.median_ms for r in plan_results if r.median_ms is not None]
+        p99s = [r.p99_ms for r in plan_results if r.p99_ms is not None]
+        rows.append([
+            plan.name,
+            f"{acked / total * 100:.1f}%" if total else "-",
+            f"{max(medians):.0f}" if medians else "-",
+            f"{max(p99s):.0f}" if p99s else "-",
+            sum(r.counters.get("reexecution.count", 0) for r in plan_results),
+            sum(r.counters.get("rpc.retry", 0) for r in plan_results),
+            sum(1 for r in plan_results if not r.ok),
+        ])
+    print_table(
+        ["plan", "availability", "worst med (ms)", "worst p99 (ms)",
+         "reexecs", "retries", "violations"],
+        rows,
+        title=f"Chaos matrix: {len(plans)} plan(s) x {args.seeds} seed(s)",
+    )
+    save_results("chaos", {"cases": [r.to_dict() for r in results]})
+    failures = [r for r in results if not r.ok]
+    if failures:
+        for r in failures:
+            print(
+                f"FAIL plan={r.plan} seed={r.seed}: "
+                f"serializable={r.serializable} lost={r.lost_writes} "
+                f"dup={r.duplicate_writes} completed={r.completed} "
+                f"deadline_ok={r.deadline_ok} {r.violation}",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"{len(results)} cases: all serializable, exactly-once, and within deadline")
+    return 0
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "table1": _cmd_table1,
@@ -324,6 +405,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # ``trace`` takes its own positional grammar (summarize <file>), so
         # it is dispatched before the experiment parser sees it.
         return _trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # ``chaos`` likewise owns its grammar (seeds x plans matrix).
+        return _chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="radical-repro",
         description="Reproduce the evaluation of Radical (SOSP 2025).",

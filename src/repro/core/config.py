@@ -33,6 +33,21 @@ class RadicalConfig:
     server_storage_rtt_ms: float = 2.0   # LVI server <-> DynamoDB round trip
     followup_timeout_ms: float = 1500.0  # write-intent timer (§3.4)
 
+    # Client-side robustness: retries, deadlines, circuit breaking.  The
+    # defaults are deliberately generous — they bound the formerly
+    # unbounded RPC hangs without perturbing any happy-path experiment
+    # (WAN RTT + queueing under the offered-load sweep stays far below
+    # 10 s of virtual time).  Chaos runs tighten them.
+    rpc_timeout_ms: float = 10_000.0       # per-attempt RPC timeout
+    retry_max_attempts: int = 3            # attempts per logical RPC
+    retry_base_backoff_ms: float = 10.0    # first backoff
+    retry_backoff_multiplier: float = 2.0  # exponential growth factor
+    retry_max_backoff_ms: float = 1_000.0  # backoff cap
+    retry_jitter_frac: float = 0.2         # +-20% deterministic jitter
+    invocation_deadline_ms: float = 60_000.0  # end-to-end budget per invoke
+    breaker_failure_threshold: int = 5     # consecutive failures to open
+    breaker_cooldown_ms: float = 5_000.0   # open -> half-open probe delay
+
     # Service-time variability (the p99 whiskers in Figs 4-6).
     service_jitter_sigma: float = 0.08   # lognormal sigma on exec time
 

@@ -27,7 +27,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..analysis import derive_rwset
-from ..errors import GasExhausted, ProtocolError, VMTrap
+from ..errors import GasExhausted, ProtocolError, UnavailableError, VMTrap
+from ..faults.retry import CircuitBreaker, RetryPolicy
 from ..sim import Metrics, Network, RandomStreams, RpcTimeout, Simulator
 from ..storage import NearUserCache
 from ..wasm import VM
@@ -38,12 +39,21 @@ from .storage_library import SnapshotReader, SpeculativeEnv
 
 Key = Tuple[str, str]
 
-__all__ = ["InvocationOutcome", "NearUserRuntime", "PATH_SPECULATIVE", "PATH_BACKUP", "PATH_MISS", "PATH_DIRECT"]
+__all__ = [
+    "InvocationOutcome",
+    "NearUserRuntime",
+    "PATH_SPECULATIVE",
+    "PATH_BACKUP",
+    "PATH_MISS",
+    "PATH_DIRECT",
+    "PATH_UNAVAILABLE",
+]
 
 PATH_SPECULATIVE = "speculative"  # validation succeeded; edge result used
 PATH_BACKUP = "backup"            # validation failed; near-storage result
 PATH_MISS = "miss"                # cache miss; speculation skipped (§3.2)
 PATH_DIRECT = "direct"            # unanalyzable function (§3.3)
+PATH_UNAVAILABLE = "unavailable"  # retries exhausted; clean failure
 
 
 @dataclass
@@ -98,6 +108,17 @@ class NearUserRuntime:
         # Jitter is keyed by region (not by the process-global instance
         # counter) so identical experiments draw identical sequences.
         self._jitter = (streams or RandomStreams(0)).stream(f"runtime.{region}")
+        # A separate stream for retry backoff jitter: happy-path runs draw
+        # nothing from it, so adding retries perturbs no existing stream.
+        self._retry_rng = (streams or RandomStreams(0)).stream(f"runtime.{region}.retry")
+        self._policy = RetryPolicy.from_config(self.config)
+        self._breaker = CircuitBreaker(
+            sim,
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_ms=self.config.breaker_cooldown_ms,
+            metrics=self.metrics,
+            name=f"breaker.{region}",
+        )
         self._exec_counter = itertools.count()
         # The cache reports hit/miss events to the same collector as the
         # rest of the deployment (a no-op unless tracing is installed).
@@ -120,14 +141,34 @@ class NearUserRuntime:
         execution_id = f"{self.name}:{next(self._exec_counter)}"
         cfg = self.config
         obs = self.sim.obs
+        deadline_at = (
+            invoked_at + cfg.invocation_deadline_ms
+            if cfg.invocation_deadline_ms > 0
+            else math.inf
+        )
+
+        # Degradation ladder, bottom rung: while the breaker is open the
+        # near-storage path is known-dead — fail fast instead of feeding
+        # doomed RPCs into the WAN until the cooldown admits a probe.
+        if not self._breaker.allow():
+            self.metrics.incr("breaker.fast_fail")
+            raise UnavailableError(
+                f"{self.region}: near-storage path unavailable (circuit open)"
+            )
+        probe = self._breaker.probing
 
         # (§5.5 components 1-2) Lambda instantiation + WASM load.
         yield self.sim.timeout(cfg.invoke_ms + cfg.wasm_load_ms)
         if obs.enabled:
             obs.phase("phase.overhead", start_ms=invoked_at, region=self.region)
 
-        if not record.analyzable:
-            outcome = yield from self._direct(record, args, execution_id, invoked_at)
+        if not record.analyzable or probe:
+            # Unanalyzable functions always execute near storage; a
+            # half-open breaker routes its single probe there too (middle
+            # rung: no speculation while the path's health is unknown).
+            outcome = yield from self._direct(
+                record, args, execution_id, invoked_at, deadline_at
+            )
             return outcome
 
         # (1) Run f^rw on the cache snapshot to predict the access set.
@@ -140,7 +181,9 @@ class NearUserRuntime:
             # f^rw failed at runtime (analysis edge case): fall back to
             # near-storage execution, as §3.3 prescribes.
             self.metrics.incr("frw.runtime_failure")
-            outcome = yield from self._direct(record, args, execution_id, invoked_at)
+            outcome = yield from self._direct(
+                record, args, execution_id, invoked_at, deadline_at
+            )
             return outcome
 
         # (2a) Speculative execution against the same snapshot.  Executed
@@ -183,7 +226,7 @@ class NearUserRuntime:
             # Validation is guaranteed to fail: skip speculation (§3.2).
             self.metrics.incr("path.miss")
             rtt_started = self.sim.now
-            response = yield from self.net.call(self.name, self.server_name, request)
+            response = yield from self._call_with_retry(request, deadline_at, "lvi")
             if obs.enabled:
                 obs.phase("phase.lvi_rtt", start_ms=rtt_started, miss=True)
             outcome = self._finish_backup(response, invoked_at, frw_ms, record, PATH_MISS)
@@ -193,7 +236,7 @@ class NearUserRuntime:
             # Overlap the LVI round trip with the function's execution.
             overlap_started = self.sim.now
             lvi_proc = self.sim.spawn(
-                self.net.call(self.name, self.server_name, request),
+                self._call_with_retry(request, deadline_at, "lvi"),
                 name=f"lvi({execution_id})",
             )
             exec_done = self.sim.timeout(exec_ms)
@@ -211,7 +254,7 @@ class NearUserRuntime:
         else:
             # Ablation: serialize the LVI request before execution.
             rtt_started = self.sim.now
-            response = yield from self.net.call(self.name, self.server_name, request)
+            response = yield from self._call_with_retry(request, deadline_at, "lvi")
             if obs.enabled:
                 obs.phase("phase.lvi_rtt", start_ms=rtt_started)
             exec_started = self.sim.now
@@ -262,17 +305,85 @@ class NearUserRuntime:
 
     # -- helpers -----------------------------------------------------------------
 
+    def _call_with_retry(self, request, deadline_at: float, label: str) -> Generator:
+        """One logical near-storage RPC under the retry policy.
+
+        Every attempt is bounded by ``rpc_timeout_ms`` (clipped to the
+        invocation's remaining deadline), failed attempts back off with
+        deterministic jitter, and exhaustion — of attempts or of the
+        deadline — surfaces as a clean :class:`UnavailableError`.  Each
+        attempt's outcome feeds the circuit breaker.
+        """
+        cfg = self.config
+        policy = self._policy
+        obs = self.sim.obs
+        attempt = 0
+        while True:
+            remaining = deadline_at - self.sim.now
+            if remaining <= 0:
+                self._breaker.record_failure()
+                self.metrics.incr("rpc.deadline_exceeded")
+                raise UnavailableError(
+                    f"{label} {request.execution_id}: invocation deadline exhausted "
+                    f"after {attempt} attempt(s)"
+                )
+            attempt += 1
+            try:
+                response = yield from self.net.call(
+                    self.name, self.server_name, request,
+                    timeout=min(cfg.rpc_timeout_ms, remaining),
+                )
+            except RpcTimeout:
+                self._breaker.record_failure()
+                self.metrics.incr("rpc.timeout")
+                if attempt >= policy.max_attempts:
+                    self.metrics.incr("rpc.exhausted")
+                    if obs.enabled:
+                        obs.event(
+                            "rpc.exhausted", label=label,
+                            execution_id=request.execution_id, attempts=attempt,
+                        )
+                    raise UnavailableError(
+                        f"{label} {request.execution_id}: all {attempt} attempts "
+                        f"timed out"
+                    ) from None
+                self.metrics.incr("rpc.retry")
+                if obs.enabled:
+                    obs.event(
+                        "rpc.retry", label=label,
+                        execution_id=request.execution_id, attempt=attempt,
+                    )
+                backoff = min(
+                    policy.backoff_ms(attempt, self._retry_rng),
+                    max(0.0, deadline_at - self.sim.now),
+                )
+                if backoff > 0:
+                    yield self.sim.timeout(backoff)
+            else:
+                self._breaker.record_success()
+                return response
+
     def _send_followup(self, execution_id: str, writes) -> Generator:
         followup = WriteFollowup(execution_id=execution_id, writes=tuple(writes))
-        try:
-            yield from self.net.call(
-                self.name, self.server_name, followup,
-                timeout=self.config.followup_timeout_ms * 2,
-            )
-        except RpcTimeout:
-            # The network ate it; the intent timer's deterministic
-            # re-execution will apply the writes (§3.4).
-            self.metrics.incr("followup.lost")
+        policy = self._policy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                yield from self.net.call(
+                    self.name, self.server_name, followup,
+                    timeout=self.config.rpc_timeout_ms,
+                )
+                return
+            except RpcTimeout:
+                # Followup losses never feed the breaker: the client is
+                # already answered, and the intent timer guarantees the
+                # writes land even if every retry dies (§3.4).
+                if attempt >= policy.max_attempts:
+                    self.metrics.incr("followup.lost")
+                    return
+                self.metrics.incr("followup.retry")
+                yield self.sim.timeout(policy.backoff_ms(attempt, self._retry_rng))
 
     def _direct(
         self,
@@ -280,6 +391,7 @@ class NearUserRuntime:
         args: List[Any],
         execution_id: str,
         invoked_at: float,
+        deadline_at: float = math.inf,
     ) -> Generator:
         request = DirectExecRequest(
             execution_id=execution_id,
@@ -290,7 +402,7 @@ class NearUserRuntime:
         self.metrics.incr("path.direct")
         obs = self.sim.obs
         rtt_started = self.sim.now
-        response = yield from self.net.call(self.name, self.server_name, request)
+        response = yield from self._call_with_retry(request, deadline_at, "direct")
         if obs.enabled:
             obs.phase("phase.direct_rtt", start_ms=rtt_started, function=record.function_id)
         return InvocationOutcome(

@@ -91,29 +91,88 @@ class LVIServer:
         # failure injection, and replaying an LVI request would double-
         # acquire locks and double-execute.
         self._seen_requests: set = set()
+        # execution_id -> response, so a client retry whose original
+        # *response* was lost gets the same answer instead of silence.
+        # In-memory on purpose: it dies with the process (see crash()).
+        self._reply_cache: Dict[str, Any] = {}
+        self._crashed = False
+        # Bumped by crash(): handlers resumed under a newer incarnation
+        # stop instead of mutating state from beyond the grave.
+        self._incarnation = 0
         net.serve(name, region, self._handle)
 
     # -- dispatch -----------------------------------------------------------
 
     def _handle(self, payload: Any, src: str) -> Generator:
         if isinstance(payload, LVIRequest):
-            return self._handle_lvi(payload)
+            return self._guarded(self._handle_lvi(payload))
         if isinstance(payload, WriteFollowup):
-            return self._handle_followup(payload)
+            return self._guarded(self._handle_followup(payload))
         if isinstance(payload, DirectExecRequest):
-            return self._handle_direct(payload)
+            return self._guarded(self._handle_direct(payload))
         raise ProtocolError(f"unknown message {type(payload).__name__}")
+
+    def _guarded(self, inner: Generator) -> Generator:
+        """Run ``inner`` but fence it against crashes: the moment the
+        server's incarnation changes, the handler stops *before* its next
+        step runs — in-flight executions die with the process, exactly as
+        a real crash would kill them.  (The completed steps stand: a crash
+        lands on some yield boundary.)"""
+        from ..sim.network import NO_REPLY
+
+        incarnation = self._incarnation
+        to_send: Any = None
+        to_throw: Optional[BaseException] = None
+        while True:
+            if self._incarnation != incarnation:
+                inner.close()
+                self.metrics.incr("server.killed_handlers")
+                return NO_REPLY
+            try:
+                if to_throw is not None:
+                    exc, to_throw = to_throw, None
+                    step = inner.throw(exc)
+                else:
+                    step = inner.send(to_send)
+            except StopIteration as stop:
+                return stop.value
+            try:
+                to_send = yield step
+            except BaseException as exc:  # forward interrupts/failures inward
+                to_send, to_throw = None, exc
 
     # -- the LVI request path -------------------------------------------------
 
     def _handle_lvi(self, req: LVIRequest) -> Generator:
+        from ..sim.network import NO_REPLY
+
+        if req.execution_id in self._reply_cache:
+            # Client retry after a lost *response*: replay the original
+            # answer verbatim (idempotent execution-id semantics).
+            self.metrics.incr("lvi.replayed_reply")
+            return self._reply_cache[req.execution_id]
         if req.execution_id in self._seen_requests:
             # Duplicate delivery: the original handler owns this execution
             # and will answer; a duplicate must stay completely silent (a
             # fast ok=False here would race ahead of the real response).
-            from ..sim.network import NO_REPLY
-
             self.metrics.incr("lvi.duplicate_request")
+            return NO_REPLY
+        if self.intents.get(req.execution_id) is not None:
+            # Retry of a request the *previous incarnation* already
+            # validated: the durable intent proves it.  The reply cache
+            # died with the crash, so we cannot reconstruct the answer —
+            # stay silent and let the intent timer (or recovery) settle
+            # the write exactly once while the client exhausts its budget.
+            self._seen_requests.add(req.execution_id)
+            self.metrics.incr("lvi.replay_after_crash")
+            return NO_REPLY
+        if self.idem.claimed(req.execution_id, IdempotencyTable.NEAR_STORAGE):
+            # The intent is gone but the durable claim remains: a previous
+            # incarnation already *settled* this execution's writes (via
+            # followup, timer, or recovery).  Validating it afresh would
+            # mint a second intent and double-apply — stay silent.
+            self._seen_requests.add(req.execution_id)
+            self.metrics.incr("lvi.settled_replay")
             return NO_REPLY
         self._seen_requests.add(req.execution_id)
         record = self.registry.get(req.function_id)
@@ -190,16 +249,20 @@ class LVIServer:
             else:
                 # Read-only execution: nothing to wait for.
                 self._release(req.execution_id)
+            self._reply_cache[req.execution_id] = response
             return response
 
         # (6b) Validation failed: run the backup copy under the held locks.
         self.metrics.incr("validation.failure")
-        if self.config.replicated and not self.idem.claim(
-            req.execution_id, IdempotencyTable.NEAR_STORAGE
-        ):
-            # Another server instance already ran this execution.
+        if not self.idem.claim(req.execution_id, IdempotencyTable.NEAR_STORAGE):
+            # An earlier incarnation (or another replica) already ran this
+            # execution near storage; running it again would double-apply
+            # its writes.  The claim is in primary storage, so the check
+            # survives server crashes — §5.6's at-most-once-per-site rule,
+            # enforced unconditionally now that crash/restart is routine.
+            self.metrics.incr("lvi.duplicate_claim")
             self._release(req.execution_id)
-            raise ProtocolError(f"duplicate near-storage execution {req.execution_id}")
+            return NO_REPLY
         env = PrimaryEnv(self.store)
         backup_started = self.sim.now
         yield self.sim.timeout(self._exec_time(record))
@@ -216,7 +279,7 @@ class LVIServer:
         # (7b) Release locks, then ship the result plus cache repairs.
         fresh = self._collect_fresh(stale, list(env.write_versions))
         self._release(req.execution_id)
-        return LVIResponse(
+        response = LVIResponse(
             execution_id=req.execution_id,
             ok=False,
             result=trace.result,
@@ -224,6 +287,8 @@ class LVIServer:
             backup_read_versions=dict(env.read_versions),
             backup_write_versions=dict(env.write_versions),
         )
+        self._reply_cache[req.execution_id] = response
+        return response
 
     def _persist_locks_via_raft(self, execution_id: str, keys: List[Key]) -> Generator:
         """§5.6: every lock is a serial Raft commit (~2.3 ms each) — or,
@@ -253,17 +318,34 @@ class LVIServer:
     # -- the followup path ---------------------------------------------------------
 
     def _handle_followup(self, followup: WriteFollowup) -> Generator:
-        """(9)-(10): apply speculative writes, complete intent, unlock."""
-        if not self.intents.try_complete(followup.execution_id):
+        """(9)-(10): apply speculative writes, complete intent, unlock.
+
+        The intent CAS and the write application happen in one atomic
+        step *after* the storage round trip has been charged: a crash can
+        then only land before the commit point (intent stays PENDING,
+        recovery re-executes) or after it (everything durable) — never in
+        between, which would strand a completed-but-unapplied intent.
+        """
+        from ..storage import IntentStatus
+
+        intent = self.intents.get(followup.execution_id)
+        if intent is None or intent.status != IntentStatus.PENDING:
             # Late or duplicate: the timer's re-execution won the race and
             # the writes are already durable.  Discard (§3.6 case 3).
             self.metrics.incr("followup.discarded")
             return "discarded"
         apply_started = self.sim.now
         yield self.sim.timeout(self.config.server_storage_rtt_ms)
+        if not self.intents.try_complete(followup.execution_id):
+            self.metrics.incr("followup.discarded")
+            return "discarded"
         from ..storage import WriteOp
 
         self.store.apply_writes([WriteOp(t, k, v) for (t, k, v) in followup.writes])
+        # Durable settlement marker: if this server crashes and the client's
+        # original request is redelivered to the replacement, the claim is
+        # what stops a second validation from double-applying the writes.
+        self.idem.claim(followup.execution_id, IdempotencyTable.NEAR_STORAGE)
         self.intents.remove(followup.execution_id)
         self._pending_exec.pop(followup.execution_id, None)
         self._release(followup.execution_id)
@@ -281,10 +363,15 @@ class LVIServer:
     def _on_intent_timer(self, execution_id: str) -> None:
         from ..storage import IntentStatus
 
+        if self._crashed:
+            return  # the timer died with the process; recovery re-arms it
         intent = self.intents.get(execution_id)
         if intent is None or intent.status != IntentStatus.PENDING:
             return  # followup handled it
-        self.sim.spawn(self._reexecute(execution_id), name=f"reexec({execution_id})")
+        self.sim.spawn(
+            self._guarded(self._reexecute(execution_id)),
+            name=f"reexec({execution_id})",
+        )
 
     def _reexecute(self, execution_id: str) -> Generator:
         """Deterministic re-execution (§3.4): the followup never arrived.
@@ -297,14 +384,10 @@ class LVIServer:
         it from the intent record, so recovered executions stay
         attributable end-to-end.
         """
+        from ..storage import IntentStatus
+
         intent = self.intents.get(execution_id)
-        if intent is None:
-            return
-        if not self.intents.try_complete(execution_id):
-            return  # lost the race to a very late followup
-        if self.config.replicated and not self.idem.claim(
-            execution_id, IdempotencyTable.NEAR_STORAGE
-        ):
+        if intent is None or intent.status != IntentStatus.PENDING:
             return
         obs = self.sim.obs
         span = None
@@ -321,16 +404,28 @@ class LVIServer:
                 execution_id=execution_id, function=intent.function_id,
                 recovered=recovered,
             )
-        self._pending_exec.pop(execution_id, None)
         record = self.registry.get(intent.function_id)
-        self.metrics.incr("reexecution.count")
         env = PrimaryEnv(self.store)
+        # Charge the execution and the conditional-apply round trip first;
+        # the commit point below (intent CAS + execute + apply) is a single
+        # synchronous step, so a crash either precedes it (intent stays
+        # PENDING and recovery retries) or follows it (writes durable).
         yield self.sim.timeout(self._exec_time(record))
+        yield self.sim.timeout(self.config.server_storage_rtt_ms)
+        if not self.intents.try_complete(execution_id):
+            if span is not None:
+                span.finish(self.sim.now, status="lost_race")
+            return  # lost the race to a very late followup
+        if not self.idem.claim(execution_id, IdempotencyTable.NEAR_STORAGE):
+            if span is not None:
+                span.finish(self.sim.now, status="already_claimed")
+            return
+        self._pending_exec.pop(execution_id, None)
+        self.metrics.incr("reexecution.count")
         VM(
             env, gas_limit=self.config.gas_limit,
             external=self._external_for(execution_id),
         ).execute(record.f, list(intent.args))
-        yield self.sim.timeout(self.config.server_storage_rtt_ms)
         if span is not None:
             span.finish(self.sim.now)
         self.intents.remove(execution_id)
@@ -347,21 +442,73 @@ class LVIServer:
         pending = self.intents.pending()
         for intent in pending:
             yield self.sim.spawn(
-                self._reexecute(intent.execution_id),
+                self._guarded(self._reexecute(intent.execution_id)),
                 name=f"recover({intent.execution_id})",
             )
         self.metrics.incr("recovery.intents", len(pending))
         return len(pending)
 
+    # -- crash / restart lifecycle (driven by the fault scheduler) -----------
+
+    def crash(self) -> None:
+        """Kill the server process: the endpoint disappears (in-flight
+        messages to it are dropped), every in-memory table — locks, dedup
+        set, reply cache — is lost, and handlers still in flight are
+        fenced off before their next step.  Durable state (the primary
+        store, intents, idempotency claims) survives, exactly as §3.4
+        assumes."""
+        if self._crashed:
+            raise ProtocolError(f"server {self.name} is already crashed")
+        self._crashed = True
+        self._incarnation += 1
+        self.net.unregister(self.name)
+        self.locks = LockManager(self.sim)
+        self._seen_requests.clear()
+        self._reply_cache.clear()
+        self._pending_exec.clear()
+        self.metrics.incr("server.crashes")
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.event("server.crash", server=self.name)
+
+    def restart(self) -> None:
+        """Boot a replacement: recover every pending intent from primary
+        storage *before* serving traffic again (the §3.4 replacement-server
+        rule) — requests arriving mid-recovery are dropped and surface to
+        clients as retries or a clean ``UnavailableError``."""
+        if not self._crashed:
+            raise ProtocolError(f"server {self.name} is not crashed")
+        self._crashed = False
+        self.metrics.incr("server.restarts")
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.event("server.restart", server=self.name)
+        self.sim.spawn(self._restart_flow(), name=f"restart({self.name})")
+
+    def _restart_flow(self) -> Generator:
+        yield from self._guarded(self.recover_pending())
+        if self._crashed:
+            return  # crashed again mid-recovery; the next restart retries
+        self.net.serve(self.name, self.region, self._handle)
+
     # -- direct execution (unanalyzable functions, §3.3) ---------------------------------
 
     def _handle_direct(self, req: DirectExecRequest) -> Generator:
-        if req.execution_id in self._seen_requests:
-            from ..sim.network import NO_REPLY
+        from ..sim.network import NO_REPLY
 
+        if req.execution_id in self._reply_cache:
+            self.metrics.incr("lvi.replayed_reply")
+            return self._reply_cache[req.execution_id]
+        if req.execution_id in self._seen_requests:
             self.metrics.incr("lvi.duplicate_request")
             return NO_REPLY
         self._seen_requests.add(req.execution_id)
+        if not self.idem.claim(req.execution_id, IdempotencyTable.NEAR_STORAGE):
+            # A previous incarnation already executed this id (and its
+            # answer died with it).  Executing again would double-apply
+            # the function's writes; stay silent instead.
+            self.metrics.incr("lvi.duplicate_claim")
+            return NO_REPLY
         record = self.registry.get(req.function_id)
         env = PrimaryEnv(self.store)
         exec_started = self.sim.now
@@ -377,13 +524,15 @@ class LVIServer:
                 "server.direct_exec", exec_started, self.sim.now,
                 kind="exec", function=req.function_id,
             )
-        return LVIResponse(
+        response = LVIResponse(
             execution_id=req.execution_id,
             ok=False,
             result=trace.result,
             backup_read_versions=dict(env.read_versions),
             backup_write_versions=dict(env.write_versions),
         )
+        self._reply_cache[req.execution_id] = response
+        return response
 
     # -- helpers ----------------------------------------------------------------------
 

@@ -23,6 +23,8 @@ __all__ = [
     "ProtocolError",
     "FunctionNotRegistered",
     "ConsistencyViolation",
+    "FaultConfigError",
+    "UnavailableError",
 ]
 
 
@@ -93,3 +95,18 @@ class FunctionNotRegistered(ProtocolError):
 
 class ConsistencyViolation(ReproError):
     """The history checker found a non-linearizable execution."""
+
+
+class FaultConfigError(ReproError, ValueError):
+    """A fault-injection knob or plan was configured with invalid values.
+
+    Subclasses :class:`ValueError` too, so callers that predate the fault
+    framework (``pytest.raises(ValueError)``) keep working.
+    """
+
+
+class UnavailableError(ReproError):
+    """The near-storage path is unreachable: every retry attempt timed out
+    (or the circuit breaker is open) and the invocation's deadline budget
+    is exhausted.  The failure is *clean* — the write may or may not have
+    been applied near storage, but the client is never left hanging."""

@@ -1,0 +1,71 @@
+"""Deterministic fault injection: plans, scheduling, retries, chaos.
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan` windows
+  (partitions, drops, duplicates, delays, followup loss, crash/restart).
+* :mod:`repro.faults.scheduler` — :class:`FaultScheduler` replays a plan
+  against a live deployment at exact virtual times, emitting every
+  injection through the observability spine.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` (deterministic
+  backoff + jitter) and :class:`CircuitBreaker` (the degradation ladder
+  speculative -> direct -> ``UnavailableError``).
+* :mod:`repro.faults.chaos` — the seeds x plans harness behind
+  ``radical-repro chaos``; proves strict serializability and exactly-once
+  writes under every plan.
+
+``chaos`` is imported lazily (PEP 562): it builds full deployments from
+:mod:`repro.core`, which itself imports the retry policies from here.
+"""
+
+from .plan import (
+    CrashWindow,
+    DelayWindow,
+    DropWindow,
+    DuplicateWindow,
+    FaultAction,
+    FaultPlan,
+    FollowupLossWindow,
+    PartitionWindow,
+)
+from .retry import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, RetryPolicy
+from .scheduler import FaultScheduler
+
+__all__ = [
+    "CrashWindow",
+    "DelayWindow",
+    "DropWindow",
+    "DuplicateWindow",
+    "FaultAction",
+    "FaultPlan",
+    "FollowupLossWindow",
+    "PartitionWindow",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "FaultScheduler",
+    # lazily resolved from .chaos:
+    "ChaosCaseResult",
+    "chaos_config",
+    "run_chaos_case",
+    "run_chaos_matrix",
+    "builtin_plans",
+    "resolve_plans",
+]
+
+_CHAOS_EXPORTS = {
+    "ChaosCaseResult",
+    "chaos_config",
+    "run_chaos_case",
+    "run_chaos_matrix",
+    "builtin_plans",
+    "resolve_plans",
+}
+
+
+def __getattr__(name):
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

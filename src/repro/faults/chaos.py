@@ -1,0 +1,458 @@
+"""Chaos harness: fault plans x seeds over a contended counter workload.
+
+Each case builds a fresh two-region Radical deployment, arms one
+:class:`~repro.faults.plan.FaultPlan` through the scheduler, drives
+closed-loop clients that bump and read shared counters, and then *proves*
+the §3.4 correctness claims for that execution:
+
+* the history of acknowledged invocations is strictly serializable
+  (:func:`repro.consistency.check_strict_serializability`);
+* every acknowledged bump was applied exactly once — the final counter
+  values and versions are reconciled against per-key acked/maybe-applied
+  tallies, so both lost and duplicated writes are caught;
+* every invocation *terminated* within its deadline — retried success,
+  direct fallback, or a clean ``UnavailableError`` — never a hang.
+
+Counters make the strongest probe: every bump is a read-modify-write on
+shared state, so any lost update, double application, or stale read under
+failure shows up as an arithmetic or serialization violation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..consistency import HistoryRecorder, check_strict_serializability
+from ..core import (
+    FunctionRegistry,
+    FunctionSpec,
+    LVIServer,
+    NearUserRuntime,
+    RadicalConfig,
+)
+from ..errors import ConsistencyViolation, FaultConfigError, UnavailableError
+from ..sim import (
+    Metrics,
+    Network,
+    RandomStreams,
+    Region,
+    Simulator,
+    paper_latency_table,
+    percentile,
+)
+from ..storage import KVStore, NearUserCache
+from .plan import (
+    CrashWindow,
+    DelayWindow,
+    DropWindow,
+    DuplicateWindow,
+    FaultPlan,
+    FollowupLossWindow,
+    PartitionWindow,
+)
+from .scheduler import FaultScheduler
+
+__all__ = [
+    "ChaosCaseResult",
+    "chaos_config",
+    "run_chaos_case",
+    "run_chaos_matrix",
+    "builtin_plans",
+    "resolve_plans",
+]
+
+BUMP_SRC = '''
+def bump(k):
+    busy(2000)
+    count = db_get("counters", k)
+    if count is None:
+        count = 0
+    db_put("counters", k, count + 1)
+    return count + 1
+'''
+
+READ_SRC = '''
+def read(k):
+    busy(2000)
+    return db_get("counters", k)
+'''
+
+
+@dataclass
+class ChaosCaseResult:
+    """Everything one (plan, seed) case proved and measured."""
+
+    plan: str
+    seed: int
+    requests: int
+    acked: int
+    unavailable: int
+    completed: bool            # every client process ran to the end
+    deadline_ok: bool          # no invocation outlived its deadline
+    serializable: bool
+    lost_writes: int           # acked bumps missing from the final state
+    duplicate_writes: int      # applications beyond acked + maybe-applied
+    pending_intents: int       # unsettled intents after the drain
+    violation: str = ""
+    median_ms: Optional[float] = None
+    p99_ms: Optional[float] = None
+    max_invocation_ms: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        return self.acked / self.requests if self.requests else 1.0
+
+    @property
+    def ok(self) -> bool:
+        """The case's correctness verdict (availability may be anything)."""
+        return (
+            self.completed
+            and self.deadline_ok
+            and self.serializable
+            and self.lost_writes == 0
+            and self.duplicate_writes == 0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "requests": self.requests,
+            "acked": self.acked,
+            "unavailable": self.unavailable,
+            "availability": round(self.availability, 4),
+            "completed": self.completed,
+            "deadline_ok": self.deadline_ok,
+            "serializable": self.serializable,
+            "lost_writes": self.lost_writes,
+            "duplicate_writes": self.duplicate_writes,
+            "pending_intents": self.pending_intents,
+            "violation": self.violation,
+            "median_ms": self.median_ms,
+            "p99_ms": self.p99_ms,
+            "max_invocation_ms": round(self.max_invocation_ms, 3),
+            "ok": self.ok,
+            "counters": self.counters,
+        }
+
+
+def chaos_config(replicated: bool = False) -> RadicalConfig:
+    """The tightened knobs chaos cases run under: per-attempt timeouts
+    short enough to retry inside a fault window, a deadline that bounds
+    every invocation, and a breaker that opens quickly under blackout."""
+    return RadicalConfig(
+        service_jitter_sigma=0.0,
+        followup_timeout_ms=600.0,
+        rpc_timeout_ms=400.0,
+        retry_max_attempts=3,
+        retry_base_backoff_ms=20.0,
+        retry_backoff_multiplier=2.0,
+        retry_max_backoff_ms=200.0,
+        retry_jitter_frac=0.2,
+        invocation_deadline_ms=4_000.0,
+        breaker_failure_threshold=5,
+        breaker_cooldown_ms=1_500.0,
+        replicated=replicated,
+    )
+
+
+@dataclass
+class _Tally:
+    acked: int = 0
+    unavailable: int = 0
+    acked_bumps: Dict[str, int] = field(default_factory=dict)
+    maybe_bumps: Dict[str, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+    max_invocation_ms: float = 0.0
+
+
+def _chaos_client(
+    sim: Simulator,
+    runtime: NearUserRuntime,
+    rng,
+    history: HistoryRecorder,
+    tally: _Tally,
+    requests: int,
+    keys: int,
+    think_ms: float,
+) -> Generator:
+    for i in range(requests):
+        key = f"c:{rng.randrange(keys)}"
+        is_bump = rng.random() < 0.7
+        fn = "chaos.bump" if is_bump else "chaos.read"
+        started = sim.now
+        record = history.begin(fn, started)
+        try:
+            outcome = yield sim.spawn(
+                runtime.invoke(fn, [key]), name=f"chaos({runtime.region}:{i})"
+            )
+        except UnavailableError:
+            # Clean failure: the write may or may not have landed near
+            # storage (e.g. the response was lost), so it is *not*
+            # recorded in the history — but it is tallied so the final
+            # counter reconciliation can bound it.
+            tally.unavailable += 1
+            if is_bump:
+                tally.maybe_bumps[key] = tally.maybe_bumps.get(key, 0) + 1
+        else:
+            history.finish(
+                record, sim.now,
+                reads=outcome.read_versions, writes=outcome.write_versions,
+            )
+            tally.acked += 1
+            tally.latencies.append(sim.now - started)
+            if is_bump:
+                tally.acked_bumps[key] = tally.acked_bumps.get(key, 0) + 1
+        tally.max_invocation_ms = max(tally.max_invocation_ms, sim.now - started)
+        yield sim.timeout(think_ms)
+
+
+def run_chaos_case(
+    plan: FaultPlan,
+    seed: int,
+    requests_per_client: int = 25,
+    clients_per_region: int = 1,
+    regions: Tuple[str, ...] = (Region.JP, Region.CA),
+    keys: int = 2,
+    think_ms: float = 10.0,
+    config: Optional[RadicalConfig] = None,
+) -> ChaosCaseResult:
+    """Run one (plan, seed) case end to end and return its verdict."""
+    plan.validate()
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    net = Network(sim, paper_latency_table(), streams)
+    metrics = Metrics()
+    cfg = config or chaos_config(replicated=plan.replicated)
+
+    registry = FunctionRegistry()
+    registry.register(FunctionSpec("chaos.bump", BUMP_SRC, 20.0))
+    registry.register(FunctionSpec("chaos.read", READ_SRC, 20.0))
+    store = KVStore()
+    for i in range(keys):
+        store.put("counters", f"c:{i}", 0)
+
+    cluster = None
+    if cfg.replicated:
+        from ..raft import RaftCluster
+
+        cluster = RaftCluster(sim, streams)
+        cluster.start()
+    server = LVIServer(
+        sim, net, registry, store, cfg, streams, metrics, raft_cluster=cluster
+    )
+    targets: Dict[str, Any] = {server.name: server}
+    if cluster is not None:
+        targets.update(cluster.nodes)
+
+    runtimes = {}
+    for region in regions:
+        cache = NearUserCache(region)
+        for i in range(keys):
+            cache.install("counters", f"c:{i}", store.get("counters", f"c:{i}"))
+        runtimes[region] = NearUserRuntime(
+            sim, net, region, cache, registry, cfg, streams, metrics
+        )
+
+    scheduler = FaultScheduler(sim, net, plan, targets=targets, metrics=metrics)
+    scheduler.start()
+
+    history = HistoryRecorder()
+    tally = _Tally()
+    procs = []
+    for region in regions:
+        for c in range(clients_per_region):
+            rng = streams.stream(f"chaos.client.{region}.{c}")
+            procs.append(
+                sim.spawn(
+                    _chaos_client(
+                        sim, runtimes[region], rng, history, tally,
+                        requests_per_client, keys, think_ms,
+                    ),
+                    name=f"chaos-client-{region}-{c}",
+                )
+            )
+    done = sim.all_of([p.done_event for p in procs])
+    sim.run(until_event=done)
+    completed = all(p.done for p in procs)
+    # Drain: let the last intent timers, retries, and any scheduled
+    # restart + recovery settle before reconciling the final state.
+    drain_until = max(sim.now, plan.horizon_ms()) + cfg.followup_timeout_ms * 2 + 5_000.0
+    sim.run(until=drain_until)
+
+    serializable = True
+    violation = ""
+    try:
+        check_strict_serializability(history.records())
+    except ConsistencyViolation as exc:
+        serializable = False
+        violation = str(exc)
+
+    # Exactly-once reconciliation: for each key,
+    #   acked - pending  <=  final value  <=  acked + maybe-applied.
+    # A pending intent is an acked speculative write the (still-dead)
+    # server has not applied yet; plans that restart their crash targets
+    # always settle to pending == 0.
+    pending = server.intents.pending()
+    pending_per_key: Dict[str, int] = {}
+    for intent in pending:
+        key = intent.args[0] if intent.args else "?"
+        pending_per_key[key] = pending_per_key.get(key, 0) + 1
+    lost = 0
+    duplicates = 0
+    for i in range(keys):
+        key = f"c:{i}"
+        item = store.get_or_none("counters", key)
+        value = item.value if item is not None else 0
+        version = item.version if item is not None else 0
+        acked = tally.acked_bumps.get(key, 0)
+        maybe = tally.maybe_bumps.get(key, 0)
+        lost += max(0, acked - value - pending_per_key.get(key, 0))
+        duplicates += max(0, value - acked - maybe)
+        if item is not None and version - 1 != value and not violation:
+            serializable = False
+            violation = (
+                f"{key}: version {version} does not match value {value} "
+                f"(non-bump write applied?)"
+            )
+
+    total_requests = requests_per_client * clients_per_region * len(regions)
+    deadline_ok = (
+        cfg.invocation_deadline_ms <= 0
+        or tally.max_invocation_ms <= cfg.invocation_deadline_ms + 1.0
+    )
+    wanted = (
+        "fault.injected", "rpc.retry", "rpc.timeout", "rpc.exhausted",
+        "breaker.open", "breaker.fast_fail", "reexecution.count",
+        "followup.lost", "followup.retry", "lvi.replayed_reply",
+        "lvi.replay_after_crash", "lvi.duplicate_claim", "recovery.intents",
+        "server.crashes", "server.restarts", "server.killed_handlers",
+        "validation.failure", "path.speculative", "path.direct",
+    )
+    counters = {k: metrics.counter(k) for k in wanted if metrics.counter(k)}
+    lat = sorted(tally.latencies)
+    return ChaosCaseResult(
+        plan=plan.name,
+        seed=seed,
+        requests=total_requests,
+        acked=tally.acked,
+        unavailable=tally.unavailable,
+        completed=completed,
+        deadline_ok=deadline_ok,
+        serializable=serializable,
+        lost_writes=lost,
+        duplicate_writes=duplicates,
+        pending_intents=len(pending),
+        violation=violation,
+        median_ms=percentile(lat, 50.0) if lat else None,
+        p99_ms=percentile(lat, 99.0) if lat else None,
+        max_invocation_ms=tally.max_invocation_ms,
+        counters=counters,
+    )
+
+
+def run_chaos_matrix(
+    plans: List[FaultPlan],
+    seeds,
+    **case_kwargs,
+) -> List[ChaosCaseResult]:
+    """The full plan x seed sweep (what ``radical-repro chaos`` runs).
+
+    ``seeds`` is either an iterable of seeds or an int N meaning 0..N-1.
+    """
+    if isinstance(seeds, int):
+        seeds = range(seeds)
+    return [run_chaos_case(plan, seed, **case_kwargs) for plan in plans for seed in seeds]
+
+
+def builtin_plans() -> Dict[str, FaultPlan]:
+    """The stock fault plans, keyed by name.
+
+    Windows are sized for the default chaos workload (two regions, ~5 s
+    of virtual time); every crash window restarts its target so the run
+    settles to zero pending intents.
+    """
+    jp, ca, va = Region.JP, Region.CA, Region.VA
+    plans = [
+        FaultPlan("baseline", (), "no faults; the control case"),
+        FaultPlan(
+            "lvi-blackout",
+            (
+                DropWindow(jp, va, 0.0, math.inf, 1.0, bidirectional=True),
+                DropWindow(ca, va, 0.0, math.inf, 1.0, bidirectional=True),
+            ),
+            "every near-storage request is dropped for the whole run; "
+            "every invocation must still terminate cleanly",
+        ),
+        FaultPlan(
+            "partition-pulse",
+            (
+                PartitionWindow(jp, va, 800.0, 2_000.0),
+                PartitionWindow(ca, va, 2_500.0, 3_500.0),
+            ),
+            "each region loses the primary for a window, then heals",
+        ),
+        FaultPlan(
+            "flaky-links",
+            (
+                DropWindow(jp, va, 300.0, 4_500.0, 0.25, bidirectional=True),
+                DropWindow(ca, va, 300.0, 4_500.0, 0.25, bidirectional=True),
+            ),
+            "25% loss on both WAN links; retries must absorb it",
+        ),
+        FaultPlan(
+            "dup-storm",
+            (
+                DuplicateWindow(jp, va, 0.0, math.inf, 1.0, bidirectional=True),
+                DuplicateWindow(ca, va, 0.0, math.inf, 1.0, bidirectional=True),
+            ),
+            "every message delivered twice; dedup must hold",
+        ),
+        FaultPlan(
+            "slow-wan",
+            (
+                DelayWindow(jp, va, 500.0, 60.0, 3_500.0, bidirectional=True),
+                DelayWindow(ca, va, 500.0, 60.0, 3_500.0, bidirectional=True),
+            ),
+            "congestion adds 60 ms each way; slower but fault-free",
+        ),
+        FaultPlan(
+            "followup-burst",
+            (FollowupLossWindow(0.0, 2_500.0),),
+            "every write followup is eaten; intent timers re-execute",
+        ),
+        FaultPlan(
+            "server-crash",
+            (CrashWindow("lvi-server", 900.0, 2_600.0),),
+            "the LVI server crashes mid-run and recovers from intents",
+        ),
+        FaultPlan(
+            "raft-follower-crash",
+            (CrashWindow("raft-1", 800.0, 3_000.0),),
+            "replicated (§5.6) deployment; one Raft node crashes",
+            replicated=True,
+        ),
+    ]
+    return {p.name: p for p in plans}
+
+
+def resolve_plans(spec: str) -> List[FaultPlan]:
+    """Parse a ``--plans`` value: ``all`` or a comma-separated name list."""
+    stock = builtin_plans()
+    if spec == "all":
+        return list(stock.values())
+    chosen = []
+    for name in (s.strip() for s in spec.split(",")):
+        if not name:
+            continue
+        if name not in stock:
+            raise FaultConfigError(
+                f"unknown plan {name!r} (available: {', '.join(sorted(stock))})"
+            )
+        chosen.append(stock[name])
+    if not chosen:
+        raise FaultConfigError(f"no plans selected by {spec!r}")
+    return chosen

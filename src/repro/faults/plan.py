@@ -1,0 +1,198 @@
+"""Declarative, virtual-time fault plans.
+
+A :class:`FaultPlan` is an immutable script of fault *windows* — each one
+names a kind of misbehaviour, the directed link (or crash target) it hits,
+and the virtual-time interval it covers.  Plans carry no machinery: the
+:class:`~repro.faults.scheduler.FaultScheduler` replays them against a
+live deployment, and because both the plan and every downstream random
+draw are deterministic, the same (plan, seed) pair always produces the
+same execution.
+
+``end_ms=math.inf`` leaves a window open for the rest of the run (the
+"blackout" plans use this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..errors import FaultConfigError
+
+__all__ = [
+    "PartitionWindow",
+    "DropWindow",
+    "DuplicateWindow",
+    "DelayWindow",
+    "FollowupLossWindow",
+    "CrashWindow",
+    "FaultAction",
+    "FaultPlan",
+]
+
+
+def _check_window(name: str, start_ms: float, end_ms: float) -> None:
+    if start_ms < 0:
+        raise FaultConfigError(f"{name}: start_ms must be non-negative ({start_ms})")
+    if end_ms <= start_ms:
+        raise FaultConfigError(
+            f"{name}: end_ms ({end_ms}) must be greater than start_ms ({start_ms})"
+        )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Silently drop all traffic between two regions for the window."""
+
+    region_a: str
+    region_b: str
+    start_ms: float
+    end_ms: float = math.inf
+    bidirectional: bool = True
+
+    def validate(self) -> None:
+        _check_window("partition", self.start_ms, self.end_ms)
+
+
+@dataclass(frozen=True)
+class DropWindow:
+    """Drop each message on a directed link with ``probability``."""
+
+    src: str
+    dst: str
+    start_ms: float
+    end_ms: float = math.inf
+    probability: float = 1.0
+    bidirectional: bool = False
+
+    def validate(self) -> None:
+        _check_window("drop", self.start_ms, self.end_ms)
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultConfigError(f"drop: probability out of range: {self.probability}")
+
+
+@dataclass(frozen=True)
+class DuplicateWindow:
+    """Deliver each message on a directed link twice with ``probability``."""
+
+    src: str
+    dst: str
+    start_ms: float
+    end_ms: float = math.inf
+    probability: float = 1.0
+    bidirectional: bool = False
+
+    def validate(self) -> None:
+        _check_window("duplicate", self.start_ms, self.end_ms)
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultConfigError(
+                f"duplicate: probability out of range: {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class DelayWindow:
+    """Add ``extra_ms`` of one-way delay on a directed link (congestion)."""
+
+    src: str
+    dst: str
+    start_ms: float
+    extra_ms: float
+    end_ms: float = math.inf
+    bidirectional: bool = False
+
+    def validate(self) -> None:
+        _check_window("delay", self.start_ms, self.end_ms)
+        if self.extra_ms < 0:
+            raise FaultConfigError(f"delay: extra_ms must be non-negative: {self.extra_ms}")
+
+
+@dataclass(frozen=True)
+class FollowupLossWindow:
+    """Eat every :class:`~repro.core.messages.WriteFollowup` network-wide
+    for the window — the §3.4 scenario that forces intent-timer
+    re-execution without disturbing any other traffic."""
+
+    start_ms: float
+    end_ms: float = math.inf
+
+    def validate(self) -> None:
+        _check_window("followup_loss", self.start_ms, self.end_ms)
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Crash a named target (LVI server or Raft node) at ``crash_at_ms``
+    and restart it at ``restart_at_ms`` (``None`` = never)."""
+
+    target: str
+    crash_at_ms: float
+    restart_at_ms: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.crash_at_ms < 0:
+            raise FaultConfigError(
+                f"crash: crash_at_ms must be non-negative ({self.crash_at_ms})"
+            )
+        if self.restart_at_ms is not None and self.restart_at_ms <= self.crash_at_ms:
+            raise FaultConfigError(
+                f"crash: restart_at_ms ({self.restart_at_ms}) must follow "
+                f"crash_at_ms ({self.crash_at_ms})"
+            )
+
+
+FaultAction = Union[
+    PartitionWindow,
+    DropWindow,
+    DuplicateWindow,
+    DelayWindow,
+    FollowupLossWindow,
+    CrashWindow,
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, named schedule of fault actions.
+
+    ``replicated`` is a harness hint: the chaos harness builds the §5.6
+    replicated deployment (Raft-backed locks + idempotency keys) for
+    plans that crash Raft nodes or need cross-failover dedup.
+    """
+
+    name: str
+    actions: Tuple[FaultAction, ...] = ()
+    description: str = ""
+    replicated: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`FaultConfigError` on any malformed window."""
+        if not self.name:
+            raise FaultConfigError("fault plan needs a name")
+        for action in self.actions:
+            action.validate()
+
+    def crash_targets(self) -> Tuple[str, ...]:
+        """Names every CrashWindow refers to (the scheduler checks that
+        each one is bound to a live object before starting)."""
+        return tuple(
+            dict.fromkeys(
+                a.target for a in self.actions if isinstance(a, CrashWindow)
+            )
+        )
+
+    def horizon_ms(self) -> float:
+        """The last *finite* scheduled transition — how long the harness
+        must keep the world running for every window to open and close."""
+        times = [0.0]
+        for a in self.actions:
+            if isinstance(a, CrashWindow):
+                times.append(a.crash_at_ms)
+                if a.restart_at_ms is not None:
+                    times.append(a.restart_at_ms)
+            else:
+                times.append(a.start_ms)
+                if not math.isinf(a.end_ms):
+                    times.append(a.end_ms)
+        return max(times)

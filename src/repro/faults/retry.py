@@ -1,0 +1,151 @@
+"""Client-side robustness policies: deterministic retry and circuit breaking.
+
+Retry schedules are pure functions of the policy knobs plus draws from a
+named :class:`~repro.sim.rand.RandomStreams` stream, so two same-seed runs
+back off at byte-identical virtual times.  The circuit breaker implements
+the degradation ladder the runtime follows when the near-storage path
+keeps failing: speculative -> direct probe -> clean ``UnavailableError``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import FaultConfigError
+from ..sim import Metrics, Simulator
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a budgeted number
+    of attempts.  ``max_attempts`` counts the first try, so 3 means two
+    retries."""
+
+    max_attempts: int = 3
+    base_backoff_ms: float = 10.0
+    backoff_multiplier: float = 2.0
+    max_backoff_ms: float = 1_000.0
+    jitter_frac: float = 0.2
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise FaultConfigError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise FaultConfigError("backoff times must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise FaultConfigError(
+                f"backoff multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise FaultConfigError(f"jitter fraction out of [0, 1): {self.jitter_frac}")
+
+    @classmethod
+    def from_config(cls, config) -> "RetryPolicy":
+        """Build the policy from a :class:`~repro.core.config.RadicalConfig`."""
+        return cls(
+            max_attempts=config.retry_max_attempts,
+            base_backoff_ms=config.retry_base_backoff_ms,
+            backoff_multiplier=config.retry_backoff_multiplier,
+            max_backoff_ms=config.retry_max_backoff_ms,
+            jitter_frac=config.retry_jitter_frac,
+        )
+
+    def backoff_ms(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Delay after failed attempt number ``attempt`` (1-based)."""
+        base = min(
+            self.max_backoff_ms,
+            self.base_backoff_ms * self.backoff_multiplier ** (attempt - 1),
+        )
+        if rng is None or self.jitter_frac <= 0.0:
+            return base
+        return base * (1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0))
+
+    def schedule(self, rng: Optional[random.Random] = None) -> List[float]:
+        """The full backoff sequence an exhausted RPC would sleep through —
+        what the determinism tests compare byte-for-byte."""
+        return [self.backoff_ms(a, rng) for a in range(1, self.max_attempts)]
+
+
+CLOSED = "closed"        # normal operation
+OPEN = "open"            # failing fast; no near-storage traffic
+HALF_OPEN = "half_open"  # cooldown elapsed; one probe in flight
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over the runtime's near-storage RPCs.
+
+    * CLOSED: requests flow; ``failure_threshold`` consecutive failures
+      trip the breaker.
+    * OPEN: :meth:`allow` fails fast until ``cooldown_ms`` of virtual time
+      has elapsed, then admits exactly one probe (-> HALF_OPEN).
+    * HALF_OPEN: the probe's success closes the breaker; its failure
+      re-opens it and restarts the cooldown.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        failure_threshold: int = 5,
+        cooldown_ms: float = 5_000.0,
+        metrics: Optional[Metrics] = None,
+        name: str = "",
+    ):
+        if failure_threshold < 1:
+            raise FaultConfigError(f"failure threshold must be >= 1: {failure_threshold}")
+        if cooldown_ms < 0:
+            raise FaultConfigError(f"cooldown must be non-negative: {cooldown_ms}")
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.metrics = metrics or Metrics()
+        self.name = name
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  Transitions OPEN -> HALF_OPEN
+        (admitting the single probe) once the cooldown has elapsed."""
+        if self.state == CLOSED:
+            return True
+        if (
+            self.state == OPEN
+            and self.sim.now - self.opened_at >= self.cooldown_ms
+        ):
+            self.state = HALF_OPEN
+            self._note("breaker.half_open")
+            return True
+        return False
+
+    @property
+    def probing(self) -> bool:
+        return self.state == HALF_OPEN
+
+    def record_success(self) -> None:
+        if self.state != CLOSED:
+            self._note("breaker.closed")
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN:
+            self._trip()  # the probe failed: back to fail-fast
+        elif self.state == CLOSED and self.failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.opened_at = self.sim.now
+        self._note("breaker.open")
+
+    def _note(self, what: str) -> None:
+        self.metrics.incr(what)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.event(what, breaker=self.name, failures=self.failures)

@@ -1,0 +1,183 @@
+"""Replays a :class:`~repro.faults.plan.FaultPlan` against a live world.
+
+The scheduler is pure choreography: at :meth:`start` it converts every
+window boundary into one ``sim.schedule`` callback, and each callback
+flips the corresponding :class:`~repro.sim.network.Network` knob, installs
+or removes a payload drop filter, or crashes/restarts a target object.
+Every transition is also emitted as an ``obs`` event and counted in
+``metrics`` (``fault.injected``), so fault injections appear in the same
+trace stream as the protocol activity they disturb (PR 1's spine).
+
+The injection log (:attr:`injected`) records ``(virtual_ms, event, attrs)``
+tuples — the determinism tests compare two same-seed logs for equality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import FaultConfigError
+from ..sim import Metrics, Network, Simulator
+from .plan import (
+    CrashWindow,
+    DelayWindow,
+    DropWindow,
+    DuplicateWindow,
+    FaultPlan,
+    FollowupLossWindow,
+    PartitionWindow,
+)
+
+__all__ = ["FaultScheduler"]
+
+
+def _followup_filter(src: str, dst: str, payload: Any) -> bool:
+    # Imported lazily: repro.core imports repro.faults.retry, so a
+    # module-level import here would be circular.
+    from ..core.messages import WriteFollowup
+
+    return isinstance(payload, WriteFollowup)
+
+
+class FaultScheduler:
+    """Arms a plan's windows as simulator callbacks.
+
+    ``targets`` maps :class:`CrashWindow` target names to crashable
+    objects — anything with ``crash()`` plus ``restart()`` (LVI servers)
+    or ``recover()`` (Raft nodes).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        plan: FaultPlan,
+        targets: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Metrics] = None,
+    ):
+        plan.validate()
+        self.sim = sim
+        self.net = net
+        self.plan = plan
+        self.targets = dict(targets or {})
+        self.metrics = metrics or Metrics()
+        #: (virtual_ms, event_name, sorted attr tuple) per transition.
+        self.injected: List[Tuple[float, str, Tuple]] = []
+        self._started = False
+        missing = [t for t in plan.crash_targets() if t not in self.targets]
+        if missing:
+            raise FaultConfigError(
+                f"plan {plan.name!r} crashes unbound targets: {missing}"
+            )
+
+    def start(self) -> None:
+        """Schedule every window boundary.  Call once, before or during
+        the run; boundaries already in the past fire immediately."""
+        if self._started:
+            raise FaultConfigError("fault scheduler already started")
+        self._started = True
+        for action in self.plan.actions:
+            if isinstance(action, PartitionWindow):
+                self._arm_partition(action)
+            elif isinstance(action, DropWindow):
+                self._arm_drop(action)
+            elif isinstance(action, DuplicateWindow):
+                self._arm_duplicate(action)
+            elif isinstance(action, DelayWindow):
+                self._arm_delay(action)
+            elif isinstance(action, FollowupLossWindow):
+                self._arm_followup_loss(action)
+            elif isinstance(action, CrashWindow):
+                self._arm_crash(action)
+            else:  # pragma: no cover - FaultAction is a closed union
+                raise FaultConfigError(f"unknown fault action {action!r}")
+
+    # -- arming helpers ------------------------------------------------------
+
+    def _at(self, when_ms: float, fn, *args) -> None:
+        if math.isinf(when_ms):
+            return  # an open window never closes
+        self.sim.schedule(max(0.0, when_ms - self.sim.now), fn, *args)
+
+    def _note(self, event: str, **attrs) -> None:
+        self.injected.append((self.sim.now, event, tuple(sorted(attrs.items()))))
+        self.metrics.incr("fault.injected")
+        self.metrics.incr(f"fault.{event}")
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.event(f"fault.{event}", plan=self.plan.name, **attrs)
+
+    def _links(self, src: str, dst: str, bidirectional: bool):
+        return [(src, dst), (dst, src)] if bidirectional else [(src, dst)]
+
+    def _arm_partition(self, w: PartitionWindow) -> None:
+        def begin():
+            self.net.partition(w.region_a, w.region_b, bidirectional=w.bidirectional)
+            self._note("partition", a=w.region_a, b=w.region_b)
+
+        def end():
+            self.net.heal(w.region_a, w.region_b)
+            self._note("heal", a=w.region_a, b=w.region_b)
+
+        self._at(w.start_ms, begin)
+        self._at(w.end_ms, end)
+
+    def _arm_drop(self, w: DropWindow) -> None:
+        for src, dst in self._links(w.src, w.dst, w.bidirectional):
+            self._at(w.start_ms, self._set_drop, src, dst, w.probability)
+            self._at(w.end_ms, self._set_drop, src, dst, 0.0)
+
+    def _set_drop(self, src: str, dst: str, p: float) -> None:
+        self.net.set_drop_probability(src, dst, p)
+        self._note("drop", src=src, dst=dst, p=p)
+
+    def _arm_duplicate(self, w: DuplicateWindow) -> None:
+        for src, dst in self._links(w.src, w.dst, w.bidirectional):
+            self._at(w.start_ms, self._set_duplicate, src, dst, w.probability)
+            self._at(w.end_ms, self._set_duplicate, src, dst, 0.0)
+
+    def _set_duplicate(self, src: str, dst: str, p: float) -> None:
+        self.net.set_duplicate_probability(src, dst, p)
+        self._note("duplicate", src=src, dst=dst, p=p)
+
+    def _arm_delay(self, w: DelayWindow) -> None:
+        for src, dst in self._links(w.src, w.dst, w.bidirectional):
+            self._at(w.start_ms, self._set_delay, src, dst, w.extra_ms)
+            self._at(w.end_ms, self._set_delay, src, dst, 0.0)
+
+    def _set_delay(self, src: str, dst: str, ms: float) -> None:
+        self.net.set_extra_delay(src, dst, ms)
+        self._note("delay", src=src, dst=dst, ms=ms)
+
+    def _arm_followup_loss(self, w: FollowupLossWindow) -> None:
+        def begin():
+            self.net.add_drop_filter(_followup_filter)
+            self._note("followup_loss")
+
+        def end():
+            self.net.remove_drop_filter(_followup_filter)
+            self._note("followup_loss_end")
+
+        self._at(w.start_ms, begin)
+        self._at(w.end_ms, end)
+
+    def _arm_crash(self, w: CrashWindow) -> None:
+        target = self.targets[w.target]
+
+        def crash():
+            target.crash()
+            self._note("crash", target=w.target)
+
+        def restart():
+            # LVI servers expose restart() (re-serve + recover intents);
+            # Raft nodes expose recover().
+            if hasattr(target, "restart"):
+                target.restart()
+            else:
+                target.recover()
+            self._note("restart", target=w.target)
+
+        self._at(w.crash_at_ms, crash)
+        if w.restart_at_ms is not None:
+            self._at(w.restart_at_ms, restart)

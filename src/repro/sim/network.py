@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Optional, Set, Tuple
 
+from ..errors import FaultConfigError
 from .core import Event, Simulator
 from .primitives import Channel
 from .rand import RandomStreams
@@ -213,6 +214,7 @@ class Network:
         self._drop_rng = (streams or RandomStreams(0)).stream("network.drop")
         self._endpoints: Dict[str, Endpoint] = {}
         self._faults: Dict[Tuple[str, str], _LinkFaults] = {}
+        self._drop_filters: list = []
         self._msg_ids = itertools.count()
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -278,19 +280,42 @@ class Network:
     def set_drop_probability(self, src_region: str, dst_region: str, p: float) -> None:
         """Drop each message on the directed link with probability ``p``."""
         if not 0.0 <= p <= 1.0:
-            raise ValueError(f"probability out of range: {p}")
+            raise FaultConfigError(f"probability out of range: {p}")
         self._fault(src_region, dst_region).drop_probability = p
 
     def set_duplicate_probability(self, src_region: str, dst_region: str, p: float) -> None:
         """Deliver each message twice with probability ``p`` (tests
         at-most-once handling of followups and intents)."""
         if not 0.0 <= p <= 1.0:
-            raise ValueError(f"probability out of range: {p}")
+            raise FaultConfigError(f"probability out of range: {p}")
         self._fault(src_region, dst_region).duplicate_probability = p
 
     def set_extra_delay(self, src_region: str, dst_region: str, ms: float) -> None:
         """Add a fixed delay on a directed link (models congestion)."""
+        if ms < 0.0:
+            raise FaultConfigError(f"extra delay must be non-negative: {ms}")
         self._fault(src_region, dst_region).extra_delay = ms
+
+    def add_drop_filter(self, fn: Callable[[str, str, Any], bool]) -> None:
+        """Install a payload-level drop predicate.
+
+        ``fn(src_name, dst_name, payload)`` is consulted for every message
+        copy (requests and replies; RPC envelopes are unwrapped first) and
+        a ``True`` verdict eats the copy.  Filters let a fault plan target
+        one message *type* — e.g. lose every :class:`WriteFollowup` during
+        a window — without disturbing the link's other traffic or its RNG
+        draws."""
+        self._drop_filters.append(fn)
+
+    def remove_drop_filter(self, fn: Callable[[str, str, Any], bool]) -> None:
+        """Uninstall a predicate added by :meth:`add_drop_filter`."""
+        self._drop_filters.remove(fn)
+
+    def _filtered(self, src: str, dst: str, payload: Any) -> bool:
+        if not self._drop_filters:
+            return False
+        inner = payload[0] if isinstance(payload, tuple) and len(payload) == 2 else payload
+        return any(fn(src, dst, inner) for fn in self._drop_filters)
 
     # -- transmission ----------------------------------------------------------
 
@@ -339,7 +364,11 @@ class Network:
             self.tracer(self.sim.now, src, dst, traced)
         dst_region = dst_ep.region if dst_ep is not None else "?"
         span = self._hop_span(src, dst, src_ep.region, dst_region)
-        if dst_ep is None or self._lossy(src_ep.region, dst_ep.region):
+        if (
+            dst_ep is None
+            or self._filtered(src, dst, payload)
+            or self._lossy(src_ep.region, dst_ep.region)
+        ):
             self.messages_dropped += 1
             if span is not None:
                 span.finish(self.sim.now, status="dropped")
@@ -479,7 +508,12 @@ class Network:
         )
         if span is not None:
             span.attrs["reply"] = True
-        if src_ep is None or dst_ep is None or self._lossy(src_ep.region, dst_ep.region):
+        if (
+            src_ep is None
+            or dst_ep is None
+            or self._filtered(server, reply_ref.src, value)
+            or self._lossy(src_ep.region, dst_ep.region)
+        ):
             self.messages_dropped += 1
             if span is not None:
                 span.finish(self.sim.now, status="dropped")

@@ -1,0 +1,73 @@
+"""Shared test scaffolding: the counter-stack builder used across suites.
+
+``build_counter_stack`` is deliberately a plain function rather than a
+pytest fixture: hypothesis ``@given`` tests cannot take function-scoped
+fixtures, and several suites need to call it with explicit seeds inside
+the test body.  ``tests/`` has no ``__init__.py``, so pytest puts this
+module on ``sys.path`` and suites import it with ``from conftest import
+build_counter_stack``.
+"""
+
+from repro.core import (
+    FunctionRegistry,
+    FunctionSpec,
+    LVIServer,
+    NearUserRuntime,
+    RadicalConfig,
+)
+from repro.sim import (
+    Metrics,
+    Network,
+    RandomStreams,
+    Region,
+    Simulator,
+    paper_latency_table,
+)
+from repro.storage import KVStore, NearUserCache
+
+COUNTER_SRC = '''
+def bump(k):
+    busy(2000)
+    count = db_get("counters", f"c:{k}")
+    if count is None:
+        count = 0
+    db_put("counters", f"c:{k}", count + 1)
+    return count + 1
+'''
+
+READ_SRC = '''
+def read(k):
+    busy(2000)
+    return db_get("counters", f"c:{k}")
+'''
+
+
+def build_counter_stack(seed=1, followup_timeout=400.0,
+                        regions=(Region.JP, Region.CA), config=None):
+    """Build a single-primary counter deployment: one LVI server in VA plus
+    a near-user runtime per region, all sharing one warmed key ``c:x``.
+
+    Returns ``(sim, net, store, server, runtimes, metrics)``.
+    """
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    net = Network(sim, paper_latency_table(), streams)
+    metrics = Metrics()
+    if config is None:
+        config = RadicalConfig(
+            service_jitter_sigma=0.0, followup_timeout_ms=followup_timeout
+        )
+    registry = FunctionRegistry()
+    registry.register(FunctionSpec("t.bump", COUNTER_SRC, 20.0))
+    registry.register(FunctionSpec("t.read", READ_SRC, 20.0))
+    store = KVStore()
+    store.put("counters", "c:x", 0)
+    server = LVIServer(sim, net, registry, store, config, streams, metrics)
+    runtimes = {}
+    for region in regions:
+        cache = NearUserCache(region)
+        cache.install("counters", "c:x", store.get("counters", "c:x"))
+        runtimes[region] = NearUserRuntime(
+            sim, net, region, cache, registry, config, streams, metrics
+        )
+    return sim, net, store, server, runtimes, metrics

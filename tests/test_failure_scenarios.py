@@ -1,66 +1,11 @@
 """Deeper failure-injection scenarios against the full protocol stack."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import build_counter_stack as build
 from repro.consistency import HistoryRecorder, check_strict_serializability
-from repro.core import (
-    FunctionRegistry,
-    FunctionSpec,
-    LVIServer,
-    NearUserRuntime,
-    RadicalConfig,
-)
-from repro.sim import (
-    Interrupted,
-    Metrics,
-    Network,
-    RandomStreams,
-    Region,
-    RpcTimeout,
-    Simulator,
-    paper_latency_table,
-)
-from repro.storage import KVStore, NearUserCache
-
-COUNTER_SRC = '''
-def bump(k):
-    busy(2000)
-    count = db_get("counters", f"c:{k}")
-    if count is None:
-        count = 0
-    db_put("counters", f"c:{k}", count + 1)
-    return count + 1
-'''
-
-READ_SRC = '''
-def read(k):
-    busy(2000)
-    return db_get("counters", f"c:{k}")
-'''
-
-
-def build(seed=1, followup_timeout=400.0, regions=(Region.JP, Region.CA)):
-    sim = Simulator()
-    streams = RandomStreams(seed)
-    net = Network(sim, paper_latency_table(), streams)
-    metrics = Metrics()
-    config = RadicalConfig(service_jitter_sigma=0.0, followup_timeout_ms=followup_timeout)
-    registry = FunctionRegistry()
-    registry.register(FunctionSpec("t.bump", COUNTER_SRC, 20.0))
-    registry.register(FunctionSpec("t.read", READ_SRC, 20.0))
-    store = KVStore()
-    store.put("counters", "c:x", 0)
-    server = LVIServer(sim, net, registry, store, config, streams, metrics)
-    runtimes = {}
-    for region in regions:
-        cache = NearUserCache(region)
-        cache.install("counters", "c:x", store.get("counters", "c:x"))
-        runtimes[region] = NearUserRuntime(
-            sim, net, region, cache, registry, config, streams, metrics
-        )
-    return sim, net, store, server, runtimes, metrics
+from repro.sim import Region
 
 
 class TestFollowupRaces:
