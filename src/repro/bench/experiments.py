@@ -387,30 +387,29 @@ def _micro_lvi_latency(
 ) -> float:
     """Median e2e latency of an L-key write with a ~0.5 ms execution (so
     the LVI request is never hidden and server costs are visible)."""
-    sim = Simulator()
-    streams = RandomStreams(seed)
-    net = Network(sim, paper_latency_table(), streams)
-    registry = FunctionRegistry()
-    registry.register(FunctionSpec("micro.rw", _micro_source(lock_count), 0.5))
-    store = KVStore()
-    for i in range(lock_count - 1):
-        store.put("micro", f"r{i}:x", 0)
-    store.put("micro", "w:x", 0)
+    from ..topology import Deployment, TopologySpec
+
     config = RadicalConfig(
         service_jitter_sigma=0.0,
         replicated=replicated,
         replicated_batch_locks=batch_locks,
     )
-    raft = None
-    if replicated:
-        from ..raft import RaftCluster
 
-        raft = RaftCluster(sim, streams)
-        raft.start()
-        sim.run(until=500.0)
-    LVIServer(sim, net, registry, store, config, streams, raft_cluster=raft)
-    cache = NearUserCache(Region.CA)
-    runtime = NearUserRuntime(sim, net, Region.CA, cache, registry, config, streams)
+    def seed_micro(store):
+        for i in range(lock_count - 1):
+            store.put("micro", f"r{i}:x", 0)
+        store.put("micro", "w:x", 0)
+
+    dep = Deployment.build(
+        TopologySpec(
+            regions=(Region.CA,), seed=seed, config=config,
+            warm_caches=False, persistent_caches=False,
+        ),
+        functions=[FunctionSpec("micro.rw", _micro_source(lock_count), 0.5)],
+        seed_data=seed_micro,
+    )
+    sim = dep.sim
+    runtime = dep.runtimes[Region.CA]
 
     def flow():
         samples = []
@@ -603,42 +602,33 @@ def sweep_offered_load(
     baseline's because the LVI server adds no bottleneck; what *does*
     queue under load is the hot front-page write lock — visible here as
     p99 growth while the median stays flat."""
+    from ..topology import Deployment, TopologySpec
     from ..workloads import OpenLoopClient
 
     rows = []
     for rate in rates_rps:
-        sim = Simulator()
-        streams = RandomStreams(seed)
-        net = Network(sim, paper_latency_table(), streams, jitter_sigma=0.02)
-        metrics = Metrics()
-        config = RadicalConfig()
         app = forum_app()
-        registry = FunctionRegistry()
-        registry.register_all(app.specs())
-        store = KVStore()
-        app.seed(store, streams, app.context)
-        server = LVIServer(sim, net, registry, store, config, streams, metrics)
-        clients = []
-        for region in Region.NEAR_USER:
-            cache = NearUserCache(region, persistent=True)
-            for table in store.table_names():
-                for key, item in store.scan(table):
-                    cache.install(table, key, item)
-            runtime = NearUserRuntime(
-                sim, net, region, cache, registry, config, streams, metrics
+        dep = Deployment.build(
+            TopologySpec(
+                regions=Region.NEAR_USER, seed=seed, config=RadicalConfig(),
+                network_jitter_sigma=0.02,
+            ),
+            app=app,
+        )
+        sim, metrics = dep.sim, dep.metrics
+        clients = [
+            OpenLoopClient(
+                sim=sim,
+                app=app,
+                region=region,
+                invoke=dep.runtimes[region].invoke,
+                metrics=metrics,
+                rng=dep.streams.fork(f"open.{region}").stream("workload"),
+                rate_rps=rate,
+                duration_ms=duration_ms,
             )
-            clients.append(
-                OpenLoopClient(
-                    sim=sim,
-                    app=app,
-                    region=region,
-                    invoke=runtime.invoke,
-                    metrics=metrics,
-                    rng=streams.fork(f"open.{region}").stream("workload"),
-                    rate_rps=rate,
-                    duration_ms=duration_ms,
-                )
-            )
+            for region in Region.NEAR_USER
+        ]
         procs = [sim.spawn(c.run(), name=f"open-{c.region}") for c in clients]
         sim.run(until_event=sim.all_of([p.done_event for p in procs]))
         sim.run(until=sim.now + 10_000.0)
@@ -651,8 +641,9 @@ def sweep_offered_load(
                 "p99_ms": summary.p99,
                 "validation_success": metrics.counter("validation.success")
                 / max(1, metrics.counter("validation.success") + metrics.counter("validation.failure")),
-                "lock_wait_total_ms": server.locks.total_wait_ms,
-                "lock_wait_max_ms": server.locks.max_wait_ms,
+                # Aggregated across shards (one server on this topology).
+                "lock_wait_total_ms": sum(s.locks.total_wait_ms for s in dep.servers),
+                "lock_wait_max_ms": max(s.locks.max_wait_ms for s in dep.servers),
             }
         )
     return rows

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 from ..apps import App
 from ..baselines import LocalIdeal, PrimaryBaseline
 from ..consistency import HistoryRecorder
-from ..core import FunctionRegistry, LVIServer, NearUserRuntime, RadicalConfig
+from ..core import FunctionRegistry, RadicalConfig
 from ..obs import Breakdown, TraceCollector, all_breakdowns
 from ..sim import (
     Metrics,
@@ -32,7 +32,8 @@ from ..sim import (
     Summary,
     paper_latency_table,
 )
-from ..storage import KVStore, NearUserCache
+from ..storage import KVStore
+from ..topology import Deployment, ShardMap, TopologySpec
 from ..workloads import ClosedLoopClient, run_clients
 
 __all__ = [
@@ -59,11 +60,29 @@ class ExperimentConfig:
     # network hop, and server stage.  Off by default — the no-op collector
     # allocates nothing; on or off, identical seeds give identical results.
     trace: bool = False
+    # Near-storage shard count (1 = the paper's single LVI server; the
+    # seed topology, byte for byte) and optional explicit placement.
+    shards: int = 1
+    shard_map: Optional[ShardMap] = None
     radical: RadicalConfig = field(default_factory=RadicalConfig)
 
     def per_client_requests(self) -> int:
         per_region = max(1, self.requests // len(self.regions))
         return max(1, per_region // self.clients_per_region)
+
+    def topology(self) -> TopologySpec:
+        return TopologySpec(
+            regions=self.regions,
+            shards=self.shards,
+            seed=self.seed,
+            config=self.radical,
+            network_jitter_sigma=self.network_jitter_sigma,
+            trace=self.trace,
+            warm_caches=self.warm_caches,
+            persistent_caches=True,
+            record_history=self.record_history,
+            shard_map=self.shard_map,
+        )
 
 
 @dataclass
@@ -76,6 +95,9 @@ class ExperimentResult:
     virtual_time_ms: float
     #: The trace collector, when the experiment ran with ``cfg.trace``.
     trace: Optional[TraceCollector] = None
+    #: The full topology, for shard-aware inspection (``store`` above is
+    #: shard 0's — the whole primary on the default one-shard topology).
+    deployment: Optional[Deployment] = None
 
     def breakdowns(self) -> List[Breakdown]:
         """Per-invocation latency decompositions (requires ``cfg.trace``)."""
@@ -100,72 +122,35 @@ class ExperimentResult:
         return ok / (ok + bad)
 
 
-def _warm_cache(cache: NearUserCache, store: KVStore) -> None:
-    """Copy the primary's current contents into a near-user cache —
-    the steady-state starting point (the paper's runs measure warmed
-    deployments; cold-start is the §3.2 bootstrap ablation)."""
-    for table in store.table_names():
-        if table.startswith("_radical"):
-            continue
-        for key, item in store.scan(table):
-            cache.install(table, key, item)
-
-
 def run_radical_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
-    """Deploy Radical across the configured regions and drive the workload."""
-    sim = Simulator()
-    if cfg.trace:
-        # Installed before any component is built so every layer sees it.
-        sim.obs = TraceCollector(sim)
-    streams = RandomStreams(cfg.seed)
-    net = Network(sim, paper_latency_table(), streams, jitter_sigma=cfg.network_jitter_sigma)
-    metrics = Metrics()
-    history = HistoryRecorder() if cfg.record_history else None
+    """Deploy Radical across the configured regions and drive the workload.
 
-    registry = FunctionRegistry()
-    registry.register_all(app.specs())
-    store = KVStore()
-    app.seed(store, streams, app.context)
-
-    raft_cluster = None
-    if cfg.radical.replicated:
-        from ..raft import RaftCluster
-
-        raft_cluster = RaftCluster(sim, streams)
-        raft_cluster.start()
-        sim.run(until=500.0)  # elect an initial leader before traffic
-
-    LVIServer(
-        sim, net, registry, store, cfg.radical, streams, metrics,
-        raft_cluster=raft_cluster,
-    )
-
+    Construction is delegated to :class:`repro.topology.Deployment` — the
+    shared builder for experiments, chaos, and tests; this function only
+    adds the closed-loop workload on top.
+    """
+    dep = Deployment.build(cfg.topology(), app=app)
     clients: List[ClosedLoopClient] = []
     for region in cfg.regions:
-        cache = NearUserCache(region, persistent=True)
-        if cfg.warm_caches:
-            _warm_cache(cache, store)
-        runtime = NearUserRuntime(
-            sim, net, region, cache, registry, cfg.radical, streams, metrics
-        )
+        runtime = dep.runtimes[region]
         for i in range(cfg.clients_per_region):
             clients.append(
                 ClosedLoopClient(
-                    sim=sim,
+                    sim=dep.sim,
                     app=app,
                     region=region,
                     invoke=runtime.invoke,
-                    metrics=metrics,
-                    rng=streams.fork(f"client.{region}.{i}").stream("workload"),
+                    metrics=dep.metrics,
+                    rng=dep.streams.fork(f"client.{region}.{i}").stream("workload"),
                     requests=cfg.per_client_requests(),
                     client_app_rtt_ms=cfg.radical.client_app_rtt_ms,
-                    history=history,
+                    history=dep.history,
                 )
             )
-    run_clients(sim, clients)
+    run_clients(dep.sim, clients)
     return ExperimentResult(
-        metrics=metrics, history=history, store=store, virtual_time_ms=sim.now,
-        trace=sim.obs if cfg.trace else None,
+        metrics=dep.metrics, history=dep.history, store=dep.store,
+        virtual_time_ms=dep.sim.now, trace=dep.trace, deployment=dep,
     )
 
 

@@ -1,0 +1,207 @@
+"""Near-storage scalability: aggregate throughput vs shard count.
+
+The paper's topology pins the whole consistent tier on one LVI server
+(§3.3) and argues the server adds no *latency* bottleneck at evaluation
+load.  The sharded tier (docs/TOPOLOGY.md) asks the follow-on question:
+when the server's CPU *is* the bottleneck, does partitioning the key
+space across independent LVI shards scale aggregate throughput — without
+touching single-shard latency?
+
+The seed simulator cannot answer that: server handlers cost zero virtual
+time, so one shard has infinite capacity.  ``scalability_config`` turns on
+the serial processing model (``server_proc_ms`` per message through one
+CPU; coalesced batch members after the first pay only
+``server_batch_item_ms``) which makes the near-storage tier saturable,
+and — with every paper experiment leaving the knob at 0 — changes nothing
+anywhere else.
+
+Each sweep point drives open-loop Poisson clients from all five regions
+at an offered load past the single-shard capacity and measures *delivered*
+throughput: completed requests over the makespan (generation plus backlog
+drain).  Overloaded shards stretch the makespan, so throughput converges
+to capacity; added shards move the ceiling.  ``benchmarks/
+bench_scalability.py`` asserts the headline: >= 2.5x aggregate throughput
+at 4 shards on the uniform counter workload with batching enabled, and a
+single-shard latency profile identical to a hand-rolled seed-style stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..apps import App, social_media_app
+from ..core import RadicalConfig
+from ..sim import Region
+from ..topology import Deployment, ShardMap, TopologySpec
+from ..workloads import OpenLoopClient
+from .experiments import _counter_app
+from .report import save_results
+
+__all__ = [
+    "SCALABILITY_SHARDS",
+    "scalability_config",
+    "uniform_counter_app",
+    "run_scalability_point",
+    "sweep_scalability",
+]
+
+#: The shard counts the scalability sweep covers.
+SCALABILITY_SHARDS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def scalability_config(
+    batch_window_ms: float = 0.0,
+    server_proc_ms: float = 6.0,
+    server_batch_item_ms: float = 2.0,
+) -> RadicalConfig:
+    """The knobs every scalability point runs under.
+
+    The serial processing model makes shards saturable; the generous RPC
+    timeout and disabled deadline let requests sit in an overloaded
+    shard's queue instead of timing out (the sweep measures capacity, not
+    availability — chaos owns the failure axis), and the long followup
+    timer keeps intent re-execution out of the capacity signal.
+    """
+    return RadicalConfig(
+        service_jitter_sigma=0.0,
+        server_proc_ms=server_proc_ms,
+        server_batch_item_ms=server_batch_item_ms,
+        lvi_batch_window_ms=batch_window_ms,
+        rpc_timeout_ms=300_000.0,
+        retry_max_attempts=1,
+        invocation_deadline_ms=0.0,
+        followup_timeout_ms=120_000.0,
+        # Hot cross-shard keys churn fast under deliberate overload; give
+        # restarts more room before a request is shed as unavailable.
+        cross_shard_max_restarts=8,
+    )
+
+
+def uniform_counter_app(keys: int = 256) -> App:
+    """The uniform counter workload (zipf s=0): 50/50 read/bump over
+    ``keys`` independent counters, so load spreads evenly across shards
+    and contention stays negligible — the cleanest probe of raw capacity."""
+    return _counter_app(zipf_s=0.0, keys=keys, write_pct=50.0)
+
+
+def run_scalability_point(
+    app: App,
+    shards: int,
+    rate_rps_per_region: float,
+    duration_ms: float = 4_000.0,
+    seed: int = 42,
+    config: Optional[RadicalConfig] = None,
+    regions: Sequence[str] = Region.NEAR_USER,
+    shard_map: Optional[ShardMap] = None,
+) -> Dict[str, object]:
+    """One sweep point: open-loop Poisson load against a ``shards``-wide
+    deployment; returns delivered throughput and the latency profile."""
+    cfg = config or scalability_config()
+    dep = Deployment.build(
+        TopologySpec(
+            regions=tuple(regions),
+            shards=shards,
+            seed=seed,
+            config=cfg,
+            network_jitter_sigma=0.0,
+            shard_map=shard_map,
+        ),
+        app=app,
+    )
+    sim, metrics = dep.sim, dep.metrics
+    clients = [
+        OpenLoopClient(
+            sim=sim,
+            app=app,
+            region=region,
+            invoke=dep.runtimes[region].invoke,
+            metrics=metrics,
+            rng=dep.streams.fork(f"scale.{region}").stream("workload"),
+            rate_rps=rate_rps_per_region,
+            duration_ms=duration_ms,
+            tolerate_unavailable=True,
+        )
+        for region in regions
+    ]
+    procs = [sim.spawn(c.run(), name=f"scale-{c.region}") for c in clients]
+    sim.run(until_event=sim.all_of([p.done_event for p in procs]))
+    # Makespan includes the backlog drain: an overloaded shard keeps
+    # serving past the generation window, so completed/makespan converges
+    # to the tier's capacity rather than the offered rate.
+    makespan_ms = sim.now
+    completed = metrics.counter("requests.total")
+    sim.run(until=sim.now + 10_000.0)  # settle followups off the books
+    summary = metrics.summary("e2e")
+    ok = metrics.counter("validation.success")
+    bad = metrics.counter("validation.failure")
+    return {
+        "workload": app.name,
+        "shards": shards,
+        "rate_rps_per_region": rate_rps_per_region,
+        "offered_rps": rate_rps_per_region * len(regions),
+        "duration_ms": duration_ms,
+        "completed": completed,
+        "unavailable": metrics.counter("requests.unavailable"),
+        "makespan_ms": round(makespan_ms, 3),
+        "throughput_rps": round(completed / makespan_ms * 1000.0, 3),
+        "median_ms": summary.median,
+        "p99_ms": summary.p99,
+        "validation_success": ok / max(1, ok + bad),
+        "batch_window_ms": cfg.lvi_batch_window_ms,
+        "batch_flushes": metrics.counter("batch.flush"),
+        "batch_coalesced": metrics.counter("batch.coalesced"),
+        "xshard_commits": metrics.counter("xshard.commit"),
+    }
+
+
+def sweep_scalability(
+    shard_counts: Sequence[int] = SCALABILITY_SHARDS,
+    rate_rps_per_region: float = 150.0,
+    duration_ms: float = 4_000.0,
+    batch_window_ms: float = 5.0,
+    seed: int = 42,
+    workloads: Optional[Dict[str, "Callable[[], App]"]] = None,
+    save: bool = True,
+) -> Dict[str, object]:
+    """The full sweep: shards x workloads, batching on, plus an unbatched
+    counter series to separate the sharding win from the batching win.
+    Writes ``results/scalability.json`` (see EXPERIMENTS.md).
+
+    ``workloads`` maps series names to App *factories* — each point gets a
+    fresh App so per-app sampler state never leaks across deployments.
+    """
+    if workloads is None:
+        workloads = {
+            "counter": uniform_counter_app,
+            "social": social_media_app,
+        }
+    points: List[Dict[str, object]] = []
+    for name, make_app in workloads.items():
+        for shards in shard_counts:
+            points.append(
+                run_scalability_point(
+                    make_app(), shards, rate_rps_per_region, duration_ms, seed,
+                    config=scalability_config(batch_window_ms=batch_window_ms),
+                )
+            )
+            points[-1]["series"] = name
+    counter_factory = workloads.get("counter", next(iter(workloads.values())))
+    for shards in shard_counts:
+        points.append(
+            run_scalability_point(
+                counter_factory(), shards, rate_rps_per_region, duration_ms, seed,
+                config=scalability_config(batch_window_ms=0.0),
+            )
+        )
+        points[-1]["series"] = "counter-unbatched"
+    payload = {
+        "rate_rps_per_region": rate_rps_per_region,
+        "duration_ms": duration_ms,
+        "batch_window_ms": batch_window_ms,
+        "server_proc_ms": scalability_config().server_proc_ms,
+        "server_batch_item_ms": scalability_config().server_batch_item_ms,
+        "points": points,
+    }
+    if save:
+        save_results("scalability", payload)
+    return payload

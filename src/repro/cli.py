@@ -320,6 +320,11 @@ def _chaos_main(argv: List[str]) -> int:
                         help="requests per client per case")
     parser.add_argument("--clients", type=int, default=1,
                         help="clients per region per case")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="near-storage shard count for every case")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the case results JSON to PATH "
+                             "(default: results/chaos.json)")
     parser.add_argument("--list-plans", action="store_true",
                         help="list the built-in fault plans and exit")
     args = parser.parse_args(argv)
@@ -345,6 +350,7 @@ def _chaos_main(argv: List[str]) -> int:
                 plan, seed=seed,
                 requests_per_client=args.requests,
                 clients_per_region=args.clients,
+                shards=args.shards,
             )
             for seed in range(args.seeds)
         ]
@@ -366,9 +372,19 @@ def _chaos_main(argv: List[str]) -> int:
         ["plan", "availability", "worst med (ms)", "worst p99 (ms)",
          "reexecs", "retries", "violations"],
         rows,
-        title=f"Chaos matrix: {len(plans)} plan(s) x {args.seeds} seed(s)",
+        title=f"Chaos matrix: {len(plans)} plan(s) x {args.seeds} seed(s)"
+              + (f" on {args.shards} shards" if args.shards > 1 else ""),
     )
-    save_results("chaos", {"cases": [r.to_dict() for r in results]})
+    payload = {"shards": args.shards, "cases": [r.to_dict() for r in results]}
+    if args.out:
+        import os
+
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        print(f"results written to {args.out}")
+    else:
+        save_results("chaos", payload)
     failures = [r for r in results if not r.ok]
     if failures:
         for r in failures:
@@ -382,6 +398,75 @@ def _chaos_main(argv: List[str]) -> int:
         return 1
     print(f"{len(results)} cases: all serializable, exactly-once, and within deadline")
     return 0
+
+
+def _scalability_main(argv: List[str]) -> int:
+    """``radical-repro scalability`` — sweep shard count x workload under
+    the serial server-processing model and report delivered throughput."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro scalability",
+        description="Aggregate throughput vs near-storage shard count "
+                    "(see docs/TOPOLOGY.md).",
+    )
+    parser.add_argument("--shards", default="1,2,4,8",
+                        help="comma-separated shard counts to sweep")
+    parser.add_argument("--rate", type=float, default=150.0,
+                        help="offered load per region (rps, open loop)")
+    parser.add_argument("--duration", type=float, default=4_000.0,
+                        help="generation window per point (virtual ms)")
+    parser.add_argument("--batch-window", type=float, default=5.0,
+                        help="LVI batching window (virtual ms; 0 disables)")
+    parser.add_argument("--seed", type=int, default=42, help="sweep seed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized sweep: 1+2 shards, short window, "
+                             "counter workload only")
+    args = parser.parse_args(argv)
+
+    from .bench import sweep_scalability, uniform_counter_app
+
+    if args.smoke:
+        # Smoke runs must not clobber the full-sweep artifact.
+        payload = sweep_scalability(
+            shard_counts=(1, 2),
+            rate_rps_per_region=100.0,
+            duration_ms=1_500.0,
+            batch_window_ms=args.batch_window,
+            seed=args.seed,
+            workloads={"counter": uniform_counter_app},
+            save=False,
+        )
+    else:
+        shard_counts = tuple(int(s) for s in args.shards.split(",") if s)
+        payload = sweep_scalability(
+            shard_counts=shard_counts,
+            rate_rps_per_region=args.rate,
+            duration_ms=args.duration,
+            batch_window_ms=args.batch_window,
+            seed=args.seed,
+        )
+    print_table(
+        ["series", "shards", "throughput (rps)", "median (ms)", "p99 (ms)",
+         "coalesced", "xshard commits"],
+        [[p["series"], p["shards"], p["throughput_rps"], round(p["median_ms"], 1),
+          round(p["p99_ms"], 1), p["batch_coalesced"], p["xshard_commits"]]
+         for p in payload["points"]],
+        title=f"Scalability: offered {payload['rate_rps_per_region']:.0f} "
+              f"rps/region, proc {payload['server_proc_ms']:.0f} ms/msg",
+    )
+    by_series: dict = {}
+    for p in payload["points"]:
+        by_series.setdefault(p["series"], {})[p["shards"]] = p["throughput_rps"]
+    failures = []
+    for series, pts in by_series.items():
+        base = pts.get(1)
+        top = max(pts)
+        if base and pts[top] < base:
+            failures.append(f"{series}: {top}-shard throughput below 1-shard")
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    if not args.smoke:
+        print("results written to results/scalability.json")
+    return 1 if failures else 0
 
 
 _COMMANDS = {
@@ -408,6 +493,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "chaos":
         # ``chaos`` likewise owns its grammar (seeds x plans matrix).
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "scalability":
+        # ``scalability`` sweeps shard counts (its own grammar too).
+        return _scalability_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="radical-repro",
         description="Reproduce the evaluation of Radical (SOSP 2025).",

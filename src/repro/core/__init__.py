@@ -7,6 +7,9 @@ from .messages import (
     FreshItem,
     LVIRequest,
     LVIResponse,
+    ShardDecision,
+    ShardDecisionQuery,
+    ShardPrepare,
     WriteFollowup,
 )
 from .registry import FunctionRegistry, FunctionSpec, RegisteredFunction
@@ -18,10 +21,11 @@ from .runtime import (
     PATH_MISS,
     PATH_SPECULATIVE,
 )
-from .server import LVIServer
+from .server import DECISION_TABLE, LVIServer
 from .storage_library import PrimaryEnv, SnapshotReader, SpeculativeEnv
 
 __all__ = [
+    "DECISION_TABLE",
     "DirectExecRequest",
     "ExternalCall",
     "ExternalService",
@@ -41,6 +45,9 @@ __all__ = [
     "PrimaryEnv",
     "RadicalConfig",
     "RegisteredFunction",
+    "ShardDecision",
+    "ShardDecisionQuery",
+    "ShardPrepare",
     "SnapshotReader",
     "SpeculativeEnv",
     "WriteFollowup",

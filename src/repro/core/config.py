@@ -59,6 +59,24 @@ class RadicalConfig:
     # records in one consensus round instead of serially.
     replicated_batch_locks: bool = False
 
+    # Sharded near-storage tier (repro.topology).  All default to the
+    # seed's single-shard behaviour: no serial server cost, no request
+    # coalescing.  ``server_proc_ms`` models the per-message CPU cost that
+    # makes a single LVI server a throughput bottleneck (the scalability
+    # benchmark's saturation knob); coalesced batch members after the
+    # first cost ``server_batch_item_ms`` instead.
+    server_proc_ms: float = 0.0
+    server_batch_item_ms: float = 0.0
+    # Runtime-side LVI batching: coalesce concurrent co-located requests
+    # to the same shard into one physical message within this virtual-time
+    # window (0 = off, so paper figures are unchanged).
+    lvi_batch_window_ms: float = 0.0
+    # Cross-shard prepares cannot rely on a global lock order, so their
+    # lock waits are bounded; a timeout aborts the prepare and the runtime
+    # retries the invocation with backoff.
+    prepare_lock_timeout_ms: float = 250.0
+    cross_shard_max_restarts: int = 4
+
     # Sandbox budget.
     gas_limit: int = 2_000_000
 

@@ -12,7 +12,16 @@ from typing import Any, Dict, List, Optional, Tuple
 
 Key = Tuple[str, str]
 
-__all__ = ["LVIRequest", "LVIResponse", "WriteFollowup", "DirectExecRequest", "FreshItem"]
+__all__ = [
+    "LVIRequest",
+    "LVIResponse",
+    "WriteFollowup",
+    "DirectExecRequest",
+    "FreshItem",
+    "ShardPrepare",
+    "ShardDecision",
+    "ShardDecisionQuery",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +82,64 @@ class WriteFollowup:
 
     execution_id: str
     writes: Tuple[Tuple[str, str, Any], ...]
+
+
+@dataclass(frozen=True)
+class ShardPrepare:
+    """Per-shard half of a cross-shard LVI exchange.
+
+    When f^rw's access set spans shards, the runtime scatters one prepare
+    per touched shard instead of a single :class:`LVIRequest`.  Each
+    prepare carries only that shard's slice of the read/write sets and
+    cached versions, plus the slice of the *already-buffered* speculative
+    writes (speculation runs before the exchange, so the writes are known
+    up front — a prepared shard can apply them without re-execution).  The
+    shard validates, takes locks, durably records an ``apply`` intent, and
+    votes; writes settle only after the runtime has gathered a unanimous
+    vote and recorded COMMIT at the coordinating shard (presumed abort).
+    """
+
+    execution_id: str
+    function_id: str
+    read_keys: Tuple[Key, ...]
+    write_keys: Tuple[Key, ...]
+    versions: Dict[Key, int]                      # cached version per read key
+    writes: Tuple[Tuple[str, str, Any], ...]      # this shard's buffered writes
+    origin_region: str
+    shard: int                                    # this shard's index
+    coordinator: str                              # coordinating shard's endpoint
+    nshards: int                                  # shards touched by the txn
+
+    @property
+    def lock_count(self) -> int:
+        return len(set(self.read_keys) | set(self.write_keys))
+
+
+@dataclass(frozen=True)
+class ShardDecision:
+    """Commit/abort verdict the runtime scatters after gathering votes.
+
+    ``record_decision`` marks the copy addressed to the coordinating
+    shard, which must durably record the outcome *before* applying its own
+    writes — that record is what participant leases consult when a
+    decision message is lost.
+    """
+
+    execution_id: str
+    commit: bool
+    record_decision: bool = False
+
+
+@dataclass(frozen=True)
+class ShardDecisionQuery:
+    """Participant → coordinator outcome lookup (lease expiry / recovery).
+
+    The handler *forces* an outcome: if no decision record exists yet, it
+    writes an abort tombstone — racing the runtime's COMMIT record through
+    the store's conditional put, so exactly one outcome ever wins.
+    """
+
+    execution_id: str
 
 
 @dataclass(frozen=True)

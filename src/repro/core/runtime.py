@@ -29,11 +29,18 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..analysis import derive_rwset
 from ..errors import GasExhausted, ProtocolError, UnavailableError, VMTrap
 from ..faults.retry import CircuitBreaker, RetryPolicy
-from ..sim import Metrics, Network, RandomStreams, RpcTimeout, Simulator
+from ..sim import Metrics, Network, RandomStreams, RequestBatcher, RpcTimeout, Simulator
 from ..storage import NearUserCache
 from ..wasm import VM
 from .config import RadicalConfig
-from .messages import DirectExecRequest, LVIRequest, LVIResponse, WriteFollowup
+from .messages import (
+    DirectExecRequest,
+    LVIRequest,
+    LVIResponse,
+    ShardDecision,
+    ShardPrepare,
+    WriteFollowup,
+)
 from .registry import FunctionRegistry, RegisteredFunction
 from .storage_library import SnapshotReader, SpeculativeEnv
 
@@ -48,6 +55,35 @@ __all__ = [
     "PATH_DIRECT",
     "PATH_UNAVAILABLE",
 ]
+
+
+class _SingleShardRouter:
+    """Implicit router for the seed's one-server topology: every key maps
+    to shard 0 at the configured endpoint.  Keeps ``core`` independent of
+    ``repro.topology`` — a real :class:`~repro.topology.ShardRouter` is
+    injected by the Deployment builder when shards > 1."""
+
+    nshards = 1
+
+    def __init__(self, endpoint: str):
+        self._endpoint = endpoint
+
+    def shard_of(self, table: str, key: str) -> int:
+        return 0
+
+    def endpoint(self, shard: int) -> str:
+        return self._endpoint
+
+
+class _CrossShardStale(Exception):
+    """Internal control flow: a cross-shard attempt aborted (stale cache
+    slice, busy shard, or lost prepare).  Carries the cache repairs the
+    voting shards shipped back; the invoke loop installs them and restarts
+    the whole invocation under a fresh attempt id."""
+
+    def __init__(self, fresh: Dict[Key, Any]):
+        super().__init__("cross-shard attempt aborted")
+        self.fresh = fresh
 
 PATH_SPECULATIVE = "speculative"  # validation succeeded; edge result used
 PATH_BACKUP = "backup"            # validation failed; near-storage result
@@ -90,6 +126,7 @@ class NearUserRuntime:
         metrics: Optional[Metrics] = None,
         server_name: str = "lvi-server",
         external_hub=None,
+        router=None,
     ):
         self.sim = sim
         self.net = net
@@ -98,7 +135,10 @@ class NearUserRuntime:
         self.registry = registry
         self.config = config or RadicalConfig()
         self.metrics = metrics or Metrics()
-        self.server_name = server_name
+        # Shard routing: absent an explicit router the runtime behaves
+        # exactly like the seed (every request goes to ``server_name``).
+        self.router = router if router is not None else _SingleShardRouter(server_name)
+        self.server_name = server_name if router is None else router.endpoint(0)
         self.external_hub = external_hub  # §3.5 services, shared deployment-wide
         # The index is scoped to this experiment's network (not a
         # process-global counter): endpoint names land in trace-span
@@ -124,6 +164,15 @@ class NearUserRuntime:
         # rest of the deployment (a no-op unless tracing is installed).
         cache.obs = sim.obs
         net.register(self.name, region)
+        # Optional per-runtime LVI batcher: coalesces concurrent hot-path
+        # requests to the same shard into one physical message (off by
+        # default — the window is 0 in every paper experiment).
+        self._batcher = (
+            RequestBatcher(net, self.name, self.config.lvi_batch_window_ms,
+                           metrics=self.metrics)
+            if self.config.lvi_batch_window_ms > 0
+            else None
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -162,14 +211,75 @@ class NearUserRuntime:
         if obs.enabled:
             obs.phase("phase.overhead", start_ms=invoked_at, region=self.region)
 
-        if not record.analyzable or probe:
-            # Unanalyzable functions always execute near storage; a
-            # half-open breaker routes its single probe there too (middle
-            # rung: no speculation while the path's health is unknown).
+        if not record.analyzable:
+            # Unanalyzable functions always execute near storage (§3.3).
+            # Direct execution runs the *whole* function on one server, so
+            # it only exists on single-shard deployments; the Deployment
+            # builder rejects unanalyzable apps on sharded topologies, and
+            # this guard catches anything that slips through.
+            if self.router.nshards > 1:
+                raise ProtocolError(
+                    f"{function_id}: unanalyzable functions cannot run on a "
+                    f"sharded deployment (direct execution is single-shard only)"
+                )
             outcome = yield from self._direct(
                 record, args, execution_id, invoked_at, deadline_at
             )
             return outcome
+        if probe and self.router.nshards == 1:
+            # A half-open breaker routes its single probe near storage too
+            # (middle rung: no speculation while the path's health is
+            # unknown).  Sharded deployments have no direct path, so their
+            # probe is an ordinary speculative attempt.
+            outcome = yield from self._direct(
+                record, args, execution_id, invoked_at, deadline_at
+            )
+            return outcome
+
+        # Cross-shard attempts can abort (stale slice, busy shard, lost
+        # prepare); each restart runs under a fresh attempt id so server
+        # dedup never conflates it with the aborted attempt.  Single-shard
+        # requests never raise _CrossShardStale, so attempt 0 — whose id is
+        # the bare execution id — is the only trip through this loop and
+        # the seed's behaviour is untouched.
+        restart = 0
+        while True:
+            attempt_id = execution_id if restart == 0 else f"{execution_id}~r{restart}"
+            try:
+                outcome = yield from self._invoke_analyzed(
+                    record, args, attempt_id, invoked_at, deadline_at
+                )
+            except _CrossShardStale as stale:
+                restart += 1
+                self.metrics.incr("xshard.restart")
+                self._install_fresh(stale.fresh)
+                remaining = deadline_at - self.sim.now
+                if restart > cfg.cross_shard_max_restarts or remaining <= 0:
+                    self.metrics.incr("xshard.exhausted")
+                    raise UnavailableError(
+                        f"cross-shard invocation {execution_id} aborted "
+                        f"{restart} time(s); giving up"
+                    ) from None
+                backoff = min(self._policy.backoff_ms(restart, self._retry_rng),
+                              remaining)
+                if backoff > 0:
+                    yield self.sim.timeout(backoff)
+                continue
+            return outcome
+
+    def _invoke_analyzed(
+        self,
+        record: RegisteredFunction,
+        args: List[Any],
+        execution_id: str,
+        invoked_at: float,
+        deadline_at: float,
+    ) -> Generator:
+        """One attempt at the analyzable path: f^rw, speculation, then the
+        single-shard LVI request or the cross-shard prepare/commit flow."""
+        cfg = self.config
+        obs = self.sim.obs
+        function_id = record.function_id
 
         # (1) Run f^rw on the cache snapshot to predict the access set.
         snapshot = SnapshotReader(self.cache)
@@ -181,6 +291,11 @@ class NearUserRuntime:
             # f^rw failed at runtime (analysis edge case): fall back to
             # near-storage execution, as §3.3 prescribes.
             self.metrics.incr("frw.runtime_failure")
+            if self.router.nshards > 1:
+                raise ProtocolError(
+                    f"{function_id}: f^rw failed at runtime and sharded "
+                    f"deployments have no direct-execution fallback"
+                ) from None
             outcome = yield from self._direct(
                 record, args, execution_id, invoked_at, deadline_at
             )
@@ -209,8 +324,47 @@ class NearUserRuntime:
                 reads=len(rwset.reads), writes=len(rwset.writes),
             )
 
-        # (2b) Gather cached versions for the LVI request.
+        # (2b) Gather cached versions for the LVI request, then route by
+        # shard: the one-shard case is the seed's single-RPC fast path,
+        # byte for byte; touching several shards enters the scatter-gather
+        # prepare/commit flow.
         versions = {k: snapshot.version_of(*k) for k in rwset.reads}
+        shards = sorted(
+            {self.router.shard_of(t, k)
+             for (t, k) in list(rwset.reads) + list(rwset.writes)}
+        )
+        if len(shards) > 1:
+            outcome = yield from self._invoke_cross_shard(
+                record, args, execution_id, invoked_at, deadline_at,
+                rwset, versions, spec_env, spec_trace, exec_ms, frw_ms, shards,
+            )
+            return outcome
+        dst = self.router.endpoint(shards[0] if shards else 0)
+        outcome = yield from self._invoke_single(
+            record, args, execution_id, invoked_at, deadline_at,
+            rwset, versions, spec_env, spec_trace, exec_ms, frw_ms, dst,
+        )
+        return outcome
+
+    def _invoke_single(
+        self,
+        record: RegisteredFunction,
+        args: List[Any],
+        execution_id: str,
+        invoked_at: float,
+        deadline_at: float,
+        rwset,
+        versions: Dict[Key, int],
+        spec_env: SpeculativeEnv,
+        spec_trace,
+        exec_ms: float,
+        frw_ms: float,
+        dst: str,
+    ) -> Generator:
+        """The seed's one-RPC fast path against a single LVI server."""
+        cfg = self.config
+        obs = self.sim.obs
+        function_id = record.function_id
         request = LVIRequest(
             execution_id=execution_id,
             function_id=function_id,
@@ -226,7 +380,7 @@ class NearUserRuntime:
             # Validation is guaranteed to fail: skip speculation (§3.2).
             self.metrics.incr("path.miss")
             rtt_started = self.sim.now
-            response = yield from self._call_with_retry(request, deadline_at, "lvi")
+            response = yield from self._call_with_retry(request, deadline_at, "lvi", dst=dst, batch=True)
             if obs.enabled:
                 obs.phase("phase.lvi_rtt", start_ms=rtt_started, miss=True)
             outcome = self._finish_backup(response, invoked_at, frw_ms, record, PATH_MISS)
@@ -236,7 +390,7 @@ class NearUserRuntime:
             # Overlap the LVI round trip with the function's execution.
             overlap_started = self.sim.now
             lvi_proc = self.sim.spawn(
-                self._call_with_retry(request, deadline_at, "lvi"),
+                self._call_with_retry(request, deadline_at, "lvi", dst=dst, batch=True),
                 name=f"lvi({execution_id})",
             )
             exec_done = self.sim.timeout(exec_ms)
@@ -254,7 +408,7 @@ class NearUserRuntime:
         else:
             # Ablation: serialize the LVI request before execution.
             rtt_started = self.sim.now
-            response = yield from self._call_with_retry(request, deadline_at, "lvi")
+            response = yield from self._call_with_retry(request, deadline_at, "lvi", dst=dst, batch=True)
             if obs.enabled:
                 obs.phase("phase.lvi_rtt", start_ms=rtt_started)
             exec_started = self.sim.now
@@ -281,13 +435,13 @@ class NearUserRuntime:
             # intent timer would pointlessly re-execute the function).
             if cfg.single_request:
                 # (8a) Followup goes out *after* responding to the client.
-                self.sim.spawn(self._send_followup(execution_id, writes),
+                self.sim.spawn(self._send_followup(execution_id, writes, dst),
                                name=f"followup({execution_id})")
             else:
                 # Ablation: a second synchronous round trip (validate-then-
                 # commit), paying the latency Radical's design avoids.
                 followup_started = self.sim.now
-                yield from self._send_followup(execution_id, writes)
+                yield from self._send_followup(execution_id, writes, dst)
                 if obs.enabled:
                     obs.phase("phase.followup", start_ms=followup_started)
 
@@ -303,9 +457,235 @@ class NearUserRuntime:
             function_id=record.function_id,
         )
 
+    def _invoke_cross_shard(
+        self,
+        record: RegisteredFunction,
+        args: List[Any],
+        execution_id: str,
+        invoked_at: float,
+        deadline_at: float,
+        rwset,
+        versions: Dict[Key, int],
+        spec_env: SpeculativeEnv,
+        spec_trace,
+        exec_ms: float,
+        frw_ms: float,
+        shards: List[int],
+    ) -> Generator:
+        """Scatter-gather prepare across every touched shard, then a
+        presumed-abort commit.
+
+        The strict-serializability rule: *every* shard must hold the
+        request's locks, have validated its read slice, and have durably
+        staged its write slice (as an apply-kind intent) before any shard
+        settles a write.  Commit is decided by durably recording it at the
+        coordinating shard — the lowest-numbered touched shard — before any
+        fan-out; a participant whose decision message is lost asks the
+        coordinator when its lease fires, and a query for an unrecorded
+        decision forces an abort tombstone.  Exactly one global outcome can
+        win, so no partial application is ever visible.
+        """
+        cfg = self.config
+        obs = self.sim.obs
+        function_id = record.function_id
+        writes = spec_env.buffered_writes()
+        if any(v == -1 for v in versions.values()):
+            # A cache miss guarantees validation failure on that shard; let
+            # the prepare bounce with repairs and restart (the single-shard
+            # path instead falls through to the server's backup execution,
+            # which does not exist across shards).
+            self.metrics.incr("xshard.miss")
+
+        read_groups: Dict[int, List[Key]] = {}
+        for t, k in rwset.reads:
+            read_groups.setdefault(self.router.shard_of(t, k), []).append((t, k))
+        write_groups: Dict[int, List[Key]] = {}
+        for t, k in rwset.writes:
+            write_groups.setdefault(self.router.shard_of(t, k), []).append((t, k))
+        write_slices: Dict[int, list] = {}
+        for t, k, v in writes:
+            write_slices.setdefault(self.router.shard_of(t, k), []).append((t, k, v))
+        coord = shards[0]
+        coord_ep = self.router.endpoint(coord)
+
+        # (3') Scatter one prepare per shard, overlapped with the
+        # function's (speculative) execution — the paper's overlap trick
+        # carries over; the round trip is simply the slowest shard's.
+        overlap_started = self.sim.now
+        procs = []
+        for shard in shards:
+            req = ShardPrepare(
+                execution_id=execution_id,
+                function_id=function_id,
+                read_keys=tuple(read_groups.get(shard, ())),
+                write_keys=tuple(write_groups.get(shard, ())),
+                versions={k: versions[k] for k in read_groups.get(shard, ())},
+                writes=tuple(write_slices.get(shard, ())),
+                origin_region=self.region,
+                shard=shard,
+                coordinator=coord_ep,
+                nshards=len(shards),
+            )
+            procs.append(self.sim.spawn(
+                self._catching_call(req, deadline_at, f"prepare.s{shard}",
+                                    self.router.endpoint(shard), batch=True),
+                name=f"prepare({execution_id}:{shard})",
+            ))
+        if cfg.speculate:
+            exec_done = self.sim.timeout(exec_ms)
+            yield self.sim.all_of([exec_done] + [p.done_event for p in procs])
+            if obs.enabled:
+                obs.span_at(
+                    "spec.exec", overlap_started, overlap_started + exec_ms,
+                    kind="exec", function=function_id,
+                )
+                obs.phase("phase.xshard_prepare", start_ms=overlap_started,
+                          shards=len(shards), exec_ms=exec_ms)
+        else:
+            yield self.sim.all_of([p.done_event for p in procs])
+            if obs.enabled:
+                obs.phase("phase.xshard_prepare", start_ms=overlap_started,
+                          shards=len(shards))
+            exec_started = self.sim.now
+            yield self.sim.timeout(exec_ms)
+            if obs.enabled:
+                obs.phase("phase.exec", start_ms=exec_started, function=function_id)
+
+        # (4') Tally the votes.  Any shard that failed to vote yes —
+        # unreachable, busy, or stale — aborts the whole attempt; the abort
+        # fan-out is spawned (not awaited) so the restart isn't serialized
+        # behind it, and presumed abort makes it safe either way: without a
+        # commit record this attempt can never apply anywhere.
+        results = [p.result for p in procs]
+        fresh: Dict[Key, Any] = {}
+        unavailable = 0
+        stale = 0
+        for (kind, value) in results:
+            if kind == "err":
+                unavailable += 1
+            elif not value.ok:
+                stale += 1
+                fresh.update(value.fresh)
+        if unavailable or stale:
+            self.sim.spawn(
+                self._scatter_abort(execution_id, shards, coord_ep),
+                name=f"xabort({execution_id})",
+            )
+            self.metrics.incr("xshard.prepare_abort")
+            raise _CrossShardStale(fresh)
+
+        # (5') Unanimous yes: durably record COMMIT at the coordinator
+        # *before* telling anyone else.  An UnavailableError here means the
+        # outcome is unknown (the record may or may not have landed) and
+        # propagates to the client as a clean failure; the shards' leases
+        # settle the attempt either way.
+        commit_started = self.sim.now
+        decision = ShardDecision(execution_id=execution_id, commit=True,
+                                 record_decision=True)
+        status = yield from self._call_with_retry(
+            decision, deadline_at, "xcommit", dst=coord_ep
+        )
+        if status not in ("applied", "released"):
+            # A lease-driven abort tombstone beat our commit record: the
+            # attempt aborted globally and cleanly.  Restart.
+            self.metrics.incr("xshard.commit_beaten")
+            self.sim.spawn(
+                self._scatter_abort(execution_id, shards, coord_ep),
+                name=f"xabort({execution_id})",
+            )
+            raise _CrossShardStale({})
+
+        # (6') Commit is durable: fan the decision out to the remaining
+        # shards.  A lost ack is not a failure — the participant's durable
+        # intent plus its lease query guarantees it applies — so the client
+        # is answered on the recorded decision, not the fan-out.
+        others = [s for s in shards if s != coord]
+        if others:
+            statuses = yield from self._gather_decisions(
+                execution_id, others, deadline_at
+            )
+            lost = sum(1 for s in statuses if s is None)
+            if lost:
+                self.metrics.incr("xshard.decision_lost", lost)
+        if obs.enabled:
+            obs.phase("phase.xshard_commit", start_ms=commit_started,
+                      shards=len(shards))
+
+        self.metrics.incr("path.speculative")
+        self.metrics.incr("xshard.commit")
+        new_versions: Dict[Key, int] = {}
+        validated: Dict[Key, int] = {}
+        for _, resp in results:
+            new_versions.update(resp.new_versions)
+            validated.update(resp.validated_versions)
+        for table, key, value in writes:
+            self.cache.apply_local_write(table, key, value,
+                                         new_versions[(table, key)])
+        return InvocationOutcome(
+            result=spec_trace.result,
+            path=PATH_SPECULATIVE,
+            invoked_at=invoked_at,
+            responded_at=self.sim.now,
+            read_versions=validated,
+            write_versions=new_versions,
+            frw_ms=frw_ms,
+            exec_ms=exec_ms,
+            function_id=function_id,
+        )
+
+    def _catching_call(self, request, deadline_at, label, dst, batch=False) -> Generator:
+        """Retry-wrapped RPC that never raises: returns ``("ok", response)``
+        or ``("err", exc)`` so a scatter-gather can tally partial failures
+        without the kernel seeing an unwatched failed process."""
+        try:
+            resp = yield from self._call_with_retry(
+                request, deadline_at, label, dst=dst, batch=batch
+            )
+        except UnavailableError as exc:
+            return ("err", exc)
+        return ("ok", resp)
+
+    def _gather_decisions(self, execution_id, shards, deadline_at) -> Generator:
+        procs = [
+            self.sim.spawn(
+                self._catching_call(
+                    ShardDecision(execution_id=execution_id, commit=True),
+                    deadline_at, f"decision.s{shard}", self.router.endpoint(shard),
+                ),
+                name=f"decide({execution_id}:{shard})",
+            )
+            for shard in shards
+        ]
+        yield self.sim.all_of([p.done_event for p in procs])
+        return [p.result[1] if p.result[0] == "ok" else None for p in procs]
+
+    def _scatter_abort(self, execution_id, shards, coord_ep) -> Generator:
+        """Best-effort abort fan-out (presumed abort makes it optional: it
+        only accelerates lock release ahead of the shards' leases).  The
+        coordinator's copy records the abort tombstone so late lease
+        queries settle instantly."""
+        budget = self.sim.now + self.config.rpc_timeout_ms * self._policy.max_attempts
+        procs = [
+            self.sim.spawn(
+                self._catching_call(
+                    ShardDecision(
+                        execution_id=execution_id, commit=False,
+                        record_decision=(self.router.endpoint(s) == coord_ep),
+                    ),
+                    budget, f"abort.s{s}", self.router.endpoint(s),
+                ),
+                name=f"abort({execution_id}:{s})",
+            )
+            for s in shards
+        ]
+        yield self.sim.all_of([p.done_event for p in procs])
+
     # -- helpers -----------------------------------------------------------------
 
-    def _call_with_retry(self, request, deadline_at: float, label: str) -> Generator:
+    def _call_with_retry(
+        self, request, deadline_at: float, label: str,
+        dst: Optional[str] = None, batch: bool = False,
+    ) -> Generator:
         """One logical near-storage RPC under the retry policy.
 
         Every attempt is bounded by ``rpc_timeout_ms`` (clipped to the
@@ -317,6 +697,15 @@ class NearUserRuntime:
         cfg = self.config
         policy = self._policy
         obs = self.sim.obs
+        if dst is None:
+            dst = self.server_name
+        # Hot-path LVI traffic goes through the batcher when one is
+        # configured; control messages (followups, decisions) never batch.
+        caller = (
+            self._batcher.call if (batch and self._batcher is not None)
+            else lambda d, req, timeout: self.net.call(self.name, d, req,
+                                                       timeout=timeout)
+        )
         attempt = 0
         while True:
             remaining = deadline_at - self.sim.now
@@ -329,9 +718,8 @@ class NearUserRuntime:
                 )
             attempt += 1
             try:
-                response = yield from self.net.call(
-                    self.name, self.server_name, request,
-                    timeout=min(cfg.rpc_timeout_ms, remaining),
+                response = yield from caller(
+                    dst, request, timeout=min(cfg.rpc_timeout_ms, remaining)
                 )
             except RpcTimeout:
                 self._breaker.record_failure()
@@ -363,15 +751,17 @@ class NearUserRuntime:
                 self._breaker.record_success()
                 return response
 
-    def _send_followup(self, execution_id: str, writes) -> Generator:
+    def _send_followup(self, execution_id: str, writes, dst: Optional[str] = None) -> Generator:
         followup = WriteFollowup(execution_id=execution_id, writes=tuple(writes))
         policy = self._policy
+        if dst is None:
+            dst = self.server_name
         attempt = 0
         while True:
             attempt += 1
             try:
                 yield from self.net.call(
-                    self.name, self.server_name, followup,
+                    self.name, dst, followup,
                     timeout=self.config.rpc_timeout_ms,
                 )
                 return
@@ -424,13 +814,7 @@ class NearUserRuntime:
         path: str,
     ) -> InvocationOutcome:
         """(8b)-(9b): install cache repairs, return the backup result."""
-        for (table, key), item in response.fresh.items():
-            if item.absent:
-                self.cache.install(table, key, None)
-            else:
-                from ..storage import Item
-
-                self.cache.install(table, key, Item(item.value, item.version))
+        self._install_fresh(response.fresh)
         return InvocationOutcome(
             result=response.result,
             path=path,
@@ -441,6 +825,17 @@ class NearUserRuntime:
             frw_ms=frw_ms,
             function_id=record.function_id,
         )
+
+    def _install_fresh(self, fresh: Dict[Key, Any]) -> None:
+        """Install the authoritative items a server shipped back into the
+        local cache (validation-failure repairs, §3.2)."""
+        from ..storage import Item
+
+        for (table, key), item in fresh.items():
+            if item.absent:
+                self.cache.install(table, key, None)
+            else:
+                self.cache.install(table, key, Item(item.value, item.version))
 
     def _check_prediction(self, record, rwset, trace) -> None:
         """The analyzer's contract: predicted sets cover the actual ones.

@@ -25,14 +25,16 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..errors import ProtocolError
+from ..errors import ConditionFailed, ProtocolError
 from ..raft import RaftCluster
-from ..sim import Metrics, Network, RandomStreams, Region, Simulator
+from ..sim import Batched, Metrics, Network, RandomStreams, Region, RpcTimeout, Simulator
 from ..storage import (
+    KIND_APPLY,
     IdempotencyTable,
     IntentTable,
     KVStore,
     LockManager,
+    WriteOp,
 )
 from ..wasm import VM
 from .config import RadicalConfig
@@ -41,6 +43,9 @@ from .messages import (
     FreshItem,
     LVIRequest,
     LVIResponse,
+    ShardDecision,
+    ShardDecisionQuery,
+    ShardPrepare,
     WriteFollowup,
 )
 from .registry import FunctionRegistry
@@ -48,7 +53,12 @@ from .storage_library import PrimaryEnv
 
 Key = Tuple[str, str]
 
-__all__ = ["LVIServer"]
+__all__ = ["LVIServer", "DECISION_TABLE"]
+
+#: Cross-shard commit/abort records, stored in the *coordinating* shard's
+#: primary store.  Like the intent tables, the ``_radical`` prefix keeps
+#: the table out of cache warming and application scans.
+DECISION_TABLE = "_radical_decisions"
 
 
 class LVIServer:
@@ -67,6 +77,7 @@ class LVIServer:
         name: str = "lvi-server",
         raft_cluster: Optional[RaftCluster] = None,
         external_hub=None,
+        shard: int = 0,
     ):
         self.sim = sim
         self.net = net
@@ -76,6 +87,7 @@ class LVIServer:
         self.metrics = metrics or Metrics()
         self.region = region
         self.name = name
+        self.shard = shard
         self.locks = LockManager(sim)
         self.intents = IntentTable(store, sim=sim)
         self.idem = IdempotencyTable(store)
@@ -99,18 +111,63 @@ class LVIServer:
         # Bumped by crash(): handlers resumed under a newer incarnation
         # stop instead of mutating state from beyond the grave.
         self._incarnation = 0
+        # Cross-shard prepares whose shard-local slice is read-only: no
+        # intent is written, but the read locks must survive until the
+        # transaction's decision (or the lease query settles it).
+        self._prepared_reads: set = set()
+        # Serial processing model: the virtual time at which the server's
+        # (single) CPU frees up.  Only advances when server_proc_ms > 0.
+        self._proc_free_at = 0.0
         net.serve(name, region, self._handle)
 
     # -- dispatch -----------------------------------------------------------
 
     def _handle(self, payload: Any, src: str) -> Generator:
+        batch_index = 0
+        if isinstance(payload, Batched):
+            batch_index = payload.index
+            payload = payload.payload
         if isinstance(payload, LVIRequest):
-            return self._guarded(self._handle_lvi(payload))
-        if isinstance(payload, WriteFollowup):
-            return self._guarded(self._handle_followup(payload))
-        if isinstance(payload, DirectExecRequest):
-            return self._guarded(self._handle_direct(payload))
-        raise ProtocolError(f"unknown message {type(payload).__name__}")
+            inner = self._handle_lvi(payload)
+        elif isinstance(payload, WriteFollowup):
+            inner = self._handle_followup(payload)
+        elif isinstance(payload, DirectExecRequest):
+            inner = self._handle_direct(payload)
+        elif isinstance(payload, ShardPrepare):
+            inner = self._handle_prepare(payload)
+        elif isinstance(payload, ShardDecision):
+            inner = self._handle_decision(payload)
+        elif isinstance(payload, ShardDecisionQuery):
+            inner = self._handle_query(payload)
+        else:
+            raise ProtocolError(f"unknown message {type(payload).__name__}")
+        return self._guarded(self._charge_proc(inner, batch_index))
+
+    def _charge_proc(self, inner: Generator, batch_index: int) -> Generator:
+        """Serialize handlers through the server's CPU when a per-message
+        cost is configured (the scalability model's bottleneck).  Members
+        of a coalesced batch after the first pay only the marginal
+        ``server_batch_item_ms``.  With the cost at 0 — every paper
+        experiment — the handler is returned untouched, so the virtual
+        timeline is byte-identical to the un-modelled seed."""
+        if self.config.server_proc_ms <= 0:
+            return inner
+        cost = (
+            self.config.server_batch_item_ms
+            if batch_index > 0
+            else self.config.server_proc_ms
+        )
+
+        def flow() -> Generator:
+            start = max(self.sim.now, self._proc_free_at)
+            self._proc_free_at = start + cost
+            delay = self._proc_free_at - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            result = yield from inner
+            return result
+
+        return flow()
 
     def _guarded(self, inner: Generator) -> Generator:
         """Run ``inner`` but fence it against crashes: the moment the
@@ -315,6 +372,301 @@ class LVIServer:
     def _unpersist_locks(self, execution_id: str) -> Generator:
         yield from self.raft.submit(("put", f"unlock:{execution_id}", True))
 
+    # -- the cross-shard prepare / decision path ------------------------------
+    #
+    # Commit rule (docs/TOPOLOGY.md): no shard settles a write intent until
+    # *every* shard of the transaction has prepared.  The runtime scatters
+    # ShardPrepare messages; each shard validates its slice, takes its
+    # locks, and durably records an ``apply`` intent carrying the writes.
+    # On a unanimous vote the runtime first records COMMIT at the
+    # coordinating shard (which then applies its own slice), then fans the
+    # decision out.  Presumed abort: a participant whose decision message
+    # never arrives queries the coordinator at lease expiry, and the query
+    # itself forces an abort tombstone if no COMMIT record exists — the
+    # tombstone and the COMMIT record race through a conditional put, so
+    # exactly one global outcome ever wins.
+
+    def _handle_prepare(self, req: ShardPrepare) -> Generator:
+        from ..sim.network import NO_REPLY
+
+        eid = req.execution_id
+        if eid in self._reply_cache:
+            self.metrics.incr("lvi.replayed_reply")
+            return self._reply_cache[eid]
+        if eid in self._seen_requests:
+            self.metrics.incr("lvi.duplicate_request")
+            return NO_REPLY
+        if self.intents.get(eid) is not None:
+            # Redelivery after a crash: the durable intent proves a prior
+            # incarnation already voted yes.  Its settlement is owned by
+            # the decision/lease machinery — stay silent.
+            self._seen_requests.add(eid)
+            self.metrics.incr("lvi.replay_after_crash")
+            return NO_REPLY
+        if self.idem.claimed(eid, IdempotencyTable.NEAR_STORAGE):
+            self._seen_requests.add(eid)
+            self.metrics.incr("lvi.settled_replay")
+            return NO_REPLY
+        self._seen_requests.add(eid)
+        obs = self.sim.obs
+        all_keys = list(dict.fromkeys(list(req.read_keys) + list(req.write_keys)))
+
+        # Locks are still taken in lexicographic order *within* the shard,
+        # but no order exists across shards, so the wait is bounded: a
+        # timeout votes no ("busy") and the runtime restarts the
+        # invocation with backoff, breaking any distributed deadlock.
+        lock_reads = () if self.config.exclusive_locks else req.read_keys
+        lock_writes = all_keys if self.config.exclusive_locks else req.write_keys
+        lock_started = self.sim.now
+        acquired = yield from self._acquire_bounded(eid, lock_reads, lock_writes)
+        if not acquired:
+            self.metrics.incr("prepare.lock_timeout")
+            response = LVIResponse(execution_id=eid, ok=False)
+            self._reply_cache[eid] = response
+            return response
+        if obs.enabled:
+            obs.span_at(
+                "server.lock_acquire", lock_started, self.sim.now,
+                kind="server", locks=len(all_keys), shard=req.shard,
+            )
+        if self.config.replicated:
+            yield from self._persist_locks_via_raft(eid, all_keys)
+            yield self.sim.timeout(self.config.replicated_idem_ms)
+
+        validate_started = self.sim.now
+        yield self.sim.timeout(self.config.server_storage_rtt_ms)
+        authoritative = self.store.batch_versions(all_keys)
+        stale = [
+            k for k in req.read_keys if authoritative.get(k, 0) != req.versions.get(k, -1)
+        ]
+        if obs.enabled:
+            obs.span_at(
+                "server.validate", validate_started, self.sim.now,
+                kind="server", stale=len(stale), ok=not stale, shard=req.shard,
+            )
+        if stale:
+            self.metrics.incr("validation.failure")
+            self.metrics.incr("prepare.stale")
+            fresh = self._collect_fresh(stale, [])
+            self._release(eid)
+            response = LVIResponse(execution_id=eid, ok=False, fresh=fresh)
+            self._reply_cache[eid] = response
+            return response
+
+        self.metrics.incr("validation.success")
+        if req.write_keys:
+            # Durable yes-vote: the intent carries this shard's resolved
+            # writes, so the decision (or a recovered replacement) can
+            # apply them without re-executing the function — one shard
+            # cannot re-execute anyway, it holds only a slice of the
+            # read set.
+            intent_started = self.sim.now
+            yield self.sim.timeout(self.config.server_storage_rtt_ms)
+            ctx = self.sim.trace_context
+            self.intents.create(
+                eid, req.function_id, now=self.sim.now,
+                trace_id=ctx.trace_id if ctx is not None else 0,
+                kind=KIND_APPLY, writes=tuple(req.writes),
+                coordinator=req.coordinator,
+            )
+            if obs.enabled:
+                obs.span_at(
+                    "server.intent_write", intent_started, self.sim.now,
+                    kind="server", shard=req.shard,
+                )
+        else:
+            self._prepared_reads.add(eid)
+        # The lease: if no decision arrives — lost messages, dead
+        # coordinator-side runtime — the shard settles by consulting the
+        # coordinating shard's decision record instead of guessing.
+        self.sim.schedule(
+            self.config.followup_timeout_ms, self._on_prepare_lease,
+            eid, req.coordinator,
+        )
+        response = LVIResponse(
+            execution_id=eid,
+            ok=True,
+            validated_versions={k: authoritative[k] for k in req.read_keys},
+            new_versions={k: authoritative.get(k, 0) + 1 for k in req.write_keys},
+        )
+        self._reply_cache[eid] = response
+        return response
+
+    def _acquire_bounded(self, eid: str, lock_reads, lock_writes) -> Generator:
+        """Acquire the shard-local lock set under the prepare timeout;
+        returns whether the locks were granted.  A timed-out acquisition
+        is cancelled cleanly (granted locks released, queued waiters
+        purged) so it cannot wedge the shard's lock table."""
+        acquire = self.sim.spawn(
+            self.locks.acquire_all(eid, lock_reads, lock_writes),
+            name=f"locks({eid})",
+        )
+        timeout_ms = self.config.prepare_lock_timeout_ms
+        if timeout_ms <= 0:
+            yield acquire
+            return True
+        first = yield self.sim.any_of([acquire.done_event, self.sim.timeout(timeout_ms)])
+        if acquire.done_event in first:
+            return True
+        acquire.kill()
+        self.locks.cancel(eid)
+        return False
+
+    def _handle_decision(self, req: ShardDecision) -> Generator:
+        eid = req.execution_id
+        cache_key = f"{eid}#decision"
+        if cache_key in self._reply_cache:
+            return self._reply_cache[cache_key]
+        status = yield from self._apply_decision(
+            eid, "commit" if req.commit else "abort", record=req.record_decision
+        )
+        self._reply_cache[cache_key] = status
+        return status
+
+    def _handle_query(self, req: ShardDecisionQuery) -> Generator:
+        """Coordinator-side outcome lookup: read the decision record,
+        forcing an abort tombstone into existence if none is there yet
+        (see ShardDecisionQuery's docstring for why this is safe)."""
+        yield self.sim.timeout(self.config.server_storage_rtt_ms)
+        outcome = self._record_decision(req.execution_id, "abort")
+        self.metrics.incr("xshard.decision_query")
+        return outcome
+
+    def _apply_decision(self, eid: str, want: str, record: bool) -> Generator:
+        """Settle this shard's slice of a cross-shard transaction.
+
+        ``record`` marks the coordinating shard: it durably records the
+        outcome first, and a COMMIT that loses the conditional put to an
+        impatient participant's abort tombstone downgrades to abort —
+        nothing has been applied anywhere at that point, so the downgrade
+        is a clean global abort.
+        """
+        outcome = want
+        if record:
+            yield self.sim.timeout(self.config.server_storage_rtt_ms)
+            outcome = self._record_decision(eid, want)
+            if want == "commit" and outcome != "commit":
+                self.metrics.incr("xshard.commit_lost_race")
+        if outcome != "commit":
+            self._abort_prepared(eid)
+            return "aborted"
+        intent = self.intents.get(eid)
+        if intent is not None and intent.kind == KIND_APPLY:
+            yield self.sim.timeout(self.config.server_storage_rtt_ms)
+            applied = self._apply_intent_writes(eid, intent)
+            return "applied" if applied else "discarded"
+        # Read-only slice (or a duplicate decision): release and go.
+        self._prepared_reads.discard(eid)
+        if self.locks.held_by(eid):
+            self._release(eid)
+        if self.idem.claimed(eid, IdempotencyTable.NEAR_STORAGE):
+            return "applied"
+        return "released"
+
+    def _record_decision(self, eid: str, want: str) -> str:
+        """Read-or-write the transaction outcome; first writer wins."""
+        item = self.store.get_or_none(DECISION_TABLE, eid)
+        if item is not None:
+            return item.value["status"]
+        try:
+            self.store.conditional_put(
+                DECISION_TABLE, eid, {"status": want}, expected_version=0
+            )
+        except ConditionFailed:
+            return self.store.get(DECISION_TABLE, eid).value["status"]
+        return want
+
+    def _apply_intent_writes(self, eid: str, intent) -> bool:
+        """Apply an ``apply``-kind intent's writes exactly once (the CAS
+        on the intent is the at-most-once gate, as in the followup path)."""
+        if not self.intents.try_complete(eid):
+            return self.idem.claimed(eid, IdempotencyTable.NEAR_STORAGE)
+        self.store.apply_writes([WriteOp(t, k, v) for (t, k, v) in intent.writes])
+        self.idem.claim(eid, IdempotencyTable.NEAR_STORAGE)
+        self.intents.remove(eid)
+        if self.locks.held_by(eid):
+            self._release(eid)
+        self.metrics.incr("xshard.applied")
+        return True
+
+    def _abort_prepared(self, eid: str) -> None:
+        """Drop a prepared slice: intent removed un-applied, locks freed."""
+        from ..storage import IntentStatus
+
+        intent = self.intents.get(eid)
+        if (
+            intent is not None
+            and intent.kind == KIND_APPLY
+            and intent.status == IntentStatus.PENDING
+        ):
+            # Claim the settlement right via the same CAS the apply path
+            # uses, so a racing lease-apply and this abort cannot both win.
+            if self.intents.try_complete(eid):
+                self.intents.remove(eid)
+        self._prepared_reads.discard(eid)
+        if self.locks.held_by(eid):
+            self._release(eid)
+        self.metrics.incr("xshard.aborted")
+
+    def _on_prepare_lease(self, eid: str, coordinator: str) -> None:
+        from ..storage import IntentStatus
+
+        if self._crashed:
+            return  # recovery re-arms settlement for durable intents
+        intent = self.intents.get(eid)
+        pending = (
+            intent is not None
+            and intent.kind == KIND_APPLY
+            and intent.status == IntentStatus.PENDING
+        )
+        if eid not in self._prepared_reads and not pending:
+            return  # the decision already settled this slice
+        self.sim.spawn(
+            self._guarded(self._settle_via_coordinator(eid, coordinator)),
+            name=f"xshard-settle({eid})",
+        )
+
+    def _settle_via_coordinator(self, eid: str, coordinator: str) -> Generator:
+        """Lease expiry / recovery: learn the transaction's outcome from
+        the coordinating shard's decision record and settle accordingly.
+        Unreachable coordinator → re-arm and try again next lease."""
+        from ..storage import IntentStatus
+
+        intent = self.intents.get(eid)
+        pending = (
+            intent is not None
+            and intent.kind == KIND_APPLY
+            and intent.status == IntentStatus.PENDING
+        )
+        if eid not in self._prepared_reads and not pending:
+            return
+        self.metrics.incr("xshard.lease_query")
+        if coordinator == self.name:
+            yield self.sim.timeout(self.config.server_storage_rtt_ms)
+            outcome = self._record_decision(eid, "abort")
+        else:
+            try:
+                outcome = yield from self.net.call(
+                    self.name, coordinator, ShardDecisionQuery(eid),
+                    timeout=self.config.rpc_timeout_ms,
+                )
+            except RpcTimeout:
+                self.sim.schedule(
+                    self.config.followup_timeout_ms, self._on_prepare_lease,
+                    eid, coordinator,
+                )
+                return
+        if outcome == "commit":
+            if pending:
+                yield self.sim.timeout(self.config.server_storage_rtt_ms)
+                self._apply_intent_writes(eid, intent)
+            self._prepared_reads.discard(eid)
+            if self.locks.held_by(eid):
+                self._release(eid)
+        else:
+            self.metrics.incr("xshard.lease_abort")
+            self._abort_prepared(eid)
+
     # -- the followup path ---------------------------------------------------------
 
     def _handle_followup(self, followup: WriteFollowup) -> Generator:
@@ -441,6 +793,27 @@ class LVIServer:
         returning the number of intents recovered."""
         pending = self.intents.pending()
         for intent in pending:
+            if intent.kind == KIND_APPLY:
+                # A cross-shard slice cannot be re-executed locally; its
+                # outcome lives at the coordinating shard.  First re-take
+                # the slice's write locks on the fresh lock table (instant:
+                # pre-crash holders were exclusive, so recovered slices are
+                # disjoint) — without them a reader could observe the
+                # pre-commit value after this server starts serving but
+                # before the lease settles the slice.  Then settle via the
+                # lease path, deferred slightly so the replacement's
+                # endpoint is registered before the query goes out.
+                keys = tuple(dict.fromkeys((t, k) for (t, k, _v) in intent.writes))
+                if keys and not self.locks.held_by(intent.execution_id):
+                    yield self.sim.spawn(
+                        self.locks.acquire_all(intent.execution_id, (), keys),
+                        name=f"relock({intent.execution_id})",
+                    )
+                self.sim.schedule(
+                    1.0, self._on_prepare_lease,
+                    intent.execution_id, intent.coordinator or self.name,
+                )
+                continue
             yield self.sim.spawn(
                 self._guarded(self._reexecute(intent.execution_id)),
                 name=f"recover({intent.execution_id})",
@@ -466,6 +839,8 @@ class LVIServer:
         self._seen_requests.clear()
         self._reply_cache.clear()
         self._pending_exec.clear()
+        self._prepared_reads.clear()
+        self._proc_free_at = 0.0
         self.metrics.incr("server.crashes")
         obs = self.sim.obs
         if obs.enabled:

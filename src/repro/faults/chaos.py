@@ -25,24 +25,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..consistency import HistoryRecorder, check_strict_serializability
-from ..core import (
-    FunctionRegistry,
-    FunctionSpec,
-    LVIServer,
-    NearUserRuntime,
-    RadicalConfig,
-)
+from ..core import FunctionSpec, NearUserRuntime, RadicalConfig
 from ..errors import ConsistencyViolation, FaultConfigError, UnavailableError
-from ..sim import (
-    Metrics,
-    Network,
-    RandomStreams,
-    Region,
-    Simulator,
-    paper_latency_table,
-    percentile,
-)
-from ..storage import KVStore, NearUserCache
+from ..sim import Region, Simulator, percentile
+from ..topology import Deployment, TopologySpec
 from .plan import (
     CrashWindow,
     DelayWindow,
@@ -52,7 +38,6 @@ from .plan import (
     FollowupLossWindow,
     PartitionWindow,
 )
-from .scheduler import FaultScheduler
 
 __all__ = [
     "ChaosCaseResult",
@@ -219,57 +204,51 @@ def run_chaos_case(
     keys: int = 2,
     think_ms: float = 10.0,
     config: Optional[RadicalConfig] = None,
+    shards: int = 1,
 ) -> ChaosCaseResult:
-    """Run one (plan, seed) case end to end and return its verdict."""
-    plan.validate()
-    sim = Simulator()
-    streams = RandomStreams(seed)
-    net = Network(sim, paper_latency_table(), streams)
-    metrics = Metrics()
+    """Run one (plan, seed) case end to end and return its verdict.
+
+    ``shards`` > 1 runs the same plan against a partitioned near-storage
+    tier (keys hash across shards; the correctness claims are unchanged —
+    a sharded deployment must be exactly as serializable and exactly-once
+    as the seed's single server).
+    """
     cfg = config or chaos_config(replicated=plan.replicated)
 
-    registry = FunctionRegistry()
-    registry.register(FunctionSpec("chaos.bump", BUMP_SRC, 20.0))
-    registry.register(FunctionSpec("chaos.read", READ_SRC, 20.0))
-    store = KVStore()
-    for i in range(keys):
-        store.put("counters", f"c:{i}", 0)
-
-    cluster = None
-    if cfg.replicated:
-        from ..raft import RaftCluster
-
-        cluster = RaftCluster(sim, streams)
-        cluster.start()
-    server = LVIServer(
-        sim, net, registry, store, cfg, streams, metrics, raft_cluster=cluster
-    )
-    targets: Dict[str, Any] = {server.name: server}
-    if cluster is not None:
-        targets.update(cluster.nodes)
-
-    runtimes = {}
-    for region in regions:
-        cache = NearUserCache(region)
+    def seed_counters(store):
         for i in range(keys):
-            cache.install("counters", f"c:{i}", store.get("counters", f"c:{i}"))
-        runtimes[region] = NearUserRuntime(
-            sim, net, region, cache, registry, cfg, streams, metrics
-        )
+            store.put("counters", f"c:{i}", 0)
 
-    scheduler = FaultScheduler(sim, net, plan, targets=targets, metrics=metrics)
-    scheduler.start()
+    dep = Deployment.build(
+        TopologySpec(
+            regions=regions,
+            shards=shards,
+            seed=seed,
+            config=cfg,
+            network_jitter_sigma=0.0,
+            warm_caches=True,
+            persistent_caches=False,
+            raft_prewarm_ms=0.0,  # chaos elects its leader under traffic
+            fault_plan=plan,
+        ),
+        functions=[
+            FunctionSpec("chaos.bump", BUMP_SRC, 20.0),
+            FunctionSpec("chaos.read", READ_SRC, 20.0),
+        ],
+        seed_data=seed_counters,
+    )
+    sim, metrics = dep.sim, dep.metrics
 
     history = HistoryRecorder()
     tally = _Tally()
     procs = []
     for region in regions:
         for c in range(clients_per_region):
-            rng = streams.stream(f"chaos.client.{region}.{c}")
+            rng = dep.streams.stream(f"chaos.client.{region}.{c}")
             procs.append(
                 sim.spawn(
                     _chaos_client(
-                        sim, runtimes[region], rng, history, tally,
+                        sim, dep.runtimes[region], rng, history, tally,
                         requests_per_client, keys, think_ms,
                     ),
                     name=f"chaos-client-{region}-{c}",
@@ -296,7 +275,7 @@ def run_chaos_case(
     # A pending intent is an acked speculative write the (still-dead)
     # server has not applied yet; plans that restart their crash targets
     # always settle to pending == 0.
-    pending = server.intents.pending()
+    pending = dep.pending_intents()
     pending_per_key: Dict[str, int] = {}
     for intent in pending:
         key = intent.args[0] if intent.args else "?"
@@ -305,7 +284,7 @@ def run_chaos_case(
     duplicates = 0
     for i in range(keys):
         key = f"c:{i}"
-        item = store.get_or_none("counters", key)
+        item = dep.get_or_none("counters", key)
         value = item.value if item is not None else 0
         version = item.version if item is not None else 0
         acked = tally.acked_bumps.get(key, 0)

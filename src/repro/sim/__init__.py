@@ -17,6 +17,7 @@ from .core import (
 )
 from .monitor import Metrics, Summary, percentile
 from .network import (
+    Batched,
     Endpoint,
     LatencyTable,
     Message,
@@ -24,6 +25,7 @@ from .network import (
     Network,
     PAPER_RTT_TO_PRIMARY,
     Region,
+    RequestBatcher,
     RpcTimeout,
     paper_latency_table,
 )
@@ -33,6 +35,7 @@ from .rand import RandomStreams, ZipfSampler
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Batched",
     "Channel",
     "Endpoint",
     "Event",
@@ -48,6 +51,7 @@ __all__ = [
     "Process",
     "RandomStreams",
     "Region",
+    "RequestBatcher",
     "RpcTimeout",
     "Semaphore",
     "SimulationError",

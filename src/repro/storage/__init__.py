@@ -4,6 +4,8 @@ from .cache import CacheEntry, NearUserCache
 from .intents import (
     IDEM_TABLE,
     INTENT_TABLE,
+    KIND_APPLY,
+    KIND_REEXEC,
     IdempotencyTable,
     IntentStatus,
     IntentTable,
@@ -21,6 +23,8 @@ __all__ = [
     "IntentStatus",
     "IntentTable",
     "Item",
+    "KIND_APPLY",
+    "KIND_REEXEC",
     "KVStore",
     "LockManager",
     "LockMode",

@@ -20,10 +20,21 @@ from typing import List, Optional
 from ..errors import ConditionFailed, ProtocolError
 from .kvstore import KVStore
 
-__all__ = ["IntentStatus", "WriteIntent", "IntentTable", "IdempotencyTable"]
+__all__ = [
+    "IntentStatus",
+    "WriteIntent",
+    "IntentTable",
+    "IdempotencyTable",
+    "KIND_REEXEC",
+    "KIND_APPLY",
+]
 
 INTENT_TABLE = "_radical_intents"
 IDEM_TABLE = "_radical_idempotency"
+
+# Intent settlement kinds (see WriteIntent.kind).
+KIND_REEXEC = "reexec"
+KIND_APPLY = "apply"
 
 
 class IntentStatus:
@@ -52,6 +63,19 @@ class WriteIntent:
     #: a replacement server's recovery re-execution can be attributed to
     #: the original request end-to-end.
     trace_id: int = 0
+    #: How an orphaned PENDING intent is settled.  ``reexec`` (the single-
+    #: shard protocol) re-runs the function from ``args``; ``apply`` (a
+    #: cross-shard prepare) carries the already-resolved ``writes`` and is
+    #: settled by consulting the coordinating shard's decision record —
+    #: re-execution is impossible shard-locally, since one shard holds only
+    #: a slice of the function's read set.
+    kind: str = KIND_REEXEC
+    #: ``apply`` intents only: the buffered speculative writes for *this*
+    #: shard, as (table, key, value) tuples.
+    writes: tuple = ()
+    #: ``apply`` intents only: endpoint name of the coordinating shard's
+    #: server, where the transaction's commit/abort record lives.
+    coordinator: str = ""
 
     def to_value(self) -> dict:
         return {
@@ -61,6 +85,9 @@ class WriteIntent:
             "created_at": self.created_at,
             "args": list(self.args),
             "trace_id": self.trace_id,
+            "kind": self.kind,
+            "writes": [list(w) for w in self.writes],
+            "coordinator": self.coordinator,
         }
 
     @staticmethod
@@ -72,6 +99,9 @@ class WriteIntent:
             created_at=value["created_at"],
             args=tuple(value.get("args", ())),
             trace_id=value.get("trace_id", 0),
+            kind=value.get("kind", KIND_REEXEC),
+            writes=tuple(tuple(w) for w in value.get("writes", ())),
+            coordinator=value.get("coordinator", ""),
         )
 
 
@@ -104,12 +134,16 @@ class IntentTable:
         now: float,
         args: tuple = (),
         trace_id: int = 0,
+        kind: str = KIND_REEXEC,
+        writes: tuple = (),
+        coordinator: str = "",
     ) -> WriteIntent:
         """Install a PENDING intent; the execution id must be fresh."""
         if self.store.exists(INTENT_TABLE, execution_id):
             raise ProtocolError(f"intent for execution {execution_id!r} already exists")
         intent = WriteIntent(
-            execution_id, IntentStatus.PENDING, function_id, now, args, trace_id
+            execution_id, IntentStatus.PENDING, function_id, now, args, trace_id,
+            kind=kind, writes=writes, coordinator=coordinator,
         )
         self.store.put(INTENT_TABLE, execution_id, intent.to_value())
         self._event("intent.create", execution_id)
@@ -136,7 +170,8 @@ class IntentTable:
             return False
         completed = WriteIntent(
             intent.execution_id, IntentStatus.COMPLETED, intent.function_id,
-            intent.created_at, trace_id=intent.trace_id,
+            intent.created_at, trace_id=intent.trace_id, kind=intent.kind,
+            coordinator=intent.coordinator,
         )
         try:
             self.store.conditional_put(

@@ -196,6 +196,30 @@ class LockManager:
             self._wake(key, record)
         return len(held)
 
+    def cancel(self, owner: str) -> int:
+        """Abort an in-progress acquisition by ``owner``.
+
+        Interrupting :meth:`acquire_all` mid-wait leaves two kinds of
+        state behind: locks already granted (indexed in ``_held``) and a
+        ``_Waiter`` still queued on the contended key — which a later
+        ``_wake`` would grant to a process that no longer exists, leaking
+        the lock forever.  This purges both.  Safe to call whether or not
+        the owner ever reached the queue; returns the count of granted
+        locks released.  Used by the cross-shard prepare path, whose lock
+        waits are bounded (no global lock order exists across shards, so
+        distributed deadlock is broken by timeout-and-retry instead).
+        """
+        for key in list(self._locks):
+            record = self._locks[key]
+            if any(w.owner == owner for w in record.queue):
+                record.queue = deque(w for w in record.queue if w.owner != owner)
+                # The head may have changed: re-run the grant loop (it
+                # also garbage-collects the record if now idle).
+                self._wake(key, record)
+        if owner not in self._held:
+            return 0
+        return self.release_all(owner)
+
     def _wake(self, key: Key, record: _LockRecord) -> None:
         # Grant from the head of the queue: either one writer, or a batch
         # of readers up to the next waiting writer.

@@ -1,0 +1,20 @@
+"""Topology layer: declarative deployment construction and key sharding.
+
+``TopologySpec`` describes a Radical deployment (regions, shard count,
+placement, cache/fault options); ``Deployment.build`` constructs it in the
+canonical order every harness now shares.  ``ShardMap``/``ShardRouter``
+partition the near-storage tier; see docs/TOPOLOGY.md for the cross-shard
+commit rule.
+"""
+
+from .deployment import Deployment, TopologySpec
+from .shardmap import HashShardMap, RangeShardMap, ShardMap, ShardRouter
+
+__all__ = [
+    "Deployment",
+    "HashShardMap",
+    "RangeShardMap",
+    "ShardMap",
+    "ShardRouter",
+    "TopologySpec",
+]

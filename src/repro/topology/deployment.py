@@ -1,0 +1,291 @@
+"""Declarative topology construction: one builder for every deployment.
+
+Before this module, four call sites hand-rolled the same Radical stack —
+the experiment harness, the per-figure drivers, the chaos harness, and the
+test scaffolding — each with its own slightly different wiring.  A
+:class:`TopologySpec` now *describes* a deployment (regions, shard count,
+placement, cache persistence, fault plan, tracing) and
+:meth:`Deployment.build` constructs it in one canonical order:
+
+    sim → trace collector → random streams → network → metrics → history
+    → registry → stores (+ seed data) → raft (+ prewarm) → LVI servers
+    → per-region caches + runtimes → fault scheduler
+
+That order matters: random streams are name-keyed, so components draw
+identical sequences regardless of *when* they are built, but the network
+endpoint-name counter and the raft prewarm run are order-sensitive — the
+canonical order reproduces the seed builders byte for byte.  A one-shard
+``Deployment`` is the seed topology exactly: same endpoint names, same
+stream names, same virtual timeline.
+
+With ``shards > 1`` the near-storage tier is partitioned: each shard gets
+an independent :class:`~repro.core.LVIServer` (own lock table, intent
+table, primary store slice) and runtimes receive a
+:class:`~repro.topology.ShardRouter` that sends single-shard requests down
+the seed's one-RPC fast path and cross-shard requests through the
+scatter-gather prepare/commit flow (docs/TOPOLOGY.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..consistency import HistoryRecorder
+from ..core import FunctionRegistry, LVIServer, NearUserRuntime, RadicalConfig
+from ..errors import FaultConfigError
+from ..sim import Metrics, Network, RandomStreams, Region, Simulator, paper_latency_table
+from ..storage import KVStore, NearUserCache
+from .shardmap import HashShardMap, ShardMap, ShardRouter
+
+__all__ = ["TopologySpec", "Deployment"]
+
+Key = Tuple[str, str]
+
+
+@dataclass
+class TopologySpec:
+    """Everything that defines a Radical deployment's shape.
+
+    The defaults describe the paper's topology: five near-user regions,
+    one LVI server + primary store in Virginia, persistent warmed caches.
+    """
+
+    regions: Sequence[str] = Region.NEAR_USER
+    shards: int = 1
+    seed: int = 42
+    config: RadicalConfig = field(default_factory=RadicalConfig)
+    network_jitter_sigma: float = 0.0
+    trace: bool = False
+    warm_caches: bool = True
+    persistent_caches: bool = True
+    record_history: bool = False
+    #: Placement policy; ``None`` means ``HashShardMap(shards)``.
+    shard_map: Optional[ShardMap] = None
+    #: Armed through the fault scheduler right after construction.
+    fault_plan: Optional[Any] = None
+    #: Virtual time burned electing an initial Raft leader before traffic
+    #: (the seed harness's 500 ms; chaos runs elect under traffic with 0).
+    raft_prewarm_ms: float = 500.0
+
+    def resolved_shard_map(self) -> ShardMap:
+        if self.shard_map is not None:
+            if self.shard_map.nshards != self.shards:
+                raise ValueError(
+                    f"shard_map covers {self.shard_map.nshards} shard(s) "
+                    f"but spec.shards is {self.shards}"
+                )
+            return self.shard_map
+        return HashShardMap(self.shards)
+
+    def validate(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.config.replicated and self.shards > 1:
+            raise ValueError(
+                "replicated (Raft-backed) servers are single-shard only"
+            )
+        self.resolved_shard_map()
+
+
+class _ShardedSeedWriter:
+    """Routes an app's ``seed(store, ...)`` puts to the owning shard's
+    store, so data seeding stays a plain single-store program."""
+
+    def __init__(self, deployment: "Deployment"):
+        self._deployment = deployment
+
+    def put(self, table: str, key: str, value: Any) -> Any:
+        return self._deployment.store_for(table, key).put(table, key, value)
+
+    def get(self, table: str, key: str) -> Any:
+        return self._deployment.store_for(table, key).get(table, key)
+
+    def get_or_none(self, table: str, key: str) -> Any:
+        return self._deployment.store_for(table, key).get_or_none(table, key)
+
+
+class Deployment:
+    """A fully-wired Radical stack, built from a :class:`TopologySpec`.
+
+    Construction happens in :meth:`build`; the instance then exposes the
+    pieces callers drive (``sim``, ``runtimes``, ``metrics``, …) plus
+    shard-aware helpers (:meth:`store_for`, :meth:`pending_intents`) that
+    replace direct single-store access in reconciliation code.
+    """
+
+    def __init__(self) -> None:
+        # Populated by build(); listed here for discoverability.
+        self.spec: TopologySpec
+        self.sim: Simulator
+        self.net: Network
+        self.streams: RandomStreams
+        self.metrics: Metrics
+        self.history: Optional[HistoryRecorder] = None
+        self.registry: FunctionRegistry
+        self.stores: List[KVStore] = []
+        self.servers: List[LVIServer] = []
+        self.router: Optional[ShardRouter] = None
+        self.caches: Dict[str, NearUserCache] = {}
+        self.runtimes: Dict[str, NearUserRuntime] = {}
+        self.raft = None
+        self.scheduler = None
+        self.trace = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        spec: TopologySpec,
+        app=None,
+        functions: Sequence[Any] = (),
+        seed_data: Optional[Callable[[Any], None]] = None,
+    ) -> "Deployment":
+        """Construct the deployment.
+
+        Exactly one source of functions: an ``app`` (its specs are
+        registered and its seeder runs against the sharded store view) or
+        an explicit ``functions`` list of :class:`FunctionSpec` plus an
+        optional ``seed_data(store)`` callback.
+        """
+        spec.validate()
+        if app is not None and functions:
+            raise ValueError("pass an app or explicit functions, not both")
+        self = cls()
+        self.spec = spec
+        cfg = spec.config
+
+        sim = Simulator()
+        if spec.trace:
+            from ..obs import TraceCollector
+
+            # Installed before any component is built so every layer sees it.
+            sim.obs = TraceCollector(sim)
+            self.trace = sim.obs
+        self.sim = sim
+        self.streams = RandomStreams(spec.seed)
+        self.net = Network(
+            sim, paper_latency_table(), self.streams,
+            jitter_sigma=spec.network_jitter_sigma,
+        )
+        self.metrics = Metrics()
+        if spec.record_history:
+            self.history = HistoryRecorder()
+
+        self.registry = FunctionRegistry()
+        if app is not None:
+            self.registry.register_all(app.specs())
+        else:
+            for fn_spec in functions:
+                self.registry.register(fn_spec)
+
+        # Stores: shard 0 keeps the seed's anonymous KVStore() so one-shard
+        # deployments are indistinguishable from the hand-rolled builders.
+        self.stores = [
+            KVStore() if k == 0 else KVStore(name=f"primary-shard{k}")
+            for k in range(spec.shards)
+        ]
+        shard_map = spec.resolved_shard_map()
+        self._shard_map = shard_map
+        seed_view = self.stores[0] if spec.shards == 1 else _ShardedSeedWriter(self)
+        if app is not None:
+            app.seed(seed_view, self.streams, app.context)
+        elif seed_data is not None:
+            seed_data(seed_view)
+
+        if cfg.replicated:
+            from ..raft import RaftCluster
+
+            self.raft = RaftCluster(sim, self.streams)
+            self.raft.start()
+            if spec.raft_prewarm_ms > 0:
+                sim.run(until=spec.raft_prewarm_ms)  # elect a leader first
+
+        for k in range(spec.shards):
+            name = "lvi-server" if k == 0 else f"lvi-server-{k}"
+            self.servers.append(
+                LVIServer(
+                    sim, self.net, self.registry, self.stores[k], cfg,
+                    self.streams, self.metrics, name=name,
+                    raft_cluster=self.raft if k == 0 else None, shard=k,
+                )
+            )
+        if spec.shards > 1:
+            self.router = ShardRouter(shard_map, [s.name for s in self.servers])
+
+        for region in spec.regions:
+            cache = NearUserCache(region, persistent=spec.persistent_caches)
+            if spec.warm_caches:
+                for store in self.stores:
+                    _warm_cache(cache, store)
+            self.caches[region] = cache
+            self.runtimes[region] = NearUserRuntime(
+                sim, self.net, region, cache, self.registry, cfg,
+                self.streams, self.metrics, router=self.router,
+            )
+
+        if spec.fault_plan is not None:
+            from ..faults.scheduler import FaultScheduler
+
+            plan = spec.fault_plan
+            plan.validate()
+            if plan.replicated and not cfg.replicated:
+                raise FaultConfigError(
+                    f"plan {plan.name!r} requires a replicated deployment"
+                )
+            self.scheduler = FaultScheduler(
+                sim, self.net, plan, targets=self.fault_targets(),
+                metrics=self.metrics,
+            )
+            self.scheduler.start()
+        return self
+
+    # -- convenience accessors ---------------------------------------------
+
+    @property
+    def server(self) -> LVIServer:
+        """Shard 0's server (the seed's single ``lvi-server``)."""
+        return self.servers[0]
+
+    @property
+    def store(self) -> KVStore:
+        """Shard 0's store (the seed's single primary store)."""
+        return self.stores[0]
+
+    @property
+    def nshards(self) -> int:
+        return self.spec.shards
+
+    def shard_of(self, table: str, key: str) -> int:
+        return self._shard_map.shard_of(table, key)
+
+    def store_for(self, table: str, key: str) -> KVStore:
+        return self.stores[self.shard_of(table, key)]
+
+    def get_or_none(self, table: str, key: str):
+        """Shard-routed read of the authoritative primary state."""
+        return self.store_for(table, key).get_or_none(table, key)
+
+    def pending_intents(self) -> List[Any]:
+        """Unsettled write intents across every shard (reconciliation)."""
+        return [i for server in self.servers for i in server.intents.pending()]
+
+    def fault_targets(self) -> Dict[str, Any]:
+        """Crash/restartable objects, keyed the way CrashWindows name them."""
+        targets: Dict[str, Any] = {s.name: s for s in self.servers}
+        if self.raft is not None:
+            targets.update(self.raft.nodes)
+        return targets
+
+
+def _warm_cache(cache: NearUserCache, store: KVStore) -> None:
+    """Copy a primary store's current contents into a near-user cache —
+    the steady-state starting point (the paper's runs measure warmed
+    deployments; cold-start is the §3.2 bootstrap ablation).  Protocol
+    tables (``_radical*``) never enter caches."""
+    for table in store.table_names():
+        if table.startswith("_radical"):
+            continue
+        for key, item in store.scan(table):
+            cache.install(table, key, item)

@@ -15,6 +15,7 @@ from typing import Any, Callable, Generator, List, Optional
 
 from ..apps import App
 from ..consistency import HistoryRecorder
+from ..errors import UnavailableError
 from ..sim import Metrics, Simulator
 
 __all__ = ["Invoker", "ClosedLoopClient", "run_clients"]
@@ -116,6 +117,10 @@ class OpenLoopClient:
     rate_rps: float          # offered load, requests per (virtual) second
     duration_ms: float       # how long to keep generating
     label_prefix: str = "e2e"
+    #: Count a clean ``UnavailableError`` as a shed request instead of
+    #: failing the run — what a capacity benchmark wants under deliberate
+    #: overload (the latency sweeps keep the default: failures are bugs).
+    tolerate_unavailable: bool = False
 
     def run(self) -> Generator:
         """The generator process: emits requests until the duration ends,
@@ -146,7 +151,16 @@ class OpenLoopClient:
                 function=function_id, region=self.region, open_loop=True,
             )
             obs.activate(root.context)
-        outcome = yield self.sim.spawn(self.invoke(function_id, args))
+        try:
+            outcome = yield self.sim.spawn(self.invoke(function_id, args))
+        except UnavailableError:
+            if not self.tolerate_unavailable:
+                raise
+            if root is not None:
+                root.finish(self.sim.now, path="unavailable")
+                obs.activate(None)
+            self.metrics.incr("requests.unavailable")
+            return
         latency = self.sim.now - start
         if root is not None:
             root.finish(self.sim.now, path=outcome.path)

@@ -6,24 +6,17 @@ fixtures, and several suites need to call it with explicit seeds inside
 the test body.  ``tests/`` has no ``__init__.py``, so pytest puts this
 module on ``sys.path`` and suites import it with ``from conftest import
 build_counter_stack``.
+
+The stack itself is built by :class:`repro.topology.Deployment` — the same
+builder the experiment and chaos harnesses use — so the tests exercise the
+exact construction path of every experiment.  ``shards`` > 1 builds the
+partitioned near-storage tier (shard 0 keeps the seed's ``lvi-server``
+name and is what the returned ``store``/``server`` refer to).
 """
 
-from repro.core import (
-    FunctionRegistry,
-    FunctionSpec,
-    LVIServer,
-    NearUserRuntime,
-    RadicalConfig,
-)
-from repro.sim import (
-    Metrics,
-    Network,
-    RandomStreams,
-    Region,
-    Simulator,
-    paper_latency_table,
-)
-from repro.storage import KVStore, NearUserCache
+from repro.core import FunctionSpec, RadicalConfig
+from repro.sim import Region
+from repro.topology import Deployment, TopologySpec
 
 COUNTER_SRC = '''
 def bump(k):
@@ -42,32 +35,44 @@ def read(k):
 '''
 
 
+def build_counter_deployment(seed=1, followup_timeout=400.0,
+                             regions=(Region.JP, Region.CA), config=None,
+                             shards=1, shard_map=None):
+    """The counter stack as a :class:`Deployment` (full topology access)."""
+    if config is None:
+        config = RadicalConfig(
+            service_jitter_sigma=0.0, followup_timeout_ms=followup_timeout
+        )
+    return Deployment.build(
+        TopologySpec(
+            regions=regions,
+            shards=shards,
+            seed=seed,
+            config=config,
+            network_jitter_sigma=0.0,
+            warm_caches=True,
+            persistent_caches=False,
+            raft_prewarm_ms=0.0,
+            shard_map=shard_map,
+        ),
+        functions=[
+            FunctionSpec("t.bump", COUNTER_SRC, 20.0),
+            FunctionSpec("t.read", READ_SRC, 20.0),
+        ],
+        seed_data=lambda store: store.put("counters", "c:x", 0),
+    )
+
+
 def build_counter_stack(seed=1, followup_timeout=400.0,
-                        regions=(Region.JP, Region.CA), config=None):
+                        regions=(Region.JP, Region.CA), config=None,
+                        shards=1):
     """Build a single-primary counter deployment: one LVI server in VA plus
     a near-user runtime per region, all sharing one warmed key ``c:x``.
 
     Returns ``(sim, net, store, server, runtimes, metrics)``.
     """
-    sim = Simulator()
-    streams = RandomStreams(seed)
-    net = Network(sim, paper_latency_table(), streams)
-    metrics = Metrics()
-    if config is None:
-        config = RadicalConfig(
-            service_jitter_sigma=0.0, followup_timeout_ms=followup_timeout
-        )
-    registry = FunctionRegistry()
-    registry.register(FunctionSpec("t.bump", COUNTER_SRC, 20.0))
-    registry.register(FunctionSpec("t.read", READ_SRC, 20.0))
-    store = KVStore()
-    store.put("counters", "c:x", 0)
-    server = LVIServer(sim, net, registry, store, config, streams, metrics)
-    runtimes = {}
-    for region in regions:
-        cache = NearUserCache(region)
-        cache.install("counters", "c:x", store.get("counters", "c:x"))
-        runtimes[region] = NearUserRuntime(
-            sim, net, region, cache, registry, config, streams, metrics
-        )
-    return sim, net, store, server, runtimes, metrics
+    dep = build_counter_deployment(
+        seed=seed, followup_timeout=followup_timeout, regions=regions,
+        config=config, shards=shards,
+    )
+    return dep.sim, dep.net, dep.store, dep.server, dep.runtimes, dep.metrics
