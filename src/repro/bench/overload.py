@@ -1,0 +1,173 @@
+"""Overload capacity sweep: goodput plateau vs metastable collapse.
+
+The chaos harness (``repro.faults.chaos``) proves overload *safety* —
+shedding aborts cleanly and the system returns to its pre-surge latency
+once a surge ends.  This sweep measures the *capacity* argument for the
+same machinery: drive one saturable LVI server (the serial processing
+model from ``repro.bench.scalability``) at offered loads past its
+capacity, once with the overload controls on and once with them off, and
+compare delivered goodput.
+
+With the controls off the system is metastable above capacity: the
+admission queue grows without bound, every queued request blows its
+400 ms RPC timeout, and the client's retries (3 attempts) multiply the
+offered message load by up to 3x — the server burns its whole budget on
+requests whose callers already gave up, and goodput collapses well below
+capacity.  With admission control + bounded queues + AIMD client
+backpressure, excess arrivals are shed in O(1) before touching any
+state, so goodput plateaus at (roughly) the server's capacity no matter
+how far past it the offered rate climbs.
+
+``radical-repro overload`` renders the two series; ``--smoke`` is the CI
+guardrail asserting shed-on goodput beats shed-off at the top rate.
+Results land in ``results/overload.json`` (byte-reproducible for a fixed
+seed — the simulator is deterministic and the JSON is written sorted).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core import RadicalConfig
+from ..sim import Region
+from ..topology import Deployment, TopologySpec
+from ..workloads import OpenLoopClient
+from .report import save_results
+from .scalability import uniform_counter_app
+
+__all__ = [
+    "OVERLOAD_RATES",
+    "overload_config",
+    "run_overload_point",
+    "sweep_overload",
+]
+
+#: Offered rates (rps) the sweep covers; single-server capacity with the
+#: default knobs sits near 80 rps (8 ms/message, ~1.5 messages/request
+#: on the 50/50 counter mix), so the tail of the sweep is ~2x past it.
+OVERLOAD_RATES = (40.0, 60.0, 80.0, 100.0, 120.0, 160.0)
+
+
+def overload_config(shedding: bool = True, server_proc_ms: float = 8.0) -> RadicalConfig:
+    """The knobs every overload point runs under.
+
+    Unlike the scalability sweep — which *removes* timeouts so queueing
+    shows up as latency — this sweep keeps production-shaped timeouts
+    (400 ms RPC, 3 attempts, 4 s invocation deadline) because retry
+    amplification under queueing is exactly the metastable feedback loop
+    being measured.  ``shedding`` toggles the whole overload-control
+    stack at once: server-side admission (depth + sojourn bounds) and the
+    client-side AIMD in-flight limiter.
+    """
+    return RadicalConfig(
+        service_jitter_sigma=0.0,
+        server_proc_ms=server_proc_ms,
+        rpc_timeout_ms=400.0,
+        retry_max_attempts=3,
+        invocation_deadline_ms=4_000.0,
+        admission_queue_depth=12 if shedding else 0,
+        admission_sojourn_ms=100.0 if shedding else 0.0,
+        limiter_max_inflight=32 if shedding else 0,
+    )
+
+
+def run_overload_point(
+    rate_rps: float,
+    shedding: bool,
+    duration_ms: float = 3_000.0,
+    seed: int = 42,
+    region: str = Region.JP,
+    keys: int = 64,
+    config: Optional[RadicalConfig] = None,
+) -> Dict[str, object]:
+    """One sweep point: open-loop Poisson arrivals from one region against
+    a single-shard deployment; returns delivered goodput (acked requests
+    over the makespan, which includes the backlog drain) plus the shed /
+    failure accounting."""
+    cfg = config or overload_config(shedding=shedding)
+    app = uniform_counter_app(keys=keys)
+    dep = Deployment.build(
+        TopologySpec(
+            regions=(region,),
+            shards=1,
+            seed=seed,
+            config=cfg,
+            network_jitter_sigma=0.0,
+        ),
+        app=app,
+    )
+    sim, metrics = dep.sim, dep.metrics
+    client = OpenLoopClient(
+        sim=sim,
+        app=app,
+        region=region,
+        invoke=dep.runtimes[region].invoke,
+        metrics=metrics,
+        rng=dep.streams.fork(f"overload.{region}").stream("workload"),
+        rate_rps=rate_rps,
+        duration_ms=duration_ms,
+        tolerate_unavailable=True,
+    )
+    proc = sim.spawn(client.run(), name=f"overload-{region}")
+    sim.run(until_event=proc.done_event)
+    # Goodput counts only acked requests, but over the *makespan*: a
+    # collapsed run keeps burning CPU on a drained backlog of requests
+    # whose callers already failed, and that wasted tail is part of the
+    # cost being measured.
+    makespan_ms = sim.now
+    acked = metrics.counter("requests.total")
+    unavailable = metrics.counter("requests.unavailable")
+    sim.run(until=sim.now + 10_000.0)  # settle followups/timers off the books
+    summary = metrics.summary("e2e")
+    return {
+        "rate_rps": rate_rps,
+        "shedding": shedding,
+        "duration_ms": duration_ms,
+        "acked": acked,
+        "unavailable": unavailable,
+        "offered": acked + unavailable,
+        "makespan_ms": round(makespan_ms, 3),
+        "goodput_rps": round(acked / makespan_ms * 1000.0, 3),
+        "median_ms": summary.median,
+        "p99_ms": summary.p99,
+        "shed": metrics.counter("admission.shed"),
+        "rpc_timeouts": metrics.counter("rpc.timeout"),
+        "rpc_exhausted": metrics.counter("rpc.exhausted"),
+        "limiter_shed": metrics.counter("limiter.shed"),
+        "max_admission_queue": max(
+            (s.max_admission_queue for s in dep.servers), default=0
+        ),
+    }
+
+
+def sweep_overload(
+    rates: Sequence[float] = OVERLOAD_RATES,
+    duration_ms: float = 3_000.0,
+    seed: int = 42,
+    save: bool = True,
+) -> Dict[str, object]:
+    """The full sweep: every rate with shedding on and off.  Writes
+    ``results/overload.json`` (see EXPERIMENTS.md)."""
+    points: List[Dict[str, object]] = []
+    for shedding in (True, False):
+        for rate in rates:
+            point = run_overload_point(
+                rate, shedding, duration_ms=duration_ms, seed=seed
+            )
+            point["series"] = "shed-on" if shedding else "shed-off"
+            points.append(point)
+    cfg = overload_config(shedding=True)
+    payload = {
+        "duration_ms": duration_ms,
+        "seed": seed,
+        "server_proc_ms": cfg.server_proc_ms,
+        "admission_queue_depth": cfg.admission_queue_depth,
+        "admission_sojourn_ms": cfg.admission_sojourn_ms,
+        "limiter_max_inflight": cfg.limiter_max_inflight,
+        "rpc_timeout_ms": cfg.rpc_timeout_ms,
+        "retry_max_attempts": cfg.retry_max_attempts,
+        "points": points,
+    }
+    if save:
+        save_results("overload", payload)
+    return payload

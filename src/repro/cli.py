@@ -469,6 +469,74 @@ def _scalability_main(argv: List[str]) -> int:
     return 1 if failures else 0
 
 
+def _overload_main(argv: List[str]) -> int:
+    """``radical-repro overload`` — sweep offered load past one server's
+    capacity with the overload controls on and off, and report goodput:
+    the plateau-vs-collapse evidence for admission control + backpressure
+    (see docs/FAULTS.md, "Overload and metastability")."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro overload",
+        description="Goodput under overload: shedding on (plateau) vs "
+                    "off (metastable collapse).",
+    )
+    parser.add_argument("--rates", default=None,
+                        help="comma-separated offered rates in rps "
+                             "(default: 40,60,80,100,120,160)")
+    parser.add_argument("--duration", type=float, default=3_000.0,
+                        help="generation window per point (virtual ms)")
+    parser.add_argument("--seed", type=int, default=42, help="sweep seed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized sweep: two rates, short window, "
+                             "no results file")
+    args = parser.parse_args(argv)
+
+    from .bench import OVERLOAD_RATES, sweep_overload
+
+    if args.smoke:
+        # Smoke runs must not clobber the full-sweep artifact.  One rate
+        # below capacity (sanity: the series agree there) and one far
+        # past it (where the controls must separate the series).
+        payload = sweep_overload(rates=(60.0, 160.0), duration_ms=1_500.0,
+                                 seed=args.seed, save=False)
+    else:
+        rates = (
+            tuple(float(r) for r in args.rates.split(",") if r)
+            if args.rates else None
+        )
+        payload = sweep_overload(
+            rates=rates or tuple(OVERLOAD_RATES),
+            duration_ms=args.duration, seed=args.seed,
+        )
+    print_table(
+        ["series", "rate (rps)", "goodput (rps)", "acked", "failed", "shed",
+         "timeouts", "max queue", "p99 (ms)"],
+        [[p["series"], p["rate_rps"], p["goodput_rps"], p["acked"],
+          p["unavailable"], p["shed"], p["rpc_timeouts"],
+          p["max_admission_queue"],
+          round(p["p99_ms"], 1) if p["p99_ms"] is not None else "-"]
+         for p in payload["points"]],
+        title=f"Overload sweep: proc {payload['server_proc_ms']:.0f} ms/msg, "
+              f"queue depth {payload['admission_queue_depth']}, "
+              f"rpc timeout {payload['rpc_timeout_ms']:.0f} ms",
+    )
+    by_series: dict = {}
+    for p in payload["points"]:
+        by_series.setdefault(p["series"], {})[p["rate_rps"]] = p["goodput_rps"]
+    top = max(by_series["shed-on"])
+    failures = []
+    if by_series["shed-on"][top] < by_series["shed-off"][top]:
+        failures.append(
+            f"shed-on goodput at {top:.0f} rps "
+            f"({by_series['shed-on'][top]:.1f}) below shed-off "
+            f"({by_series['shed-off'][top]:.1f})"
+        )
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    if not args.smoke:
+        print("results written to results/overload.json")
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "table1": _cmd_table1,
@@ -496,6 +564,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "scalability":
         # ``scalability`` sweeps shard counts (its own grammar too).
         return _scalability_main(argv[1:])
+    if argv and argv[0] == "overload":
+        # ``overload`` sweeps offered load with shedding on/off.
+        return _overload_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="radical-repro",
         description="Reproduce the evaluation of Radical (SOSP 2025).",

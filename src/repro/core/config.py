@@ -77,6 +77,22 @@ class RadicalConfig:
     prepare_lock_timeout_ms: float = 250.0
     cross_shard_max_restarts: int = 4
 
+    # Overload robustness.  All default *off* so existing experiment
+    # timelines are byte-identical.  ``admission_queue_depth`` bounds the
+    # LVI server's admission queue: a request arriving with that many
+    # already admitted (and the serial cost model on) is shed with a
+    # retryable ``OverloadedError`` instead of queueing without limit.
+    # ``admission_sojourn_ms`` adds a CoDel-flavoured deadline-aware drop:
+    # shed when the *estimated* queue wait already exceeds the bound, even
+    # if the depth cap has room.  ``limiter_max_inflight`` enables the
+    # runtime's AIMD in-flight limiter (and is its window ceiling);
+    # ``limiter_decrease_cooldown_ms`` spaces multiplicative decreases so
+    # one burst of overload replies does not collapse the window to 1.
+    admission_queue_depth: int = 0        # 0 = no admission control
+    admission_sojourn_ms: float = 0.0     # 0 = no sojourn-based shedding
+    limiter_max_inflight: int = 0         # 0 = no client-side limiter
+    limiter_decrease_cooldown_ms: float = 200.0
+
     # Sandbox budget.
     gas_limit: int = 2_000_000
 

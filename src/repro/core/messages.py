@@ -3,6 +3,15 @@
 Exactly one request/response pair is on the client's critical path — the
 :class:`LVIRequest`/:class:`LVIResponse` round trip — plus the off-path
 :class:`WriteFollowup` sent after the client already has its answer.
+
+Overload is signalled out of band of these types: a server shedding a
+request at admission raises :class:`~repro.errors.OverloadedError`
+synchronously in its handler, which the network layer delivers as a
+*failed reply* re-raised at the caller's ``net.call`` — so the shed path
+needs no message type and costs the server no handler state.  Only
+request-bearing messages (:class:`LVIRequest`, :class:`DirectExecRequest`,
+:class:`ShardPrepare`) are subject to admission control; followups,
+decisions, and queries always get through.
 """
 
 from __future__ import annotations

@@ -27,8 +27,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..analysis import derive_rwset
-from ..errors import GasExhausted, ProtocolError, UnavailableError, VMTrap
-from ..faults.retry import CircuitBreaker, RetryPolicy
+from ..errors import GasExhausted, OverloadedError, ProtocolError, UnavailableError, VMTrap
+from ..faults.retry import AdaptiveLimiter, CircuitBreaker, RetryPolicy
 from ..sim import Metrics, Network, RandomStreams, RequestBatcher, RpcTimeout, Simulator
 from ..storage import NearUserCache
 from ..wasm import VM
@@ -159,6 +159,21 @@ class NearUserRuntime:
             metrics=self.metrics,
             name=f"breaker.{region}",
         )
+        # AIMD backpressure: bounds this runtime's in-flight invocations
+        # when the config enables it (limiter_max_inflight > 0), shrinking
+        # under OverloadedError replies so sustained overload degrades via
+        # the breaker ladder instead of retry-storming the server.
+        self._limiter = (
+            AdaptiveLimiter(
+                sim,
+                max_inflight=self.config.limiter_max_inflight,
+                decrease_cooldown_ms=self.config.limiter_decrease_cooldown_ms,
+                metrics=self.metrics,
+                name=f"limiter.{region}",
+            )
+            if self.config.limiter_max_inflight > 0
+            else None
+        )
         self._exec_counter = itertools.count()
         # The cache reports hit/miss events to the same collector as the
         # rest of the deployment (a no-op unless tracing is installed).
@@ -204,6 +219,48 @@ class NearUserRuntime:
             raise UnavailableError(
                 f"{self.region}: near-storage path unavailable (circuit open)"
             )
+
+        if self._limiter is not None:
+            # Backpressure gate: wait (FIFO) for an in-flight slot under
+            # the AIMD window.  A wait that outlives the deadline is the
+            # same clean failure as an exhausted retry budget.
+            admitted = yield from self._limiter.acquire(deadline_at)
+            if not admitted:
+                self.metrics.incr("limiter.shed")
+                if obs.enabled:
+                    obs.event("limiter.shed", region=self.region,
+                              window=self._limiter.window)
+                raise UnavailableError(
+                    f"{self.region}: in-flight limit held past the "
+                    f"invocation deadline (window {self._limiter.window})"
+                )
+            try:
+                outcome = yield from self._invoke_body(
+                    record, args, execution_id, invoked_at, deadline_at
+                )
+            finally:
+                self._limiter.release()
+            self._limiter.on_success()
+            return outcome
+
+        outcome = yield from self._invoke_body(
+            record, args, execution_id, invoked_at, deadline_at
+        )
+        return outcome
+
+    def _invoke_body(
+        self,
+        record: RegisteredFunction,
+        args: List[Any],
+        execution_id: str,
+        invoked_at: float,
+        deadline_at: float,
+    ) -> Generator:
+        """The ladder-admitted invocation: overheads, analyzability
+        routing, then the speculative attempt/restart loop."""
+        cfg = self.config
+        obs = self.sim.obs
+        function_id = record.function_id
         probe = self._breaker.probing
 
         # (§5.5 components 1-2) Lambda instantiation + WASM load.
@@ -743,6 +800,41 @@ class NearUserRuntime:
                     )
                 backoff = min(
                     policy.backoff_ms(attempt, self._retry_rng),
+                    max(0.0, deadline_at - self.sim.now),
+                )
+                if backoff > 0:
+                    yield self.sim.timeout(backoff)
+            except OverloadedError as exc:
+                # The server shed the request at admission: a definite,
+                # retryable failure that did no work server-side.  It still
+                # counts against the breaker (sustained shedding should
+                # degrade to the direct probe, not hammer the queue) and
+                # shrinks the AIMD window; the backoff honors the server's
+                # deterministic retry-after hint.
+                self._breaker.record_failure()
+                if self._limiter is not None:
+                    self._limiter.on_overload()
+                self.metrics.incr("rpc.overloaded")
+                if attempt >= policy.max_attempts:
+                    self.metrics.incr("rpc.exhausted")
+                    if obs.enabled:
+                        obs.event(
+                            "rpc.exhausted", label=label,
+                            execution_id=request.execution_id, attempts=attempt,
+                        )
+                    raise UnavailableError(
+                        f"{label} {request.execution_id}: shed by overloaded "
+                        f"server on all {attempt} attempt(s)"
+                    ) from None
+                self.metrics.incr("rpc.retry")
+                if obs.enabled:
+                    obs.event(
+                        "rpc.retry", label=label, overloaded=True,
+                        execution_id=request.execution_id, attempt=attempt,
+                    )
+                backoff = min(
+                    max(policy.backoff_ms(attempt, self._retry_rng),
+                        exc.retry_after_ms),
                     max(0.0, deadline_at - self.sim.now),
                 )
                 if backoff > 0:

@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..errors import ConditionFailed, ProtocolError
+from ..errors import ConditionFailed, OverloadedError, ProtocolError
 from ..raft import RaftCluster
 from ..sim import Batched, Metrics, Network, RandomStreams, Region, RpcTimeout, Simulator
 from ..storage import (
@@ -60,6 +60,20 @@ __all__ = ["LVIServer", "DECISION_TABLE"]
 #: the table out of cache warming and application scans.
 DECISION_TABLE = "_radical_decisions"
 
+#: Barrier key serializing direct executions against validated ones.  A
+#: direct execution (§3.3, unanalyzable function) learns its read/write
+#: set only by running the VM, so it cannot take per-key locks up front —
+#: left unguarded it can read a version that a pending speculative intent
+#: is about to overwrite and mint a duplicate write of the same version.
+#: Every LVI/prepare lock set therefore includes this key in READ mode
+#: (shared: validated executions never contend on it with each other),
+#: and the direct path takes it in WRITE mode, waiting out all in-flight
+#: validations and pending intents before touching primary state.  The
+#: empty table name sorts before every real table, so the barrier is
+#: always the *first* lock acquired and the sorted-order deadlock-freedom
+#: argument still holds.
+_DIRECT_BARRIER: Tuple[str, str] = ("", "#direct-barrier")
+
 
 class LVIServer:
     """Handles LVI requests and followups at the near-storage location."""
@@ -88,7 +102,7 @@ class LVIServer:
         self.region = region
         self.name = name
         self.shard = shard
-        self.locks = LockManager(sim)
+        self.locks = LockManager(sim, metrics=self.metrics, name=name)
         self.intents = IntentTable(store, sim=sim)
         self.idem = IdempotencyTable(store)
         self._jitter = (streams or RandomStreams(0)).stream(f"server.{name}.exec")
@@ -118,6 +132,14 @@ class LVIServer:
         # Serial processing model: the virtual time at which the server's
         # (single) CPU frees up.  Only advances when server_proc_ms > 0.
         self._proc_free_at = 0.0
+        # Gray-failure hook: a "limping" server's inflated per-message cost
+        # (None = healthy, use the config's server_proc_ms).
+        self._proc_override: Optional[float] = None
+        # Admission control: messages admitted but not yet served by the
+        # CPU.  Bounded by admission_queue_depth; the peak is what the
+        # chaos harness checks against the configured bound.
+        self._admission_queue = 0
+        self.max_admission_queue = 0
         net.serve(name, region, self._handle)
 
     # -- dispatch -----------------------------------------------------------
@@ -127,6 +149,17 @@ class LVIServer:
         if isinstance(payload, Batched):
             batch_index = payload.index
             payload = payload.payload
+        admitted = False
+        if isinstance(payload, (LVIRequest, DirectExecRequest, ShardPrepare)):
+            # Admission control gates only *request* traffic.  Followups,
+            # decisions, and lease queries always get through: shedding
+            # them would strand held locks and pending intents, hurting
+            # liveness instead of protecting it.  A raise here happens
+            # before any handler state is touched — no dedup entry, no
+            # locks, no intent — so the caller's retry is re-admitted
+            # cleanly, and the network layer turns the exception into a
+            # failed reply at the client's ``net.call``.
+            admitted = self._admit(type(payload).__name__)
         if isinstance(payload, LVIRequest):
             inner = self._handle_lvi(payload)
         elif isinstance(payload, WriteFollowup):
@@ -141,22 +174,67 @@ class LVIServer:
             inner = self._handle_query(payload)
         else:
             raise ProtocolError(f"unknown message {type(payload).__name__}")
-        return self._guarded(self._charge_proc(inner, batch_index))
+        return self._guarded(self._charge_proc(inner, batch_index, admitted))
 
-    def _charge_proc(self, inner: Generator, batch_index: int) -> Generator:
+    def _effective_proc_ms(self) -> float:
+        """Per-message CPU cost right now: the gray-failure override when a
+        limp window is active, else the configured ``server_proc_ms``."""
+        if self._proc_override is not None:
+            return self._proc_override
+        return self.config.server_proc_ms
+
+    def set_proc_override(self, proc_ms: Optional[float]) -> None:
+        """Install (or with ``None`` clear) a limping-server override of the
+        per-message CPU cost — the fault scheduler's gray-failure hook."""
+        if proc_ms is not None and proc_ms < 0:
+            raise ProtocolError(f"proc override must be non-negative: {proc_ms}")
+        self._proc_override = proc_ms
+
+    def _admit(self, kind: str) -> bool:
+        """Bounded-queue admission check.  Returns True when the request
+        was counted into the admission queue (so ``_charge_proc`` must
+        count it back out); raises :class:`OverloadedError` to shed it.
+
+        Two triggers, both deterministic functions of server state: the
+        depth cap (``admission_queue_depth`` requests already admitted)
+        and the CoDel-flavoured sojourn bound (the CPU backlog alone
+        already exceeds ``admission_sojourn_ms``, so even an admitted
+        request would wait longer than the configured target)."""
+        cap = self.config.admission_queue_depth
+        proc = self._effective_proc_ms()
+        if cap <= 0 or proc <= 0:
+            return False
+        backlog_ms = max(0.0, self._proc_free_at - self.sim.now)
+        sojourn = self.config.admission_sojourn_ms
+        if self._admission_queue >= cap or (sojourn > 0 and backlog_ms > sojourn):
+            self.metrics.incr("admission.shed")
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.event(
+                    "server.shed", server=self.name, kind=kind,
+                    depth=self._admission_queue, backlog_ms=backlog_ms,
+                )
+            raise OverloadedError(self.name, backlog_ms + proc)
+        self._admission_queue += 1
+        if self._admission_queue > self.max_admission_queue:
+            self.max_admission_queue = self._admission_queue
+        self.metrics.record_tagged(
+            "admission.depth", float(self._admission_queue), server=self.name
+        )
+        return True
+
+    def _charge_proc(self, inner: Generator, batch_index: int, admitted: bool = False) -> Generator:
         """Serialize handlers through the server's CPU when a per-message
-        cost is configured (the scalability model's bottleneck).  Members
-        of a coalesced batch after the first pay only the marginal
+        cost is configured (the scalability model's bottleneck) or a
+        gray-failure override is limping the server.  Members of a
+        coalesced batch after the first pay only the marginal
         ``server_batch_item_ms``.  With the cost at 0 — every paper
         experiment — the handler is returned untouched, so the virtual
         timeline is byte-identical to the un-modelled seed."""
-        if self.config.server_proc_ms <= 0:
+        eff = self._effective_proc_ms()
+        if eff <= 0:
             return inner
-        cost = (
-            self.config.server_batch_item_ms
-            if batch_index > 0
-            else self.config.server_proc_ms
-        )
+        cost = self.config.server_batch_item_ms if batch_index > 0 else eff
 
         def flow() -> Generator:
             start = max(self.sim.now, self._proc_free_at)
@@ -164,6 +242,11 @@ class LVIServer:
             delay = self._proc_free_at - self.sim.now
             if delay > 0:
                 yield self.sim.timeout(delay)
+            if admitted:
+                # Service begins: the request leaves the admission queue.
+                # (A crash resets the counter wholesale, so handlers fenced
+                # mid-wait cannot strand it.)
+                self._admission_queue -= 1
             result = yield from inner
             return result
 
@@ -243,7 +326,9 @@ class LVIServer:
         lock_writes = all_keys if self.config.exclusive_locks else req.write_keys
         lock_started = self.sim.now
         yield self.sim.spawn(
-            self.locks.acquire_all(req.execution_id, lock_reads, lock_writes),
+            self.locks.acquire_all(
+                req.execution_id, (*lock_reads, _DIRECT_BARRIER), lock_writes
+            ),
             name=f"locks({req.execution_id})",
         )
         if obs.enabled:
@@ -418,7 +503,9 @@ class LVIServer:
         lock_reads = () if self.config.exclusive_locks else req.read_keys
         lock_writes = all_keys if self.config.exclusive_locks else req.write_keys
         lock_started = self.sim.now
-        acquired = yield from self._acquire_bounded(eid, lock_reads, lock_writes)
+        acquired = yield from self._acquire_bounded(
+            eid, (*lock_reads, _DIRECT_BARRIER), lock_writes
+        )
         if not acquired:
             self.metrics.incr("prepare.lock_timeout")
             response = LVIResponse(execution_id=eid, ok=False)
@@ -835,12 +922,13 @@ class LVIServer:
         self._crashed = True
         self._incarnation += 1
         self.net.unregister(self.name)
-        self.locks = LockManager(self.sim)
+        self.locks = LockManager(self.sim, metrics=self.metrics, name=self.name)
         self._seen_requests.clear()
         self._reply_cache.clear()
         self._pending_exec.clear()
         self._prepared_reads.clear()
         self._proc_free_at = 0.0
+        self._admission_queue = 0
         self.metrics.incr("server.crashes")
         obs = self.sim.obs
         if obs.enabled:
@@ -885,6 +973,19 @@ class LVIServer:
             self.metrics.incr("lvi.duplicate_claim")
             return NO_REPLY
         record = self.registry.get(req.function_id)
+        # Serialize against validated executions: the write-mode barrier
+        # waits (FIFO) for every in-flight validation and pending
+        # speculative intent to settle before the VM reads primary state.
+        obs = self.sim.obs
+        barrier_started = self.sim.now
+        yield self.sim.spawn(
+            self.locks.acquire_all(req.execution_id, (), (_DIRECT_BARRIER,)),
+            name=f"direct-barrier({req.execution_id})",
+        )
+        if obs.enabled and self.sim.now > barrier_started:
+            obs.span_at(
+                "server.direct_barrier", barrier_started, self.sim.now, kind="server",
+            )
         env = PrimaryEnv(self.store)
         exec_started = self.sim.now
         yield self.sim.timeout(self._exec_time(record))
@@ -892,8 +993,8 @@ class LVIServer:
             env, gas_limit=self.config.gas_limit,
             external=self._external_for(req.execution_id),
         ).execute(record.f, list(req.args))
+        self.metrics.incr("locks.released", self.locks.release_all(req.execution_id))
         self.metrics.incr("direct.count")
-        obs = self.sim.obs
         if obs.enabled:
             obs.span_at(
                 "server.direct_exec", exec_started, self.sim.now,

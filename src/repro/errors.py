@@ -25,6 +25,7 @@ __all__ = [
     "ConsistencyViolation",
     "FaultConfigError",
     "UnavailableError",
+    "OverloadedError",
 ]
 
 
@@ -110,3 +111,22 @@ class UnavailableError(ReproError):
     (or the circuit breaker is open) and the invocation's deadline budget
     is exhausted.  The failure is *clean* — the write may or may not have
     been applied near storage, but the client is never left hanging."""
+
+
+class OverloadedError(ReproError):
+    """The LVI server shed this request at admission: its bounded queue is
+    full (or the estimated sojourn exceeds the CoDel-style bound).
+
+    Unlike :class:`UnavailableError` this is *retryable and definite*: the
+    server did no work on the request — no locks, no intents, no dedup
+    state — so a retry is admitted cleanly.  ``retry_after_ms`` is the
+    server's deterministic hint (its current backlog plus one service
+    time) for when capacity is expected to free up."""
+
+    def __init__(self, server: str, retry_after_ms: float):
+        super().__init__(
+            f"server {server!r} shed request at admission; retry after "
+            f"{retry_after_ms:.1f} ms"
+        )
+        self.server = server
+        self.retry_after_ms = retry_after_ms

@@ -25,8 +25,10 @@ from .plan import (
     FaultPlan,
     FollowupLossWindow,
     PartitionWindow,
+    SlowServerWindow,
+    SurgeWindow,
 )
-from .retry import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, RetryPolicy
+from .retry import CLOSED, HALF_OPEN, OPEN, AdaptiveLimiter, CircuitBreaker, RetryPolicy
 from .scheduler import FaultScheduler
 
 __all__ = [
@@ -38,8 +40,11 @@ __all__ = [
     "FaultPlan",
     "FollowupLossWindow",
     "PartitionWindow",
+    "SurgeWindow",
+    "SlowServerWindow",
     "RetryPolicy",
     "CircuitBreaker",
+    "AdaptiveLimiter",
     "CLOSED",
     "OPEN",
     "HALF_OPEN",

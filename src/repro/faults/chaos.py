@@ -16,6 +16,16 @@ the §3.4 correctness claims for that execution:
 Counters make the strongest probe: every bump is a read-modify-write on
 shared state, so any lost update, double application, or stale read under
 failure shows up as an arithmetic or serialization violation.
+
+Plans marked ``overload=True`` (traffic surges, limping servers) run
+under a capacity-bounded config — a serial processing model plus
+admission control on the server and an AIMD in-flight limiter on the
+client — and add a *metastability* check on top of the correctness
+claims: once the last overload window closes, probe latency must return
+to the pre-overload median (within 10%) and goodput must be total (zero
+probe failures) after a bounded recovery horizon.  Queue depth must never
+exceed the configured admission bound, and shed requests must abort
+cleanly: no leaked locks, no orphan intents.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from ..core import FunctionSpec, NearUserRuntime, RadicalConfig
 from ..errors import ConsistencyViolation, FaultConfigError, UnavailableError
 from ..sim import Region, Simulator, percentile
 from ..topology import Deployment, TopologySpec
+from ..workloads import OpenLoopClient
 from .plan import (
     CrashWindow,
     DelayWindow,
@@ -37,6 +48,8 @@ from .plan import (
     FaultPlan,
     FollowupLossWindow,
     PartitionWindow,
+    SlowServerWindow,
+    SurgeWindow,
 )
 
 __all__ = [
@@ -85,6 +98,15 @@ class ChaosCaseResult:
     p99_ms: Optional[float] = None
     max_invocation_ms: float = 0.0
     counters: Dict[str, int] = field(default_factory=dict)
+    # Overload-plan verdicts (trivially true for plans without overload
+    # windows, so `ok` composes uniformly across the matrix).
+    metastable_ok: bool = True     # post-overload p50 back within 10% of pre
+    queue_bound_ok: bool = True    # admission queue never exceeded its bound
+    leaked_locks: int = 0          # owners still holding locks after drain
+    shed: int = 0                  # requests shed at server admission
+    max_queue_depth: int = 0       # high-water admission queue depth
+    pre_p50_ms: Optional[float] = None
+    post_p50_ms: Optional[float] = None
 
     @property
     def availability(self) -> float:
@@ -99,6 +121,9 @@ class ChaosCaseResult:
             and self.serializable
             and self.lost_writes == 0
             and self.duplicate_writes == 0
+            and self.metastable_ok
+            and self.queue_bound_ok
+            and self.leaked_locks == 0
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -119,15 +144,32 @@ class ChaosCaseResult:
             "median_ms": self.median_ms,
             "p99_ms": self.p99_ms,
             "max_invocation_ms": round(self.max_invocation_ms, 3),
+            "metastable_ok": self.metastable_ok,
+            "queue_bound_ok": self.queue_bound_ok,
+            "leaked_locks": self.leaked_locks,
+            "shed": self.shed,
+            "max_queue_depth": self.max_queue_depth,
+            "pre_p50_ms": self.pre_p50_ms,
+            "post_p50_ms": self.post_p50_ms,
             "ok": self.ok,
             "counters": self.counters,
         }
 
 
-def chaos_config(replicated: bool = False) -> RadicalConfig:
+def chaos_config(replicated: bool = False, overload: bool = False) -> RadicalConfig:
     """The tightened knobs chaos cases run under: per-attempt timeouts
     short enough to retry inside a fault window, a deadline that bounds
-    every invocation, and a breaker that opens quickly under blackout."""
+    every invocation, and a breaker that opens quickly under blackout.
+
+    ``overload`` adds the capacity-bounded knobs surge/gray plans need:
+    a serial processing model (8 ms per message caps the server at ~73
+    requests/s of the 70/30 bump mix, each bump costing a request plus a
+    followup), a 12-deep admission queue with a 100 ms sojourn bound (a
+    full queue waits 96 ms — still inside the 400 ms per-attempt
+    timeout, so admitted requests never time out in the queue and
+    recovery after a surge is immediate), and a 32-wide AIMD client
+    limiter so one region's surge cannot monopolize the server.
+    """
     return RadicalConfig(
         service_jitter_sigma=0.0,
         followup_timeout_ms=600.0,
@@ -141,17 +183,33 @@ def chaos_config(replicated: bool = False) -> RadicalConfig:
         breaker_failure_threshold=5,
         breaker_cooldown_ms=1_500.0,
         replicated=replicated,
+        server_proc_ms=8.0 if overload else 0.0,
+        admission_queue_depth=12 if overload else 0,
+        admission_sojourn_ms=100.0 if overload else 0.0,
+        limiter_max_inflight=32 if overload else 0,
+        limiter_decrease_cooldown_ms=200.0,
     )
 
 
 @dataclass
 class _Tally:
+    issued: int = 0
     acked: int = 0
     unavailable: int = 0
     acked_bumps: Dict[str, int] = field(default_factory=dict)
     maybe_bumps: Dict[str, int] = field(default_factory=dict)
     latencies: List[float] = field(default_factory=list)
     max_invocation_ms: float = 0.0
+    # Probe-only, timestamped (time, latency, region, path) series for
+    # the metastability check: the surge clients are deliberately
+    # overloaded traffic, so their latencies and failures say nothing
+    # about *recovery*.  Region and execution path ride along because
+    # healthy latency differs per region (WAN RTT) and per path (a
+    # backup-path request pays an extra near-storage round) — pre/post
+    # medians are compared within a (region, path) stratum, never across
+    # the pooled mix, whose modes flip on sampling luck alone.
+    probe_samples: List[Tuple[float, float, str, str]] = field(default_factory=list)
+    probe_unavailable_at: List[float] = field(default_factory=list)
 
 
 def _chaos_client(
@@ -163,8 +221,20 @@ def _chaos_client(
     requests: int,
     keys: int,
     think_ms: float,
+    until_ms: Optional[float] = None,
 ) -> Generator:
-    for i in range(requests):
+    """The closed-loop probe: ``requests`` requests back to back, or —
+    for overload plans (``until_ms``) — as many as fit before the probe
+    horizon, so there are always post-recovery samples to measure no
+    matter how long the overload window stalled the client."""
+    i = 0
+    while True:
+        if until_ms is None:
+            if i >= requests:
+                break
+        elif sim.now >= until_ms:
+            break
+        i += 1
         key = f"c:{rng.randrange(keys)}"
         is_bump = rng.random() < 0.7
         fn = "chaos.bump" if is_bump else "chaos.read"
@@ -180,6 +250,7 @@ def _chaos_client(
             # recorded in the history — but it is tallied so the final
             # counter reconciliation can bound it.
             tally.unavailable += 1
+            tally.probe_unavailable_at.append(sim.now)
             if is_bump:
                 tally.maybe_bumps[key] = tally.maybe_bumps.get(key, 0) + 1
         else:
@@ -189,10 +260,55 @@ def _chaos_client(
             )
             tally.acked += 1
             tally.latencies.append(sim.now - started)
+            tally.probe_samples.append(
+                (sim.now, sim.now - started, runtime.region, outcome.path)
+            )
             if is_bump:
                 tally.acked_bumps[key] = tally.acked_bumps.get(key, 0) + 1
+        tally.issued += 1
         tally.max_invocation_ms = max(tally.max_invocation_ms, sim.now - started)
         yield sim.timeout(think_ms)
+
+
+class _ChaosMix:
+    """``generate_request`` shim for the surge clients: the same 70/30
+    bump/read mix over the same keyspace as the probe clients, so surge
+    traffic contends on exactly the counters the checks reconcile."""
+
+    def __init__(self, keys: int):
+        self.keys = keys
+
+    def generate_request(self, rng):
+        key = f"c:{rng.randrange(self.keys)}"
+        fn = "chaos.bump" if rng.random() < 0.7 else "chaos.read"
+        return fn, [key]
+
+
+def _surge_recorder(history: HistoryRecorder, tally: _Tally):
+    """Completion hook for the surge ``OpenLoopClient``s: surge traffic
+    must land in the same history and ack tallies as the probes, or a
+    probe read of a surge-bumped counter would flag a phantom write."""
+
+    def on_outcome(fn, args, outcome, started, ended):
+        key = args[0]
+        is_bump = fn == "chaos.bump"
+        tally.issued += 1
+        tally.max_invocation_ms = max(tally.max_invocation_ms, ended - started)
+        if outcome is None:
+            tally.unavailable += 1
+            if is_bump:
+                tally.maybe_bumps[key] = tally.maybe_bumps.get(key, 0) + 1
+        else:
+            record = history.begin(fn, started)
+            history.finish(
+                record, ended,
+                reads=outcome.read_versions, writes=outcome.write_versions,
+            )
+            tally.acked += 1
+            if is_bump:
+                tally.acked_bumps[key] = tally.acked_bumps.get(key, 0) + 1
+
+    return on_outcome
 
 
 def run_chaos_case(
@@ -205,6 +321,7 @@ def run_chaos_case(
     think_ms: float = 10.0,
     config: Optional[RadicalConfig] = None,
     shards: int = 1,
+    recovery_horizon_ms: Optional[float] = None,
 ) -> ChaosCaseResult:
     """Run one (plan, seed) case end to end and return its verdict.
 
@@ -212,8 +329,47 @@ def run_chaos_case(
     tier (keys hash across shards; the correctness claims are unchanged —
     a sharded deployment must be exactly as serializable and exactly-once
     as the seed's single server).
+
+    For overload plans, ``recovery_horizon_ms`` is the grace period after
+    the last overload window closes before the metastability check starts
+    judging: past it, probe latency must be back at the pre-overload
+    median and every probe request must succeed.  The default derives it
+    from the config — invocation deadline + breaker cooldown + margin —
+    because any request admitted *during* the window may legitimately
+    live (queued at the limiter, retrying, draining) until its deadline,
+    and the breaker must have had time to re-close; only past both is
+    lingering degradation metastable rather than residual.
     """
-    cfg = config or chaos_config(replicated=plan.replicated)
+    cfg = config or chaos_config(replicated=plan.replicated, overload=plan.overload)
+    overload_windows = plan.overload_windows()
+    if plan.overload:
+        # Overload plans probe *queueing*, and the metastability verdict
+        # compares latency medians — with the default 2-key keyspace the
+        # median flips between the contended and uncontended lock modes
+        # (write locks span a WAN round trip) on sampling luck alone.
+        # Spreading the counters keeps contention occasional instead of
+        # modal; every correctness check still reconciles every key.
+        keys = max(keys, 8)
+    if recovery_horizon_ms is None:
+        recovery_horizon_ms = (
+            max(cfg.invocation_deadline_ms, 0.0)
+            + max(cfg.breaker_cooldown_ms, 0.0)
+            + 500.0
+        )
+    probe_until: Optional[float] = None
+    post_from: Optional[float] = None
+    if plan.overload and overload_windows:
+        last_end = max(end for _, end in overload_windows)
+        post_from = last_end + recovery_horizon_ms
+        # Keep probing for a sampling window past the recovery horizon so
+        # the post-overload median rests on real measurements.  The window
+        # must be long enough that each region's *dominant* path collects
+        # the >=3 samples the verdict demands even when the speculative /
+        # backup mix is uneven (sharded runs see more backup-path probes
+        # from cross-region validation conflicts): at ~200 ms per probe a
+        # 3 s window yields ~15 samples per region, so a path carrying
+        # even a third of the traffic clears the bar.
+        probe_until = post_from + 3_000.0
 
     def seed_counters(store):
         for i in range(keys):
@@ -250,10 +406,33 @@ def run_chaos_case(
                     _chaos_client(
                         sim, dep.runtimes[region], rng, history, tally,
                         requests_per_client, keys, think_ms,
+                        until_ms=probe_until,
                     ),
                     name=f"chaos-client-{region}-{c}",
                 )
             )
+    surge_outcome = _surge_recorder(history, tally)
+    mix = _ChaosMix(keys)
+    for i, w in enumerate(plan.surge_windows()):
+        if w.region not in dep.runtimes:
+            raise FaultConfigError(
+                f"plan {plan.name!r} surges from {w.region!r}, which has no runtime"
+            )
+        surge = OpenLoopClient(
+            sim=sim,
+            app=mix,
+            region=w.region,
+            invoke=dep.runtimes[w.region].invoke,
+            metrics=metrics,
+            rng=dep.streams.stream(f"chaos.surge.{w.region}.{i}"),
+            rate_rps=w.rate_rps,
+            duration_ms=w.end_ms - w.start_ms,
+            label_prefix="surge",
+            tolerate_unavailable=True,
+            start_after_ms=w.start_ms,
+            on_outcome=surge_outcome,
+        )
+        procs.append(sim.spawn(surge.run(), name=f"chaos-surge-{w.region}-{i}"))
     done = sim.all_of([p.done_event for p in procs])
     sim.run(until_event=done)
     completed = all(p.done for p in procs)
@@ -298,11 +477,78 @@ def run_chaos_case(
                 f"(non-bump write applied?)"
             )
 
-    total_requests = requests_per_client * clients_per_region * len(regions)
+    # Overload plans use the time-based probe, so the issued count is the
+    # ground truth; the fixed-count formula covers everything else.
+    if plan.overload:
+        total_requests = tally.issued
+    else:
+        total_requests = requests_per_client * clients_per_region * len(regions)
     deadline_ok = (
         cfg.invocation_deadline_ms <= 0
         or tally.max_invocation_ms <= cfg.invocation_deadline_ms + 1.0
     )
+
+    # Metastability: a system that sheds correctly returns to its
+    # pre-overload latency once the offered load does — a metastable one
+    # stays collapsed (retry storms, residual queues) long after the
+    # trigger is gone.
+    metastable_ok = True
+    queue_bound_ok = True
+    leaked_locks = 0
+    pre_p50: Optional[float] = None
+    post_p50: Optional[float] = None
+    max_queue_depth = max((s.max_admission_queue for s in dep.servers), default=0)
+    if cfg.admission_queue_depth > 0:
+        queue_bound_ok = max_queue_depth <= cfg.admission_queue_depth
+    if plan.overload and overload_windows:
+        first_start = min(start for start, _ in overload_windows)
+        pre_by: Dict[Tuple[str, str], List[float]] = {}
+        post_by: Dict[Tuple[str, str], List[float]] = {}
+        for t, lat, region, path in tally.probe_samples:
+            if t <= first_start:
+                pre_by.setdefault((region, path), []).append(lat)
+            elif t >= post_from:
+                post_by.setdefault((region, path), []).append(lat)
+        late_failures = sum(1 for t in tally.probe_unavailable_at if t >= post_from)
+        metastable_ok = late_failures == 0
+        # Judge each region against its own healthy baseline, within the
+        # region's *dominant* pre-overload path: JP's WAN median is ~50%
+        # above CA's, and a backup-path request pays ~18 ms (plus any
+        # lock wait) over a speculative one, so a pooled p50 flips with
+        # the sampling mix, not with recovery.  The dominant path —
+        # speculative, when the tier is healthy — is near-deterministic,
+        # and metastable collapse (standing queues, retry storms) delays
+        # every path, so its median is both a stable and a sufficient
+        # recovery probe.  A region whose dominant pre path has vanished
+        # post-recovery has not recovered (LVI's whole point is serving
+        # the speculative path again).
+        worst_ratio = -1.0
+        probed = {region for region, _ in set(pre_by) | set(post_by)}
+        for region in sorted(probed):
+            candidates = [path for (r, path) in pre_by if r == region]
+            if not candidates:
+                metastable_ok = False
+                continue
+            dominant = max(sorted(candidates), key=lambda p: len(pre_by[(region, p)]))
+            pre = pre_by[(region, dominant)]
+            post = post_by.get((region, dominant))
+            if len(pre) < 3 or not post or len(post) < 3:
+                metastable_ok = False
+                continue
+            region_pre = percentile(pre, 50.0)
+            region_post = percentile(post, 50.0)
+            if region_post > region_pre * 1.10 + 1.0:
+                metastable_ok = False
+            ratio = region_post / max(region_pre, 1e-9)
+            if ratio > worst_ratio:
+                worst_ratio = ratio
+                pre_p50, post_p50 = region_pre, region_post
+        if pre_p50 is None:
+            metastable_ok = False
+        # Shed requests must abort cleanly — after the drain no execution
+        # may still hold locks anywhere in the tier.
+        leaked_locks = sum(len(s.locks.held_owners()) for s in dep.servers)
+
     wanted = (
         "fault.injected", "rpc.retry", "rpc.timeout", "rpc.exhausted",
         "breaker.open", "breaker.fast_fail", "reexecution.count",
@@ -310,6 +556,8 @@ def run_chaos_case(
         "lvi.replay_after_crash", "lvi.duplicate_claim", "recovery.intents",
         "server.crashes", "server.restarts", "server.killed_handlers",
         "validation.failure", "path.speculative", "path.direct",
+        "admission.shed", "rpc.overloaded", "limiter.shrink",
+        "limiter.grow", "limiter.reject", "limiter.shed",
     )
     counters = {k: metrics.counter(k) for k in wanted if metrics.counter(k)}
     lat = sorted(tally.latencies)
@@ -330,6 +578,13 @@ def run_chaos_case(
         p99_ms=percentile(lat, 99.0) if lat else None,
         max_invocation_ms=tally.max_invocation_ms,
         counters=counters,
+        metastable_ok=metastable_ok,
+        queue_bound_ok=queue_bound_ok,
+        leaked_locks=leaked_locks,
+        shed=metrics.counter("admission.shed"),
+        max_queue_depth=max_queue_depth,
+        pre_p50_ms=round(pre_p50, 3) if pre_p50 is not None else None,
+        post_p50_ms=round(post_p50, 3) if post_p50 is not None else None,
     )
 
 
@@ -413,6 +668,30 @@ def builtin_plans() -> Dict[str, FaultPlan]:
             (CrashWindow("raft-1", 800.0, 3_000.0),),
             "replicated (§5.6) deployment; one Raft node crashes",
             replicated=True,
+        ),
+        FaultPlan(
+            "surge-jp",
+            (SurgeWindow(jp, 2_000.0, 3_600.0, rate_rps=220.0),),
+            "an open-loop 220 rps surge from JP swamps the ~73 rps "
+            "capacity-bounded server; shedding and AIMD backpressure must "
+            "hold goodput and recover to the pre-surge median",
+            overload=True,
+        ),
+        FaultPlan(
+            "gray-limp",
+            (
+                # Steady open-loop load a healthy server absorbs with room
+                # to spare (~68 of ~125 msg/s)...
+                SurgeWindow(jp, 2_000.0, 4_400.0, rate_rps=40.0),
+                # ...while the server limps at 60 ms/message (~17 msg/s):
+                # the gray window forces admission control to shed.
+                SlowServerWindow("lvi-server", 2_500.0, 4_100.0, proc_ms=60.0),
+            ),
+            "gray failure: the LVI server limps at 60 ms per message "
+            "without crashing, under steady open-loop load it could "
+            "otherwise absorb; admission control must bound its queue and "
+            "latency must return to the pre-limp median after it heals",
+            overload=True,
         ),
     ]
     return {p.name: p for p in plans}

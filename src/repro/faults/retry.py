@@ -10,13 +10,21 @@ keeps failing: speculative -> direct probe -> clean ``UnavailableError``.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, List, Optional
 
 from ..errors import FaultConfigError
-from ..sim import Metrics, Simulator
+from ..sim import AnyOf, Event, Metrics, Simulator, Timeout
 
-__all__ = ["RetryPolicy", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "AdaptiveLimiter",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+]
 
 
 @dataclass(frozen=True)
@@ -149,3 +157,125 @@ class CircuitBreaker:
         obs = self.sim.obs
         if obs.enabled:
             obs.event(what, breaker=self.name, failures=self.failures)
+
+
+class AdaptiveLimiter:
+    """AIMD in-flight limiter over the runtime's near-storage invocations.
+
+    The window starts at ``max_inflight`` (its permanent ceiling), halves —
+    at most once per ``decrease_cooldown_ms`` of virtual time, so one burst
+    of shed replies counts once — whenever the server sheds a request
+    (:meth:`on_overload`), and creeps back up by one slot per ``window``
+    consecutive successes (:meth:`on_success`).  The floor is 1: the
+    limiter never blocks the half-open probe the circuit breaker relies on
+    to recover.
+
+    :meth:`acquire` is a process generator: it waits (FIFO) for a slot or
+    for ``deadline_at``, whichever comes first, and returns ``True`` only
+    when a slot was actually taken.  The wait queue itself is bounded by
+    ``max_queue`` (default: the ceiling) — an arrival that finds the queue
+    full is rejected *immediately*, because an unbounded client-side queue
+    just moves the metastable backlog from the server into the limiter:
+    after a surge ends, queued work would keep the region saturated long
+    past the window.  Callers must :meth:`release` exactly once per
+    successful acquire.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        max_inflight: int,
+        decrease_cooldown_ms: float = 200.0,
+        max_queue: Optional[int] = None,
+        metrics: Optional[Metrics] = None,
+        name: str = "",
+    ):
+        if max_inflight < 1:
+            raise FaultConfigError(f"max_inflight must be >= 1: {max_inflight}")
+        if decrease_cooldown_ms < 0:
+            raise FaultConfigError(
+                f"decrease cooldown must be non-negative: {decrease_cooldown_ms}"
+            )
+        if max_queue is not None and max_queue < 0:
+            raise FaultConfigError(f"max_queue must be non-negative: {max_queue}")
+        self.sim = sim
+        self.ceiling = max_inflight
+        self.decrease_cooldown_ms = decrease_cooldown_ms
+        self.max_queue = max_inflight if max_queue is None else max_queue
+        self.metrics = metrics or Metrics()
+        self.name = name
+        self._window = float(max_inflight)
+        self.inflight = 0
+        self._successes = 0
+        self._last_decrease: Optional[float] = None
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def window(self) -> int:
+        """The current in-flight limit (AIMD window, floored at 1)."""
+        return max(1, int(self._window))
+
+    def acquire(self, deadline_at: float):
+        """Process generator: take an in-flight slot, or give up when the
+        deadline passes.  Returns ``True`` iff a slot was acquired."""
+        while True:
+            if self.inflight < self.window:
+                self.inflight += 1
+                return True
+            remaining = deadline_at - self.sim.now
+            if remaining <= 0:
+                return False
+            if len(self._waiters) >= self.max_queue:
+                self._note("limiter.reject")
+                return False
+            slot = Event(self.sim, name="limiter.slot")
+            self._waiters.append(slot)
+            yield AnyOf(self.sim, [slot, Timeout(self.sim, remaining)])
+            if not slot.triggered:
+                try:
+                    self._waiters.remove(slot)
+                except ValueError:
+                    pass
+                return False
+            # Woken with a reserved slot: the releaser already counted us.
+            return True
+
+    def release(self) -> None:
+        """Return a slot; hands it straight to the oldest waiter if the
+        window still has room for it."""
+        if self.inflight <= 0:
+            raise FaultConfigError("limiter release without acquire")
+        self.inflight -= 1
+        while self._waiters and self.inflight < self.window:
+            slot = self._waiters.popleft()
+            self.inflight += 1  # reserve for the waiter before it runs
+            slot.trigger(True)
+
+    def on_success(self) -> None:
+        """Additive increase: one extra slot per full window of successes."""
+        self._successes += 1
+        if self._successes >= self.window and self._window < self.ceiling:
+            self._successes = 0
+            self._window = min(float(self.ceiling), self._window + 1.0)
+            self._note("limiter.grow")
+
+    def on_overload(self) -> None:
+        """Multiplicative decrease on a shed reply, rate-limited so one
+        overloaded burst shrinks the window once, not once per reply."""
+        self._successes = 0
+        now = self.sim.now
+        if (
+            self._last_decrease is not None
+            and now - self._last_decrease < self.decrease_cooldown_ms
+        ):
+            return
+        self._last_decrease = now
+        self._window = max(1.0, self._window / 2.0)
+        self._note("limiter.shrink")
+
+    def _note(self, what: str) -> None:
+        self.metrics.incr(what)
+        self.metrics.record_tagged("limiter.window", float(self.window), limiter=self.name)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.event(what, limiter=self.name, window=self.window, inflight=self.inflight)

@@ -27,6 +27,8 @@ from .plan import (
     FaultPlan,
     FollowupLossWindow,
     PartitionWindow,
+    SlowServerWindow,
+    SurgeWindow,
 )
 
 __all__ = ["FaultScheduler"]
@@ -70,6 +72,11 @@ class FaultScheduler:
             raise FaultConfigError(
                 f"plan {plan.name!r} crashes unbound targets: {missing}"
             )
+        limping = [t for t in plan.slow_targets() if t not in self.targets]
+        if limping:
+            raise FaultConfigError(
+                f"plan {plan.name!r} limps unbound targets: {limping}"
+            )
 
     def start(self) -> None:
         """Schedule every window boundary.  Call once, before or during
@@ -90,6 +97,10 @@ class FaultScheduler:
                 self._arm_followup_loss(action)
             elif isinstance(action, CrashWindow):
                 self._arm_crash(action)
+            elif isinstance(action, SurgeWindow):
+                self._arm_surge(action)
+            elif isinstance(action, SlowServerWindow):
+                self._arm_slow_server(action)
             else:  # pragma: no cover - FaultAction is a closed union
                 raise FaultConfigError(f"unknown fault action {action!r}")
 
@@ -181,3 +192,27 @@ class FaultScheduler:
         self._at(w.crash_at_ms, crash)
         if w.restart_at_ms is not None:
             self._at(w.restart_at_ms, restart)
+
+    def _arm_surge(self, w: SurgeWindow) -> None:
+        # The surge's *traffic* is generated by the harness (it owns the
+        # runtimes and the history recorder); the scheduler contributes the
+        # deterministic injection-log entries that bracket the window.
+        self._at(w.start_ms, self._note_surge, "surge", w)
+        self._at(w.end_ms, self._note_surge, "surge_end", w)
+
+    def _note_surge(self, event: str, w: SurgeWindow) -> None:
+        self._note(event, region=w.region, rate_rps=w.rate_rps)
+
+    def _arm_slow_server(self, w: SlowServerWindow) -> None:
+        target = self.targets[w.target]
+
+        def limp():
+            target.set_proc_override(w.proc_ms)
+            self._note("limp", target=w.target, proc_ms=w.proc_ms)
+
+        def heal():
+            target.set_proc_override(None)
+            self._note("limp_end", target=w.target)
+
+        self._at(w.start_ms, limp)
+        self._at(w.end_ms, heal)

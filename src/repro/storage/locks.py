@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..errors import LockError
-from ..sim import Event, Simulator
+from ..sim import Event, Metrics, Simulator
 
 __all__ = ["LockMode", "LockManager", "LockRequest"]
 
@@ -71,11 +71,16 @@ class _LockRecord:
 class LockManager:
     """Table of per-key read/write locks with FIFO fairness."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, metrics: Optional[Metrics] = None, name: str = ""):
         self.sim = sim
+        self.metrics = metrics
+        self.name = name
         self._locks: Dict[Key, _LockRecord] = {}
         self._held: Dict[str, List[Tuple[Key, str]]] = {}
-        # Metrics the benchmarks read.
+        # Metrics the benchmarks read.  The same numbers also flow into the
+        # shared ``metrics`` bag (when one is wired) as ``lock.wait``
+        # samples tagged by server, so observability does not depend on
+        # holding a reference to a table that ``crash()`` replaces.
         self.acquisitions = 0
         self.contended_acquisitions = 0
         self.total_wait_ms = 0.0
@@ -144,6 +149,8 @@ class LockManager:
         self.total_wait_ms += waited
         self.max_wait_ms = max(self.max_wait_ms, waited)
         self.acquisitions += len(requests)
+        if self.metrics is not None:
+            self.metrics.record_tagged("lock.wait", waited, server=self.name)
         return len(requests)
 
     def _acquire_one(self, owner: str, key: Key, mode: str) -> Event:
@@ -252,6 +259,12 @@ class LockManager:
 
     def held_by(self, owner: str) -> List[Tuple[Key, str]]:
         return list(self._held.get(owner, ()))
+
+    def held_owners(self) -> List[str]:
+        """Every owner currently holding at least one granted lock — the
+        chaos harness asserts this drains to empty (no leaked locks from
+        shed or aborted executions)."""
+        return list(self._held)
 
     def queue_length(self, key: Key) -> int:
         record = self._locks.get(key)
