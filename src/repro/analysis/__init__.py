@@ -12,7 +12,23 @@ from .analyzer import (
     derive_rwset,
     try_analyze,
 )
+from .ir import (
+    CFG,
+    ConflictMatrix,
+    CrossValidation,
+    FunctionSummary,
+    IRAccessSite,
+    OptimizationReport,
+    build_cfg,
+    build_conflict_matrix,
+    cross_validate,
+    extract_access_sites,
+    optimize,
+    static_gas,
+    summarize_function,
+)
 from .rwset import Key, ReadWriteSet, VersionedReadSet
+from .sanitizer import SanitizerReport, access_checker, check_coverage
 from .slicer import SliceResult, slice_function
 from .symbolic import (
     AccessSite,
@@ -25,15 +41,31 @@ __all__ = [
     "AccessSite",
     "AnalyzedFunction",
     "CacheReader",
+    "CFG",
+    "ConflictMatrix",
+    "CrossValidation",
+    "FunctionSummary",
+    "IRAccessSite",
     "Key",
+    "OptimizationReport",
     "PathReport",
     "ReadWriteSet",
+    "SanitizerReport",
     "SliceResult",
     "SymbolicReport",
     "VersionedReadSet",
+    "access_checker",
     "analyze_source",
+    "build_cfg",
+    "build_conflict_matrix",
+    "check_coverage",
+    "cross_validate",
     "derive_rwset",
+    "extract_access_sites",
+    "optimize",
     "slice_function",
+    "static_gas",
+    "summarize_function",
     "symbolic_analyze",
     "try_analyze",
 ]

@@ -5,9 +5,19 @@ given a function's source it produces an :class:`AnalyzedFunction` bundling
 
 * the compiled original ``f`` (wasm-lite),
 * the compiled slice ``f^rw`` that, executed on the same inputs against the
-  near-user cache, returns the exact read/write set for that invocation,
+  near-user cache, returns the exact read/write set for that invocation —
+  run through the IR optimizer (:mod:`repro.analysis.ir.optimizer`), whose
+  rewrites are executed-gas non-increasing and rw-set preserving,
 * the static facts Table 1 reports per function: does it write, is it
-  analyzable, does it need the dependent-read optimization.
+  analyzable, does it need the dependent-read optimization,
+* the IR-level key-pattern summary feeding the shard-affinity fast path
+  and the conflict matrix (:mod:`repro.analysis.ir.summary`).
+
+``slice_ratio`` is measured on the compiled IR, not source lines: the
+gas-weighted size of f^rw over the gas-weighted size of f (the pre- and
+post-optimization ratios are both recorded; the f^rw latency model uses
+runtime gas, so a smaller optimized body directly shrinks the speculation
+phase).
 
 Analysis failure (unsupported constructs, exceeded budgets) is not fatal to
 the application: the runtime routes such functions to the near-storage
@@ -16,11 +26,19 @@ location on every invocation (§3.3, "Failure case").
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from ..errors import AnalysisError, CompileError, NonDeterminismError, VMError
 from ..wasm import VM, WasmFunction, compile_source
+from .ir import (
+    FunctionSummary,
+    OptimizationReport,
+    optimize,
+    static_gas,
+    summarize_function,
+)
 from .rwset import ReadWriteSet
 from .slicer import SliceResult, slice_function
 
@@ -44,21 +62,53 @@ class AnalyzedFunction:
     analyzable: bool
     slice_ratio: float
     error: Optional[str] = None
+    #: The slice as compiled, before the IR optimizer ran (``frw`` is the
+    #: optimized body the runtime executes).
+    frw_unoptimized: Optional[WasmFunction] = None
+    #: Gas-weighted IR size ratio of the *optimized* f^rw over f;
+    #: ``slice_ratio`` is the same ratio pre-optimization.
+    slice_ratio_optimized: float = 1.0
+    optimization: Optional[OptimizationReport] = None
+    #: IR key-pattern summary of ``f`` (conflict matrix / shard affinity).
+    summary: Optional[FunctionSummary] = None
 
     @property
     def frw_source(self) -> str:
         return "" if self.frw is None else self.frw.source
 
+    @property
+    def single_shard_affine(self) -> bool:
+        """Statically proven to touch one key per invocation (see
+        :class:`~repro.analysis.ir.summary.FunctionSummary`)."""
+        return self.summary is not None and self.summary.single_key
 
-def analyze_source(source: str, node_budget: int = 50_000) -> AnalyzedFunction:
+
+def analyze_source(
+    source: str, node_budget: int = 50_000, optimize_frw: bool = True
+) -> AnalyzedFunction:
     """Analyze one function; raises :class:`AnalysisError` (or a compile
     error) if the function is outside the supported subset."""
     f = compile_source(source, kind="f")
     slice_result: SliceResult = slice_function(source, node_budget=node_budget)
     try:
-        frw = compile_source(slice_result.frw_source, kind="frw")
+        frw_raw = compile_source(slice_result.frw_source, kind="frw")
     except (CompileError, NonDeterminismError) as exc:
         raise AnalysisError(f"{f.name}: derived f^rw does not compile: {exc}") from exc
+
+    report: Optional[OptimizationReport] = None
+    frw = frw_raw
+    if optimize_frw:
+        try:
+            frw, report = optimize(frw_raw)
+        except AnalysisError as exc:
+            raise AnalysisError(f"{f.name}: f^rw optimization failed: {exc}") from exc
+
+    f_gas = max(1, static_gas(f))
+    try:
+        summary = summarize_function(f)
+    except AnalysisError:
+        summary = None
+
     return AnalyzedFunction(
         name=f.name,
         f=f,
@@ -67,16 +117,22 @@ def analyze_source(source: str, node_budget: int = 50_000) -> AnalyzedFunction:
         reads=slice_result.reads,
         dependent_reads=slice_result.dependent_reads,
         analyzable=True,
-        slice_ratio=slice_result.slice_ratio,
+        slice_ratio=min(1.0, static_gas(frw_raw) / f_gas),
+        frw_unoptimized=frw_raw,
+        slice_ratio_optimized=min(1.0, static_gas(frw) / f_gas),
+        optimization=report,
+        summary=summary,
     )
 
 
-def try_analyze(source: str, node_budget: int = 50_000) -> AnalyzedFunction:
+def try_analyze(
+    source: str, node_budget: int = 50_000, optimize_frw: bool = True
+) -> AnalyzedFunction:
     """Like :func:`analyze_source` but failure yields an unanalyzable
     function record instead of raising — only ``f`` is available, and the
     runtime will execute it near storage every time."""
     try:
-        return analyze_source(source, node_budget=node_budget)
+        return analyze_source(source, node_budget=node_budget, optimize_frw=optimize_frw)
     except NonDeterminismError:
         raise  # the determinism contract is non-negotiable: reject upload
     except (AnalysisError, CompileError) as exc:
@@ -119,8 +175,14 @@ def derive_rwset(
     Dependent reads execute against ``cache_reader``; if the cache lied,
     validation will catch it (§3.3: stale first reads guarantee the
     dependent keys also fail validation).
+
+    ``args`` is deep-copied first: in the paper f^rw runs near the user and
+    f near storage, so argument objects cross a serialization boundary and
+    an f^rw-side mutation can never leak into f's execution.  Copying here
+    models that boundary (and is what licenses the optimizer's
+    dead-statement strike to drop mutations of argument objects).
     """
     vm = VM(_FrwEnv(cache_reader), gas_limit=gas_limit)
-    trace = vm.execute(frw, args)
+    trace = vm.execute(frw, copy.deepcopy(args))
     rwset = ReadWriteSet.from_lists(trace.read_keys(), trace.write_keys())
     return rwset, trace.gas_used

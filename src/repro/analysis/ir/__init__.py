@@ -1,0 +1,67 @@
+"""IR-level analysis over compiled wasm-lite instruction streams.
+
+The AST engines (:mod:`repro.analysis.slicer`, :mod:`repro.analysis.symbolic`)
+reason about *source*; this package reasons about the artifact the VM
+actually executes and meters with gas — mirroring the paper's analyzer,
+which operates on the compiled WASM binary (§3.3, §4).
+
+Layers, bottom up:
+
+* :mod:`~repro.analysis.ir.cfg` — basic blocks, successor edges,
+  dominators, and static gas weights over a :class:`~repro.wasm.ir.WasmFunction`.
+* :mod:`~repro.analysis.ir.dataflow` — a generic worklist solver plus the
+  classic instances (reaching definitions, liveness, definite assignment,
+  constant propagation).
+* :mod:`~repro.analysis.ir.optimizer` — constant folding, jump threading
+  and liveness-based dead-code elimination over f^rw bodies; every rewrite
+  is executed-gas non-increasing, so an optimized f^rw never costs more
+  than the slice it came from.
+* :mod:`~repro.analysis.ir.access` — storage access sites (``DB_GET`` /
+  ``DB_PUT`` / ``RW_*``) with back-traced key operands, cross-validated
+  against the AST symbolic report.
+* :mod:`~repro.analysis.ir.summary` — per-function key-pattern summaries,
+  the cross-function conflict matrix and the shard-affinity predictor.
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg, static_gas
+from .dataflow import (
+    ConstantLattice,
+    DataflowAnalysis,
+    DefiniteAssignment,
+    Liveness,
+    ReachingDefinitions,
+    solve,
+)
+from .optimizer import OptimizationReport, optimize
+from .access import IRAccessSite, CrossValidation, extract_access_sites, cross_validate
+from .summary import (
+    ConflictMatrix,
+    FunctionSummary,
+    KeyPattern,
+    build_conflict_matrix,
+    summarize_function,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "ConflictMatrix",
+    "ConstantLattice",
+    "CrossValidation",
+    "DataflowAnalysis",
+    "DefiniteAssignment",
+    "FunctionSummary",
+    "IRAccessSite",
+    "KeyPattern",
+    "Liveness",
+    "OptimizationReport",
+    "ReachingDefinitions",
+    "build_cfg",
+    "build_conflict_matrix",
+    "cross_validate",
+    "extract_access_sites",
+    "optimize",
+    "solve",
+    "static_gas",
+    "summarize_function",
+]

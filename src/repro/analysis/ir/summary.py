@@ -1,0 +1,212 @@
+"""Static key-pattern summaries, conflict matrix, and shard affinity.
+
+Consumes :func:`~repro.analysis.ir.access.extract_access_sites` and distils
+each function into the facts the running system can use *without* deriving
+a concrete rw-set:
+
+* a per-function table / key-prefix pattern list,
+* a cross-function **may-conflict** matrix (does one function's write
+  pattern possibly overlap another's read or write pattern?),
+* a **shard-affinity** verdict: a function whose every access provably
+  renders the *same* key string within one invocation is statically
+  single-shard, so the runtime can route it after hashing one key instead
+  of enumerating the whole set — and a function touching one fully
+  constant key has a shard index known at registration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...wasm.ir import Op, WasmFunction
+from .access import IRAccessSite, extract_access_sites
+
+__all__ = [
+    "KeyPattern",
+    "FunctionSummary",
+    "ConflictMatrix",
+    "summarize_function",
+    "build_conflict_matrix",
+]
+
+
+@dataclass(frozen=True)
+class KeyPattern:
+    """One distinct (table, key shape) a function may touch."""
+
+    table: Optional[str]     # None = table not statically known
+    pattern: str             # rendered shape, "{…}" marks dynamic parts
+    const_prefix: str        # longest constant prefix of the key
+    exact: bool              # pattern has no dynamic parts
+    kind: str                # "read" | "write"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "table": self.table,
+            "pattern": self.pattern,
+            "kind": self.kind,
+            "exact": self.exact,
+        }
+
+
+def _patterns_overlap(a: KeyPattern, b: KeyPattern) -> bool:
+    """Conservative may-overlap: unknown tables overlap everything; known
+    tables must match; then one constant prefix must extend the other
+    (two exact keys overlap only when equal)."""
+    if a.table is None or b.table is None:
+        return True
+    if a.table != b.table:
+        return False
+    if a.exact and b.exact:
+        return a.pattern == b.pattern
+    pa, pb = a.const_prefix, b.const_prefix
+    if a.exact:
+        return pa.startswith(pb)
+    if b.exact:
+        return pb.startswith(pa)
+    return pa.startswith(pb) or pb.startswith(pa)
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the router/runtime can know about a function statically."""
+
+    name: str
+    patterns: List[KeyPattern] = field(default_factory=list)
+    #: Every access in one invocation renders one identical key string
+    #: (constants + never-reassigned parameters only) — single shard under
+    #: any shard map that hashes whole keys.
+    single_key: bool = False
+    #: The one concrete (table, key) when the function only ever touches a
+    #: fully constant key: its shard is known at registration time.
+    static_key: Optional[Tuple[str, str]] = None
+
+    @property
+    def tables(self) -> List[str]:
+        return sorted({p.table for p in self.patterns if p.table is not None})
+
+    def read_patterns(self) -> List[KeyPattern]:
+        return [p for p in self.patterns if p.kind == "read"]
+
+    def write_patterns(self) -> List[KeyPattern]:
+        return [p for p in self.patterns if p.kind == "write"]
+
+    def may_conflict(self, other: "FunctionSummary") -> bool:
+        """True when self's writes may overlap other's reads or writes (or
+        vice versa) — the classic read-write / write-write conflict test."""
+        for mine in self.write_patterns():
+            for theirs in other.patterns:
+                if _patterns_overlap(mine, theirs):
+                    return True
+        for theirs in other.write_patterns():
+            for mine in self.patterns:
+                if _patterns_overlap(theirs, mine):
+                    return True
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "patterns": [p.to_dict() for p in self.patterns],
+            "single_key": self.single_key,
+            "static_key": list(self.static_key) if self.static_key else None,
+        }
+
+
+def _reassigned_params(func: WasmFunction) -> set:
+    params = set(func.params)
+    return {i.arg for i in func.instructions if i.op == Op.STORE and i.arg in params}
+
+
+def summarize_function(
+    func: WasmFunction, sites: Optional[Sequence[IRAccessSite]] = None
+) -> FunctionSummary:
+    """Build the static summary for one compiled function (f or f^rw)."""
+    if sites is None:
+        sites = extract_access_sites(func)
+    summary = FunctionSummary(name=func.name)
+    seen = set()
+    for site in sites:
+        pattern = KeyPattern(
+            table=site.table,
+            pattern=site.key_pattern,
+            const_prefix=site.key.const_prefix(),
+            exact=site.key.is_concrete(),
+            kind=site.kind,
+        )
+        if pattern not in seen:
+            seen.add(pattern)
+            summary.patterns.append(pattern)
+
+    if not sites:
+        return summary
+
+    reassigned = _reassigned_params(func)
+    shapes = {(s.table, s.key_pattern) for s in sites}
+    if (
+        len(shapes) == 1
+        and all(s.table is not None for s in sites)
+        and all(s.key.input_only() for s in sites)
+        and not any(_params_of(s.key) & reassigned for s in sites)
+    ):
+        summary.single_key = True
+        only = sites[0]
+        if only.key.is_concrete():
+            summary.static_key = (only.table, str(only.key.payload))
+    return summary
+
+
+def _params_of(sym) -> set:
+    if sym.kind == "param":
+        return {sym.payload}
+    if sym.kind == "format":
+        out = set()
+        for part in sym.payload:
+            out |= _params_of(part)
+        return out
+    return set()
+
+
+@dataclass
+class ConflictMatrix:
+    """Pairwise may-conflict verdicts over a set of function summaries."""
+
+    names: List[str]
+    pairs: Dict[Tuple[str, str], bool]
+
+    def conflicts(self, a: str, b: str) -> bool:
+        return self.pairs.get((a, b), self.pairs.get((b, a), True))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "names": list(self.names),
+            "conflicting_pairs": sorted(
+                [list(pair) for pair, hit in self.pairs.items() if hit]
+            ),
+        }
+
+    def render(self) -> str:
+        """Compact ASCII matrix (`x` = may conflict) for the CLI."""
+        width = max((len(n) for n in self.names), default=1)
+        lines = []
+        header = " " * (width + 1) + " ".join(f"{i:>2d}" for i in range(len(self.names)))
+        lines.append(header)
+        for i, a in enumerate(self.names):
+            cells = []
+            for j, b in enumerate(self.names):
+                if j < i:
+                    cells.append("  ")
+                else:
+                    cells.append(" x" if self.conflicts(a, b) else " .")
+            lines.append(f"{a:<{width}} {''.join(cells)}  [{i}]")
+        return "\n".join(lines)
+
+
+def build_conflict_matrix(summaries: Sequence[FunctionSummary]) -> ConflictMatrix:
+    names = [s.name for s in summaries]
+    pairs: Dict[Tuple[str, str], bool] = {}
+    for i, a in enumerate(summaries):
+        for b in summaries[i:]:
+            pairs[(a.name, b.name)] = a.may_conflict(b)
+    return ConflictMatrix(names=names, pairs=pairs)

@@ -469,6 +469,94 @@ def _scalability_main(argv: List[str]) -> int:
     return 1 if failures else 0
 
 
+def _analyze_main(argv: List[str]) -> int:
+    """``radical-repro analyze`` — replay the app corpus through the static
+    analysis pipeline: Table-1-style per-function facts, the IR optimizer's
+    executed-gas savings on f^rw, the shard-affinity classification, and
+    the cross-function conflict matrix.  Exits 1 if any function regressed
+    from analyzable to fallback, any optimized slice used more gas than the
+    unoptimized one (or predicted a different rw-set), any speculative
+    execution escaped its prediction, or the three analysis engines
+    disagree (see docs/ANALYSIS.md)."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro analyze",
+        description="Static-analysis facts, f^rw optimizer savings, and "
+                    "soundness over the app corpus.",
+    )
+    parser.add_argument("--inputs", type=int, default=None,
+                        help="replayed inputs per function (default: 10)")
+    parser.add_argument("--seed", type=int, default=42, help="replay seed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: 3 inputs per function, no "
+                             "results file")
+    args = parser.parse_args(argv)
+
+    from .bench import ANALYSIS_INPUTS, analysis_gate_failures, run_analysis_corpus
+    from .analysis.ir.summary import ConflictMatrix
+
+    inputs = args.inputs or (3 if args.smoke else ANALYSIS_INPUTS)
+    payload = run_analysis_corpus(inputs_per_function=inputs, seed=args.seed)
+
+    rows = []
+    for r in payload["functions"]:
+        if not r["analyzable"]:
+            rows.append([r["function"], "-", "no", "-", "-", "-", "-", "-"])
+            continue
+        replay = r["replay"]
+        rows.append([
+            r["function"],
+            "yes" if r["writes"] else "no",
+            "yes",
+            "yes" if r["dependent_reads"] else "no",
+            f"{r['slice_ratio'] * 100:.2f}",
+            f"{r['slice_ratio_optimized'] * 100:.2f}",
+            f"{replay['gas_reduction_pct']:.1f}",
+            "yes" if r.get("single_shard_affine") else "no",
+        ])
+    print_table(
+        ["function", "writes", "analyzable", "dep reads", "slice %",
+         "opt slice %", "gas saved %", "1-shard"],
+        rows,
+        title=f"Static analysis: {payload['aggregate']['analyzable']}"
+              f"/{payload['aggregate']['functions']} analyzable, "
+              f"{inputs} input(s)/function",
+    )
+    agg = payload["aggregate"]["gas_reduction_pct"]
+    print(
+        f"f^rw executed-gas reduction: median {agg['median']:.1f}%, "
+        f"mean {agg['mean']:.1f}%; {agg['functions_improved']} function(s) "
+        f"improved (median among them {agg['median_nonzero']:.1f}%)"
+    )
+    print(
+        f"shard affinity: {payload['aggregate']['single_shard_affine']} "
+        f"function(s) statically single-shard; registration-time shard for "
+        f"{', '.join(payload['aggregate']['static_key_functions']) or 'none'}"
+    )
+    print(f"sanitizer: {payload['aggregate']['unsound_executions']} unsound "
+          f"execution(s)")
+
+    cm = payload["conflict_matrix"]
+    hits = {tuple(pair) for pair in cm["conflicting_pairs"]}
+    names = cm["names"]
+    matrix = ConflictMatrix(
+        names=names,
+        pairs={
+            (a, b): ((a, b) in hits or (b, a) in hits)
+            for i, a in enumerate(names) for b in names[i:]
+        },
+    )
+    print("\nMay-conflict matrix (x = a write pattern may overlap):")
+    print(matrix.render())
+
+    if not args.smoke:
+        save_results("analysis", payload)
+        print("\nresults written to results/analysis.json")
+    failures = analysis_gate_failures(payload)
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _overload_main(argv: List[str]) -> int:
     """``radical-repro overload`` — sweep offered load past one server's
     capacity with the overload controls on and off, and report goodput:
@@ -567,6 +655,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "overload":
         # ``overload`` sweeps offered load with shedding on/off.
         return _overload_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # ``analyze`` replays the corpus through the analysis pipeline.
+        return _analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="radical-repro",
         description="Reproduce the evaluation of Radical (SOSP 2025).",

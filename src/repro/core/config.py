@@ -101,6 +101,17 @@ class RadicalConfig:
     single_request: bool = True          # False = validate then commit (2 RTT)
     exclusive_locks: bool = False        # True = no shared read locks (ablation)
 
+    # Analysis-pipeline runtime consumers (repro.analysis).  The rw-set
+    # sanitizer checks every speculative execution's actual access trace
+    # against the f^rw prediction (``analysis.unsound`` stays a hard
+    # ProtocolError either way; the flag gates the obs events and the
+    # over-approximation / wasted-locks accounting).  The affinity fast
+    # path lets the runtime route statically single-shard functions by
+    # hashing one key instead of enumerating the whole rw-set — the shard
+    # choice is provably identical, so timelines are unchanged.
+    sanitize_rwset: bool = True
+    affinity_fast_path: bool = True
+
     def server_processing_budget(self, lock_count: int) -> float:
         """Extra latency the replicated server adds to one LVI request:
         3 + 2.3 * L ms (§5.6)."""

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..analysis import derive_rwset
+from ..analysis import check_coverage, derive_rwset
 from ..errors import GasExhausted, OverloadedError, ProtocolError, UnavailableError, VMTrap
 from ..faults.retry import AdaptiveLimiter, CircuitBreaker, RetryPolicy
 from ..sim import Metrics, Network, RandomStreams, RequestBatcher, RpcTimeout, Simulator
@@ -386,10 +386,20 @@ class NearUserRuntime:
         # byte for byte; touching several shards enters the scatter-gather
         # prepare/commit flow.
         versions = {k: snapshot.version_of(*k) for k in rwset.reads}
-        shards = sorted(
-            {self.router.shard_of(t, k)
-             for (t, k) in list(rwset.reads) + list(rwset.writes)}
-        )
+        all_keys = list(rwset.reads) + list(rwset.writes)
+        if (
+            cfg.affinity_fast_path
+            and all_keys
+            and record.analyzed.single_shard_affine
+        ):
+            # Statically proven single-key (repro.analysis.ir.summary):
+            # every access renders the same key string, so hashing the
+            # first one routes the whole invocation.  Provably the same
+            # shard set as the enumeration below — just cheaper.
+            shards = [self.router.shard_of(*all_keys[0])]
+            self.metrics.incr("affinity.fast_path")
+        else:
+            shards = sorted({self.router.shard_of(t, k) for (t, k) in all_keys})
         if len(shards) > 1:
             outcome = yield from self._invoke_cross_shard(
                 record, args, execution_id, invoked_at, deadline_at,
@@ -932,15 +942,41 @@ class NearUserRuntime:
     def _check_prediction(self, record, rwset, trace) -> None:
         """The analyzer's contract: predicted sets cover the actual ones.
         A miss here is an analyzer bug — consistency would be at risk — so
-        it fails loudly."""
-        actual_reads = set(trace.read_keys())
-        actual_writes = set(trace.write_keys())
-        if not actual_reads <= set(rwset.reads) or not actual_writes <= set(rwset.writes):
-            raise ProtocolError(
-                f"{record.function_id}: f^rw under-predicted the access set "
-                f"(reads {actual_reads - set(rwset.reads)}, "
-                f"writes {actual_writes - set(rwset.writes)})"
-            )
+        it fails loudly.  With ``sanitize_rwset`` on, the full sanitizer
+        report also flows through the obs spine: ``analysis.unsound`` on
+        the hard failure, ``analysis.overapprox`` (plus a wasted-locks
+        metric) when the prediction locked keys the execution never used."""
+        if not self.config.sanitize_rwset:
+            actual_reads = set(trace.read_keys())
+            actual_writes = set(trace.write_keys())
+            if not actual_reads <= set(rwset.reads) or not actual_writes <= set(rwset.writes):
+                raise ProtocolError(
+                    f"{record.function_id}: f^rw under-predicted the access set "
+                    f"(reads {actual_reads - set(rwset.reads)}, "
+                    f"writes {actual_writes - set(rwset.writes)})"
+                )
+            return
+        report = check_coverage(record.function_id, rwset, trace)
+        obs = self.sim.obs
+        if not report.sound:
+            self.metrics.incr("analysis.unsound")
+            if obs.enabled:
+                obs.event(
+                    "analysis.unsound",
+                    function=record.function_id,
+                    reads=[list(k) for k in report.unsound_reads],
+                    writes=[list(k) for k in report.unsound_writes],
+                )
+            raise ProtocolError(report.describe())
+        if report.wasted_locks > 0:
+            self.metrics.incr("analysis.overapprox")
+            self.metrics.incr("analysis.wasted_locks", report.wasted_locks)
+            if obs.enabled:
+                obs.event(
+                    "analysis.overapprox",
+                    function=record.function_id,
+                    wasted_locks=report.wasted_locks,
+                )
 
     def _exec_time(self, record: RegisteredFunction) -> float:
         sigma = self.config.service_jitter_sigma

@@ -105,6 +105,11 @@ class ChaosCaseResult:
     leaked_locks: int = 0          # owners still holding locks after drain
     shed: int = 0                  # requests shed at server admission
     max_queue_depth: int = 0       # high-water admission queue depth
+    # Analyzer-soundness verdict: the runtime sanitizer compared every
+    # speculative execution's actual access trace against its f^rw
+    # prediction (analysis.unsound); any escape is a hard failure.
+    sanitizer_ok: bool = True
+    unsound_executions: int = 0
     pre_p50_ms: Optional[float] = None
     post_p50_ms: Optional[float] = None
 
@@ -124,6 +129,7 @@ class ChaosCaseResult:
             and self.metastable_ok
             and self.queue_bound_ok
             and self.leaked_locks == 0
+            and self.sanitizer_ok
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -151,6 +157,8 @@ class ChaosCaseResult:
             "max_queue_depth": self.max_queue_depth,
             "pre_p50_ms": self.pre_p50_ms,
             "post_p50_ms": self.post_p50_ms,
+            "sanitizer_ok": self.sanitizer_ok,
+            "unsound_executions": self.unsound_executions,
             "ok": self.ok,
             "counters": self.counters,
         }
@@ -558,7 +566,10 @@ def run_chaos_case(
         "validation.failure", "path.speculative", "path.direct",
         "admission.shed", "rpc.overloaded", "limiter.shrink",
         "limiter.grow", "limiter.reject", "limiter.shed",
+        "analysis.unsound", "analysis.overapprox", "analysis.wasted_locks",
+        "affinity.fast_path",
     )
+    unsound = metrics.counter("analysis.unsound")
     counters = {k: metrics.counter(k) for k in wanted if metrics.counter(k)}
     lat = sorted(tally.latencies)
     return ChaosCaseResult(
@@ -585,6 +596,8 @@ def run_chaos_case(
         max_queue_depth=max_queue_depth,
         pre_p50_ms=round(pre_p50, 3) if pre_p50 is not None else None,
         post_p50_ms=round(post_p50, 3) if post_p50 is not None else None,
+        sanitizer_ok=unsound == 0,
+        unsound_executions=unsound,
     )
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 Key = Tuple[str, str]
 
@@ -106,3 +106,14 @@ class ShardRouter:
 
     def split(self, keys: Iterable[Key]) -> Dict[int, List[Key]]:
         return self.shard_map.split(keys)
+
+    def static_shard(self, summary) -> Optional[int]:
+        """Shard of a function whose static summary proves one fully
+        constant key (:class:`~repro.analysis.ir.summary.FunctionSummary`
+        with ``static_key`` set) — known at registration time, before any
+        invocation runs f^rw.  ``None`` when the key depends on inputs."""
+        static_key = getattr(summary, "static_key", None)
+        if static_key is None:
+            return None
+        table, key = static_key
+        return self.shard_of(table, key)

@@ -85,6 +85,7 @@ class VM:
         env: HostEnv,
         gas_limit: int = DEFAULT_GAS_LIMIT,
         external: Optional[Callable[[str, Any, int], Any]] = None,
+        access_hook: Optional[Callable[[str, str, str], None]] = None,
     ):
         self.env = env
         self.gas_limit = gas_limit
@@ -92,6 +93,10 @@ class VM:
         # Wired by Radical to the idempotency-keyed service hub; absent in
         # plain sandboxes, where external() traps.
         self.external = external
+        # Interposition point for the rw-set soundness sanitizer: called as
+        # ("read"|"write", table, key) at every storage opcode, in execution
+        # order, before the trace records it.  Costs nothing when unset.
+        self.access_hook = access_hook
 
     def execute(self, func: WasmFunction, args: List[Any]) -> ExecutionTrace:
         """Run ``func`` on ``args`` to completion; returns the trace.
@@ -228,6 +233,8 @@ class VM:
                 key = stack.pop()
                 table = stack.pop()
                 self._check_key(func, table, key)
+                if self.access_hook is not None:
+                    self.access_hook("read", table, key)
                 value = self.env.db_get(table, key)
                 trace.reads.append((table, key))
                 stack.append(value)
@@ -236,6 +243,8 @@ class VM:
                 key = stack.pop()
                 table = stack.pop()
                 self._check_key(func, table, key)
+                if self.access_hook is not None:
+                    self.access_hook("write", table, key)
                 self.env.db_put(table, key, value)
                 trace.writes.append((table, key, value))
                 stack.append(None)
@@ -263,6 +272,8 @@ class VM:
                 key = stack.pop()
                 table = stack.pop()
                 self._check_key(func, table, key)
+                if self.access_hook is not None:
+                    self.access_hook("read", table, key)
                 value = self.env.db_get(table, key)
                 trace.reads.append((table, key))
                 stack.append(value)
@@ -272,6 +283,8 @@ class VM:
                 key = stack.pop()
                 table = stack.pop()
                 self._check_key(func, table, key)
+                if self.access_hook is not None:
+                    self.access_hook("write", table, key)
                 trace.writes.append((table, key, None))
                 stack.append(None)
             elif op == Op.FORMAT:

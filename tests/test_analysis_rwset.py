@@ -1,0 +1,126 @@
+"""Edge cases of the rw-set contract: ``covers()`` asymmetry, empty sets,
+and the -1 cache-miss sentinel's round trip through the LVI messages."""
+
+import pytest
+
+from conftest import build_counter_deployment
+from repro.analysis import ReadWriteSet, VersionedReadSet, check_coverage
+from repro.core import PATH_MISS, PATH_SPECULATIVE
+from repro.sim import Region
+
+K = ("counters", "c:x")
+K2 = ("counters", "c:y")
+
+
+def rw(reads=(), writes=()):
+    return ReadWriteSet.from_lists(list(reads), list(writes))
+
+
+class _Trace:
+    """Stub with the slice of ExecutionTrace check_coverage consumes."""
+
+    def __init__(self, reads=(), writes=()):
+        self._reads, self._writes = list(reads), list(writes)
+
+    def read_keys(self):
+        return list(self._reads)
+
+    def write_keys(self):
+        return list(self._writes)
+
+
+class TestCovers:
+    def test_read_prediction_does_not_cover_actual_write(self):
+        # The asymmetry the lock protocol requires: a predicted READ of a
+        # key the execution WRITES is an under-prediction — validation
+        # would have taken a shared lock where an exclusive one is needed.
+        prediction = rw(reads=[K])
+        actual = rw(writes=[K])
+        assert not prediction.covers(actual)
+
+    def test_write_prediction_does_not_cover_actual_read(self):
+        # Same key, opposite direction: the read set is validated
+        # per-version, so an unpredicted read escapes validation even if
+        # the key was write-locked.
+        prediction = rw(writes=[K])
+        actual = rw(reads=[K])
+        assert not prediction.covers(actual)
+
+    def test_read_write_prediction_covers_either(self):
+        prediction = rw(reads=[K], writes=[K])
+        assert prediction.covers(rw(reads=[K]))
+        assert prediction.covers(rw(writes=[K]))
+
+    def test_empty_prediction_covers_only_empty(self):
+        empty = rw()
+        assert empty.covers(rw())
+        assert empty.is_empty()
+        assert not empty.covers(rw(reads=[K]))
+        assert not empty.covers(rw(writes=[K]))
+
+    def test_any_prediction_covers_empty_actual(self):
+        assert rw(reads=[K], writes=[K2]).covers(rw())
+
+    def test_superset_covers(self):
+        assert rw(reads=[K, K2], writes=[K]).covers(rw(reads=[K2], writes=[K]))
+
+
+class TestSanitizerReport:
+    def test_read_vs_write_overlap_is_unsound(self):
+        report = check_coverage("t", rw(reads=[K]), _Trace(writes=[K]))
+        assert not report.sound
+        assert report.unsound_writes == (K,)
+        # The predicted read went unused on the read side too.
+        assert report.wasted_reads == (K,)
+
+    def test_sound_with_wasted_locks_counts_union(self):
+        # K predicted both read and written = ONE lock (the server
+        # upgrades), so a fully unused K counts one wasted lock, not two.
+        prediction = rw(reads=[K, K2], writes=[K])
+        report = check_coverage("t", prediction, _Trace(reads=[K2]))
+        assert report.sound
+        assert report.wasted_locks == 1
+
+    def test_exact_prediction_has_no_waste(self):
+        report = check_coverage(
+            "t", rw(reads=[K], writes=[K2]), _Trace(reads=[K], writes=[K2])
+        )
+        assert report.sound
+        assert report.wasted_locks == 0
+
+
+class TestMissSentinel:
+    def test_minus_one_marks_miss(self):
+        vrs = VersionedReadSet(versions={K: 3, K2: -1})
+        assert vrs.has_miss
+        assert not VersionedReadSet(versions={K: 0}).has_miss
+
+    def test_miss_is_always_stale(self):
+        # -1 never equals an authoritative version (absent keys
+        # authoritatively read as version 0), so a miss can never pass
+        # validation by accident.
+        vrs = VersionedReadSet(versions={K: -1})
+        assert vrs.stale_against({}) == [K]
+        assert vrs.stale_against({K: 0}) == [K]
+        assert vrs.stale_against({K: 7}) == [K]
+
+    def test_empty_set_has_no_miss_and_never_stale(self):
+        vrs = VersionedReadSet()
+        assert not vrs.has_miss
+        assert vrs.stale_against({K: 1}) == []
+
+    def test_miss_round_trip_through_lvi(self):
+        # A cold key reaches the LVI server with version -1 and must come
+        # back via the miss path (backup execution), then serve
+        # speculatively once the repair lands in the cache.
+        dep = build_counter_deployment()
+        runtime = dep.runtimes[Region.JP]
+        first = dep.sim.run_process(runtime.invoke("t.read", ["z"]))
+        assert first.path == PATH_MISS
+        assert first.result is None
+        second = dep.sim.run_process(runtime.invoke("t.read", ["z"]))
+        assert second.path == PATH_SPECULATIVE
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])
