@@ -26,12 +26,12 @@ location on every invocation (§3.3, "Failure case").
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from ..errors import AnalysisError, CompileError, NonDeterminismError, VMError
 from ..wasm import VM, WasmFunction, compile_source
+from ..storage.fastcopy import fast_deepcopy
 from .ir import (
     FunctionSummary,
     OptimizationReport,
@@ -183,6 +183,6 @@ def derive_rwset(
     dead-statement strike to drop mutations of argument objects).
     """
     vm = VM(_FrwEnv(cache_reader), gas_limit=gas_limit)
-    trace = vm.execute(frw, copy.deepcopy(args))
+    trace = vm.execute(frw, fast_deepcopy(args))
     rwset = ReadWriteSet.from_lists(trace.read_keys(), trace.write_keys())
     return rwset, trace.gas_used

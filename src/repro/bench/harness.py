@@ -98,6 +98,9 @@ class ExperimentResult:
     #: The full topology, for shard-aware inspection (``store`` above is
     #: shard 0's — the whole primary on the default one-shard topology).
     deployment: Optional[Deployment] = None
+    #: Kernel events dispatched over the run (scheduler throughput metric;
+    #: 0 for runners that predate the counter).
+    events_dispatched: int = 0
 
     def breakdowns(self) -> List[Breakdown]:
         """Per-invocation latency decompositions (requires ``cfg.trace``)."""
@@ -151,6 +154,7 @@ def run_radical_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
     return ExperimentResult(
         metrics=dep.metrics, history=dep.history, store=dep.store,
         virtual_time_ms=dep.sim.now, trace=dep.trace, deployment=dep,
+        events_dispatched=getattr(dep.sim, "events_dispatched", 0),
     )
 
 

@@ -557,6 +557,67 @@ def _analyze_main(argv: List[str]) -> int:
     return 1 if failures else 0
 
 
+def _kernelbench_main(argv: List[str]) -> int:
+    """``radical-repro kernelbench`` — measure simulator kernel throughput
+    (events/sec, wall-clock per simulated second, peak RSS) and write
+    ``BENCH_kernel.json``.  ``--smoke`` runs CI-sized workloads and gates
+    on the repo-stored floor (fails on a >20% regression)."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro kernelbench",
+        description="Benchmark the simulation kernel "
+                    "(see docs/PERFORMANCE.md).",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run gated on benchmarks/kernel_floor.json")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sweep worker processes (default: CPU count)")
+    parser.add_argument("--out", default="BENCH_kernel.json", metavar="PATH",
+                        help="where to write the report")
+    parser.add_argument("--skip-openloop", action="store_true",
+                        help="skip the chunked open-loop sweep workload")
+    args = parser.parse_args(argv)
+
+    from .bench import run_kernelbench
+
+    report = run_kernelbench(
+        smoke=args.smoke,
+        workers=args.workers,
+        out_path=args.out,
+        skip_openloop=args.skip_openloop,
+    )
+    rows = []
+    for name, row in sorted(report["workloads"].items()):
+        t = row["timing"]
+        speed = report.get("speedup_vs_baseline", {}).get(name, {}).get("speedup")
+        rows.append([
+            name,
+            row["sim"]["events_dispatched"],
+            round(t["events_per_sec"]),
+            round(t["wall_per_sim_sec"], 4),
+            round(t["wall_s"], 3),
+            f"{speed:.2f}x" if speed else "-",
+        ])
+    print_table(
+        ["workload", "events", "events/sec", "wall s / sim s", "wall (s)",
+         "vs baseline"],
+        rows,
+        title=f"Kernel benchmark ({report['meta']['queue']} queue, "
+              f"{report['meta']['workers']} worker(s), "
+              f"python {report['meta']['python']})",
+    )
+    print(f"report written to {args.out}")
+    check = report.get("floor_check")
+    if check is not None and not check["ok"]:
+        print(
+            f"FAIL fig4 events/sec {check['measured_events_per_sec']:.0f} "
+            f"below floor threshold {check['threshold']:.0f} "
+            f"(floor {check['floor_events_per_sec']:.0f} - 20%)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _overload_main(argv: List[str]) -> int:
     """``radical-repro overload`` — sweep offered load past one server's
     capacity with the overload controls on and off, and report goodput:
@@ -655,6 +716,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "overload":
         # ``overload`` sweeps offered load with shedding on/off.
         return _overload_main(argv[1:])
+    if argv and argv[0] == "kernelbench":
+        # ``kernelbench`` measures simulator kernel throughput.
+        return _kernelbench_main(argv[1:])
     if argv and argv[0] == "analyze":
         # ``analyze`` replays the corpus through the analysis pipeline.
         return _analyze_main(argv[1:])

@@ -12,12 +12,20 @@ needs no message type and costs the server no handler state.  Only
 request-bearing messages (:class:`LVIRequest`, :class:`DirectExecRequest`,
 :class:`ShardPrepare`) are subject to admission control; followups,
 decisions, and queries always get through.
+
+These were frozen dataclasses until the fast-kernel refactor; they are now
+hand-written ``__slots__`` classes because every request allocates several
+of them and the dataclass machinery (``__dict__`` per instance, generated
+``__eq__``/``__repr__``, frozen ``__setattr__`` interposition) showed up in
+the kernel profile.  The keyword signatures and field defaults are
+unchanged; instances are still immutable *by convention* — nothing in the
+protocol mutates a message after construction, and the slots layout means
+accidental new attributes raise ``AttributeError`` just as frozen did.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 Key = Tuple[str, str]
 
@@ -33,7 +41,6 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
 class LVIRequest:
     """The single coordination request of the protocol.
 
@@ -43,57 +50,103 @@ class LVIRequest:
     function id and its arguments.
     """
 
-    execution_id: str
-    function_id: str
-    args: Tuple[Any, ...]
-    read_keys: Tuple[Key, ...]
-    write_keys: Tuple[Key, ...]
-    versions: Dict[Key, int]          # cached version per read key
-    origin_region: str
+    __slots__ = (
+        "execution_id",
+        "function_id",
+        "args",
+        "read_keys",
+        "write_keys",
+        "versions",
+        "origin_region",
+    )
+
+    def __init__(
+        self,
+        execution_id: str,
+        function_id: str,
+        args: Tuple[Any, ...],
+        read_keys: Tuple[Key, ...],
+        write_keys: Tuple[Key, ...],
+        versions: Dict[Key, int],  # cached version per read key
+        origin_region: str,
+    ):
+        self.execution_id = execution_id
+        self.function_id = function_id
+        self.args = args
+        self.read_keys = read_keys
+        self.write_keys = write_keys
+        self.versions = versions
+        self.origin_region = origin_region
 
     @property
     def lock_count(self) -> int:
         return len(set(self.read_keys) | set(self.write_keys))
 
 
-@dataclass(frozen=True)
 class FreshItem:
     """An authoritative (value, version) shipped back on validation failure
     so the near-user cache can repair itself (§3.2 step 8b).  ``absent``
     records that the primary has no such key."""
 
-    value: Any
-    version: int
-    absent: bool = False
+    __slots__ = ("value", "version", "absent")
+
+    def __init__(self, value: Any, version: int, absent: bool = False):
+        self.value = value
+        self.version = version
+        self.absent = absent
 
 
-@dataclass
 class LVIResponse:
     """The server's answer to an LVI request."""
 
-    execution_id: str
-    ok: bool                                   # validation outcome
-    # Success path: versions the writes WILL have once applied, so the
-    # cache can be updated without waiting for the followup round trip.
-    new_versions: Dict[Key, int] = field(default_factory=dict)
-    validated_versions: Dict[Key, int] = field(default_factory=dict)
-    # Failure path: the backup execution's result plus cache repairs.
-    result: Any = None
-    fresh: Dict[Key, FreshItem] = field(default_factory=dict)
-    backup_read_versions: Dict[Key, int] = field(default_factory=dict)
-    backup_write_versions: Dict[Key, int] = field(default_factory=dict)
+    __slots__ = (
+        "execution_id",
+        "ok",
+        "new_versions",
+        "validated_versions",
+        "result",
+        "fresh",
+        "backup_read_versions",
+        "backup_write_versions",
+    )
+
+    def __init__(
+        self,
+        execution_id: str,
+        ok: bool,  # validation outcome
+        # Success path: versions the writes WILL have once applied, so the
+        # cache can be updated without waiting for the followup round trip.
+        new_versions: Dict[Key, int] = None,
+        validated_versions: Dict[Key, int] = None,
+        # Failure path: the backup execution's result plus cache repairs.
+        result: Any = None,
+        fresh: Dict[Key, FreshItem] = None,
+        backup_read_versions: Dict[Key, int] = None,
+        backup_write_versions: Dict[Key, int] = None,
+    ):
+        self.execution_id = execution_id
+        self.ok = ok
+        self.new_versions = {} if new_versions is None else new_versions
+        self.validated_versions = {} if validated_versions is None else validated_versions
+        self.result = result
+        self.fresh = {} if fresh is None else fresh
+        self.backup_read_versions = {} if backup_read_versions is None else backup_read_versions
+        self.backup_write_versions = (
+            {} if backup_write_versions is None else backup_write_versions
+        )
 
 
-@dataclass(frozen=True)
 class WriteFollowup:
     """Speculative writes, sent *after* responding to the client (§3.2
     step 8a).  ``writes`` are (table, key, value) in execution order."""
 
-    execution_id: str
-    writes: Tuple[Tuple[str, str, Any], ...]
+    __slots__ = ("execution_id", "writes")
+
+    def __init__(self, execution_id: str, writes: Tuple[Tuple[str, str, Any], ...]):
+        self.execution_id = execution_id
+        self.writes = writes
 
 
-@dataclass(frozen=True)
 class ShardPrepare:
     """Per-shard half of a cross-shard LVI exchange.
 
@@ -108,23 +161,48 @@ class ShardPrepare:
     vote and recorded COMMIT at the coordinating shard (presumed abort).
     """
 
-    execution_id: str
-    function_id: str
-    read_keys: Tuple[Key, ...]
-    write_keys: Tuple[Key, ...]
-    versions: Dict[Key, int]                      # cached version per read key
-    writes: Tuple[Tuple[str, str, Any], ...]      # this shard's buffered writes
-    origin_region: str
-    shard: int                                    # this shard's index
-    coordinator: str                              # coordinating shard's endpoint
-    nshards: int                                  # shards touched by the txn
+    __slots__ = (
+        "execution_id",
+        "function_id",
+        "read_keys",
+        "write_keys",
+        "versions",
+        "writes",
+        "origin_region",
+        "shard",
+        "coordinator",
+        "nshards",
+    )
+
+    def __init__(
+        self,
+        execution_id: str,
+        function_id: str,
+        read_keys: Tuple[Key, ...],
+        write_keys: Tuple[Key, ...],
+        versions: Dict[Key, int],  # cached version per read key
+        writes: Tuple[Tuple[str, str, Any], ...],  # this shard's buffered writes
+        origin_region: str,
+        shard: int,  # this shard's index
+        coordinator: str,  # coordinating shard's endpoint
+        nshards: int,  # shards touched by the txn
+    ):
+        self.execution_id = execution_id
+        self.function_id = function_id
+        self.read_keys = read_keys
+        self.write_keys = write_keys
+        self.versions = versions
+        self.writes = writes
+        self.origin_region = origin_region
+        self.shard = shard
+        self.coordinator = coordinator
+        self.nshards = nshards
 
     @property
     def lock_count(self) -> int:
         return len(set(self.read_keys) | set(self.write_keys))
 
 
-@dataclass(frozen=True)
 class ShardDecision:
     """Commit/abort verdict the runtime scatters after gathering votes.
 
@@ -134,12 +212,14 @@ class ShardDecision:
     decision message is lost.
     """
 
-    execution_id: str
-    commit: bool
-    record_decision: bool = False
+    __slots__ = ("execution_id", "commit", "record_decision")
+
+    def __init__(self, execution_id: str, commit: bool, record_decision: bool = False):
+        self.execution_id = execution_id
+        self.commit = commit
+        self.record_decision = record_decision
 
 
-@dataclass(frozen=True)
 class ShardDecisionQuery:
     """Participant → coordinator outcome lookup (lease expiry / recovery).
 
@@ -148,15 +228,26 @@ class ShardDecisionQuery:
     the store's conditional put, so exactly one outcome ever wins.
     """
 
-    execution_id: str
+    __slots__ = ("execution_id",)
+
+    def __init__(self, execution_id: str):
+        self.execution_id = execution_id
 
 
-@dataclass(frozen=True)
 class DirectExecRequest:
     """Fallback for unanalyzable functions: run near storage, no
     speculation (§3.3 'Failure case')."""
 
-    execution_id: str
-    function_id: str
-    args: Tuple[Any, ...]
-    origin_region: str
+    __slots__ = ("execution_id", "function_id", "args", "origin_region")
+
+    def __init__(
+        self,
+        execution_id: str,
+        function_id: str,
+        args: Tuple[Any, ...],
+        origin_region: str,
+    ):
+        self.execution_id = execution_id
+        self.function_id = function_id
+        self.args = args
+        self.origin_region = origin_region

@@ -18,10 +18,10 @@ Three environments cover the three places a function can run:
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..storage import KVStore, NearUserCache, VERSION_MISS
+from ..storage.fastcopy import fast_deepcopy
 
 Key = Tuple[str, str]
 
@@ -55,9 +55,9 @@ class SnapshotReader:
                 self._values[k] = None
                 self.versions[k] = VERSION_MISS
             else:
-                self._values[k] = copy.deepcopy(None if entry.absent else entry.value)
+                self._values[k] = fast_deepcopy(None if entry.absent else entry.value)
                 self.versions[k] = entry.version
-        return copy.deepcopy(self._values[k])
+        return fast_deepcopy(self._values[k])
 
     def version_of(self, table: str, key: str) -> int:
         """Version for a key, pinning it if not yet read."""
@@ -78,7 +78,7 @@ class SpeculativeEnv:
         if k in self._buffer:
             # Read-your-own-speculative-write; copied so later in-place
             # mutation does not silently edit the buffered write.
-            return copy.deepcopy(self._buffer[k])
+            return fast_deepcopy(self._buffer[k])
         return self.snapshot.read(table, key)
 
     def db_put(self, table: str, key: str, value: Any) -> None:

@@ -19,12 +19,26 @@ The programming model is intentionally close to SimPy's:
 
 Processes are spawned with :meth:`Simulator.spawn` and the world is advanced
 with :meth:`Simulator.run`.
+
+Scheduler internals (see docs/PERFORMANCE.md): the default event queue is a
+calendar/bucket queue with a dedicated FIFO lane for zero-delay wakeups —
+the majority of all schedules are process resumes at the current instant,
+and a deque append/popleft is far cheaper than a heap push/pop.  Ordering
+is still exactly global (when, seq): zero-delay entries carry ``when ==
+now`` and monotonically increasing sequence numbers, the timed queue's
+minimum is always ``>= now``, and the dispatch loop interleaves the two
+lanes by comparing (when, seq) across them.  The pre-refactor binary heap
+survives behind ``Simulator(queue="heap")`` (or ``RADICAL_SIM_QUEUE=heap``)
+for this PR so the differential equivalence suite can pin both paths to the
+same event order; it will be removed once the calendar queue has soaked.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..obs.trace import NOOP_COLLECTOR
@@ -39,6 +53,16 @@ __all__ = [
     "Interrupted",
     "SimulationError",
 ]
+
+#: Calendar bucket width in virtual milliseconds.  Delays in this workload
+#: cluster between sub-ms lock waits and ~300 ms WAN round trips; 32 ms
+#: keeps each bucket small enough that the heap inside the current bucket
+#: stays shallow while future buckets absorb inserts at list-append cost.
+_BUCKET_MS = 32.0
+
+#: Default queue implementation; overridable per-process via the
+#: ``RADICAL_SIM_QUEUE`` environment variable ("calendar" or "heap").
+DEFAULT_QUEUE = "calendar"
 
 
 class SimulationError(RuntimeError):
@@ -127,8 +151,9 @@ class Event:
 
     def _wake(self) -> None:
         waiters, self._waiters = self._waiters, []
+        sim = self.sim
         for proc in waiters:
-            self.sim._schedule_resume(proc, self)
+            sim._schedule_resume(proc, self)
 
     def _add_waiter(self, proc: "Process") -> None:
         if self._done:
@@ -155,7 +180,10 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # No per-instance name: timeouts are by far the most-allocated
+        # event and the f-string label was pure debug overhead on the hot
+        # path (the class name already identifies them in reprs).
+        super().__init__(sim)
         self.delay = delay
         sim._schedule(delay, self.trigger, value)
 
@@ -262,6 +290,8 @@ class Process:
     yield it, and :attr:`done_event` completes when it returns or raises.
     """
 
+    __slots__ = ("sim", "gen", "pid", "name", "done_event", "_waiting_on", "_defunct", "ctx")
+
     _ids = itertools.count()
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
@@ -271,7 +301,7 @@ class Process:
         self.gen = gen
         self.pid = next(Process._ids)
         self.name = name or getattr(gen, "__name__", f"proc-{self.pid}")
-        self.done_event = Event(sim, name=f"done({self.name})")
+        self.done_event = Event(sim)
         self._waiting_on: Optional[Event] = None
         self._defunct = False
         # Trace-context inheritance: a spawned process joins whatever trace
@@ -383,16 +413,19 @@ class Process:
             sim.trace_context = prev_ctx
 
     def _wait_on(self, yielded: Any) -> None:
-        if isinstance(yielded, Process):
-            yielded = yielded.done_event
-        if not isinstance(yielded, Event):
-            err = SimulationError(
-                f"process {self.name!r} yielded {yielded!r}; processes may "
-                "only yield Event, Timeout, or Process objects"
-            )
-            self.gen.close()
-            self._finish(None, err)
-            return
+        if type(yielded) is not Timeout:
+            # Timeouts dominate yields; everything else takes the slow
+            # type checks (Process join, other Event subclasses, junk).
+            if isinstance(yielded, Process):
+                yielded = yielded.done_event
+            if not isinstance(yielded, Event):
+                err = SimulationError(
+                    f"process {self.name!r} yielded {yielded!r}; processes may "
+                    "only yield Event, Timeout, or Process objects"
+                )
+                self.gen.close()
+                self._finish(None, err)
+                return
         self._waiting_on = yielded
         yielded._add_waiter(self)
 
@@ -415,16 +448,47 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a virtual clock plus a priority queue of callbacks.
+    """The event loop: a virtual clock plus an event queue of callbacks.
 
     Time is a float in **milliseconds**, matching the units the paper
     reports.  All state in the simulated world must be mutated from within
     scheduled callbacks or processes so that ordering stays deterministic.
+
+    ``queue`` selects the scheduler implementation: ``"calendar"`` (the
+    default; bucketed timer wheel plus a zero-delay FIFO lane) or
+    ``"heap"`` (the pre-refactor single binary heap, kept for one PR so
+    the differential tests can compare both).  The ``RADICAL_SIM_QUEUE``
+    environment variable overrides the default when no explicit argument
+    is given.  Both produce bit-identical event orderings; cancellation is
+    lazy in both — a cancelled timer's entry stays queued as a tombstone
+    and fires as a no-op, which keeps removal O(1).
     """
 
-    def __init__(self):
+    def __init__(self, queue: Optional[str] = None):
+        if queue is None:
+            queue = os.environ.get("RADICAL_SIM_QUEUE", DEFAULT_QUEUE)
+        if queue not in ("calendar", "heap"):
+            raise ValueError(f"unknown queue kind {queue!r} (calendar|heap)")
+        self.queue_kind = queue
+        self._use_heap = queue == "heap"
         self.now: float = 0.0
+        #: Dispatched-callback counter: the numerator of the kernelbench
+        #: events/sec metric.  Incremented once per executed entry.
+        self.events_dispatched: int = 0
+        # Legacy single-heap queue (queue="heap").
         self._heap: list[tuple[float, int, Any, Callable, tuple]] = []
+        # Calendar queue (queue="calendar"): zero-delay entries go to the
+        # FIFO `_imm` (their `when` is always the current clock, so FIFO
+        # append order IS (when, seq) order); timed entries land in
+        # `_buckets[when // _BUCKET_MS]`, plain unsorted lists, tracked by
+        # the small `_bucket_heap` of bucket indices.  A bucket is
+        # heapified only when it becomes the current bucket `_cur`; late
+        # inserts into the current bucket pay a single heappush.
+        self._imm: deque[tuple[float, int, Any, Callable, tuple]] = deque()
+        self._buckets: dict[int, list] = {}
+        self._bucket_heap: list[int] = []
+        self._cur: list[tuple[float, int, Any, Callable, tuple]] = []
+        self._cur_idx: int = -1
         self._seq = itertools.count()
         self._crashed: Optional[tuple[Process, BaseException]] = None
         self._running = False
@@ -465,14 +529,14 @@ class Simulator:
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> "TimerHandle":
         """Run a plain callback ``delay`` ms from now; returns a cancellable
-        handle.  Used for lightweight timers (e.g. write-intent expiry)."""
+        handle.  Used for lightweight timers (e.g. write-intent expiry).
+
+        Cancellation is lazy: the queue entry is never removed, it simply
+        fires as a no-op tombstone (see :class:`TimerHandle`)."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         handle = TimerHandle(fn, args)
-        heapq.heappush(
-            self._heap,
-            (self.now + delay, next(self._seq), self.trace_context, handle._fire, ()),
-        )
+        self._schedule(delay, handle._fire)
         return handle
 
     # -- execution ---------------------------------------------------------
@@ -487,6 +551,81 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
+        dispatched = 0
+        try:
+            if self._use_heap:
+                return self._run_heap(until, until_event)
+            # Calendar-queue dispatch loop.  Locals hoisted: every name
+            # touched per iteration is either a local or a single
+            # attribute load on `self`.
+            imm = self._imm
+            heappop = heapq.heappop
+            while True:
+                if imm:
+                    if until_event is not None and until_event.triggered:
+                        break
+                    # All `_imm` entries fire at the current instant; the
+                    # timed queue may hold an entry for the same instant
+                    # scheduled *earlier* (a timer armed in the past whose
+                    # time has come) — global (when, seq) order then pops
+                    # the timed entry first.
+                    entry = imm[0]
+                    if until is not None and entry[0] > until:
+                        # Only reachable when run() is called with `until`
+                        # already in the past (imm entries fire at `now`);
+                        # mirror the heap path: leave the entry queued.
+                        self.now = until
+                        break
+                    top = self._cur
+                    if not top and self._bucket_heap:
+                        self._promote_bucket()
+                        top = self._cur
+                    if top:
+                        t0 = top[0]
+                        if t0[0] == entry[0] and t0[1] < entry[1]:
+                            entry = heappop(top)
+                        else:
+                            imm.popleft()
+                    else:
+                        imm.popleft()
+                else:
+                    cur = self._cur
+                    if not cur:
+                        if not self._bucket_heap:
+                            if until is not None and until > self.now:
+                                self.now = until
+                            break
+                        self._promote_bucket()
+                        cur = self._cur
+                    if until_event is not None and until_event.triggered:
+                        break
+                    entry = cur[0]
+                    if until is not None and entry[0] > until:
+                        self.now = until
+                        break
+                    heappop(cur)
+                self.now = entry[0]
+                self.trace_context = entry[2]
+                try:
+                    entry[3](*entry[4])
+                finally:
+                    self.trace_context = None
+                dispatched += 1
+                if self._crashed is not None:
+                    proc, exc = self._crashed
+                    self._crashed = None
+                    raise SimulationError(
+                        f"process {proc.name!r} died at t={self.now:.3f}: {exc!r}"
+                    ) from exc
+        finally:
+            self.events_dispatched += dispatched
+            self._running = False
+        return self.now
+
+    def _run_heap(self, until: Optional[float], until_event: Optional[Event]) -> float:
+        """The pre-refactor dispatch loop over the single binary heap —
+        verbatim semantics, used only with ``queue="heap"``."""
+        dispatched = 0
         try:
             while self._heap:
                 if until_event is not None and until_event.triggered:
@@ -502,6 +641,7 @@ class Simulator:
                     fn(*args)
                 finally:
                     self.trace_context = None
+                dispatched += 1
                 if self._crashed is not None:
                     proc, exc = self._crashed
                     self._crashed = None
@@ -512,7 +652,7 @@ class Simulator:
                 if until is not None and until > self.now:
                     self.now = until
         finally:
-            self._running = False
+            self.events_dispatched += dispatched
         return self.now
 
     def run_process(self, gen: Generator, name: str = "", until: Optional[float] = None) -> Any:
@@ -531,18 +671,53 @@ class Simulator:
 
     # -- kernel internals ---------------------------------------------------
 
+    def _promote_bucket(self) -> None:
+        """Make the earliest pending bucket the current one.  Entries are
+        full (when, seq, ...) tuples, so heapifying the bucket's list
+        restores exact global order within it; seq uniqueness guarantees
+        comparisons never reach the unorderable ctx/fn payload."""
+        idx = heapq.heappop(self._bucket_heap)
+        cur = self._buckets.pop(idx)
+        heapq.heapify(cur)
+        self._cur = cur
+        self._cur_idx = idx
+
     def _schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         # Callbacks carry the trace context active at scheduling time, so
         # timers (e.g. intent expiry) fire attributed to the invocation
-        # that armed them.  The seq tiebreaker keeps heap ordering — and
+        # that armed them.  The seq tiebreaker keeps queue ordering — and
         # therefore determinism — independent of the ctx payload.
-        heapq.heappush(
-            self._heap, (self.now + delay, next(self._seq), self.trace_context, fn, args)
-        )
+        if self._use_heap:
+            heapq.heappush(
+                self._heap, (self.now + delay, next(self._seq), self.trace_context, fn, args)
+            )
+            return
+        if delay == 0.0:
+            self._imm.append((self.now, next(self._seq), self.trace_context, fn, args))
+            return
+        when = self.now + delay
+        entry = (when, next(self._seq), self.trace_context, fn, args)
+        idx = int(when // _BUCKET_MS)
+        if idx <= self._cur_idx:
+            heapq.heappush(self._cur, entry)
+        else:
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                self._buckets[idx] = [entry]
+                heapq.heappush(self._bucket_heap, idx)
+            else:
+                bucket.append(entry)
 
     def _schedule_resume(self, waiter: Any, event: Event) -> None:
         # ``waiter`` is a Process or a _Watcher; both expose _resume().
-        self._schedule(0, waiter._resume, event)
+        # This is the hottest schedule in the kernel (every event wakeup),
+        # hence the inlined zero-delay fast path.
+        if self._use_heap:
+            self._schedule(0, waiter._resume, event)
+        else:
+            self._imm.append(
+                (self.now, next(self._seq), self.trace_context, waiter._resume, (event,))
+            )
 
     def _crash(self, proc: Process, exc: BaseException) -> None:
         if self._crashed is None:
@@ -550,7 +725,13 @@ class Simulator:
 
 
 class TimerHandle:
-    """Cancellable handle returned by :meth:`Simulator.schedule`."""
+    """Cancellable handle returned by :meth:`Simulator.schedule`.
+
+    Cancellation is *lazy*: :meth:`cancel` only flips a flag — the queued
+    entry is left in place as a tombstone and :meth:`_fire` turns into a
+    no-op when it eventually pops.  O(1) cancel, no queue surgery, and the
+    dispatch order of live entries is unaffected.
+    """
 
     __slots__ = ("_fn", "_args", "cancelled", "fired")
 

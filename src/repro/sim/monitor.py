@@ -79,9 +79,18 @@ class Summary:
 
 
 class Metrics:
-    """A bag of labelled samples and counters for one experiment run."""
+    """A bag of labelled samples and counters for one experiment run.
 
-    def __init__(self):
+    ``enabled=False`` turns every recording method into an immediate
+    no-op — the short-circuit happens *before* any tag canonicalisation
+    or sample-list allocation, so a disabled Metrics costs one attribute
+    load per call site (kernel benchmarks measure scheduler throughput
+    with metrics off).  Read-side methods behave as if nothing was ever
+    recorded.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
         self._samples: Dict[str, List[float]] = defaultdict(list)
         self._counters: Dict[str, int] = defaultdict(int)
         # label -> tag set -> samples.  Tagged series are separate from the
@@ -92,6 +101,8 @@ class Metrics:
 
     def record(self, label: str, value: float) -> None:
         """Append one sample (e.g. a request's end-to-end latency)."""
+        if not self.enabled:
+            return
         self._samples[label].append(value)
 
     def samples(self, label: str) -> List[float]:
@@ -119,6 +130,8 @@ class Metrics:
         The flat :meth:`record` namespace is untouched: callers that want a
         sample in both record it twice.
         """
+        if not self.enabled:
+            return
         series = self._tagged[label]
         key = _tag_key(tags)
         if key not in series:
@@ -151,6 +164,8 @@ class Metrics:
 
     def incr(self, name: str, by: int = 1) -> None:
         """Increment a named counter (validation failures, retries, ...)."""
+        if not self.enabled:
+            return
         self._counters[name] += by
 
     def counter(self, name: str) -> int:

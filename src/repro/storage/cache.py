@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
+from .fastcopy import fast_deepcopy
 from .kvstore import Item, VERSION_MISS
 
 __all__ = ["CacheEntry", "NearUserCache"]
@@ -100,9 +101,7 @@ class NearUserCache:
         The value is deep-copied: the cache must never alias objects a
         still-running execution could mutate.
         """
-        import copy
-
-        self._entries[(table, key)] = CacheEntry(value=copy.deepcopy(value), version=version)
+        self._entries[(table, key)] = CacheEntry(value=fast_deepcopy(value), version=version)
 
     def invalidate(self, table: str, key: str) -> None:
         """Drop one entry (next access will be a miss)."""

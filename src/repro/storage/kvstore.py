@@ -18,11 +18,11 @@ paper attributes latency to the network rather than to DynamoDB's innards.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ConditionFailed, KeyMissing
+from .fastcopy import fast_deepcopy
 
 __all__ = ["Item", "KVStore", "WriteOp", "VERSION_ABSENT", "VERSION_MISS"]
 
@@ -41,7 +41,7 @@ class Item:
 
     def copy_value(self) -> Any:
         """A defensive deep copy of the value for handing to callers."""
-        return copy.deepcopy(self.value)
+        return fast_deepcopy(self.value)
 
 
 @dataclass(frozen=True)
@@ -95,7 +95,7 @@ class KVStore:
         tbl = self._tables.setdefault(table, {})
         old = tbl.get(key)
         new_version = (old.version if old is not None else VERSION_ABSENT) + 1
-        tbl[key] = Item(copy.deepcopy(value), new_version)
+        tbl[key] = Item(fast_deepcopy(value), new_version)
         return new_version
 
     def conditional_put(self, table: str, key: str, value: Any, expected_version: int) -> int:

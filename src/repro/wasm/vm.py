@@ -26,12 +26,53 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..errors import GasExhausted, VMTrap
-from .intrinsics import lookup
+from .intrinsics import REGISTRY, lookup
 from .ir import Instr, Op, WasmFunction
 
 __all__ = ["HostEnv", "DictEnv", "ExecutionTrace", "VM", "DEFAULT_GAS_LIMIT"]
 
 DEFAULT_GAS_LIMIT = 2_000_000
+
+# Integer opcodes for the dispatch loop.  The public IR keeps readable
+# string mnemonics (`Op`); execution translates each function once into
+# (int, arg) pairs so the interpreter compares small ints instead of
+# walking a string-equality chain, and skips the per-instruction
+# ``instr.op``/``instr.arg`` attribute loads.  Numbered in rough hot-path
+# frequency order, matching the if/elif chain in :meth:`VM.execute`.
+(
+    _LOAD, _PUSH, _COMPARE, _JUMP_IF_FALSE, _BINOP, _STORE, _INDEX, _JUMP,
+    _JUMP_IF_TRUE, _DUP, _POP, _METHOD, _CALL, _FORMAT, _BUILD_LIST,
+    _BUILD_DICT, _BUILD_TUPLE, _DB_GET, _DB_PUT, _RW_READ, _RW_WRITE,
+    _INTRINSIC, _RETURN, _UNARY, _JUMP_IF_FALSE_KEEP, _JUMP_IF_TRUE_KEEP,
+    _SLICE, _STORE_INDEX, _EXT_CALL, _UNKNOWN,
+) = range(30)
+
+_OPMAP = {
+    Op.LOAD: _LOAD, Op.PUSH: _PUSH, Op.COMPARE: _COMPARE,
+    Op.JUMP_IF_FALSE: _JUMP_IF_FALSE, Op.BINOP: _BINOP, Op.STORE: _STORE,
+    Op.INDEX: _INDEX, Op.JUMP: _JUMP, Op.JUMP_IF_TRUE: _JUMP_IF_TRUE,
+    Op.DUP: _DUP, Op.POP: _POP, Op.METHOD: _METHOD, Op.CALL: _CALL,
+    Op.FORMAT: _FORMAT, Op.BUILD_LIST: _BUILD_LIST, Op.BUILD_DICT: _BUILD_DICT,
+    Op.BUILD_TUPLE: _BUILD_TUPLE, Op.DB_GET: _DB_GET, Op.DB_PUT: _DB_PUT,
+    Op.RW_READ: _RW_READ, Op.RW_WRITE: _RW_WRITE, Op.INTRINSIC: _INTRINSIC,
+    Op.RETURN: _RETURN, Op.UNARY: _UNARY,
+    Op.JUMP_IF_FALSE_KEEP: _JUMP_IF_FALSE_KEEP,
+    Op.JUMP_IF_TRUE_KEEP: _JUMP_IF_TRUE_KEEP, Op.SLICE: _SLICE,
+    Op.STORE_INDEX: _STORE_INDEX, Op.EXT_CALL: _EXT_CALL,
+}
+
+
+def _translate(func: WasmFunction) -> list:
+    """Translate a function's instruction vector to (int opcode, arg)
+    pairs, cached on the function object.  Unknown mnemonics become
+    ``_UNKNOWN`` entries that trap at execution, preserving the original
+    lazy unknown-opcode behaviour."""
+    fast = [
+        (_OPMAP.get(i.op, _UNKNOWN), i.arg if _OPMAP.get(i.op) is not None else i.op)
+        for i in func.instructions
+    ]
+    func._fastcode = fast
+    return fast
 
 
 class HostEnv(Protocol):
@@ -111,146 +152,181 @@ class VM:
         trace = ExecutionTrace()
         locals_: Dict[str, Any] = dict(zip(func.params, args))
         stack: List[Any] = []
-        code = func.instructions
+        try:
+            code = func._fastcode
+        except AttributeError:
+            code = _translate(func)
+        ncode = len(code)
         pc = 0
         gas = 0
         limit = self.gas_limit
+        # Hot locals: one attribute load each for the whole execution.
+        append = stack.append
+        pop = stack.pop
+        hook = self.access_hook
+        env = self.env
+        reads = trace.reads
+        writes = trace.writes
+        reg_get = REGISTRY.get
 
         while True:
-            if pc >= len(code):
+            if pc >= ncode:
                 raise VMTrap(f"{func.name}: fell off the end of the code")
-            instr = code[pc]
+            op, arg = code[pc]
             gas += 1
             if gas > limit:
                 trace.gas_used = gas
                 raise GasExhausted(f"{func.name}: exceeded {limit} gas at pc={pc}")
-            op = instr.op
             pc += 1
 
-            if op == Op.PUSH:
-                stack.append(instr.arg)
-            elif op == Op.LOAD:
+            if op == _LOAD:
                 try:
-                    stack.append(locals_[instr.arg])
+                    append(locals_[arg])
                 except KeyError:
-                    raise VMTrap(f"{func.name}: unbound variable {instr.arg!r}") from None
-            elif op == Op.STORE:
-                locals_[instr.arg] = stack.pop()
-            elif op == Op.POP:
-                stack.pop()
-            elif op == Op.DUP:
-                stack.append(stack[-1])
-            elif op == Op.BINOP:
-                rhs = stack.pop()
-                lhs = stack.pop()
-                stack.append(self._binop(func, instr.arg, lhs, rhs))
-            elif op == Op.UNARY:
-                value = stack.pop()
-                stack.append(self._unary(func, instr.arg, value))
-            elif op == Op.COMPARE:
-                rhs = stack.pop()
-                lhs = stack.pop()
-                stack.append(self._compare(func, instr.arg, lhs, rhs))
-            elif op == Op.JUMP:
-                pc = instr.arg
-            elif op == Op.JUMP_IF_FALSE:
-                if not stack.pop():
-                    pc = instr.arg
-            elif op == Op.JUMP_IF_TRUE:
-                if stack.pop():
-                    pc = instr.arg
-            elif op == Op.JUMP_IF_FALSE_KEEP:
-                if not stack[-1]:
-                    pc = instr.arg
-            elif op == Op.JUMP_IF_TRUE_KEEP:
-                if stack[-1]:
-                    pc = instr.arg
-            elif op == Op.CALL:
-                name, argc = instr.arg
+                    raise VMTrap(f"{func.name}: unbound variable {arg!r}") from None
+            elif op == _PUSH:
+                append(arg)
+            elif op == _COMPARE:
+                rhs = pop()
+                lhs = pop()
+                append(self._compare(func, arg, lhs, rhs))
+            elif op == _JUMP_IF_FALSE:
+                if not pop():
+                    pc = arg
+            elif op == _BINOP:
+                rhs = pop()
+                lhs = pop()
+                append(self._binop(func, arg, lhs, rhs))
+            elif op == _STORE:
+                locals_[arg] = pop()
+            elif op == _INDEX:
+                index = pop()
+                obj = pop()
+                try:
+                    append(obj[index])
+                except (KeyError, IndexError, TypeError) as exc:
+                    raise VMTrap(f"{func.name}: index failed: {exc}") from exc
+            elif op == _JUMP:
+                pc = arg
+            elif op == _JUMP_IF_TRUE:
+                if pop():
+                    pc = arg
+            elif op == _DUP:
+                append(stack[-1])
+            elif op == _POP:
+                pop()
+            elif op == _METHOD:
+                name, argc = arg
+                call_args = stack[len(stack) - argc:]
+                del stack[len(stack) - argc:]
+                receiver = pop()
+                result, extra_gas = self._method(func, receiver, name, call_args)
+                gas += extra_gas
+                append(result)
+            elif op == _CALL:
+                name, argc = arg
                 call_args = stack[len(stack) - argc:]
                 del stack[len(stack) - argc:]
                 result, extra_gas = self._builtin(func, name, call_args)
                 gas += extra_gas
-                stack.append(result)
-            elif op == Op.INTRINSIC:
-                name, argc = instr.arg
-                call_args = stack[len(stack) - argc:]
-                del stack[len(stack) - argc:]
-                intrinsic = lookup(name)
-                gas += intrinsic.cost
-                try:
-                    stack.append(intrinsic.fn(*call_args))
-                except VMTrap:
-                    raise
-                except Exception as exc:
-                    raise VMTrap(f"{func.name}: intrinsic {name} failed: {exc}") from exc
-            elif op == Op.METHOD:
-                name, argc = instr.arg
-                call_args = stack[len(stack) - argc:]
-                del stack[len(stack) - argc:]
-                receiver = stack.pop()
-                result, extra_gas = self._method(func, receiver, name, call_args)
-                gas += extra_gas
-                stack.append(result)
-            elif op == Op.BUILD_LIST:
-                n = instr.arg
-                items = stack[len(stack) - n:]
-                del stack[len(stack) - n:]
-                stack.append(items)
-            elif op == Op.BUILD_TUPLE:
-                n = instr.arg
-                items = tuple(stack[len(stack) - n:])
-                del stack[len(stack) - n:]
-                stack.append(items)
-            elif op == Op.BUILD_DICT:
-                n = instr.arg
-                flat = stack[len(stack) - 2 * n:]
-                del stack[len(stack) - 2 * n:]
+                append(result)
+            elif op == _FORMAT:
+                parts = stack[len(stack) - arg:]
+                del stack[len(stack) - arg:]
+                append("".join(self._to_str(func, p) for p in parts))
+            elif op == _BUILD_LIST:
+                items = stack[len(stack) - arg:]
+                del stack[len(stack) - arg:]
+                append(items)
+            elif op == _BUILD_DICT:
+                n2 = 2 * arg
+                flat = stack[len(stack) - n2:]
+                del stack[len(stack) - n2:]
                 d = {}
-                for i in range(0, 2 * n, 2):
+                for i in range(0, n2, 2):
                     key = flat[i]
                     if not isinstance(key, (str, int, float, bool, tuple)):
                         raise VMTrap(f"{func.name}: unhashable dict key {key!r}")
                     d[key] = flat[i + 1]
-                stack.append(d)
-            elif op == Op.INDEX:
-                index = stack.pop()
-                obj = stack.pop()
-                stack.append(self._index(func, obj, index))
-            elif op == Op.STORE_INDEX:
-                value = stack.pop()
-                index = stack.pop()
-                obj = stack.pop()
-                self._store_index(func, obj, index, value)
-            elif op == Op.SLICE:
-                hi = stack.pop()
-                lo = stack.pop()
-                obj = stack.pop()
+                append(d)
+            elif op == _BUILD_TUPLE:
+                items = tuple(stack[len(stack) - arg:])
+                del stack[len(stack) - arg:]
+                append(items)
+            elif op == _DB_GET or op == _RW_READ:
+                key = pop()
+                table = pop()
+                if not (type(table) is str and type(key) is str):
+                    self._check_key(func, table, key)
+                if hook is not None:
+                    hook("read", table, key)
+                value = env.db_get(table, key)
+                reads.append((table, key))
+                append(value)
+            elif op == _DB_PUT:
+                value = pop()
+                key = pop()
+                table = pop()
+                if not (type(table) is str and type(key) is str):
+                    self._check_key(func, table, key)
+                if hook is not None:
+                    hook("write", table, key)
+                env.db_put(table, key, value)
+                writes.append((table, key, value))
+                append(None)
+            elif op == _RW_WRITE:
+                if arg == 3:
+                    pop()  # value evaluated only for its nested reads
+                key = pop()
+                table = pop()
+                if not (type(table) is str and type(key) is str):
+                    self._check_key(func, table, key)
+                if hook is not None:
+                    hook("write", table, key)
+                writes.append((table, key, None))
+                append(None)
+            elif op == _INTRINSIC:
+                name, argc = arg
+                call_args = stack[len(stack) - argc:]
+                del stack[len(stack) - argc:]
+                intrinsic = reg_get(name)
+                if intrinsic is None:
+                    raise VMTrap(f"unknown intrinsic {name!r}")
+                gas += intrinsic.cost
+                try:
+                    append(intrinsic.fn(*call_args))
+                except VMTrap:
+                    raise
+                except Exception as exc:
+                    raise VMTrap(f"{func.name}: intrinsic {name} failed: {exc}") from exc
+            elif op == _RETURN:
+                trace.result = pop()
+                trace.gas_used = gas
+                return trace
+            elif op == _UNARY:
+                value = pop()
+                append(self._unary(func, arg, value))
+            elif op == _JUMP_IF_FALSE_KEEP:
+                if not stack[-1]:
+                    pc = arg
+            elif op == _JUMP_IF_TRUE_KEEP:
+                if stack[-1]:
+                    pc = arg
+            elif op == _SLICE:
+                hi = pop()
+                lo = pop()
+                obj = pop()
                 if not isinstance(obj, (list, str, tuple)):
                     raise VMTrap(f"{func.name}: cannot slice {type(obj).__name__}")
-                stack.append(obj[lo:hi])
-            elif op == Op.DB_GET:
-                key = stack.pop()
-                table = stack.pop()
-                self._check_key(func, table, key)
-                if self.access_hook is not None:
-                    self.access_hook("read", table, key)
-                value = self.env.db_get(table, key)
-                trace.reads.append((table, key))
-                stack.append(value)
-            elif op == Op.DB_PUT:
-                value = stack.pop()
-                key = stack.pop()
-                table = stack.pop()
-                self._check_key(func, table, key)
-                if self.access_hook is not None:
-                    self.access_hook("write", table, key)
-                self.env.db_put(table, key, value)
-                trace.writes.append((table, key, value))
-                stack.append(None)
-            elif op == Op.EXT_CALL:
-                payload = stack.pop()
-                service = stack.pop()
+                append(obj[lo:hi])
+            elif op == _STORE_INDEX:
+                value = pop()
+                index = pop()
+                obj = pop()
+                self._store_index(func, obj, index, value)
+            elif op == _EXT_CALL:
+                payload = pop()
+                service = pop()
                 if not isinstance(service, str):
                     raise VMTrap(f"{func.name}: external service name must be a string")
                 if self.external is None:
@@ -267,37 +343,9 @@ class VM:
                         f"{func.name}: external service {service} failed: {exc}"
                     ) from exc
                 trace.external_calls.append((service, seq))
-                stack.append(response)
-            elif op == Op.RW_READ:
-                key = stack.pop()
-                table = stack.pop()
-                self._check_key(func, table, key)
-                if self.access_hook is not None:
-                    self.access_hook("read", table, key)
-                value = self.env.db_get(table, key)
-                trace.reads.append((table, key))
-                stack.append(value)
-            elif op == Op.RW_WRITE:
-                if instr.arg == 3:
-                    stack.pop()  # value evaluated only for its nested reads
-                key = stack.pop()
-                table = stack.pop()
-                self._check_key(func, table, key)
-                if self.access_hook is not None:
-                    self.access_hook("write", table, key)
-                trace.writes.append((table, key, None))
-                stack.append(None)
-            elif op == Op.FORMAT:
-                n = instr.arg
-                parts = stack[len(stack) - n:]
-                del stack[len(stack) - n:]
-                stack.append("".join(self._to_str(func, p) for p in parts))
-            elif op == Op.RETURN:
-                trace.result = stack.pop()
-                trace.gas_used = gas
-                return trace
+                append(response)
             else:  # pragma: no cover - compiler emits only known opcodes
-                raise VMTrap(f"{func.name}: unknown opcode {op!r}")
+                raise VMTrap(f"{func.name}: unknown opcode {arg!r}")
 
     # -- operand helpers -----------------------------------------------------
 

@@ -92,6 +92,7 @@ class TestHarness:
         check_strict_serializability(result.history.records())
 
 
+@pytest.mark.slow
 class TestExperimentViews:
     def test_fig4_row_fields(self):
         trio = run_eval_trio("social", SMALL)

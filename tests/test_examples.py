@@ -37,6 +37,7 @@ class TestExamples:
         assert out.count("PASS") == 3
         assert "All failure scenarios behaved as the paper specifies." in out
 
+    @pytest.mark.slow
     def test_social_network(self):
         out = run_example("social_network.py", timeout=420.0)
         assert "Improvement (%)" in out
@@ -48,6 +49,7 @@ class TestExamples:
         assert "social.post" in out
         assert "[dependent]" in out
 
+    @pytest.mark.slow
     def test_trace_breakdown(self):
         out = run_example("trace_breakdown.py", timeout=420.0)
         assert "0 orphans" in out
