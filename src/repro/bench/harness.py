@@ -22,6 +22,8 @@ from ..apps import App
 from ..baselines import LocalIdeal, PrimaryBaseline
 from ..consistency import HistoryRecorder
 from ..core import FunctionRegistry, RadicalConfig
+from ..faults import FaultPlan
+from ..mesh import MeshSpec
 from ..obs import Breakdown, TraceCollector, all_breakdowns
 from ..sim import (
     Metrics,
@@ -64,6 +66,10 @@ class ExperimentConfig:
     # seed topology, byte for byte) and optional explicit placement.
     shards: int = 1
     shard_map: Optional[ShardMap] = None
+    # PoP cache mesh (repro.mesh): None keeps the seed's isolated caches.
+    mesh: Optional[MeshSpec] = None
+    # Armed through the fault scheduler right after construction.
+    fault_plan: Optional[FaultPlan] = None
     radical: RadicalConfig = field(default_factory=RadicalConfig)
 
     def per_client_requests(self) -> int:
@@ -82,6 +88,8 @@ class ExperimentConfig:
             persistent_caches=True,
             record_history=self.record_history,
             shard_map=self.shard_map,
+            mesh=self.mesh,
+            fault_plan=self.fault_plan,
         )
 
 

@@ -1,0 +1,189 @@
+"""Mesh sweep: what gossip freshness is worth, in aborts and backups.
+
+The cache mesh (:mod:`repro.mesh`) never changes what Radical *returns* —
+every path still validates at the primary — it changes how often the
+speculative path survives validation.  This sweep quantifies that on the
+paper's Figure-5 regional workloads: for each app, run the five-region
+deployment with the mesh off and with gossip at several intervals (cache
+staleness bounds), with and without a PoP-partition chaos window, and
+report
+
+* the validation-abort rate ``validation.failure / (success + failure)``
+  — the direct cost of stale speculation;
+* the backup-execution rate ``(path.backup + path.miss) / paths`` — how
+  often a request had to fall back past the speculative fast path;
+* the cache hit-age distribution (``cache.hit_age_ms``) — the staleness
+  the mesh is supposed to bound;
+* the gossip cost counters (digests sent, updates shipped/applied).
+
+The chaos variant cuts the JP PoP's *gossip links only* (``wan=False`` —
+the LVI path stays up), isolating the mesh's degradation mode: while
+partitioned, JP decays to exactly the mesh-off staleness curve, and the
+surviving PoPs keep gossiping.
+
+``radical-repro mesh`` drives this and writes ``results/mesh.json``;
+``--smoke`` runs a CI-sized slice (forum only, one interval) gated on
+structural checks — gossip flowed, every rate is a rate — not on point
+statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..faults import FaultPlan, PoPPartitionWindow
+from ..mesh import MeshSpec
+from ..sim import Region, percentile
+from .harness import ExperimentConfig, run_radical_experiment
+from .report import save_results
+
+__all__ = [
+    "MESH_GOSSIP_INTERVALS",
+    "mesh_partition_plan",
+    "sweep_mesh",
+    "mesh_gate_failures",
+]
+
+#: Gossip intervals swept (virtual ms): the cache-staleness knob.
+MESH_GOSSIP_INTERVALS: Tuple[float, ...] = (25.0, 100.0, 400.0)
+
+
+def mesh_partition_plan(
+    start_ms: float = 400.0, end_ms: float = 2_400.0
+) -> FaultPlan:
+    """The sweep's chaos case: JP loses every gossip peer for the window
+    but keeps its WAN link to the primary — mesh freshness degrades while
+    the protocol keeps running, which is precisely the regime where the
+    abort-rate gap between mesh-on and mesh-off closes."""
+    peers = tuple(r for r in Region.NEAR_USER if r != Region.JP)
+    return FaultPlan(
+        "mesh-bench-pop-partition",
+        (PoPPartitionWindow(Region.JP, start_ms, end_ms, peers=peers, wan=False),),
+        "JP's gossip links are cut mid-run; the LVI path stays up",
+        mesh=True,
+    )
+
+
+def _mesh_settings(
+    intervals: Sequence[float],
+) -> List[Tuple[str, Optional[MeshSpec]]]:
+    settings: List[Tuple[str, Optional[MeshSpec]]] = [("off", None)]
+    for interval in intervals:
+        settings.append(
+            (f"on-{interval:g}ms", MeshSpec(gossip_interval_ms=interval))
+        )
+    return settings
+
+
+def _run_point(
+    app_name: str,
+    app_builder,
+    mesh_label: str,
+    mesh_spec: Optional[MeshSpec],
+    chaos: str,
+    requests: int,
+    seed: int,
+) -> Dict[str, Any]:
+    cfg = ExperimentConfig(
+        requests=requests,
+        seed=seed,
+        # Jitter off: the abort/backup curves compare cache *staleness*
+        # across mesh settings; latency noise would only blur them.
+        network_jitter_sigma=0.0,
+        mesh=mesh_spec,
+        fault_plan=mesh_partition_plan() if chaos == "pop-partition" else None,
+    )
+    result = run_radical_experiment(app_builder(), cfg)
+    m = result.metrics
+
+    ok = m.counter("validation.success")
+    bad = m.counter("validation.failure")
+    backup = m.counter("path.backup") + m.counter("path.miss")
+    paths = (
+        m.counter("path.speculative") + m.counter("path.backup")
+        + m.counter("path.miss") + m.counter("path.direct")
+    )
+    ages = m.samples_tagged("cache.hit_age_ms")
+    e2e = sorted(m.samples("e2e"))
+    return {
+        "app": app_name,
+        "mesh": mesh_label,
+        "gossip_interval_ms": (
+            mesh_spec.gossip_interval_ms if mesh_spec is not None else None
+        ),
+        "chaos": chaos,
+        "requests": requests,
+        "abort_rate": round(bad / (ok + bad), 4) if ok + bad else None,
+        "backup_rate": round(backup / paths, 4) if paths else None,
+        "validation_failures": bad,
+        "median_ms": round(percentile(e2e, 50.0), 3) if e2e else None,
+        "hit_age_p50_ms": round(percentile(sorted(ages), 50.0), 3) if ages else None,
+        "hit_age_mean_ms": round(sum(ages) / len(ages), 3) if ages else None,
+        "cache_hits": len(ages),
+        "gossip_sent": m.counter("mesh.gossip_sent"),
+        "gossip_timeouts": m.counter("mesh.gossip_timeout"),
+        "updates_shipped": m.counter("mesh.updates_shipped"),
+        "updates_applied": m.counter("mesh.updates_applied"),
+        "virtual_time_ms": round(result.virtual_time_ms, 3),
+    }
+
+
+def sweep_mesh(
+    apps: Optional[Sequence[str]] = None,
+    intervals: Sequence[float] = MESH_GOSSIP_INTERVALS,
+    requests: int = 1_200,
+    seed: int = 42,
+    save: bool = True,
+) -> Dict[str, Any]:
+    """The full sweep: apps x (mesh off + each gossip interval) x
+    (no chaos, PoP partition).  Deterministic per seed — rerunning with
+    the same arguments reproduces ``results/mesh.json`` byte for byte."""
+    from .experiments import MAIN_APP_BUILDERS
+
+    app_names = list(apps) if apps is not None else list(MAIN_APP_BUILDERS)
+    rows = []
+    for app_name in app_names:
+        builder = MAIN_APP_BUILDERS[app_name]
+        for chaos in ("none", "pop-partition"):
+            for mesh_label, mesh_spec in _mesh_settings(intervals):
+                rows.append(
+                    _run_point(
+                        app_name, builder, mesh_label, mesh_spec, chaos,
+                        requests, seed,
+                    )
+                )
+    payload = {
+        "apps": app_names,
+        "gossip_intervals_ms": list(intervals),
+        "requests": requests,
+        "seed": seed,
+        "regions": list(Region.NEAR_USER),
+        "rows": rows,
+    }
+    if save:
+        save_results("mesh", payload)
+    return payload
+
+
+def mesh_gate_failures(payload: Dict[str, Any]) -> List[str]:
+    """Structural gate for CI: the sweep must show gossip actually ran on
+    every mesh-on point and every reported rate must be a rate.  Point
+    statistics (which interval aborts least) are results, not gates."""
+    failures = []
+    for row in payload["rows"]:
+        where = f"{row['app']}/{row['mesh']}/{row['chaos']}"
+        for field in ("abort_rate", "backup_rate"):
+            rate = row[field]
+            if rate is not None and not 0.0 <= rate <= 1.0:
+                failures.append(f"{where}: {field} {rate} outside [0, 1]")
+        if row["mesh"] == "off":
+            if row["gossip_sent"] or row["updates_applied"]:
+                failures.append(f"{where}: mesh off but gossip counters nonzero")
+        else:
+            if not row["gossip_sent"]:
+                failures.append(f"{where}: mesh on but no digests sent")
+            if not row["updates_applied"]:
+                failures.append(f"{where}: mesh on but no updates applied")
+        if not row["cache_hits"]:
+            failures.append(f"{where}: no cache hits recorded (hit-age metric dead)")
+    return failures

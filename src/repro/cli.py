@@ -325,7 +325,8 @@ def _chaos_main(argv: List[str]) -> int:
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the case results JSON to PATH "
                              "(default: results/chaos.json)")
-    parser.add_argument("--list-plans", action="store_true",
+    parser.add_argument("--list-plans", "--list", action="store_true",
+                        dest="list_plans",
                         help="list the built-in fault plans and exit")
     args = parser.parse_args(argv)
 
@@ -618,6 +619,63 @@ def _kernelbench_main(argv: List[str]) -> int:
     return 0
 
 
+def _mesh_main(argv: List[str]) -> int:
+    """``radical-repro mesh`` — sweep the PoP cache mesh over the Figure-5
+    regional workloads: validation-abort and backup-execution rates vs
+    gossip interval (cache staleness), mesh on/off, with and without a
+    PoP-partition chaos window (see docs/MESH.md)."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro mesh",
+        description="Abort/backup rates vs cache staleness, mesh on/off, "
+                    "under PoP-partition chaos.",
+    )
+    parser.add_argument("--requests", type=int, default=1_200,
+                        help="workload size per sweep point")
+    parser.add_argument("--seed", type=int, default=42, help="sweep seed")
+    parser.add_argument("--intervals", default=None,
+                        help="comma-separated gossip intervals in virtual ms "
+                             "(default: 25,100,400)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized sweep: forum only, one interval, "
+                             "no results file")
+    args = parser.parse_args(argv)
+
+    from .bench import MESH_GOSSIP_INTERVALS, mesh_gate_failures, sweep_mesh
+
+    if args.smoke:
+        # Smoke runs must not clobber the full-sweep artifact.
+        payload = sweep_mesh(
+            apps=("forum",), intervals=(50.0,), requests=300,
+            seed=args.seed, save=False,
+        )
+    else:
+        intervals = (
+            tuple(float(s) for s in args.intervals.split(",") if s)
+            if args.intervals else MESH_GOSSIP_INTERVALS
+        )
+        payload = sweep_mesh(
+            intervals=intervals, requests=args.requests, seed=args.seed,
+        )
+    print_table(
+        ["app", "mesh", "chaos", "abort %", "backup %", "hit age p50 (ms)",
+         "med (ms)", "updates applied"],
+        [[r["app"], r["mesh"], r["chaos"],
+          f"{r['abort_rate'] * 100:.2f}" if r["abort_rate"] is not None else "-",
+          f"{r['backup_rate'] * 100:.2f}" if r["backup_rate"] is not None else "-",
+          r["hit_age_p50_ms"] if r["hit_age_p50_ms"] is not None else "-",
+          r["median_ms"], r["updates_applied"]]
+         for r in payload["rows"]],
+        title=f"Mesh sweep: {len(payload['apps'])} app(s), "
+              f"{payload['requests']} requests/point",
+    )
+    failures = mesh_gate_failures(payload)
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    if not args.smoke:
+        print("results written to results/mesh.json")
+    return 1 if failures else 0
+
+
 def _overload_main(argv: List[str]) -> int:
     """``radical-repro overload`` — sweep offered load past one server's
     capacity with the overload controls on and off, and report goodput:
@@ -716,6 +774,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "overload":
         # ``overload`` sweeps offered load with shedding on/off.
         return _overload_main(argv[1:])
+    if argv and argv[0] == "mesh":
+        # ``mesh`` sweeps the PoP cache mesh (staleness vs aborts).
+        return _mesh_main(argv[1:])
     if argv and argv[0] == "kernelbench":
         # ``kernelbench`` measures simulator kernel throughput.
         return _kernelbench_main(argv[1:])

@@ -34,6 +34,13 @@ __all__ = [
     "DependencyGraph",
     "RegisterOp",
     "check_register_linearizable",
+    "CutEvent",
+    "find_read_your_writes_violations",
+    "find_monotonic_read_violations",
+    "find_causal_cut_violations",
+    "check_read_your_writes",
+    "check_monotonic_reads",
+    "check_causal_cut",
 ]
 
 
@@ -137,6 +144,140 @@ def check_strict_serializability(records: Sequence[TxnRecord]) -> None:
     for a, b in zip(cycle, cycle[1:]):
         parts.append(f"T{a} --[{graph.labels.get((a, b), '?')}]--> T{b}")
     raise ConsistencyViolation("dependency cycle: " + "; ".join(parts))
+
+
+# ---------------------------------------------------------------------------
+# Session guarantees (Terry et al.): read-your-writes & monotonic reads.
+#
+# Because every Radical path validates at the primary before acknowledging,
+# strict serializability already implies both guarantees for *acked*
+# results.  The mesh (repro.mesh) nevertheless enforces them client-side so
+# that migrated sessions never even *speculate* on known-stale cache
+# entries; these checkers are the verification instrument the chaos matrix
+# runs against every mesh case.  Records are grouped by ``TxnRecord.session``
+# (empty sessions are skipped — unrelated clients share no session) and
+# ordered by invocation time, which is the issue order of a sequential
+# client.
+# ---------------------------------------------------------------------------
+
+def _session_order(records: Sequence[TxnRecord]) -> Dict[str, List[TxnRecord]]:
+    sessions: Dict[str, List[TxnRecord]] = {}
+    for r in records:
+        if r.session:
+            sessions.setdefault(r.session, []).append(r)
+    for ops in sessions.values():
+        ops.sort(key=lambda r: (r.invoked_at, r.responded_at, r.txn_id))
+    return sessions
+
+
+def find_read_your_writes_violations(records: Sequence[TxnRecord]) -> List[str]:
+    """Read-your-writes: once a session's write of version v is acked, every
+    later read of that key by the same session must return version >= v."""
+    violations: List[str] = []
+    for session, ops in sorted(_session_order(records).items()):
+        written: Dict[Key, int] = {}
+        for r in ops:
+            for key, version in sorted(r.reads.items()):
+                floor = written.get(key, 0)
+                if version < floor:
+                    violations.append(
+                        f"session {session}: T{r.txn_id} ({r.function}) read "
+                        f"{key}@v{version} after the session wrote v{floor}"
+                    )
+            for key, version in r.writes.items():
+                if version > written.get(key, 0):
+                    written[key] = version
+    return violations
+
+
+def find_monotonic_read_violations(records: Sequence[TxnRecord]) -> List[str]:
+    """Monotonic reads: within a session, reads of a key never go backwards
+    in version order."""
+    violations: List[str] = []
+    for session, ops in sorted(_session_order(records).items()):
+        seen: Dict[Key, int] = {}
+        for r in ops:
+            for key, version in sorted(r.reads.items()):
+                floor = seen.get(key, 0)
+                if version < floor:
+                    violations.append(
+                        f"session {session}: T{r.txn_id} ({r.function}) read "
+                        f"{key}@v{version} after an earlier read observed v{floor}"
+                    )
+                else:
+                    seen[key] = version
+    return violations
+
+
+def check_read_your_writes(records: Sequence[TxnRecord]) -> None:
+    """Raise :class:`ConsistencyViolation` on any read-your-writes breach."""
+    violations = find_read_your_writes_violations(records)
+    if violations:
+        raise ConsistencyViolation("read-your-writes: " + "; ".join(violations))
+
+
+def check_monotonic_reads(records: Sequence[TxnRecord]) -> None:
+    """Raise :class:`ConsistencyViolation` on any monotonic-reads breach."""
+    violations = find_monotonic_read_violations(records)
+    if violations:
+        raise ConsistencyViolation("monotonic-reads: " + "; ".join(violations))
+
+
+# ---------------------------------------------------------------------------
+# Causal-cut validity for mesh PoP application logs.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CutEvent:
+    """One gossip update applied at a PoP, in application order.
+
+    ``origin`` is the writer PoP's identity (``region#epoch`` in the mesh),
+    ``seq`` its per-origin sequence number, and ``deps`` the origin version
+    vector the writer observed at write time — every ``(origin, seq)`` pair
+    the update causally depends on.
+    """
+
+    origin: str
+    seq: int
+    deps: Tuple[Tuple[str, int], ...] = ()
+
+
+def find_causal_cut_violations(events: Sequence[CutEvent], label: str = "") -> List[str]:
+    """Replay a PoP's application log and verify it always formed a causal
+    cut: per-origin updates applied gaplessly in sequence order, and never
+    before every dependency was already applied."""
+    where = f"[{label}] " if label else ""
+    violations: List[str] = []
+    vv: Dict[str, int] = {}
+    for i, e in enumerate(events):
+        expected = vv.get(e.origin, 0) + 1
+        if e.seq != expected:
+            kind = "re-applied" if e.seq < expected else "skipped ahead to"
+            violations.append(
+                f"{where}event {i}: {kind} {e.origin}:{e.seq} "
+                f"(next in sequence was {e.origin}:{expected})"
+            )
+            if e.seq < expected:
+                continue
+        for origin, seq in sorted(e.deps):
+            if origin == e.origin and seq < e.seq:
+                continue  # own-origin prefix is covered by the gap check
+            if vv.get(origin, 0) < seq:
+                violations.append(
+                    f"{where}event {i}: applied {e.origin}:{e.seq} before its "
+                    f"dependency {origin}:{seq} (only {origin}:{vv.get(origin, 0)} "
+                    f"was applied)"
+                )
+        vv[e.origin] = e.seq
+    return violations
+
+
+def check_causal_cut(events: Sequence[CutEvent], label: str = "") -> None:
+    """Raise :class:`ConsistencyViolation` if the application log ever left
+    the causal cut."""
+    violations = find_causal_cut_violations(events, label=label)
+    if violations:
+        raise ConsistencyViolation("causal-cut: " + "; ".join(violations))
 
 
 # ---------------------------------------------------------------------------

@@ -30,6 +30,10 @@ class TxnRecord:
     responded_at: float
     reads: Dict[Key, int] = field(default_factory=dict)    # key -> version read
     writes: Dict[Key, int] = field(default_factory=dict)   # key -> version written
+    #: Client session id, for session-guarantee checking (read-your-writes,
+    #: monotonic reads).  Empty = not part of any session; the session
+    #: checkers skip such records.
+    session: str = ""
 
     @property
     def is_read_only(self) -> bool:
@@ -48,7 +52,7 @@ class HistoryRecorder:
         self._records: List[TxnRecord] = []
         self._ids = itertools.count()
 
-    def begin(self, function: str, now: float) -> TxnRecord:
+    def begin(self, function: str, now: float, session: str = "") -> TxnRecord:
         """Open a record at invocation time; fill in reads/writes and call
         :meth:`finish` when the response reaches the client."""
         return TxnRecord(
@@ -56,6 +60,7 @@ class HistoryRecorder:
             function=function,
             invoked_at=now,
             responded_at=-1.0,
+            session=session,
         )
 
     def finish(

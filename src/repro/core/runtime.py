@@ -127,6 +127,7 @@ class NearUserRuntime:
         server_name: str = "lvi-server",
         external_hub=None,
         router=None,
+        pop=None,
     ):
         self.sim = sim
         self.net = net
@@ -140,6 +141,11 @@ class NearUserRuntime:
         self.router = router if router is not None else _SingleShardRouter(server_name)
         self.server_name = server_name if router is None else router.endpoint(0)
         self.external_hub = external_hub  # §3.5 services, shared deployment-wide
+        # The mesh PoP this location belongs to, when the deployment runs a
+        # cache mesh (repro.mesh).  ``pop`` is the same object as ``cache``
+        # then; None on seed topologies.  A non-serving PoP (crashed
+        # location) makes the whole runtime unavailable.
+        self.pop = pop
         # The index is scoped to this experiment's network (not a
         # process-global counter): endpoint names land in trace-span
         # attributes, and a global counter would make two same-seed runs
@@ -176,8 +182,10 @@ class NearUserRuntime:
         )
         self._exec_counter = itertools.count()
         # The cache reports hit/miss events to the same collector as the
-        # rest of the deployment (a no-op unless tracing is installed).
+        # rest of the deployment (a no-op unless tracing is installed) and
+        # timestamps entries / emits hit-age samples via the bound clock.
         cache.obs = sim.obs
+        cache.bind(sim, self.metrics)
         net.register(self.name, region)
         # Optional per-runtime LVI batcher: coalesces concurrent hot-path
         # requests to the same shard into one physical message (off by
@@ -191,9 +199,36 @@ class NearUserRuntime:
 
     # -- public API -----------------------------------------------------------
 
-    def invoke(self, function_id: str, args: List[Any]) -> Generator:
+    def attach(self, session) -> Generator:
+        """Bind a client session to this location (initial attach or a
+        migration re-attach); generator, may take virtual time.
+
+        On a mesh deployment the PoP tries to pull the session's
+        unsatisfied cut (keys whose floor exceeds the local cached
+        version) from live peers; whatever remains unsatisfied is handled
+        per-request by floor enforcement in :meth:`invoke` — the stale
+        entries read as misses, which routes those requests down the full
+        LVI path instead of doomed speculation.
+        """
+        moved = session.region is not None and session.region != self.region
+        session.region = self.region
+        session.attaches += 1
+        self.metrics.incr("mesh.attach")
+        if moved:
+            session.migrations += 1
+            self.metrics.incr("mesh.migrate")
+        if self.pop is not None:
+            yield from self.pop.sync_session(session)
+        return session
+
+    def invoke(self, function_id: str, args: List[Any], session=None) -> Generator:
         """Handle one client request; generator returning an
         :class:`InvocationOutcome`.
+
+        ``session`` (a :class:`repro.mesh.Session`, optional) makes the
+        attempt session-aware: cached versions below the session's floor
+        are treated as misses, and the acked result's observed versions
+        are folded back into the session watermark.
 
         When tracing is enabled, the runtime emits one *phase* span per
         contiguous segment of its critical path (``phase.overhead``,
@@ -210,6 +245,12 @@ class NearUserRuntime:
             if cfg.invocation_deadline_ms > 0
             else math.inf
         )
+
+        # A crashed PoP location can run nothing at all — same contract as
+        # an open breaker, so session-aware clients migrate off it.
+        if self.pop is not None and not self.pop.serving:
+            self.metrics.incr("mesh.pop_down")
+            raise UnavailableError(f"{self.region}: PoP location is down")
 
         # Degradation ladder, bottom rung: while the breaker is open the
         # near-storage path is known-dead — fail fast instead of feeding
@@ -236,16 +277,20 @@ class NearUserRuntime:
                 )
             try:
                 outcome = yield from self._invoke_body(
-                    record, args, execution_id, invoked_at, deadline_at
+                    record, args, execution_id, invoked_at, deadline_at, session
                 )
             finally:
                 self._limiter.release()
             self._limiter.on_success()
+            if session is not None:
+                session.observe(outcome.read_versions, outcome.write_versions)
             return outcome
 
         outcome = yield from self._invoke_body(
-            record, args, execution_id, invoked_at, deadline_at
+            record, args, execution_id, invoked_at, deadline_at, session
         )
+        if session is not None:
+            session.observe(outcome.read_versions, outcome.write_versions)
         return outcome
 
     def _invoke_body(
@@ -255,6 +300,7 @@ class NearUserRuntime:
         execution_id: str,
         invoked_at: float,
         deadline_at: float,
+        session=None,
     ) -> Generator:
         """The ladder-admitted invocation: overheads, analyzability
         routing, then the speculative attempt/restart loop."""
@@ -304,7 +350,7 @@ class NearUserRuntime:
             attempt_id = execution_id if restart == 0 else f"{execution_id}~r{restart}"
             try:
                 outcome = yield from self._invoke_analyzed(
-                    record, args, attempt_id, invoked_at, deadline_at
+                    record, args, attempt_id, invoked_at, deadline_at, session
                 )
             except _CrossShardStale as stale:
                 restart += 1
@@ -331,6 +377,7 @@ class NearUserRuntime:
         execution_id: str,
         invoked_at: float,
         deadline_at: float,
+        session=None,
     ) -> Generator:
         """One attempt at the analyzable path: f^rw, speculation, then the
         single-shard LVI request or the cross-shard prepare/commit flow."""
@@ -386,6 +433,19 @@ class NearUserRuntime:
         # byte for byte; touching several shards enters the scatter-gather
         # prepare/commit flow.
         versions = {k: snapshot.version_of(*k) for k in rwset.reads}
+        if session is not None:
+            # Session-guarantee enforcement (repro.mesh): a cached version
+            # below the session's floor is *known* stale — validation would
+            # abort it anyway.  Treat it as a miss so the request takes the
+            # full LVI path (no doomed speculation) and the response's
+            # fresh items repair the cache.
+            stale = 0
+            for k, v in versions.items():
+                if 0 <= v < session.floor(k):
+                    versions[k] = -1
+                    stale += 1
+            if stale:
+                self.metrics.incr("mesh.session_stale", stale)
         all_keys = list(rwset.reads) + list(rwset.writes)
         if (
             cfg.affinity_fast_path

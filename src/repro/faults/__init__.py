@@ -24,7 +24,10 @@ from .plan import (
     FaultAction,
     FaultPlan,
     FollowupLossWindow,
+    MigrationWindow,
     PartitionWindow,
+    PoPCrashWindow,
+    PoPPartitionWindow,
     SlowServerWindow,
     SurgeWindow,
 )
@@ -39,7 +42,10 @@ __all__ = [
     "FaultAction",
     "FaultPlan",
     "FollowupLossWindow",
+    "MigrationWindow",
     "PartitionWindow",
+    "PoPCrashWindow",
+    "PoPPartitionWindow",
     "SurgeWindow",
     "SlowServerWindow",
     "RetryPolicy",

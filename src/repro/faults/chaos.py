@@ -34,9 +34,16 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..consistency import HistoryRecorder, check_strict_serializability
+from ..consistency import (
+    HistoryRecorder,
+    check_strict_serializability,
+    find_causal_cut_violations,
+    find_monotonic_read_violations,
+    find_read_your_writes_violations,
+)
 from ..core import FunctionSpec, NearUserRuntime, RadicalConfig
 from ..errors import ConsistencyViolation, FaultConfigError, UnavailableError
+from ..mesh import MeshSpec, Session
 from ..sim import Region, Simulator, percentile
 from ..topology import Deployment, TopologySpec
 from ..workloads import OpenLoopClient
@@ -47,7 +54,10 @@ from .plan import (
     DuplicateWindow,
     FaultPlan,
     FollowupLossWindow,
+    MigrationWindow,
     PartitionWindow,
+    PoPCrashWindow,
+    PoPPartitionWindow,
     SlowServerWindow,
     SurgeWindow,
 )
@@ -112,10 +122,26 @@ class ChaosCaseResult:
     unsound_executions: int = 0
     pre_p50_ms: Optional[float] = None
     post_p50_ms: Optional[float] = None
+    # Mesh-plan verdicts (trivially clean for non-mesh plans): session
+    # guarantees over the per-client histories and causal-cut validity of
+    # every PoP's gossip application log.
+    ryw_violations: int = 0        # read-your-writes breaches
+    mr_violations: int = 0         # monotonic-reads breaches
+    causal_violations: int = 0     # causal-cut breaches across PoP logs
+    migrations: int = 0            # client re-attachments (forced + failover)
 
     @property
     def availability(self) -> float:
         return self.acked / self.requests if self.requests else 1.0
+
+    @property
+    def session_ok(self) -> bool:
+        """Session guarantees + causal cuts held (vacuous off-mesh)."""
+        return (
+            self.ryw_violations == 0
+            and self.mr_violations == 0
+            and self.causal_violations == 0
+        )
 
     @property
     def ok(self) -> bool:
@@ -130,6 +156,7 @@ class ChaosCaseResult:
             and self.queue_bound_ok
             and self.leaked_locks == 0
             and self.sanitizer_ok
+            and self.session_ok
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -159,6 +186,11 @@ class ChaosCaseResult:
             "post_p50_ms": self.post_p50_ms,
             "sanitizer_ok": self.sanitizer_ok,
             "unsound_executions": self.unsound_executions,
+            "session_ok": self.session_ok,
+            "ryw_violations": self.ryw_violations,
+            "mr_violations": self.mr_violations,
+            "causal_violations": self.causal_violations,
+            "migrations": self.migrations,
             "ok": self.ok,
             "counters": self.counters,
         }
@@ -218,6 +250,7 @@ class _Tally:
     # the pooled mix, whose modes flip on sampling luck alone.
     probe_samples: List[Tuple[float, float, str, str]] = field(default_factory=list)
     probe_unavailable_at: List[float] = field(default_factory=list)
+    migrations: int = 0
 
 
 def _chaos_client(
@@ -261,6 +294,89 @@ def _chaos_client(
             tally.probe_unavailable_at.append(sim.now)
             if is_bump:
                 tally.maybe_bumps[key] = tally.maybe_bumps.get(key, 0) + 1
+        else:
+            history.finish(
+                record, sim.now,
+                reads=outcome.read_versions, writes=outcome.write_versions,
+            )
+            tally.acked += 1
+            tally.latencies.append(sim.now - started)
+            tally.probe_samples.append(
+                (sim.now, sim.now - started, runtime.region, outcome.path)
+            )
+            if is_bump:
+                tally.acked_bumps[key] = tally.acked_bumps.get(key, 0) + 1
+        tally.issued += 1
+        tally.max_invocation_ms = max(tally.max_invocation_ms, sim.now - started)
+        yield sim.timeout(think_ms)
+
+
+def _next_live_region(dep: Deployment, current: str) -> str:
+    """Failover target for a client whose PoP went dark: the first
+    spec-order region (other than ``current``) whose PoP is serving.
+    Falls back to spec order when no PoP is up — the re-attach then fails
+    availability-wise, never correctness-wise."""
+    others = [r for r in dep.spec.regions if r != current]
+    if dep.mesh is not None:
+        live = [r for r in others if dep.mesh.pop(r).serving]
+        if live:
+            return live[0]
+    return others[0] if others else current
+
+
+def _mesh_chaos_client(
+    sim: Simulator,
+    dep: Deployment,
+    start_region: str,
+    client_id: str,
+    rng,
+    history: HistoryRecorder,
+    tally: _Tally,
+    requests: int,
+    keys: int,
+    think_ms: float,
+    moves: List[Tuple[float, str]],
+) -> Generator:
+    """The session-carrying probe mesh plans run instead of
+    :func:`_chaos_client`: same 70/30 bump/read mix, but every request
+    rides a :class:`~repro.mesh.Session`, the plan's forced-migration
+    schedule (``moves``) re-attaches the client mid-run, and a
+    ``UnavailableError`` from a downed PoP triggers failover to the next
+    live region — all without dropping the session watermark, so the
+    post-hoc session-guarantee checks judge exactly this client's history."""
+    session = Session(client_id)
+    runtime = dep.runtimes[start_region]
+    yield from runtime.attach(session)
+    pending_moves = list(moves)  # (at_ms, to_region), time-sorted
+    for i in range(requests):
+        while pending_moves and sim.now >= pending_moves[0][0]:
+            _, to_region = pending_moves.pop(0)
+            if to_region != session.region:
+                runtime = dep.runtimes[to_region]
+                yield from runtime.attach(session)
+                tally.migrations += 1
+        key = f"c:{rng.randrange(keys)}"
+        is_bump = rng.random() < 0.7
+        fn = "chaos.bump" if is_bump else "chaos.read"
+        started = sim.now
+        record = history.begin(fn, started, session=client_id)
+        try:
+            outcome = yield sim.spawn(
+                runtime.invoke(fn, [key], session=session),
+                name=f"chaos({client_id}:{i})",
+            )
+        except UnavailableError:
+            tally.unavailable += 1
+            tally.probe_unavailable_at.append(sim.now)
+            if is_bump:
+                tally.maybe_bumps[key] = tally.maybe_bumps.get(key, 0) + 1
+            # Mid-session migration on PoP loss: re-attach to the next
+            # live PoP and keep going.  The session vector travels along,
+            # so reads at the new PoP still honour every floor.
+            if dep.mesh is not None and not dep.mesh.pop(runtime.region).serving:
+                runtime = dep.runtimes[_next_live_region(dep, runtime.region)]
+                yield from runtime.attach(session)
+                tally.migrations += 1
         else:
             history.finish(
                 record, sim.now,
@@ -350,6 +466,20 @@ def run_chaos_case(
     """
     cfg = config or chaos_config(replicated=plan.replicated, overload=plan.overload)
     overload_windows = plan.overload_windows()
+    mesh_spec: Optional[MeshSpec] = None
+    if plan.mesh:
+        mesh_spec = MeshSpec(gossip_interval_ms=120.0)
+        if regions == (Region.JP, Region.CA):
+            # Mesh plans need a third PoP: when one region is islanded or
+            # crashed, its clients must still have somewhere to fail over
+            # to *and* the survivors must still form a gossiping pair.
+            regions = (Region.JP, Region.CA, Region.IE)
+    for w in plan.migration_windows():
+        if w.to_region not in regions:
+            raise FaultConfigError(
+                f"plan {plan.name!r} migrates to {w.to_region!r}, "
+                f"which has no runtime (regions: {', '.join(regions)})"
+            )
     if plan.overload:
         # Overload plans probe *queueing*, and the metastability verdict
         # compares latency medians — with the default 2-key keyspace the
@@ -394,6 +524,7 @@ def run_chaos_case(
             persistent_caches=False,
             raft_prewarm_ms=0.0,  # chaos elects its leader under traffic
             fault_plan=plan,
+            mesh=mesh_spec,
         ),
         functions=[
             FunctionSpec("chaos.bump", BUMP_SRC, 20.0),
@@ -406,19 +537,28 @@ def run_chaos_case(
     history = HistoryRecorder()
     tally = _Tally()
     procs = []
+    migration_schedule = plan.migration_windows()
     for region in regions:
         for c in range(clients_per_region):
             rng = dep.streams.stream(f"chaos.client.{region}.{c}")
-            procs.append(
-                sim.spawn(
-                    _chaos_client(
-                        sim, dep.runtimes[region], rng, history, tally,
-                        requests_per_client, keys, think_ms,
-                        until_ms=probe_until,
-                    ),
-                    name=f"chaos-client-{region}-{c}",
+            if plan.mesh:
+                client_id = f"{region}-{c}"
+                moves = [
+                    (w.at_ms, w.to_region)
+                    for w in migration_schedule
+                    if w.client in (client_id, "*")
+                ]
+                body = _mesh_chaos_client(
+                    sim, dep, region, client_id, rng, history, tally,
+                    requests_per_client, keys, think_ms, moves,
                 )
-            )
+            else:
+                body = _chaos_client(
+                    sim, dep.runtimes[region], rng, history, tally,
+                    requests_per_client, keys, think_ms,
+                    until_ms=probe_until,
+                )
+            procs.append(sim.spawn(body, name=f"chaos-client-{region}-{c}"))
     surge_outcome = _surge_recorder(history, tally)
     mix = _ChaosMix(keys)
     for i, w in enumerate(plan.surge_windows()):
@@ -456,6 +596,27 @@ def run_chaos_case(
     except ConsistencyViolation as exc:
         serializable = False
         violation = str(exc)
+
+    # Session guarantees + causal cuts (mesh plans only): the per-client
+    # histories carry session ids and every PoP kept its gossip
+    # application log, so both claims are checked against the actual
+    # execution rather than assumed from the protocol argument.
+    ryw_msgs: List[str] = []
+    mr_msgs: List[str] = []
+    causal_msgs: List[str] = []
+    if plan.mesh:
+        srecords = [r for r in history.records() if r.session]
+        ryw_msgs = find_read_your_writes_violations(srecords)
+        mr_msgs = find_monotonic_read_violations(srecords)
+        if dep.mesh is not None:
+            for region in sorted(dep.mesh.pops):
+                for label, log in dep.mesh.pop(region).application_logs():
+                    causal_msgs.extend(find_causal_cut_violations(log, label=label))
+        if not violation:
+            for msgs in (ryw_msgs, mr_msgs, causal_msgs):
+                if msgs:
+                    violation = msgs[0]
+                    break
 
     # Exactly-once reconciliation: for each key,
     #   acked - pending  <=  final value  <=  acked + maybe-applied.
@@ -568,6 +729,10 @@ def run_chaos_case(
         "limiter.grow", "limiter.reject", "limiter.shed",
         "analysis.unsound", "analysis.overapprox", "analysis.wasted_locks",
         "affinity.fast_path",
+        "mesh.gossip_sent", "mesh.gossip_timeout", "mesh.updates_shipped",
+        "mesh.updates_applied", "mesh.updates_buffered", "mesh.session_stale",
+        "mesh.cut_fetched", "mesh.cut_unsatisfied", "mesh.cut_timeout",
+        "mesh.attach", "mesh.migrate", "mesh.pop_down",
     )
     unsound = metrics.counter("analysis.unsound")
     counters = {k: metrics.counter(k) for k in wanted if metrics.counter(k)}
@@ -598,6 +763,10 @@ def run_chaos_case(
         post_p50_ms=round(post_p50, 3) if post_p50 is not None else None,
         sanitizer_ok=unsound == 0,
         unsound_executions=unsound,
+        ryw_violations=len(ryw_msgs),
+        mr_violations=len(mr_msgs),
+        causal_violations=len(causal_msgs),
+        migrations=tally.migrations,
     )
 
 
@@ -622,7 +791,7 @@ def builtin_plans() -> Dict[str, FaultPlan]:
     of virtual time); every crash window restarts its target so the run
     settles to zero pending intents.
     """
-    jp, ca, va = Region.JP, Region.CA, Region.VA
+    jp, ca, ie, va = Region.JP, Region.CA, Region.IE, Region.VA
     plans = [
         FaultPlan("baseline", (), "no faults; the control case"),
         FaultPlan(
@@ -705,6 +874,40 @@ def builtin_plans() -> Dict[str, FaultPlan]:
             "otherwise absorb; admission control must bound its queue and "
             "latency must return to the pre-limp median after it heals",
             overload=True,
+        ),
+        FaultPlan(
+            "mesh-pop-partition",
+            (PoPPartitionWindow(jp, 800.0, 2_600.0, peers=(ca, ie), wan=True),),
+            "the JP PoP is a full island for 1.8 s — no gossip peers, no "
+            "primary; its clients ride the breaker ladder while the "
+            "survivors keep gossiping, and every session guarantee must "
+            "hold through the heal",
+            mesh=True,
+        ),
+        FaultPlan(
+            "mesh-pop-crash",
+            (PoPCrashWindow(jp, 900.0, 2_400.0),),
+            "the JP PoP location dies (cache and gossip state lost) and "
+            "restarts under a fresh epoch; its clients fail over "
+            "mid-session and the reborn PoP re-bootstraps through gossip",
+            mesh=True,
+        ),
+        FaultPlan(
+            "mesh-migration-storm",
+            (
+                MigrationWindow("jp-0", ca, 600.0),
+                MigrationWindow("ca-0", ie, 900.0),
+                MigrationWindow("ie-0", jp, 1_200.0),
+                MigrationWindow("jp-0", ie, 1_500.0),
+                MigrationWindow("ca-0", jp, 1_800.0),
+                MigrationWindow("ie-0", ca, 2_100.0),
+                MigrationWindow("jp-0", jp, 2_400.0),
+                MigrationWindow("ie-0", ie, 2_700.0),
+            ),
+            "every client hops PoPs repeatedly mid-session; the carried "
+            "session vectors must keep read-your-writes and "
+            "monotonic-reads intact at each new PoP",
+            mesh=True,
         ),
     ]
     return {p.name: p for p in plans}

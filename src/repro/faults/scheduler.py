@@ -26,7 +26,10 @@ from .plan import (
     DuplicateWindow,
     FaultPlan,
     FollowupLossWindow,
+    MigrationWindow,
     PartitionWindow,
+    PoPCrashWindow,
+    PoPPartitionWindow,
     SlowServerWindow,
     SurgeWindow,
 )
@@ -101,6 +104,12 @@ class FaultScheduler:
                 self._arm_surge(action)
             elif isinstance(action, SlowServerWindow):
                 self._arm_slow_server(action)
+            elif isinstance(action, PoPPartitionWindow):
+                self._arm_pop_partition(action)
+            elif isinstance(action, PoPCrashWindow):
+                self._arm_pop_crash(action)
+            elif isinstance(action, MigrationWindow):
+                self._arm_migration(action)
             else:  # pragma: no cover - FaultAction is a closed union
                 raise FaultConfigError(f"unknown fault action {action!r}")
 
@@ -192,6 +201,47 @@ class FaultScheduler:
         self._at(w.crash_at_ms, crash)
         if w.restart_at_ms is not None:
             self._at(w.restart_at_ms, restart)
+
+    def _arm_pop_partition(self, w: PoPPartitionWindow) -> None:
+        def begin():
+            for a, b in w.cut_pairs():
+                self.net.partition(a, b, bidirectional=True)
+            self._note(
+                "pop_partition", region=w.region,
+                peers=",".join(w.peers), wan=w.wan,
+            )
+
+        def end():
+            for a, b in w.cut_pairs():
+                self.net.heal(a, b)
+            self._note("pop_partition_heal", region=w.region)
+
+        self._at(w.start_ms, begin)
+        self._at(w.end_ms, end)
+
+    def _arm_pop_crash(self, w: PoPCrashWindow) -> None:
+        target = self.targets[w.target]
+
+        def crash():
+            target.crash()
+            self._note("pop_crash", region=w.region)
+
+        def restart():
+            target.restart()
+            self._note("pop_restart", region=w.region)
+
+        self._at(w.crash_at_ms, crash)
+        if w.restart_at_ms is not None:
+            self._at(w.restart_at_ms, restart)
+
+    def _arm_migration(self, w: MigrationWindow) -> None:
+        # Migration is a client action — the chaos harness watches the
+        # plan's migration windows and re-attaches the named clients; the
+        # scheduler contributes the deterministic injection-log entry.
+        self._at(w.at_ms, self._note_migration, w)
+
+    def _note_migration(self, w: MigrationWindow) -> None:
+        self._note("migration", client=w.client, to_region=w.to_region)
 
     def _arm_surge(self, w: SurgeWindow) -> None:
         # The surge's *traffic* is generated by the harness (it owns the

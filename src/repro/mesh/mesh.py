@@ -1,0 +1,526 @@
+"""The PoP cache mesh: cooperating near-user caches under causal gossip.
+
+CausalMesh (PAPERS.md) observes that a set of edge caches can stay useful
+under partitions and node loss if they exchange updates with enough causal
+metadata to only ever apply *causal cuts*.  This module reproduces that
+idea on top of Radical's near-user caches:
+
+* Every PoP wraps its region's :class:`~repro.storage.NearUserCache` in a
+  :class:`MeshPop` that assigns each locally learned update an
+  ``(origin, seq)`` id — ``origin`` is ``region#epoch`` (the epoch bumps
+  on crash-restart so a reborn PoP never reuses ids) — plus the origin
+  version vector the PoP had applied at write time (the update's causal
+  dependencies).
+* PoPs gossip on a fixed virtual-time interval: each round, every serving
+  PoP sends each peer a :class:`GossipDigest` carrying its version vector
+  and the updates the peer has not acknowledged.  The digest is an RPC;
+  the reply is the receiver's post-application vector, which doubles as a
+  cumulative ack.  Empty digests still flow — they are the heartbeat that
+  lets a restarted (vector-zeroed) peer be detected and re-bootstrapped.
+* A receiver applies updates per-origin in sequence order and only once
+  every dependency is satisfied; out-of-order arrivals are buffered.  The
+  application order at every PoP therefore always forms a causal cut —
+  `repro.consistency.check_causal_cut` replays the log and proves it.
+* Updates carry authoritative primary versions, so application is a simple
+  version comparison (newer wins) and relayed updates are safe: a PoP
+  forwards everything it has applied, which gives transitive delivery
+  around partitioned links.
+
+Correctness never depends on any of this: the LVI protocol validates every
+cached version at the primary before a speculative result is released.
+The mesh exists to keep caches *fresh* — fewer validation aborts, fewer
+backup executions — and to give migrating clients a PoP that can satisfy
+their session cut (see :mod:`repro.mesh.session`).
+
+Determinism: gossip runs on the shared virtual-time simulator, draws no
+randomness of its own, and registers its endpoints only in
+:meth:`CacheMesh.start` — *after* every runtime is built — so endpoint
+name counters and RNG stream keys are untouched.  A mesh with fewer than
+two PoPs registers nothing and schedules nothing: a 1-PoP mesh deployment
+is virtual-time-identical to the seed single-cache path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..consistency import CutEvent
+from ..errors import FaultConfigError, ProtocolError
+from ..sim.network import RpcTimeout
+from ..storage.cache import CacheEntry, NearUserCache
+from ..storage.fastcopy import fast_deepcopy
+from ..storage.kvstore import Item
+from .session import Key, Session
+
+__all__ = [
+    "MeshSpec",
+    "MeshUpdate",
+    "GossipDigest",
+    "GossipAck",
+    "CutRequest",
+    "CutReply",
+    "MeshPop",
+    "CacheMesh",
+]
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Declarative mesh configuration (lives on ``TopologySpec.mesh``)."""
+
+    #: Gossip round period per PoP, virtual ms.
+    gossip_interval_ms: float = 100.0
+    #: RPC timeout for one digest exchange (must exceed the worst inter-PoP
+    #: round trip; DE<->JP is ~230 ms in the paper's latency table).
+    gossip_timeout_ms: float = 400.0
+    #: RPC timeout for a session cut fetch during re-attach.
+    cut_timeout_ms: float = 400.0
+    #: Ship at most this many updates per digest; the remainder waits for
+    #: the next round (bounds message size under burst writes).
+    max_updates_per_digest: int = 64
+    #: Also gossip validation repairs (fresh items installed after an LVI
+    #: failure), not just local speculative writes.
+    gossip_repairs: bool = True
+    enabled: bool = True
+
+    def validate(self) -> None:
+        if self.gossip_interval_ms <= 0:
+            raise FaultConfigError(
+                f"mesh gossip_interval_ms must be > 0 (got {self.gossip_interval_ms})"
+            )
+        if self.gossip_timeout_ms <= 0 or self.cut_timeout_ms <= 0:
+            raise FaultConfigError("mesh rpc timeouts must be > 0")
+        if self.max_updates_per_digest < 1:
+            raise FaultConfigError(
+                f"mesh max_updates_per_digest must be >= 1 (got {self.max_updates_per_digest})"
+            )
+
+
+class MeshUpdate:
+    """One versioned item update flowing through the mesh."""
+
+    __slots__ = ("origin", "seq", "table", "key", "value", "version", "deps")
+
+    def __init__(
+        self,
+        origin: str,
+        seq: int,
+        table: str,
+        key: str,
+        value: Any,
+        version: int,
+        deps: Tuple[Tuple[str, int], ...],
+    ):
+        self.origin = origin
+        self.seq = seq
+        self.table = table
+        self.key = key
+        self.value = value
+        self.version = version
+        self.deps = deps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MeshUpdate({self.origin}:{self.seq} {self.table}/{self.key}@v{self.version})"
+
+
+class GossipDigest:
+    """One gossip round's payload: sender vector + unacked updates."""
+
+    __slots__ = ("sender", "vv", "updates")
+
+    def __init__(
+        self,
+        sender: str,
+        vv: Tuple[Tuple[str, int], ...],
+        updates: Tuple[MeshUpdate, ...],
+    ):
+        self.sender = sender
+        self.vv = vv
+        self.updates = updates
+
+
+class GossipAck:
+    """Digest reply: the receiver's post-application vector (cumulative ack)."""
+
+    __slots__ = ("sender", "vv")
+
+    def __init__(self, sender: str, vv: Tuple[Tuple[str, int], ...]):
+        self.sender = sender
+        self.vv = vv
+
+
+class CutRequest:
+    """Session cut fetch: the unsatisfied per-key floors of a re-attaching
+    client."""
+
+    __slots__ = ("floors",)
+
+    def __init__(self, floors: Tuple[Tuple[Key, int], ...]):
+        self.floors = floors
+
+
+class CutReply:
+    """Entries the serving PoP holds at-or-above the requested floors."""
+
+    __slots__ = ("sender", "entries")
+
+    def __init__(self, sender: str, entries: Tuple[Tuple[str, str, Any, int], ...]):
+        self.sender = sender
+        self.entries = entries
+
+
+class MeshPop(NearUserCache):
+    """A near-user cache that participates in the gossip mesh.
+
+    Subclasses :class:`NearUserCache` so the runtime's cache interface is
+    unchanged; the overrides only *add* update logging and timestamping.
+    """
+
+    def __init__(self, mesh: "CacheMesh", region: str, persistent: bool = False):
+        super().__init__(region, persistent=persistent)
+        self.mesh = mesh
+        #: False while the PoP location is crashed: the runtime refuses
+        #: invocations and gossip neither sends nor receives.
+        self.serving = True
+        #: Crash-restart incarnation counter; part of the origin id so a
+        #: reborn PoP never reuses (origin, seq) pairs.
+        self.epoch = 0
+        self._own_seq = 0
+        #: Applied origin version vector: origin -> highest contiguously
+        #: applied sequence number.
+        self.vv: Dict[str, int] = {}
+        #: Applied updates held for relay: origin -> seq -> update.
+        self.updates: Dict[str, Dict[int, MeshUpdate]] = {}
+        #: Updates whose dependencies are not yet satisfied.
+        self.buffered: List[MeshUpdate] = []
+        #: Last known vector of each peer (from digests and acks); drives
+        #: which updates the next digest ships.
+        self.peer_vv: Dict[str, Dict[str, int]] = {}
+        #: Application log for causal-cut checking, one per incarnation.
+        self.applied_log: List[CutEvent] = []
+        self._archived_logs: List[Tuple[str, List[CutEvent]]] = []
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def origin(self) -> str:
+        return f"{self.region}#{self.epoch}"
+
+    @property
+    def endpoint_name(self) -> str:
+        return f"mesh-{self.region}"
+
+    def application_logs(self) -> List[Tuple[str, List[CutEvent]]]:
+        """Every incarnation's application log, oldest first, for the
+        causal-cut checker."""
+        return self._archived_logs + [(f"{self.region}#{self.epoch}", list(self.applied_log))]
+
+    # -- cache overrides: log what we learn locally ------------------------
+
+    def apply_local_write(self, table: str, key: str, value: Any, version: int) -> None:
+        super().apply_local_write(table, key, value, version)
+        if self._gossip_active():
+            self._log_own_update(table, key, value, version)
+
+    def install(self, table: str, key: str, item: Optional[Item]) -> None:
+        super().install(table, key, item)
+        if (
+            item is not None
+            and self._gossip_active()
+            and self.mesh.spec.gossip_repairs
+        ):
+            self._log_own_update(table, key, item.value, item.version)
+
+    def _gossip_active(self) -> bool:
+        return self.mesh.started and self.serving
+
+    def _log_own_update(self, table: str, key: str, value: Any, version: int) -> None:
+        deps = tuple(sorted(self.vv.items()))
+        self._own_seq += 1
+        seq = self._own_seq
+        update = MeshUpdate(
+            self.origin, seq, table, key, fast_deepcopy(value), version, deps
+        )
+        self.updates.setdefault(self.origin, {})[seq] = update
+        self.vv[self.origin] = seq
+        self.applied_log.append(CutEvent(self.origin, seq, deps))
+
+    # -- gossip: receive side ----------------------------------------------
+
+    def receive_digest(self, digest: GossipDigest) -> GossipAck:
+        self.peer_vv[digest.sender] = dict(digest.vv)
+        for update in digest.updates:
+            self._ingest(update)
+        self._drain_buffered()
+        return GossipAck(self.region, tuple(sorted(self.vv.items())))
+
+    def _ingest(self, update: MeshUpdate) -> None:
+        if update.seq <= self.vv.get(update.origin, 0):
+            return  # duplicate
+        if self._can_apply(update):
+            self._apply(update)
+        else:
+            for held in self.buffered:
+                if held.origin == update.origin and held.seq == update.seq:
+                    return
+            self.buffered.append(update)
+            self.mesh.metrics.incr("mesh.updates_buffered")
+
+    def _can_apply(self, update: MeshUpdate) -> bool:
+        if update.seq != self.vv.get(update.origin, 0) + 1:
+            return False
+        for origin, seq in update.deps:
+            if origin == update.origin and seq < update.seq:
+                continue  # own-origin prefix is implied by the seq check
+            if self.vv.get(origin, 0) < seq:
+                return False
+        return True
+
+    def _apply(self, update: MeshUpdate) -> None:
+        self.vv[update.origin] = update.seq
+        self.updates.setdefault(update.origin, {})[update.seq] = update
+        self.applied_log.append(CutEvent(update.origin, update.seq, update.deps))
+        if update.version > self.version(update.table, update.key):
+            self._entries[(update.table, update.key)] = CacheEntry(
+                value=fast_deepcopy(update.value),
+                version=update.version,
+                installed_at=self._now(),
+            )
+        self.mesh.metrics.incr("mesh.updates_applied")
+
+    def _drain_buffered(self) -> None:
+        progress = True
+        while progress and self.buffered:
+            progress = False
+            still: List[MeshUpdate] = []
+            for update in self.buffered:
+                if update.seq <= self.vv.get(update.origin, 0):
+                    progress = True  # became a duplicate; drop
+                elif self._can_apply(update):
+                    self._apply(update)
+                    progress = True
+                else:
+                    still.append(update)
+            self.buffered = still
+
+    # -- gossip: send side --------------------------------------------------
+
+    def build_digest(self, peer_region: str, max_updates: int) -> GossipDigest:
+        """Updates the peer has not acked, per-origin in sequence order."""
+        acked = self.peer_vv.get(peer_region, {})
+        out: List[MeshUpdate] = []
+        for origin in sorted(self.updates):
+            held = self.updates[origin]
+            applied = self.vv.get(origin, 0)
+            for seq in range(acked.get(origin, 0) + 1, applied + 1):
+                update = held.get(seq)
+                if update is None:  # pragma: no cover - holdings are contiguous
+                    break
+                out.append(update)
+                if len(out) >= max_updates:
+                    break
+            if len(out) >= max_updates:
+                break
+        return GossipDigest(self.region, tuple(sorted(self.vv.items())), tuple(out))
+
+    # -- session cuts --------------------------------------------------------
+
+    def serve_cut(self, request: CutRequest) -> CutReply:
+        entries: List[Tuple[str, str, Any, int]] = []
+        for (table, key), floor in request.floors:
+            entry = self._entries.get((table, key))
+            if entry is not None and not entry.absent and entry.version >= floor:
+                entries.append((table, key, fast_deepcopy(entry.value), entry.version))
+        return CutReply(self.region, tuple(entries))
+
+    def unsatisfied_floors(self, session: Session) -> Dict[Key, int]:
+        """Keys whose cached version (miss = -1) is below the session floor."""
+        missing: Dict[Key, int] = {}
+        for key, floor in session.floors().items():
+            if floor <= 0:
+                continue
+            entry = self._entries.get(key)
+            version = -1 if entry is None or entry.absent else entry.version
+            if version < floor:
+                missing[key] = floor
+        return missing
+
+    def sync_session(self, session: Session) -> Generator:
+        """Try to pull the session's unsatisfied cut from live peers.
+
+        Best effort: whatever stays unsatisfied is handled by the runtime's
+        floor enforcement (stale entries read as misses → full LVI path).
+        Returns the number of entries fetched.
+        """
+        missing = self.unsatisfied_floors(session)
+        if not missing:
+            return 0
+        mesh = self.mesh
+        if not mesh.started:
+            mesh.metrics.incr("mesh.cut_unsatisfied", len(missing))
+            return 0
+        fetched = 0
+        for peer in mesh.peers_of(self.region):
+            request = CutRequest(tuple(sorted(missing.items())))
+            try:
+                reply = yield from mesh.net.call(
+                    self.endpoint_name,
+                    f"mesh-{peer}",
+                    request,
+                    timeout=mesh.spec.cut_timeout_ms,
+                )
+            except RpcTimeout:
+                mesh.metrics.incr("mesh.cut_timeout")
+                continue
+            for table, key, value, version in reply.entries:
+                if version > self.version(table, key):
+                    self._entries[(table, key)] = CacheEntry(
+                        value=fast_deepcopy(value),
+                        version=version,
+                        installed_at=self._now(),
+                    )
+                    fetched += 1
+            missing = self.unsatisfied_floors(session)
+            if not missing:
+                break
+        if missing:
+            mesh.metrics.incr("mesh.cut_unsatisfied", len(missing))
+        if fetched:
+            mesh.metrics.incr("mesh.cut_fetched", fetched)
+        return fetched
+
+    # -- crash lifecycle (FaultScheduler targets) ----------------------------
+
+    def crash(self) -> None:
+        """The PoP location dies: stop serving, lose the cache (unless
+        persistent) and all gossip bookkeeping."""
+        self._archived_logs.append((self.origin, list(self.applied_log)))
+        self.applied_log = []
+        self.serving = False
+        self.wipe()
+        self.vv.clear()
+        self.updates.clear()
+        self.buffered = []
+        self.peer_vv.clear()
+        self.mesh.on_pop_crash(self)
+
+    def restart(self) -> None:
+        """Come back with a fresh epoch and an empty vector; peers observe
+        the zeroed vector in our next digest and re-send everything they
+        hold, re-bootstrapping the cache through normal gossip."""
+        self.epoch += 1
+        self._own_seq = 0
+        self.serving = True
+        self.mesh.on_pop_restart(self)
+
+
+class CacheMesh:
+    """Builds the PoPs, runs the gossip rounds, owns the endpoints."""
+
+    def __init__(self, sim, net, spec: MeshSpec, regions, metrics):
+        spec.validate()
+        self.sim = sim
+        self.net = net
+        self.spec = spec
+        self.regions = list(regions)
+        self.metrics = metrics
+        self.pops: Dict[str, MeshPop] = {}
+        self.started = False
+
+    # -- construction (Deployment.build calls these) -------------------------
+
+    def make_pop(self, region: str, persistent: bool = False) -> MeshPop:
+        if region in self.pops:
+            raise ValueError(f"mesh pop for region {region!r} already built")
+        pop = MeshPop(self, region, persistent=persistent)
+        pop.sim = self.sim  # timestamp entries from birth (warming included)
+        self.pops[region] = pop
+        return pop
+
+    def pop(self, region: str) -> MeshPop:
+        return self.pops[region]
+
+    def peers_of(self, region: str) -> List[str]:
+        return [r for r in sorted(self.pops) if r != region]
+
+    def fault_targets(self) -> Dict[str, MeshPop]:
+        return {f"pop-{region}": pop for region, pop in sorted(self.pops.items())}
+
+    def live_regions(self) -> List[str]:
+        return [r for r in self.regions if self.pops[r].serving]
+
+    def start(self) -> None:
+        """Register gossip endpoints and schedule the rounds.
+
+        Called by ``Deployment.build`` after every runtime exists, so the
+        mesh perturbs no endpoint-name counters or RNG streams.  With
+        fewer than two PoPs (or ``spec.enabled`` False) this is a no-op:
+        no endpoints, no timers, no events — the seed path, byte for byte.
+        """
+        if self.started or not self.spec.enabled or len(self.pops) < 2:
+            return
+        self.started = True
+        for region, pop in sorted(self.pops.items()):
+            self._register_endpoint(pop)
+        for region, pop in sorted(self.pops.items()):
+            self.sim.schedule(self.spec.gossip_interval_ms, self._gossip_round, pop)
+
+    def _register_endpoint(self, pop: MeshPop) -> None:
+        def handle(payload, src, _pop=pop):
+            return self._handle(_pop, payload, src)
+
+        self.net.serve(pop.endpoint_name, pop.region, handle)
+
+    # -- protocol -------------------------------------------------------------
+
+    def _handle(self, pop: MeshPop, payload, src) -> Generator:
+        if isinstance(payload, GossipDigest):
+            result = pop.receive_digest(payload)
+        elif isinstance(payload, CutRequest):
+            result = pop.serve_cut(payload)
+        else:
+            raise ProtocolError(
+                f"unexpected mesh payload at {pop.endpoint_name}: {type(payload).__name__}"
+            )
+        return result
+        yield  # unreachable: makes this a generator (the RPC handler contract)
+
+    def _gossip_round(self, pop: MeshPop) -> None:
+        if not self.started:
+            return
+        if pop.serving:
+            for peer in self.peers_of(pop.region):
+                self.sim.spawn(
+                    self._send_digest(pop, peer),
+                    name=f"gossip({pop.region}->{peer})",
+                )
+        self.sim.schedule(self.spec.gossip_interval_ms, self._gossip_round, pop)
+
+    def _send_digest(self, pop: MeshPop, peer: str) -> Generator:
+        digest = pop.build_digest(peer, self.spec.max_updates_per_digest)
+        self.metrics.incr("mesh.gossip_sent")
+        if digest.updates:
+            self.metrics.incr("mesh.updates_shipped", len(digest.updates))
+        try:
+            ack = yield from self.net.call(
+                pop.endpoint_name,
+                f"mesh-{peer}",
+                digest,
+                timeout=self.spec.gossip_timeout_ms,
+            )
+        except RpcTimeout:
+            self.metrics.incr("mesh.gossip_timeout")
+            return
+        if pop.serving and isinstance(ack, GossipAck):
+            pop.peer_vv[ack.sender] = dict(ack.vv)
+
+    # -- crash lifecycle -------------------------------------------------------
+
+    def on_pop_crash(self, pop: MeshPop) -> None:
+        if self.started:
+            self.net.unregister(pop.endpoint_name)
+
+    def on_pop_restart(self, pop: MeshPop) -> None:
+        if self.started:
+            self._register_endpoint(pop)

@@ -1,0 +1,76 @@
+"""Client session vectors: the watermark a migrating client carries.
+
+SwiftCloud (PAPERS.md) showed that session guarantees can survive a server
+switch if the *client* carries enough causal metadata to recognise stale
+state at the new server.  Radical's version discipline makes that metadata
+tiny: every item has a dense, totally ordered version sequence, so a
+per-key integer floor — the highest version the session has read or been
+acked for a write — is a complete read-your-writes + monotonic-reads
+watermark.  No vector clocks, no origin tracking.
+
+The floors are *performance* metadata, not a correctness crutch: every
+Radical path validates at the primary before acknowledging, so acked
+results are strictly serializable (and hence session-consistent) with or
+without them.  What the floors buy is that a re-attached client never
+*speculates* on a cache entry it can prove stale — `NearUserRuntime`
+treats any cached version below the floor as a miss, which routes the
+request down the full LVI path instead of burning a doomed round of
+speculation (see `docs/MESH.md`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+Key = Tuple[str, str]
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One client's session watermark, carried across PoP re-attachments."""
+
+    __slots__ = ("client_id", "region", "reads", "writes", "attaches", "migrations")
+
+    def __init__(self, client_id: str):
+        self.client_id = client_id
+        #: Region of the PoP the session is currently attached to.
+        self.region: Optional[str] = None
+        #: Highest version of each key any acked result read.
+        self.reads: Dict[Key, int] = {}
+        #: Highest version of each key any acked result wrote.
+        self.writes: Dict[Key, int] = {}
+        self.attaches = 0
+        self.migrations = 0
+
+    def floor(self, key: Key) -> int:
+        """The minimum version a cache entry must have for this session to
+        speculate on it (0 = no constraint)."""
+        r = self.reads.get(key, 0)
+        w = self.writes.get(key, 0)
+        return r if r > w else w
+
+    def floors(self) -> Dict[Key, int]:
+        """All non-trivial per-key floors (the cut a PoP must satisfy)."""
+        out = dict(self.writes)
+        for key, version in self.reads.items():
+            if version > out.get(key, 0):
+                out[key] = version
+        return out
+
+    def observe(self, read_versions: Dict[Key, int], write_versions: Dict[Key, int]) -> None:
+        """Fold an acked invocation's observed versions into the watermark."""
+        reads = self.reads
+        for key, version in read_versions.items():
+            if version > reads.get(key, 0):
+                reads[key] = version
+        writes = self.writes
+        for key, version in write_versions.items():
+            if version > writes.get(key, 0):
+                writes[key] = version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session({self.client_id!r}, region={self.region!r}, "
+            f"floors={len(self.floors())}, migrations={self.migrations})"
+        )

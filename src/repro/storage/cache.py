@@ -28,12 +28,16 @@ class CacheEntry:
 
     ``absent=True`` caches the knowledge that the primary had no such key
     (at the recorded version, always 0), so reads of missing keys can still
-    speculate and validate.
+    speculate and validate.  ``installed_at`` is the virtual time the entry
+    was last refreshed (0.0 for entries installed before the cache was
+    bound to a simulator, e.g. build-time warming) — the hit-age metric and
+    the mesh staleness analysis both read it.
     """
 
     value: Any
     version: int
     absent: bool = False
+    installed_at: float = 0.0
 
 
 class NearUserCache:
@@ -49,6 +53,19 @@ class NearUserCache:
         #: is installed and enabled, hits/misses are emitted as point
         #: events in the current invocation's trace.
         self.obs = None
+        #: Simulator + metrics bindings (installed by the owning runtime via
+        #: :meth:`bind`).  Unbound caches timestamp entries at 0.0 and emit
+        #: no hit-age samples — exactly the seed behaviour.
+        self.sim = None
+        self.metrics = None
+
+    def bind(self, sim, metrics) -> None:
+        """Attach the clock and metrics sink (called by the runtime)."""
+        self.sim = sim
+        self.metrics = metrics
+
+    def _now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
 
     # -- reads -------------------------------------------------------------
 
@@ -63,7 +80,15 @@ class NearUserCache:
                 obs.event("cache.miss", region=self.region, table=table, key=key)
             return None
         self.hits += 1
-        if obs is not None and obs.enabled:
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            age_ms = self._now() - entry.installed_at
+            metrics.record_tagged("cache.hit_age_ms", age_ms, region=self.region)
+            if obs is not None and obs.enabled:
+                obs.event(
+                    "cache.hit", region=self.region, table=table, key=key, age_ms=age_ms
+                )
+        elif obs is not None and obs.enabled:
             obs.event("cache.hit", region=self.region, table=table, key=key)
         return entry
 
@@ -83,9 +108,13 @@ class NearUserCache:
         ``item=None`` records that the primary has no such key.
         """
         if item is None:
-            self._entries[(table, key)] = CacheEntry(value=None, version=0, absent=True)
+            self._entries[(table, key)] = CacheEntry(
+                value=None, version=0, absent=True, installed_at=self._now()
+            )
         else:
-            self._entries[(table, key)] = CacheEntry(value=item.value, version=item.version)
+            self._entries[(table, key)] = CacheEntry(
+                value=item.value, version=item.version, installed_at=self._now()
+            )
 
     def install_batch(self, fresh: Dict[Tuple[str, str], Optional[Item]]) -> None:
         """Install many authoritative items (the stale set of an LVI
@@ -101,7 +130,9 @@ class NearUserCache:
         The value is deep-copied: the cache must never alias objects a
         still-running execution could mutate.
         """
-        self._entries[(table, key)] = CacheEntry(value=fast_deepcopy(value), version=version)
+        self._entries[(table, key)] = CacheEntry(
+            value=fast_deepcopy(value), version=version, installed_at=self._now()
+        )
 
     def invalidate(self, table: str, key: str) -> None:
         """Drop one entry (next access will be a miss)."""

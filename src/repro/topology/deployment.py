@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..consistency import HistoryRecorder
 from ..core import FunctionRegistry, LVIServer, NearUserRuntime, RadicalConfig
 from ..errors import FaultConfigError
+from ..mesh import CacheMesh, MeshSpec
 from ..sim import Metrics, Network, RandomStreams, Region, Simulator, paper_latency_table
 from ..storage import KVStore, NearUserCache
 from .shardmap import HashShardMap, ShardMap, ShardRouter
@@ -67,6 +68,11 @@ class TopologySpec:
     #: Virtual time burned electing an initial Raft leader before traffic
     #: (the seed harness's 500 ms; chaos runs elect under traffic with 0).
     raft_prewarm_ms: float = 500.0
+    #: Cache mesh configuration (repro.mesh).  ``None`` keeps the seed's
+    #: isolated per-region caches; a :class:`~repro.mesh.MeshSpec` makes
+    #: every region's cache a gossiping PoP.  A 1-region mesh registers no
+    #: endpoints and schedules nothing — virtual-time-identical to None.
+    mesh: Optional[MeshSpec] = None
 
     def resolved_shard_map(self) -> ShardMap:
         if self.shard_map is not None:
@@ -85,6 +91,8 @@ class TopologySpec:
             raise ValueError(
                 "replicated (Raft-backed) servers are single-shard only"
             )
+        if self.mesh is not None:
+            self.mesh.validate()
         self.resolved_shard_map()
 
 
@@ -128,6 +136,7 @@ class Deployment:
         self.router: Optional[ShardRouter] = None
         self.caches: Dict[str, NearUserCache] = {}
         self.runtimes: Dict[str, NearUserRuntime] = {}
+        self.mesh: Optional[CacheMesh] = None
         self.raft = None
         self.scheduler = None
         self.trace = None
@@ -214,8 +223,15 @@ class Deployment:
         if spec.shards > 1:
             self.router = ShardRouter(shard_map, [s.name for s in self.servers])
 
+        if spec.mesh is not None and spec.mesh.enabled:
+            self.mesh = CacheMesh(
+                sim, self.net, spec.mesh, list(spec.regions), self.metrics
+            )
         for region in spec.regions:
-            cache = NearUserCache(region, persistent=spec.persistent_caches)
+            if self.mesh is not None:
+                cache = self.mesh.make_pop(region, persistent=spec.persistent_caches)
+            else:
+                cache = NearUserCache(region, persistent=spec.persistent_caches)
             if spec.warm_caches:
                 for store in self.stores:
                     _warm_cache(cache, store)
@@ -223,7 +239,12 @@ class Deployment:
             self.runtimes[region] = NearUserRuntime(
                 sim, self.net, region, cache, self.registry, cfg,
                 self.streams, self.metrics, router=self.router,
+                pop=self.mesh.pop(region) if self.mesh is not None else None,
             )
+        if self.mesh is not None:
+            # After every runtime: gossip endpoints must not perturb the
+            # endpoint-name counters the runtimes draw from.
+            self.mesh.start()
 
         if spec.fault_plan is not None:
             from ..faults.scheduler import FaultScheduler
@@ -276,6 +297,8 @@ class Deployment:
         targets: Dict[str, Any] = {s.name: s for s in self.servers}
         if self.raft is not None:
             targets.update(self.raft.nodes)
+        if self.mesh is not None:
+            targets.update(self.mesh.fault_targets())
         return targets
 
 

@@ -1,0 +1,169 @@
+"""Session-guarantee checkers against hand-built violating histories.
+
+The checkers (read-your-writes, monotonic reads, causal cuts) are the
+verification instrument the mesh chaos matrix runs — so they must flag
+exactly the violations Terry et al. define and stay silent on clean
+histories.  Every case here is constructed by hand, not produced by the
+protocol, precisely because the protocol is designed never to produce one.
+"""
+
+import pytest
+
+from repro.consistency import (
+    CutEvent,
+    check_causal_cut,
+    check_monotonic_reads,
+    check_read_your_writes,
+    find_causal_cut_violations,
+    find_monotonic_read_violations,
+    find_read_your_writes_violations,
+)
+from repro.consistency.history import TxnRecord
+from repro.errors import ConsistencyViolation
+
+K = ("counters", "c:x")
+
+
+def txn(txn_id, t, session="s", reads=None, writes=None):
+    return TxnRecord(
+        txn_id=txn_id,
+        function="t.op",
+        invoked_at=t,
+        responded_at=t + 1.0,
+        reads=dict(reads or {}),
+        writes=dict(writes or {}),
+        session=session,
+    )
+
+
+class TestReadYourWrites:
+    def test_clean_history_passes(self):
+        records = [
+            txn(0, 0.0, writes={K: 3}),
+            txn(1, 10.0, reads={K: 3}),
+            txn(2, 20.0, reads={K: 4}),  # newer than the write is fine
+        ]
+        assert find_read_your_writes_violations(records) == []
+        check_read_your_writes(records)
+
+    def test_stale_read_after_own_write_flagged(self):
+        records = [
+            txn(0, 0.0, writes={K: 3}),
+            txn(1, 10.0, reads={K: 2}),  # older than the session's own write
+        ]
+        violations = find_read_your_writes_violations(records)
+        assert len(violations) == 1
+        assert "T1" in violations[0] and "v2" in violations[0]
+        with pytest.raises(ConsistencyViolation):
+            check_read_your_writes(records)
+
+    def test_same_txn_read_before_write_not_flagged(self):
+        # A bump reads v2 and writes v3 in one invocation: the read
+        # happened before the write, so it owes nothing to it.
+        records = [txn(0, 0.0, reads={K: 2}, writes={K: 3})]
+        assert find_read_your_writes_violations(records) == []
+
+    def test_sessions_are_independent(self):
+        records = [
+            txn(0, 0.0, session="a", writes={K: 5}),
+            txn(1, 10.0, session="b", reads={K: 1}),  # b never wrote
+        ]
+        assert find_read_your_writes_violations(records) == []
+
+    def test_sessionless_records_skipped(self):
+        records = [
+            txn(0, 0.0, session="", writes={K: 5}),
+            txn(1, 10.0, session="", reads={K: 1}),
+        ]
+        assert find_read_your_writes_violations(records) == []
+
+    def test_ordering_is_by_invocation_time_not_insertion(self):
+        late_write = txn(0, 50.0, writes={K: 9})
+        early_read = txn(1, 0.0, reads={K: 1})
+        # The read *preceded* the write in session order: clean.
+        assert find_read_your_writes_violations([late_write, early_read]) == []
+
+
+class TestMonotonicReads:
+    def test_clean_history_passes(self):
+        records = [
+            txn(0, 0.0, reads={K: 2}),
+            txn(1, 10.0, reads={K: 2}),
+            txn(2, 20.0, reads={K: 5}),
+        ]
+        assert find_monotonic_read_violations(records) == []
+        check_monotonic_reads(records)
+
+    def test_backwards_read_flagged(self):
+        records = [
+            txn(0, 0.0, reads={K: 5}),
+            txn(1, 10.0, reads={K: 3}),  # went backwards
+        ]
+        violations = find_monotonic_read_violations(records)
+        assert len(violations) == 1
+        assert "T1" in violations[0] and "v5" in violations[0]
+        with pytest.raises(ConsistencyViolation):
+            check_monotonic_reads(records)
+
+    def test_every_regression_counted(self):
+        k2 = ("counters", "c:y")
+        records = [
+            txn(0, 0.0, reads={K: 5, k2: 4}),
+            txn(1, 10.0, reads={K: 3, k2: 2}),
+        ]
+        assert len(find_monotonic_read_violations(records)) == 2
+
+    def test_sessions_are_independent(self):
+        records = [
+            txn(0, 0.0, session="a", reads={K: 5}),
+            txn(1, 10.0, session="b", reads={K: 1}),
+        ]
+        assert find_monotonic_read_violations(records) == []
+
+
+class TestCausalCut:
+    def test_gapless_in_order_log_passes(self):
+        log = [
+            CutEvent("jp#0", 1),
+            CutEvent("jp#0", 2),
+            CutEvent("ca#0", 1, deps=(("jp#0", 2),)),
+            CutEvent("jp#0", 3, deps=(("ca#0", 1),)),
+        ]
+        assert find_causal_cut_violations(log) == []
+        check_causal_cut(log, label="jp#0")
+
+    def test_sequence_gap_flagged(self):
+        log = [CutEvent("jp#0", 1), CutEvent("jp#0", 3)]
+        violations = find_causal_cut_violations(log)
+        assert len(violations) == 1
+        assert "skipped ahead" in violations[0]
+
+    def test_reapplication_flagged(self):
+        log = [CutEvent("jp#0", 1), CutEvent("jp#0", 2), CutEvent("jp#0", 2)]
+        violations = find_causal_cut_violations(log)
+        assert len(violations) == 1
+        assert "re-applied" in violations[0]
+
+    def test_unsatisfied_dependency_flagged(self):
+        # ca's first update depends on jp:2, but only jp:1 was applied.
+        log = [
+            CutEvent("jp#0", 1),
+            CutEvent("ca#0", 1, deps=(("jp#0", 2),)),
+        ]
+        violations = find_causal_cut_violations(log, label="ie#0")
+        assert len(violations) == 1
+        assert "[ie#0]" in violations[0] and "jp#0:2" in violations[0]
+        with pytest.raises(ConsistencyViolation):
+            check_causal_cut(log, label="ie#0")
+
+    def test_own_origin_prefix_dep_is_implied(self):
+        # An origin's deps snapshot includes its own earlier updates; the
+        # gap check already covers those, so they must not double-report.
+        log = [
+            CutEvent("jp#0", 1),
+            CutEvent("jp#0", 2, deps=(("jp#0", 1),)),
+        ]
+        assert find_causal_cut_violations(log) == []
+
+    def test_empty_log_passes(self):
+        assert find_causal_cut_violations([]) == []
