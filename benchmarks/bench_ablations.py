@@ -1,7 +1,8 @@
 """Ablations of Radical's design choices (DESIGN.md §5).
 
 Not figures from the paper, but quantifications of the design arguments
-the paper makes in prose:
+the paper makes in prose.  Each ablation is a scenario
+(configs/ablation_*.json) run through the driver; this bench asserts:
 
 * **overlap** (§3.2): running the LVI request concurrently with the
   speculative execution is where the latency win comes from — serializing
@@ -16,46 +17,25 @@ the paper makes in prose:
 
 from conftest import bench_requests
 
-from repro.bench import (
-    ablation_cache_bootstrap,
-    ablation_lock_modes,
-    ablation_overlap,
-    ablation_two_rtt,
-    print_table,
-    save_results,
-)
+from repro.scenarios import run_scenario
 
 
 def test_ablation_overlap(benchmark):
     row = benchmark.pedantic(
-        lambda: ablation_overlap(requests=bench_requests(800)), rounds=1, iterations=1
+        lambda: run_scenario("ablation_overlap",
+                             overrides={"requests": bench_requests(800)}),
+        rounds=1, iterations=1,
     )
-    print_table(
-        ["config", "median e2e (ms)"],
-        [["overlap (Radical)", row["overlap_median_ms"]],
-         ["no overlap (serialized)", row["no_overlap_median_ms"]]],
-        title="Ablation: speculative overlap on/off (social)",
-    )
-    save_results("ablation_overlap", row)
     # Serializing the LVI request is dramatically slower.
     assert row["no_overlap_median_ms"] > row["overlap_median_ms"] + 40
 
 
 def test_ablation_two_rtt(benchmark):
     row = benchmark.pedantic(
-        lambda: ablation_two_rtt(requests=bench_requests(800)), rounds=1, iterations=1
+        lambda: run_scenario("ablation_two_rtt",
+                             overrides={"requests": bench_requests(800)}),
+        rounds=1, iterations=1,
     )
-    print_table(
-        ["metric", "single request", "validate-then-commit"],
-        [["overall median (ms)", row["overall_single_ms"], row["overall_two_rtt_ms"]]]
-        + (
-            [[f"{row['write_function']} median (ms)",
-              row["single_request_median_ms"], row["two_rtt_median_ms"]]]
-            if "single_request_median_ms" in row else []
-        ),
-        title="Ablation: single LVI request vs 2-RTT commit (social)",
-    )
-    save_results("ablation_two_rtt", row)
     if "single_request_median_ms" in row:
         # The write path pays (roughly) one extra WAN round trip.
         assert row["two_rtt_median_ms"] > row["single_request_median_ms"] + 30
@@ -63,30 +43,20 @@ def test_ablation_two_rtt(benchmark):
 
 def test_ablation_lock_modes(benchmark):
     row = benchmark.pedantic(
-        lambda: ablation_lock_modes(requests=bench_requests(800)), rounds=1, iterations=1
+        lambda: run_scenario("ablation_lock_modes",
+                             overrides={"requests": bench_requests(800)}),
+        rounds=1, iterations=1,
     )
-    print_table(
-        ["lock mode", "median (ms)", "p99 (ms)"],
-        [["read/write", row["rw_locks_median_ms"], row["rw_locks_p99_ms"]],
-         ["exclusive-only", row["exclusive_median_ms"], row["exclusive_p99_ms"]]],
-        title="Ablation: lock modes under the skewed forum workload",
-    )
-    save_results("ablation_lock_modes", row)
     # Exclusive locks hurt the tail: the hot front-page key serializes.
     assert row["exclusive_p99_ms"] > row["rw_locks_p99_ms"]
 
 
 def test_ablation_cache_bootstrap(benchmark):
     row = benchmark.pedantic(
-        lambda: ablation_cache_bootstrap(requests=bench_requests(600)), rounds=1, iterations=1
+        lambda: run_scenario("ablation_cache_bootstrap",
+                             overrides={"requests": bench_requests(600)}),
+        rounds=1, iterations=1,
     )
-    print_table(
-        ["cache state", "median (ms)", "validation success"],
-        [["warm", row["warm_median_ms"], row["warm_validation_success"]],
-         ["cold (bootstrap)", row["cold_median_ms"], row["cold_validation_success"]]],
-        title="Ablation: cold-start cache bootstrap (social)",
-    )
-    save_results("ablation_cache_bootstrap", row)
     # Cold caches fail validation more and are slower overall.
     assert row["cold_validation_success"] < row["warm_validation_success"]
     assert row["cold_median_ms"] >= row["warm_median_ms"]

@@ -1,12 +1,10 @@
 """Figure 1 — motivation: why neither centralized nor geo-replicated
 deployments give near-user latency.
 
-Reproduces: a ~100 ms + one-storage-read request issued from five user
-locations against (a) a totally centralized deployment in Virginia, (b) a
-geo-replicated strongly consistent store (ABD quorum over VA/OH/OR), and
-(c) inconsistent local storage (the red line / best case).
+Runs the ``fig1`` scenario (configs/fig1.json) through the driver — the
+same code path as ``radical-repro run fig1`` — then asserts the paper's
+shape targets:
 
-Shape targets from the paper:
 * the centralized deployment is fastest for VA users and degrades with
   distance (JP > 2x VA);
 * geo-replication does NOT fix it — it is usually *worse* than
@@ -14,23 +12,14 @@ Shape targets from the paper:
 * both are far above the local-storage lower bound.
 """
 
-from repro.bench import fig1_motivation, print_table, save_results
+from repro.scenarios import run_scenario
 
 
 def test_fig1_motivation(benchmark):
-    rows = benchmark.pedantic(
-        lambda: fig1_motivation(requests_per_region=200), rounds=1, iterations=1
+    payload = benchmark.pedantic(
+        lambda: run_scenario("fig1"), rounds=1, iterations=1
     )
-    print_table(
-        ["region", "centralized (ms)", "geo-replicated (ms)", "local ideal (ms)"],
-        [
-            [r["region"].upper(), r["centralized_median_ms"],
-             r["geo_replicated_median_ms"], r["local_ideal_median_ms"]]
-            for r in rows
-        ],
-        title="Figure 1: end-to-end median latency by deployment",
-    )
-    save_results("fig1_motivation", {"rows": rows})
+    rows = payload["rows"]
 
     by_region = {r["region"]: r for r in rows}
     # Centralized latency grows with distance from VA; JP > 2x VA.

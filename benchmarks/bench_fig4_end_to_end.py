@@ -1,53 +1,33 @@
 """Figure 4 — end-to-end latency: Radical vs the primary-DC baseline.
 
-Reproduces: per-application median (bar) and p99 (whisker) for both
-deployments, the red line (inconsistent local ideal), the latency
-improvement, the fraction of the maximum possible improvement captured,
-and the LVI validation success rate (§5.3).
+Runs the ``fig4`` scenario (configs/fig4.json) through the driver (set
+``REPRO_BENCH_REQUESTS`` to override the config's workload size), then
+asserts the paper's shape targets:
 
-Shape targets from the paper:
 * Radical improves median latency for every application (paper: 28-35%);
 * Radical captures most of the achievable improvement (paper: 84-89%);
 * validation success stays high (paper: ~95%) despite zipf-0.99 skew.
+
+The traced variant below is independent of the scenario matrix: it reruns
+the apps with structured tracing on and proves tracing is observationally
+free.
 """
 
 import os
 
 from conftest import bench_requests
 
-from repro.bench import (
-    ExperimentConfig,
-    fig4_rows,
-    print_breakdown_report,
-    print_table,
-    run_eval_trio,
-    save_results,
-)
+from repro.bench import ExperimentConfig, print_breakdown_report
 from repro.bench.report import results_dir
-
-APPS = ("social", "hotel", "forum")
-
-
-def run_all():
-    cfg = ExperimentConfig(requests=bench_requests(), seed=42)
-    return [fig4_rows(run_eval_trio(app, cfg)) for app in APPS]
+from repro.scenarios import run_scenario
 
 
 def test_fig4_end_to_end(benchmark):
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    print_table(
-        ["app", "radical med", "radical p99", "baseline med", "baseline p99",
-         "ideal med", "improve %", "of max %", "valid %"],
-        [
-            [r["app"], r["radical_median_ms"], r["radical_p99_ms"],
-             r["baseline_median_ms"], r["baseline_p99_ms"], r["ideal_median_ms"],
-             r["improvement_pct"], r["fraction_of_max_pct"],
-             r["validation_success_rate"] * 100]
-            for r in rows
-        ],
-        title="Figure 4: end-to-end latency, Radical vs primary-DC baseline",
+    payload = benchmark.pedantic(
+        lambda: run_scenario("fig4", overrides={"requests": bench_requests()}),
+        rounds=1, iterations=1,
     )
-    save_results("fig4_end_to_end", {"rows": rows})
+    rows = payload["rows"]
 
     for r in rows:
         # Radical beats the baseline by a substantial margin everywhere.

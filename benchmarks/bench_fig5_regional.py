@@ -1,9 +1,8 @@
 """Figure 5 — regional variation: per-location latency for each app.
 
-Reproduces: median+p99 per deployment location for Radical and the
-baseline, with the local-ideal red line.
+Runs the ``fig5`` scenario (configs/fig5.json) through the driver, then
+asserts the paper's shape targets:
 
-Shape targets from the paper:
 * Radical's absolute improvement over the baseline grows with
   lat_nu<->ns (JP gains most, VA least);
 * in VA, Radical is slightly *worse* than the baseline (same function,
@@ -15,31 +14,14 @@ Shape targets from the paper:
 
 from conftest import bench_requests
 
-from repro.bench import ExperimentConfig, fig5_rows, print_table, run_eval_trio, save_results
-
-APPS = ("social", "hotel", "forum")
-
-
-def run_all():
-    cfg = ExperimentConfig(requests=bench_requests(), seed=42)
-    return {app: fig5_rows(run_eval_trio(app, cfg)) for app in APPS}
+from repro.scenarios import run_scenario
 
 
 def test_fig5_regional(benchmark):
-    per_app = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    for app, rows in per_app.items():
-        print_table(
-            ["region", "lat_nu<->ns", "radical med", "radical p99",
-             "baseline med", "baseline p99", "ideal med"],
-            [
-                [r["region"].upper(), r["lat_nu_ns_ms"], r["radical_median_ms"],
-                 r["radical_p99_ms"], r["baseline_median_ms"], r["baseline_p99_ms"],
-                 r["ideal_median_ms"]]
-                for r in rows
-            ],
-            title=f"Figure 5 ({app}): per-region end-to-end latency",
-        )
-    save_results("fig5_regional", per_app)
+    per_app = benchmark.pedantic(
+        lambda: run_scenario("fig5", overrides={"requests": bench_requests()}),
+        rounds=1, iterations=1,
+    )
 
     for app, rows in per_app.items():
         by_region = {r["region"]: r for r in rows}

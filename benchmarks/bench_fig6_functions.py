@@ -1,8 +1,8 @@
 """Figure 6 — per-function latency: who benefits from Radical and why.
 
-Reproduces: per-function median+p99 under Radical and the baseline.
+Runs the ``fig6`` scenario (configs/fig6.json) through the driver, then
+asserts the paper's shape targets (§5.5):
 
-Shape targets from the paper (§5.5):
 * functions whose execution time exceeds lat_nu<->ns benefit most — the
   LVI round trip is fully hidden behind execution;
 * very short functions (hotel.review 13 ms, forum.interact 16 ms,
@@ -13,37 +13,18 @@ Shape targets from the paper (§5.5):
 
 from conftest import bench_requests
 
-from repro.bench import ExperimentConfig, fig6_rows, print_table, run_eval_trio, save_results
-
-APPS = ("social", "hotel", "forum")
+from repro.scenarios import run_scenario
 
 SHORT_FUNCTIONS = ("hotel.review", "forum.interact", "forum.post", "social.follow")
 
 
-def run_all():
-    cfg = ExperimentConfig(requests=bench_requests(), seed=42)
-    rows = []
-    for app in APPS:
-        rows.extend(fig6_rows(run_eval_trio(app, cfg)))
-    return rows
-
-
 def test_fig6_functions(benchmark):
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    print_table(
-        ["function", "exec (ms)", "radical med", "radical p99",
-         "baseline med", "baseline p99", "n"],
-        [
-            [r["function"], r["service_time_ms"], r["radical_median_ms"],
-             r["radical_p99_ms"], r["baseline_median_ms"], r["baseline_p99_ms"],
-             r["samples"]]
-            for r in rows
-        ],
-        title="Figure 6: per-function end-to-end latency",
+    payload = benchmark.pedantic(
+        lambda: run_scenario("fig6", overrides={"requests": bench_requests()}),
+        rounds=1, iterations=1,
     )
-    save_results("fig6_functions", {"rows": rows})
+    rows = payload["rows"]
 
-    by_fn = {r["function"]: r for r in rows}
     for r in rows:
         if r["samples"] < 30:
             continue  # too few draws for a stable median

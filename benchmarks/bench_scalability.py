@@ -6,7 +6,9 @@ Two claims gate this benchmark:
   model (``server_proc_ms``) one LVI server caps aggregate throughput;
   partitioning the key space across shards moves the ceiling.  The
   headline acceptance bar: >= 2.5x delivered throughput at 4 shards vs 1
-  on the uniform counter workload with request batching enabled.
+  on the uniform counter workload with request batching enabled.  The
+  sweep is the ``scalability`` scenario (configs/scalability.json), run
+  through the driver.
 
 * **One shard is the seed, exactly.**  A 1-shard deployment built by
   ``repro.topology.Deployment`` must be virtual-time-identical to the
@@ -14,14 +16,8 @@ Two claims gate this benchmark:
   same completed count, same median, same p99, to the last digit.
 """
 
-from repro.bench import (
-    print_table,
-    run_scalability_point,
-    save_results,
-    scalability_config,
-    sweep_scalability,
-    uniform_counter_app,
-)
+from repro.bench import run_scalability_point, uniform_counter_app
+from repro.scenarios import run_scenario
 from repro.core import FunctionRegistry, LVIServer, NearUserRuntime, RadicalConfig
 from repro.sim import Metrics, Network, RandomStreams, Region, Simulator, paper_latency_table
 from repro.storage import KVStore, NearUserCache
@@ -97,17 +93,9 @@ def test_single_shard_is_the_seed(benchmark):
 
 
 def test_scalability_sweep(benchmark):
-    payload = benchmark.pedantic(sweep_scalability, rounds=1, iterations=1)
-    print_table(
-        ["series", "shards", "throughput (rps)", "median (ms)", "p99 (ms)",
-         "coalesced", "xshard commits"],
-        [[p["series"], p["shards"], p["throughput_rps"],
-          round(p["median_ms"], 1), round(p["p99_ms"], 1),
-          p["batch_coalesced"], p["xshard_commits"]]
-         for p in payload["points"]],
-        title="Scalability: shards x workload (open loop, serial proc model)",
+    payload = benchmark.pedantic(
+        lambda: run_scenario("scalability"), rounds=1, iterations=1
     )
-    save_results("scalability", payload)
 
     tput = {}
     for p in payload["points"]:

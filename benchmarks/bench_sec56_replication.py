@@ -1,42 +1,20 @@
 """§5.6 — impact of replicating the LVI server.
 
-Reproduces: the per-lock Raft commit latency (paper: 2.3 ms through a
-three-node etcd cluster), the idempotency-key cost (3 ms), the added-
-latency model 3 + 2.3·L, the minimum beneficial execution time 16 + 2.3·L,
-and a direct measurement of the replicated server's end-to-end cost with a
+Runs the ``sec56`` scenario (configs/sec56.json) through the driver:
+the per-lock Raft commit latency (paper: 2.3 ms through a three-node
+etcd cluster), the idempotency-key cost (3 ms), the added-latency model
+3 + 2.3·L, the minimum beneficial execution time 16 + 2.3·L, and a
+direct measurement of the replicated server's end-to-end cost with a
 real Raft cluster under the lock path.
 """
 
-from repro.bench import print_table, save_results, sec56_replication
+from repro.scenarios import run_scenario
 
 
 def test_sec56_replication(benchmark):
     result = benchmark.pedantic(
-        lambda: sec56_replication(lock_counts=(1, 2, 4, 8)), rounds=1, iterations=1
+        lambda: run_scenario("sec56"), rounds=1, iterations=1
     )
-    print(f"\nRaft per-lock commit latency: {result['raft_per_lock_commit_ms']:.2f} ms "
-          f"(paper: 2.3 ms)")
-    print(f"Idempotency-key write: {result['idempotency_key_ms']:.1f} ms (paper: 3 ms)")
-    print_table(
-        ["locks (L)", "model 3+2.3L (ms)", "min beneficial exec (ms)"],
-        [
-            [m["locks"], m["added_latency_model_ms"], m["min_beneficial_exec_ms"]]
-            for m in result["model"]
-        ],
-        title="Section 5.6: replicated-server latency model",
-    )
-    print_table(
-        ["locks (L)", "singleton (ms)", "replicated (ms)", "added (ms)",
-         "batched (ms)", "batched added (ms)"],
-        [
-            [m["locks"], m["singleton_lvi_ms"], m["replicated_lvi_ms"],
-             m["measured_added_ms"], m["batched_lvi_ms"], m["batched_added_ms"]]
-            for m in result["measured"]
-        ],
-        title="Section 5.6: measured with a real Raft cluster "
-              "(plus the paper's suggested batching optimization)",
-    )
-    save_results("sec56_replication", result)
 
     # The Raft commit latency lands near the paper's 2.3 ms constant.
     assert 1.0 <= result["raft_per_lock_commit_ms"] <= 4.0

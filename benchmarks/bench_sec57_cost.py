@@ -1,6 +1,7 @@
 """§5.7 — cost analysis.
 
-Reproduces the paper's arithmetic exactly (its published AWS unit prices):
+Runs the ``sec57`` scenario (configs/sec57.json) through the driver and
+checks the paper's arithmetic exactly (its published AWS unit prices):
 
 * infrastructure: baseline $1077.36/mo vs Radical $1413.36/mo (+31%);
 * invocation scaling: 1M -> $1080.23 vs $1416.37; 10M -> $1106.06 vs
@@ -10,21 +11,15 @@ Reproduces the paper's arithmetic exactly (its published AWS unit prices):
 
 import pytest
 
-from repro.bench import cost_table, infrastructure_overhead, monthly_costs, print_table, save_results
+from repro.bench import monthly_costs
+from repro.scenarios import run_scenario
 
 
 def test_sec57_cost(benchmark):
-    rows = benchmark.pedantic(cost_table, rounds=1, iterations=1)
-    print_table(
-        ["monthly invocations", "baseline ($/mo)", "radical ($/mo)", "overhead %"],
-        [
-            [f"{r['invocations']:,}", r["baseline_total"], r["radical_total"],
-             r["overhead"] * 100]
-            for r in rows
-        ],
-        title="Section 5.7: monthly cost, baseline vs Radical",
+    payload = benchmark.pedantic(
+        lambda: run_scenario("sec57"), rounds=1, iterations=1
     )
-    save_results("sec57_cost", {"rows": rows, "infra_overhead": infrastructure_overhead()})
+    rows = payload["rows"]
 
     # Paper-exact values.
     by_n = {r["invocations"]: r for r in rows}
@@ -35,7 +30,7 @@ def test_sec57_cost(benchmark):
     assert by_n[100_000_000]["baseline_total"] == pytest.approx(1364.36, abs=0.01)
     assert by_n[100_000_000]["radical_total"] == pytest.approx(1714.71, abs=0.01)
     # Infrastructure overhead ~31% ("we find it to be 1.3 times the baseline").
-    assert infrastructure_overhead() == pytest.approx(0.31, abs=0.005)
+    assert payload["infra_overhead"] == pytest.approx(0.31, abs=0.005)
     # Failure re-execution is a rounding error at 1M invocations.
     _baseline, radical = monthly_costs(1_000_000)
     assert radical.failure_reexecutions == pytest.approx(0.1435, abs=0.001)

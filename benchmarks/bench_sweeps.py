@@ -2,7 +2,8 @@
 
 The paper evaluates one point on each axis (zipf 0.99, 50 clients) and
 argues in §3.6 that read/write locking keeps highly skewed, read-heavy
-workloads fast.  These sweeps trace the curves:
+workloads fast.  Each sweep is a scenario (configs/sweep_*.json) run
+through the driver; this bench asserts the curve shapes:
 
 * **skew** (counter microbenchmark, zipf-selected keys, 20% writes):
   validation success degrades gracefully as zipf grows — hotter keys mean
@@ -15,25 +16,16 @@ workloads fast.  These sweeps trace the curves:
 
 from conftest import bench_requests
 
-from repro.bench import (
-    print_table,
-    save_results,
-    sweep_concurrency,
-    sweep_offered_load,
-    sweep_skew,
-)
+from repro.scenarios import run_scenario
 
 
 def test_sweep_skew(benchmark):
-    rows = benchmark.pedantic(
-        lambda: sweep_skew(requests=bench_requests(800)), rounds=1, iterations=1
+    payload = benchmark.pedantic(
+        lambda: run_scenario("sweep_skew",
+                             overrides={"requests": bench_requests(800)}),
+        rounds=1, iterations=1,
     )
-    print_table(
-        ["zipf s", "validation success", "median (ms)", "p99 (ms)"],
-        [[r["zipf_s"], r["validation_success"], r["median_ms"], r["p99_ms"]] for r in rows],
-        title="Sweep: workload skew (counter microbenchmark, 20% writes)",
-    )
-    save_results("sweep_skew", {"rows": rows})
+    rows = payload["rows"]
 
     by_s = {r["zipf_s"]: r for r in rows}
     # Uniform workloads validate the most; high skew degrades (with 20%
@@ -45,16 +37,12 @@ def test_sweep_skew(benchmark):
 
 
 def test_sweep_concurrency(benchmark):
-    rows = benchmark.pedantic(
-        lambda: sweep_concurrency(requests=bench_requests(800)), rounds=1, iterations=1
+    payload = benchmark.pedantic(
+        lambda: run_scenario("sweep_concurrency",
+                             overrides={"requests": bench_requests(800)}),
+        rounds=1, iterations=1,
     )
-    print_table(
-        ["clients/region", "validation success", "median (ms)", "p99 (ms)"],
-        [[r["clients_per_region"], r["validation_success"], r["median_ms"], r["p99_ms"]]
-         for r in rows],
-        title="Sweep: client concurrency (forum)",
-    )
-    save_results("sweep_concurrency", {"rows": rows})
+    rows = payload["rows"]
 
     # More concurrency -> more invalidation churn: success degrades.
     successes = [r["validation_success"] for r in rows]
@@ -65,20 +53,10 @@ def test_sweep_concurrency(benchmark):
 
 
 def test_sweep_offered_load(benchmark):
-    rows = benchmark.pedantic(
-        lambda: sweep_offered_load(rates_rps=(2.0, 5.0, 10.0, 20.0),
-                                   duration_ms=15_000.0),
-        rounds=1,
-        iterations=1,
+    payload = benchmark.pedantic(
+        lambda: run_scenario("sweep_offered_load"), rounds=1, iterations=1
     )
-    print_table(
-        ["rate (rps/region)", "requests", "median (ms)", "p99 (ms)",
-         "validation", "total lock wait (ms)"],
-        [[r["rate_rps_per_region"], r["requests"], r["median_ms"], r["p99_ms"],
-          r["validation_success"], r["lock_wait_total_ms"]] for r in rows],
-        title="Sweep: offered load, open-loop Poisson clients (forum)",
-    )
-    save_results("sweep_offered_load", {"rows": rows})
+    rows = payload["rows"]
 
     # The median stays roughly flat — the LVI server itself is not the
     # bottleneck (§5.3's no-throughput-hit claim) ...

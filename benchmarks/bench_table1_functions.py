@@ -1,16 +1,14 @@
 """Table 1 — the benchmark-application function inventory.
 
-Reproduces: for each of the 16 functions of the three main applications,
-its description, whether it writes, whether the analyzer handles it (with
-the dependent-read asterisk), its median execution time, and its workload
-share.  The writes/analyzable columns are *computed* by running the static
-analyzer, not hard-coded.
+Runs the ``table1`` scenario (configs/table1.json) through the driver,
+then checks the writes/analyzable columns — *computed* by the static
+analyzer, not hard-coded — against the paper's ground truth.
 
 Shape targets: every function analyzable; exactly the paper's two
 asterisks (social.post, hotel.search); the writes column matches Table 1.
 """
 
-from repro.bench import print_table, save_results, table1_functions
+from repro.scenarios import run_scenario
 
 # Table 1 ground truth: function -> (writes, analyzable-with-asterisk).
 PAPER_TABLE1 = {
@@ -34,16 +32,10 @@ PAPER_TABLE1 = {
 
 
 def test_table1_functions(benchmark):
-    rows = benchmark.pedantic(table1_functions, rounds=1, iterations=1)
-    print_table(
-        ["function", "writes", "analyzable", "exec time (ms)", "workload %"],
-        [
-            [r["function"], r["writes"], r["analyzable"], r["exec_time_ms"], r["workload_pct"]]
-            for r in rows
-        ],
-        title="Table 1: benchmark application functions",
+    payload = benchmark.pedantic(
+        lambda: run_scenario("table1"), rounds=1, iterations=1
     )
-    save_results("table1_functions", {"rows": rows})
+    rows = payload["rows"]
 
     assert len(rows) == 16
     by_fn = {r["function"]: r for r in rows}

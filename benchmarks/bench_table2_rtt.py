@@ -1,58 +1,20 @@
 """Table 2 — round-trip latency between each location and the VA primary.
 
-Reproduces the paper's measured RTTs (these are inputs to our simulation,
-so the bench verifies the configured network actually delivers them: it
-measures an empty RPC from each region to a VA server and compares).
+Runs the ``table2`` scenario (configs/table2.json): the paper's measured
+RTTs are inputs to our simulation, so the scenario also measures an empty
+RPC from each region to a VA server through the simulated WAN and records
+it in the artifact's ``measured`` block — this bench asserts they match.
 """
 
-from repro.bench import print_table, save_results, table2_rtt
-from repro.sim import (
-    Network,
-    PAPER_RTT_TO_PRIMARY,
-    RandomStreams,
-    Region,
-    Simulator,
-    paper_latency_table,
-)
-
-
-def _measure_rtts() -> dict:
-    """Measure actual request/response round trips on the simulated WAN."""
-    sim = Simulator()
-    net = Network(sim, paper_latency_table(), RandomStreams(0))
-
-    def server(_payload, _src):
-        return
-        yield  # pragma: no cover - empty generator handler
-
-    def noop(_payload, _src):
-        if False:
-            yield
-        return None
-
-    net.serve("probe-server", Region.VA, noop)
-    measured = {}
-    for region in Region.NEAR_USER:
-        net.register(f"probe-{region}", region)
-
-        def flow(region=region):
-            start = sim.now
-            yield from net.call(f"probe-{region}", "probe-server", "ping")
-            return sim.now - start
-
-        measured[region] = sim.run_process(flow())
-    return measured
+from repro.scenarios import run_scenario
+from repro.sim import PAPER_RTT_TO_PRIMARY
 
 
 def test_table2_rtt(benchmark):
-    measured = benchmark.pedantic(_measure_rtts, rounds=1, iterations=1)
-    rows = table2_rtt()
-    print_table(
-        ["region", "configured RTT (ms)", "measured RTT (ms)"],
-        [[r["region"], r["rtt_to_primary_ms"], measured[r["region"].lower()]] for r in rows],
-        title="Table 2: round-trip latency to the primary (VA)",
+    payload = benchmark.pedantic(
+        lambda: run_scenario("table2"), rounds=1, iterations=1
     )
-    save_results("table2_rtt", {"rows": rows, "measured": measured})
+    measured = payload["measured"]
 
     for region, expected in PAPER_RTT_TO_PRIMARY.items():
         assert abs(measured[region] - expected) < 1e-6

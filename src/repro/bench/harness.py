@@ -71,6 +71,14 @@ class ExperimentConfig:
     # Armed through the fault scheduler right after construction.
     fault_plan: Optional[FaultPlan] = None
     radical: RadicalConfig = field(default_factory=RadicalConfig)
+    # Routing layer (docs/ROUTING.md).  The defaults are the seed topology:
+    # the paper RTT matrix, a PoP in every client region, clients on their
+    # home PoP.  ``rtt`` takes any resolve_rtt_dataset reference.
+    rtt: Optional[object] = None
+    pop_regions: Optional[tuple] = None
+    primary_region: str = Region.VA
+    assignment: str = "home-region"
+    tiered_threshold_ms: float = 100.0
 
     def per_client_requests(self) -> int:
         per_region = max(1, self.requests // len(self.regions))
@@ -90,6 +98,11 @@ class ExperimentConfig:
             shard_map=self.shard_map,
             mesh=self.mesh,
             fault_plan=self.fault_plan,
+            rtt=self.rtt,
+            pop_regions=self.pop_regions,
+            primary_region=self.primary_region,
+            assignment=self.assignment,
+            tiered_threshold_ms=self.tiered_threshold_ms,
         )
 
 
@@ -143,7 +156,10 @@ def run_radical_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
     dep = Deployment.build(cfg.topology(), app=app)
     clients: List[ClosedLoopClient] = []
     for region in cfg.regions:
-        runtime = dep.runtimes[region]
+        # Routing-aware: the assignment policy picks the serving PoP and
+        # the client<->PoP RTT (home-region keeps the seed's 1 ms hop).
+        runtime = dep.runtime_for_client(region)
+        pop_rtt = dep.client_pop_rtt_ms(region)
         for i in range(cfg.clients_per_region):
             clients.append(
                 ClosedLoopClient(
@@ -154,7 +170,10 @@ def run_radical_experiment(app: App, cfg: ExperimentConfig) -> ExperimentResult:
                     metrics=dep.metrics,
                     rng=dep.streams.fork(f"client.{region}.{i}").stream("workload"),
                     requests=cfg.per_client_requests(),
-                    client_app_rtt_ms=cfg.radical.client_app_rtt_ms,
+                    client_app_rtt_ms=(
+                        pop_rtt if pop_rtt is not None
+                        else cfg.radical.client_app_rtt_ms
+                    ),
                     history=dep.history,
                 )
             )

@@ -216,10 +216,19 @@ def _openloop_chunk(spec: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _routing_point(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """One point of the routing sweep (repro.bench.routing); lazy import
+    keeps this module light for the pure-kernel jobs."""
+    from .routing import routing_point_job
+
+    return routing_point_job(spec)
+
+
 _KINDS = {
     "fig4": fig4_job,
     "dispatch": dispatch_job,
     "openloop-chunk": _openloop_chunk,
+    "routing-point": _routing_point,
 }
 
 

@@ -2,17 +2,23 @@
 
 Usage::
 
-    radical-repro table2                 # print Table 2
+    radical-repro run all                # every scenario in configs/
+    radical-repro run fig4 chaos         # a subset, by name
+    radical-repro run 'sweep_*' --smoke  # globs; CI-sized smoke runs
+    radical-repro run all --only-changed # skip unchanged configs
+    radical-repro table2                 # legacy per-figure commands
     radical-repro fig4 --requests 5000   # Figure 4 with a bigger run
     radical-repro fig4 --trace-out results/fig4_trace.jsonl
     radical-repro trace summarize results/fig4_trace.jsonl
-    radical-repro all                    # everything (writes results/*.json)
 
-Each subcommand prints the same rows/series the paper reports and writes a
-JSON artifact under ``results/``.  ``--trace-out`` reruns the Radical
-deployments with structured tracing (:mod:`repro.obs`) enabled, dumps every
-span to a JSONL file, and prints the per-invocation latency breakdown;
-``trace summarize`` re-analyzes such a file offline.
+Every experiment is declared as a scenario config under ``configs/`` (one
+JSON file per paper artifact — see EXPERIMENTS.md); ``run`` drives any
+subset through :mod:`repro.scenarios` and regenerates ``results/*.json``
+byte-identically.  The legacy per-figure commands are thin wrappers over
+the same scenarios, kept for muscle memory.  ``--trace-out`` reruns the
+Radical deployments with structured tracing (:mod:`repro.obs`) enabled —
+a diagnostic rerun that writes spans, not artifacts; ``trace summarize``
+re-analyzes such a file offline.
 """
 
 from __future__ import annotations
@@ -20,78 +26,142 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
-
-from .bench import (
-    ExperimentConfig,
-    ablation_cache_bootstrap,
-    ablation_lock_modes,
-    ablation_overlap,
-    ablation_two_rtt,
-    cost_table,
-    fig1_motivation,
-    fig4_rows,
-    fig5_rows,
-    fig6_rows,
-    infrastructure_overhead,
-    print_breakdown_report,
-    print_table,
-    run_eval_trio,
-    save_results,
-    sec56_replication,
-    table1_functions,
-    table2_rtt,
-)
+from typing import Dict, List, Optional
 
 __all__ = ["main"]
 
 
-def _cmd_fig1(args: argparse.Namespace) -> None:
-    rows = fig1_motivation(requests_per_region=max(50, args.requests // 10), seed=args.seed)
-    print_table(
-        ["region", "centralized (ms)", "geo-replicated (ms)", "local ideal (ms)"],
-        [[r["region"].upper(), r["centralized_median_ms"],
-          r["geo_replicated_median_ms"], r["local_ideal_median_ms"]] for r in rows],
-        title="Figure 1: motivation",
+def _run_main(argv: List[str]) -> int:
+    """``radical-repro run`` — the scenario-matrix driver."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro run",
+        description="Run scenarios from configs/ and regenerate their "
+                    "results/*.json artifacts (see EXPERIMENTS.md).",
     )
-    save_results("fig1_motivation", {"rows": rows})
+    parser.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                        help="scenario names or shell-style globs "
+                             "(default: all)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized runs; writes no artifacts, checks "
+                             "payload and artifact structure instead")
+    parser.add_argument("--only-changed", action="store_true",
+                        help="skip scenarios whose config hash matches the "
+                             "last successful run and whose artifact exists")
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="list the selected scenarios and exit")
+    args = parser.parse_args(argv)
+
+    from .scenarios import run_matrix
+
+    return run_matrix(
+        args.scenarios or ["all"],
+        smoke=args.smoke,
+        only_changed=args.only_changed,
+        list_only=args.list_only,
+    )
+
+
+def _routing_main(argv: List[str]) -> int:
+    """``radical-repro routing`` — the tiered latency-aware routing sweep:
+    synthetic geographies x PoP placement x assignment policy, reporting
+    the per-client advantage curve and the breakeven client-to-PoP RTT
+    (see docs/ROUTING.md)."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro routing",
+        description="Where the single-RTT advantage breaks down: placement "
+                    "x assignment policy x region count.",
+    )
+    parser.add_argument("--regions", default=None,
+                        help="comma-separated region counts (default: 10,25,50)")
+    parser.add_argument("--policies", default=None,
+                        help="comma-separated assignment policies "
+                             "(default: nearest-rtt,tiered,direct)")
+    parser.add_argument("--placements", default=None,
+                        help="comma-separated placements (default: dense,sparse)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="total requests per sweep point")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="tiered policy fallback threshold (ms)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sweep worker processes (default: CPU count)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized sweep, no results file")
+    args = parser.parse_args(argv)
+
+    from .scenarios import ScenarioError, run_scenario
+
+    overrides = {
+        "region_counts": (
+            [int(s) for s in args.regions.split(",") if s]
+            if args.regions else None
+        ),
+        "policies": (
+            [s for s in args.policies.split(",") if s]
+            if args.policies else None
+        ),
+        "placements": (
+            [s for s in args.placements.split(",") if s]
+            if args.placements else None
+        ),
+        "requests": args.requests,
+        "tiered_threshold_ms": args.threshold,
+        "workers": args.workers,
+    }
+    try:
+        run_scenario("routing", overrides=overrides, smoke=args.smoke)
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if not args.smoke:
+        print("results written to results/routing.json")
+    return 0
+
+
+def _run_legacy(name: str, overrides: Dict[str, object]) -> None:
+    """One legacy command = one scenario run through the single driver
+    code path (same presentation, same artifact bytes as ``run``)."""
+    from .scenarios import discover_scenarios, load_scenario_file, run_scenario
+
+    spec = load_scenario_file(discover_scenarios()[name])
+    run_scenario(spec, overrides=overrides)
+    print(f"results written to results/{spec.artifact}.json")
+
+
+def _cmd_fig1(args: argparse.Namespace) -> None:
+    _run_legacy("fig1", {
+        "requests_per_region": (
+            max(50, args.requests // 10) if args.requests else None
+        ),
+        "seed": args.seed,
+    })
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
-    rows = table1_functions()
-    print_table(
-        ["function", "writes", "analyzable", "exec (ms)", "workload %"],
-        [[r["function"], r["writes"], r["analyzable"], r["exec_time_ms"],
-          r["workload_pct"]] for r in rows],
-        title="Table 1: benchmark functions",
-    )
-    save_results("table1_functions", {"rows": rows})
+    _run_legacy("table1", {})
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
-    rows = table2_rtt()
-    print_table(
-        ["region", "RTT to primary (ms)"],
-        [[r["region"], r["rtt_to_primary_ms"]] for r in rows],
-        title="Table 2: round-trip latencies",
-    )
-    save_results("table2_rtt", {"rows": rows})
+    _run_legacy("table2", {})
 
 
-def _trios(args: argparse.Namespace):
-    trace_out = getattr(args, "trace_out", None)
+def _traced_trios(args: argparse.Namespace) -> None:
+    """The ``--trace-out`` path: rerun the three apps with structured
+    tracing and dump every span.  A diagnostic rerun — the traced
+    deployments are driven identically, but no results/*.json is written
+    (artifact regeneration stays with the scenario driver)."""
+    from .bench import ExperimentConfig, run_eval_trio
+
     cfg = ExperimentConfig(
-        requests=args.requests, seed=args.seed, trace=bool(trace_out)
+        requests=args.requests or 2500, seed=args.seed or 42, trace=True,
     )
     trios = {app: run_eval_trio(app, cfg) for app in ("social", "hotel", "forum")}
-    if trace_out:
-        _export_traces(trace_out, trios)
-    return trios
+    _export_traces(args.trace_out, trios)
 
 
 def _export_traces(path: str, trios: dict) -> None:
     """Dump every Radical span to ``path`` (JSONL, one record per span,
     tagged with the app it came from) and print each app's breakdown."""
+    from .bench import print_breakdown_report
     from .obs import write_jsonl
 
     first = True
@@ -111,152 +181,44 @@ def _export_traces(path: str, trios: dict) -> None:
     print(f"trace spans written to {path}")
 
 
-def _cmd_fig4(args: argparse.Namespace) -> None:
-    from .bench.plots import grouped_bar_chart
+def _cmd_eval_trio(name: str, args: argparse.Namespace) -> None:
+    if getattr(args, "trace_out", None):
+        _traced_trios(args)
+        return
+    _run_legacy(name, {"requests": args.requests, "seed": args.seed})
 
-    rows = [fig4_rows(trio) for trio in _trios(args).values()]
-    print_table(
-        ["app", "radical med", "baseline med", "ideal med", "improve %",
-         "of max %", "valid %"],
-        [[r["app"], r["radical_median_ms"], r["baseline_median_ms"],
-          r["ideal_median_ms"], r["improvement_pct"], r["fraction_of_max_pct"],
-          r["validation_success_rate"] * 100] for r in rows],
-        title="Figure 4: end-to-end latency",
-    )
-    print(grouped_bar_chart(
-        [r["app"] for r in rows],
-        {
-            "radical": [r["radical_median_ms"] for r in rows],
-            "baseline": [r["baseline_median_ms"] for r in rows],
-            "ideal": [r["ideal_median_ms"] for r in rows],
-        },
-        title="median end-to-end latency",
-    ))
-    save_results("fig4_end_to_end", {"rows": rows})
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    _cmd_eval_trio("fig4", args)
 
 
 def _cmd_fig5(args: argparse.Namespace) -> None:
-    from .bench.plots import grouped_bar_chart
-
-    payload = {}
-    for app, trio in _trios(args).items():
-        rows = fig5_rows(trio)
-        payload[app] = rows
-        print_table(
-            ["region", "radical med", "baseline med", "ideal med"],
-            [[r["region"].upper(), r["radical_median_ms"], r["baseline_median_ms"],
-              r["ideal_median_ms"]] for r in rows],
-            title=f"Figure 5 ({app}): regional variation",
-        )
-        print(grouped_bar_chart(
-            [r["region"].upper() for r in rows],
-            {
-                "radical": [r["radical_median_ms"] for r in rows],
-                "baseline": [r["baseline_median_ms"] for r in rows],
-            },
-            title=f"{app}: median latency by region",
-        ))
-    save_results("fig5_regional", payload)
+    _cmd_eval_trio("fig5", args)
 
 
 def _cmd_fig6(args: argparse.Namespace) -> None:
-    from .bench.plots import bar_chart
-
-    rows = []
-    for trio in _trios(args).values():
-        rows.extend(fig6_rows(trio))
-    print_table(
-        ["function", "exec (ms)", "radical med", "baseline med", "n"],
-        [[r["function"], r["service_time_ms"], r["radical_median_ms"],
-          r["baseline_median_ms"], r["samples"]] for r in rows],
-        title="Figure 6: per-function latency",
-    )
-    stable = [r for r in rows if r["samples"] >= 30]
-    print(bar_chart(
-        [r["function"] for r in stable],
-        [r["radical_median_ms"] for r in stable],
-        markers=[r["radical_p99_ms"] for r in stable],
-        title="Radical per-function median (p99 markers)",
-    ))
-    save_results("fig6_functions", {"rows": rows})
+    _cmd_eval_trio("fig6", args)
 
 
 def _cmd_sweeps(args: argparse.Namespace) -> None:
-    from .bench import sweep_concurrency, sweep_offered_load, sweep_skew
-
-    skew = sweep_skew(requests=args.requests)
-    print_table(
-        ["zipf s", "validation", "median (ms)", "p99 (ms)"],
-        [[r["zipf_s"], r["validation_success"], r["median_ms"], r["p99_ms"]]
-         for r in skew],
-        title="Sweep: skew (counter microbenchmark)",
-    )
-    conc = sweep_concurrency(requests=args.requests)
-    print_table(
-        ["clients/region", "validation", "median (ms)", "p99 (ms)"],
-        [[r["clients_per_region"], r["validation_success"], r["median_ms"],
-          r["p99_ms"]] for r in conc],
-        title="Sweep: concurrency (forum)",
-    )
-    load = sweep_offered_load()
-    print_table(
-        ["rate (rps/region)", "requests", "median", "p99", "validation",
-         "lock wait (ms)"],
-        [[r["rate_rps_per_region"], r["requests"], r["median_ms"], r["p99_ms"],
-          r["validation_success"], r["lock_wait_total_ms"]] for r in load],
-        title="Sweep: offered load (forum, open loop)",
-    )
-    save_results("sweeps", {"skew": skew, "concurrency": conc, "offered_load": load})
+    _run_legacy("sweep_skew", {"requests": args.requests, "seed": args.seed})
+    _run_legacy("sweep_concurrency",
+                {"requests": args.requests, "seed": args.seed})
+    _run_legacy("sweep_offered_load", {"seed": args.seed})
 
 
 def _cmd_sec56(args: argparse.Namespace) -> None:
-    result = sec56_replication(seed=args.seed)
-    print(f"Raft per-lock commit: {result['raft_per_lock_commit_ms']:.2f} ms "
-          f"(paper: 2.3 ms)")
-    print_table(
-        ["locks", "model 3+2.3L", "measured added (ms)"],
-        [[m["locks"], model["added_latency_model_ms"], m["measured_added_ms"]]
-         for m, model in zip(result["measured"], result["model"])],
-        title="Section 5.6: replicated LVI server",
-    )
-    save_results("sec56_replication", result)
+    _run_legacy("sec56", {"seed": args.seed})
 
 
 def _cmd_cost(args: argparse.Namespace) -> None:
-    rows = cost_table()
-    print_table(
-        ["monthly invocations", "baseline ($)", "radical ($)", "overhead %"],
-        [[f"{r['invocations']:,}", r["baseline_total"], r["radical_total"],
-          r["overhead"] * 100] for r in rows],
-        title=f"Section 5.7: cost (infrastructure overhead "
-              f"{infrastructure_overhead():.1%})",
-    )
-    save_results("sec57_cost", {"rows": rows})
+    _run_legacy("sec57", {})
 
 
 def _cmd_ablations(args: argparse.Namespace) -> None:
-    overlap = ablation_overlap(requests=args.requests, seed=args.seed)
-    two_rtt = ablation_two_rtt(requests=args.requests, seed=args.seed)
-    locks = ablation_lock_modes(requests=args.requests, seed=args.seed)
-    bootstrap = ablation_cache_bootstrap(requests=args.requests, seed=args.seed)
-    print_table(
-        ["ablation", "radical", "ablated"],
-        [
-            ["overlap off (median ms)", overlap["overlap_median_ms"],
-             overlap["no_overlap_median_ms"]],
-            ["2-RTT commit (overall ms)", two_rtt["overall_single_ms"],
-             two_rtt["overall_two_rtt_ms"]],
-            ["exclusive locks (p99 ms)", locks["rw_locks_p99_ms"],
-             locks["exclusive_p99_ms"]],
-            ["cold cache (median ms)", bootstrap["warm_median_ms"],
-             bootstrap["cold_median_ms"]],
-        ],
-        title="Design-choice ablations",
-    )
-    save_results("ablations", {
-        "overlap": overlap, "two_rtt": two_rtt,
-        "lock_modes": locks, "cache_bootstrap": bootstrap,
-    })
+    for name in ("ablation_overlap", "ablation_two_rtt",
+                 "ablation_lock_modes", "ablation_cache_bootstrap"):
+        _run_legacy(name, {"requests": args.requests, "seed": args.seed})
 
 
 def _trace_main(argv: List[str]) -> int:
@@ -272,7 +234,7 @@ def _trace_main(argv: List[str]) -> int:
     parser.add_argument("file", help="JSONL span file written by --trace-out")
     args = parser.parse_args(argv)
 
-    from .bench import format_breakdown_report
+    from .bench import format_breakdown_report, print_table
     from .obs import all_breakdowns, critical_path_signatures, read_jsonl
 
     try:
@@ -330,6 +292,7 @@ def _chaos_main(argv: List[str]) -> int:
                         help="list the built-in fault plans and exit")
     args = parser.parse_args(argv)
 
+    from .bench import print_table, save_results
     from .errors import FaultConfigError
     from .faults import builtin_plans, resolve_plans, run_chaos_case
 
@@ -423,7 +386,7 @@ def _scalability_main(argv: List[str]) -> int:
                              "counter workload only")
     args = parser.parse_args(argv)
 
-    from .bench import sweep_scalability, uniform_counter_app
+    from .bench import print_table, sweep_scalability, uniform_counter_app
 
     if args.smoke:
         # Smoke runs must not clobber the full-sweep artifact.
@@ -492,8 +455,14 @@ def _analyze_main(argv: List[str]) -> int:
                              "results file")
     args = parser.parse_args(argv)
 
-    from .bench import ANALYSIS_INPUTS, analysis_gate_failures, run_analysis_corpus
     from .analysis.ir.summary import ConflictMatrix
+    from .bench import (
+        ANALYSIS_INPUTS,
+        analysis_gate_failures,
+        print_table,
+        run_analysis_corpus,
+        save_results,
+    )
 
     inputs = args.inputs or (3 if args.smoke else ANALYSIS_INPUTS)
     payload = run_analysis_corpus(inputs_per_function=inputs, seed=args.seed)
@@ -578,7 +547,7 @@ def _kernelbench_main(argv: List[str]) -> int:
                         help="skip the chunked open-loop sweep workload")
     args = parser.parse_args(argv)
 
-    from .bench import run_kernelbench
+    from .bench import print_table, run_kernelbench
 
     report = run_kernelbench(
         smoke=args.smoke,
@@ -640,7 +609,12 @@ def _mesh_main(argv: List[str]) -> int:
                              "no results file")
     args = parser.parse_args(argv)
 
-    from .bench import MESH_GOSSIP_INTERVALS, mesh_gate_failures, sweep_mesh
+    from .bench import (
+        MESH_GOSSIP_INTERVALS,
+        mesh_gate_failures,
+        print_table,
+        sweep_mesh,
+    )
 
     if args.smoke:
         # Smoke runs must not clobber the full-sweep artifact.
@@ -697,7 +671,7 @@ def _overload_main(argv: List[str]) -> int:
                              "no results file")
     args = parser.parse_args(argv)
 
-    from .bench import OVERLOAD_RATES, sweep_overload
+    from .bench import OVERLOAD_RATES, print_table, sweep_overload
 
     if args.smoke:
         # Smoke runs must not clobber the full-sweep artifact.  One rate
@@ -757,57 +731,58 @@ _COMMANDS = {
     "sweeps": _cmd_sweeps,
 }
 
+#: Subcommands with their own positional grammar, dispatched before the
+#: legacy experiment parser sees the argv.
+_SUBCOMMANDS = {
+    "run": _run_main,
+    "routing": _routing_main,
+    "trace": _trace_main,
+    "chaos": _chaos_main,
+    "scalability": _scalability_main,
+    "overload": _overload_main,
+    "mesh": _mesh_main,
+    "kernelbench": _kernelbench_main,
+    "analyze": _analyze_main,
+}
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``radical-repro`` console script."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "trace":
-        # ``trace`` takes its own positional grammar (summarize <file>), so
-        # it is dispatched before the experiment parser sees it.
-        return _trace_main(argv[1:])
-    if argv and argv[0] == "chaos":
-        # ``chaos`` likewise owns its grammar (seeds x plans matrix).
-        return _chaos_main(argv[1:])
-    if argv and argv[0] == "scalability":
-        # ``scalability`` sweeps shard counts (its own grammar too).
-        return _scalability_main(argv[1:])
-    if argv and argv[0] == "overload":
-        # ``overload`` sweeps offered load with shedding on/off.
-        return _overload_main(argv[1:])
-    if argv and argv[0] == "mesh":
-        # ``mesh`` sweeps the PoP cache mesh (staleness vs aborts).
-        return _mesh_main(argv[1:])
-    if argv and argv[0] == "kernelbench":
-        # ``kernelbench`` measures simulator kernel throughput.
-        return _kernelbench_main(argv[1:])
-    if argv and argv[0] == "analyze":
-        # ``analyze`` replays the corpus through the analysis pipeline.
-        return _analyze_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="radical-repro",
-        description="Reproduce the evaluation of Radical (SOSP 2025).",
+        description="Reproduce the evaluation of Radical (SOSP 2025). "
+                    "Prefer 'run <scenario|glob|all>' — the legacy "
+                    "per-figure commands below wrap the same scenarios.",
     )
     parser.add_argument(
         "experiment",
         choices=sorted(_COMMANDS) + ["all"],
         help="which table/figure to regenerate "
-             "(or: trace summarize <file.jsonl>)",
+             "(or: run <scenario...>, trace summarize <file.jsonl>)",
     )
-    parser.add_argument("--requests", type=int, default=2000,
-                        help="workload size for latency experiments")
-    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="workload size for latency experiments "
+                             "(default: the scenario config's value)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="experiment seed (default: the config's value)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="rerun Radical with structured tracing and write "
-                             "all spans to PATH as JSONL (fig4/fig5/fig6)")
+                             "all spans to PATH as JSONL (fig4/fig5/fig6; "
+                             "diagnostic only, no results/*.json)")
     args = parser.parse_args(argv)
 
-    if args.experiment == "all":
-        for name in ("table2", "table1", "cost", "fig1", "sec56", "fig4", "fig5",
-                     "fig6", "ablations", "sweeps"):
-            print(f"\n##### {name} #####")
-            _COMMANDS[name](args)
-    else:
+    from .scenarios import ScenarioError
+
+    try:
+        if args.experiment == "all":
+            return _run_main([])
         _COMMANDS[args.experiment](args)
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     return 0
 
 

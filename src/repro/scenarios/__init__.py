@@ -1,0 +1,43 @@
+"""Config-driven scenario matrix: one JSON file per paper artifact.
+
+``configs/<name>.json`` declares a scenario (kind + parameters + output
+artifact); :mod:`repro.scenarios.driver` runs any subset and regenerates
+``results/*.json`` byte-identically.  See EXPERIMENTS.md for the full
+config ↔ paper artifact ↔ results map.
+"""
+
+from .driver import (
+    config_dir,
+    discover_scenarios,
+    load_all_scenarios,
+    run_matrix,
+    run_scenario,
+    scenario_state_path,
+)
+from .runners import KINDS, ScenarioKind, schema_failures
+from .spec import (
+    ParamSpec,
+    ScenarioError,
+    ScenarioSpec,
+    load_scenario_file,
+    parse_fault_plan,
+    parse_scenario,
+)
+
+__all__ = [
+    "KINDS",
+    "ParamSpec",
+    "ScenarioError",
+    "ScenarioKind",
+    "ScenarioSpec",
+    "config_dir",
+    "discover_scenarios",
+    "load_all_scenarios",
+    "load_scenario_file",
+    "parse_fault_plan",
+    "parse_scenario",
+    "run_matrix",
+    "run_scenario",
+    "scenario_state_path",
+    "schema_failures",
+]

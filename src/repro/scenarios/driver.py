@@ -1,0 +1,266 @@
+"""The scenario driver: ``radical-repro run <scenario|glob|all>``.
+
+One entry point regenerates any subset of ``results/*.json`` from the
+checked-in configs:
+
+* ``run all`` — every scenario, in config-name order;
+* ``run fig4 chaos`` — an explicit subset;
+* ``run 'sweep_*'`` — shell-style globs over scenario names;
+* ``--smoke`` — CI-sized runs (each kind's smoke overrides), no artifact
+  writes, plus a structural schema check of both the smoke payload and
+  the checked-in artifact — drift in either direction fails;
+* ``--only-changed`` — skip scenarios whose config hash matches the one
+  recorded at the last successful full run (``results/.scenario_state.json``)
+  and whose artifact still exists.
+
+Runs are deterministic: a full run writes exactly the bytes of the
+checked-in artifact unless the config (or the simulation) changed.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .runners import KINDS, schema_failures
+from .spec import ScenarioError, ScenarioSpec, load_scenario_file
+
+__all__ = [
+    "config_dir",
+    "discover_scenarios",
+    "load_all_scenarios",
+    "run_scenario",
+    "run_matrix",
+    "scenario_state_path",
+]
+
+_STATE_FILE = ".scenario_state.json"
+
+
+def _repo_root() -> str:
+    # src/repro/scenarios/driver.py -> repo root is three levels above src/.
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(os.path.join(here, "..", "..", ".."))
+
+
+def config_dir() -> str:
+    return os.environ.get(
+        "REPRO_CONFIG_DIR", os.path.join(_repo_root(), "configs")
+    )
+
+
+def results_dir() -> str:
+    from ..bench.report import results_dir as _rd
+
+    return _rd()
+
+
+def scenario_state_path(results: Optional[str] = None) -> str:
+    return os.path.join(results or results_dir(), _STATE_FILE)
+
+
+def discover_scenarios(configs: Optional[str] = None) -> Dict[str, str]:
+    """Map scenario-file stem -> path for every ``configs/*.json``."""
+    root = configs or config_dir()
+    if not os.path.isdir(root):
+        raise ScenarioError(f"scenario config directory not found: {root}")
+    out: Dict[str, str] = {}
+    for entry in sorted(os.listdir(root)):
+        if entry.endswith(".json"):
+            out[entry[: -len(".json")]] = os.path.join(root, entry)
+    if not out:
+        raise ScenarioError(f"no scenario configs (*.json) under {root}")
+    return out
+
+
+def load_all_scenarios(configs: Optional[str] = None) -> Dict[str, ScenarioSpec]:
+    """Load + validate every config; the file stem must match the
+    ``scenario`` name inside (one file, one scenario, no aliasing)."""
+    specs: Dict[str, ScenarioSpec] = {}
+    for stem, path in discover_scenarios(configs).items():
+        spec = load_scenario_file(path)
+        if spec.name != stem:
+            raise ScenarioError(
+                f"{path}: file stem {stem!r} does not match scenario "
+                f"name {spec.name!r}"
+            )
+        specs[stem] = spec
+    return specs
+
+
+def select_scenarios(patterns: Sequence[str],
+                     specs: Dict[str, ScenarioSpec]) -> List[ScenarioSpec]:
+    if not patterns or list(patterns) == ["all"]:
+        return list(specs.values())
+    chosen: Dict[str, ScenarioSpec] = {}
+    for pattern in patterns:
+        hits = fnmatch.filter(sorted(specs), pattern)
+        if not hits:
+            raise ScenarioError(
+                f"no scenario matches {pattern!r} "
+                f"(available: {', '.join(sorted(specs))})"
+            )
+        for name in hits:
+            chosen[name] = specs[name]
+    return list(chosen.values())
+
+
+def _config_sha(path: str) -> str:
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
+def _load_state(results: Optional[str] = None) -> Dict[str, Any]:
+    try:
+        with open(scenario_state_path(results), "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return {}
+
+
+def _save_state(state: Dict[str, Any], results: Optional[str] = None) -> None:
+    path = scenario_state_path(results)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(state, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _artifact_path(spec: ScenarioSpec, results: Optional[str] = None) -> str:
+    return os.path.join(results or results_dir(), f"{spec.artifact}.json")
+
+
+def run_scenario(
+    spec_or_name: Any,
+    overrides: Optional[Dict[str, Any]] = None,
+    smoke: bool = False,
+    save: bool = True,
+    present: bool = True,
+    configs: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one scenario and return its payload.
+
+    This is the single code path behind the driver, the legacy per-figure
+    CLI commands, and the ``benchmarks/bench_*.py`` wrappers.  ``save``
+    writes ``results/<artifact>.json`` via the canonical writer
+    (:func:`repro.bench.save_results`), so every caller produces the same
+    bytes.  Gate failures raise :class:`ScenarioError`.
+    """
+    from ..bench import save_results
+
+    if isinstance(spec_or_name, ScenarioSpec):
+        spec = spec_or_name
+    else:
+        paths = discover_scenarios(configs)
+        if spec_or_name not in paths:
+            raise ScenarioError(
+                f"unknown scenario {spec_or_name!r} "
+                f"(available: {', '.join(sorted(paths))})"
+            )
+        spec = load_scenario_file(paths[spec_or_name])
+    kind = KINDS[spec.kind]
+    params = spec.resolved_params(smoke=smoke, overrides=overrides)
+    if kind.validate is not None:
+        kind.validate(f"scenario {spec.name!r}", params)
+    payload = kind.run(params)
+    if present:
+        kind.present(payload)
+    if kind.gate is not None:
+        failures = kind.gate(payload)
+        if failures:
+            raise ScenarioError(
+                f"scenario {spec.name!r} gate failed: " + "; ".join(failures)
+            )
+    if save and not smoke:
+        save_results(spec.artifact, payload)
+    return payload
+
+
+def _check_schema(spec: ScenarioSpec, payload: Dict[str, Any],
+                  results: Optional[str] = None) -> List[str]:
+    """Structural drift check: the kind's probes must hold for both the
+    fresh (smoke) payload and the checked-in artifact, so either side
+    drifting away from the declared shape fails CI."""
+    kind = KINDS[spec.kind]
+    if not kind.required_keys:
+        return []
+    failures = schema_failures(
+        payload, kind.required_keys, label=f"{spec.name} (regenerated)"
+    )
+    artifact = _artifact_path(spec, results)
+    if os.path.exists(artifact):
+        try:
+            with open(artifact, "r", encoding="utf-8") as fh:
+                checked_in = json.load(fh)
+        except json.JSONDecodeError as exc:
+            return failures + [f"{artifact}: not valid JSON ({exc})"]
+        failures += schema_failures(
+            checked_in, kind.required_keys, label=f"{spec.name} (checked-in)"
+        )
+    return failures
+
+
+def run_matrix(
+    patterns: Sequence[str],
+    smoke: bool = False,
+    only_changed: bool = False,
+    list_only: bool = False,
+    configs: Optional[str] = None,
+    results: Optional[str] = None,
+) -> int:
+    """Run a scenario selection; returns a process exit code."""
+    try:
+        specs = load_all_scenarios(configs)
+        chosen = select_scenarios(patterns, specs)
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if list_only:
+        width = max(len(s.name) for s in chosen)
+        for spec in chosen:
+            ref = f" [{spec.paper_ref}]" if spec.paper_ref else ""
+            print(f"{spec.name:{width}s}  {spec.kind:18s} -> "
+                  f"results/{spec.artifact}.json{ref}")
+        return 0
+
+    state = _load_state(results)
+    failures: List[Tuple[str, str]] = []
+    ran = skipped = 0
+    for spec in chosen:
+        sha = _config_sha(spec.path) if spec.path else None
+        if (
+            only_changed
+            and not smoke
+            and sha is not None
+            and state.get(spec.name, {}).get("config_sha") == sha
+            and os.path.exists(_artifact_path(spec, results))
+        ):
+            skipped += 1
+            print(f"--- {spec.name}: unchanged, skipping")
+            continue
+        print(f"\n### {spec.name} ({spec.kind})"
+              + (f" — {spec.title}" if spec.title else ""))
+        try:
+            payload = run_scenario(spec, smoke=smoke, save=not smoke)
+            ran += 1
+            if smoke:
+                for msg in _check_schema(spec, payload, results):
+                    failures.append((spec.name, f"schema drift: {msg}"))
+            elif sha is not None:
+                state[spec.name] = {
+                    "artifact": spec.artifact, "config_sha": sha,
+                }
+                _save_state(state, results)
+                print(f"results written to results/{spec.artifact}.json")
+        except ScenarioError as exc:
+            failures.append((spec.name, str(exc)))
+    print(f"\n{ran} scenario(s) ran, {skipped} skipped"
+          + (", smoke mode (no artifacts written)" if smoke else ""))
+    for name, msg in failures:
+        print(f"FAIL {name}: {msg}", file=sys.stderr)
+    return 1 if failures else 0

@@ -1,0 +1,962 @@
+"""Scenario kinds: the runners behind every config under ``configs/``.
+
+A :class:`ScenarioKind` bundles what the driver needs to execute one kind
+of scenario: the parameter schema (validated at config load), the run
+function (params → JSON-shaped payload, exactly the bytes that land in
+``results/<artifact>.json``), a presenter (the human table the legacy CLI
+printed), an optional gate (payload → failure messages; any failure fails
+the driver), CI smoke overrides, and a structural payload probe used by
+``run --smoke`` to detect result-schema drift.
+
+Every run function is pure in the simulation sense: the payload is fully
+determined by the parameters, so rerunning a config regenerates its
+artifact byte for byte (the migration tests prove this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .spec import ParamSpec, ScenarioError, parse_fault_plan
+
+__all__ = ["KINDS", "ScenarioKind", "schema_failures"]
+
+
+@dataclass(frozen=True)
+class ScenarioKind:
+    name: str
+    params: Dict[str, ParamSpec]
+    run: Callable[[Dict[str, Any]], Dict[str, Any]]
+    present: Callable[[Dict[str, Any]], None]
+    #: Dotted structural probes ("rows[].app", "*[].region"); checked
+    #: against both smoke payloads and checked-in artifacts.
+    required_keys: Tuple[str, ...] = ()
+    #: payload -> failure messages (empty = pass).
+    gate: Optional[Callable[[Dict[str, Any]], List[str]]] = None
+    smoke_defaults: Dict[str, Any] = field(default_factory=dict)
+    #: Extra cross-field validation: (where, resolved_params) -> None.
+    validate: Optional[Callable[[str, Dict[str, Any]], None]] = None
+
+
+# -- structural payload probes ----------------------------------------------
+
+def schema_failures(payload: Any, paths: Tuple[str, ...],
+                    label: str = "payload") -> List[str]:
+    """Check dotted structural probes against a payload.
+
+    Tokens: ``key`` (dict key), ``key[]`` (dict key holding a list, then
+    each element), ``*`` (every dict value), ``*[]`` (every dict value is
+    a list, then each element).  Empty lists pass — probes pin structure,
+    not cardinality.
+    """
+    failures: List[str] = []
+    for path in paths:
+        nodes = [payload]
+        ok = True
+        for token in path.split("."):
+            want_list = token.endswith("[]")
+            key = token[:-2] if want_list else token
+            next_nodes: List[Any] = []
+            for node in nodes:
+                if not isinstance(node, dict):
+                    ok = False
+                    break
+                if key == "*":
+                    values = list(node.values())
+                else:
+                    if key not in node:
+                        ok = False
+                        break
+                    values = [node[key]]
+                if want_list:
+                    for v in values:
+                        if not isinstance(v, list):
+                            ok = False
+                            break
+                        next_nodes.extend(v)
+                else:
+                    next_nodes.extend(values)
+            if not ok:
+                break
+            nodes = next_nodes
+        if not ok:
+            failures.append(f"{label}: missing or mis-shaped {path!r}")
+    return failures
+
+
+# -- shared validators -------------------------------------------------------
+
+def _check_rtt_ref(value: Any) -> None:
+    from ..sim import RttDatasetError, resolve_rtt_dataset
+
+    try:
+        resolve_rtt_dataset(value)
+    except RttDatasetError as exc:
+        raise ScenarioError(f"bad RTT dataset reference: {exc}") from None
+
+
+def _validate_chaos(where: str, params: Dict[str, Any]) -> None:
+    from ..faults import builtin_plans
+
+    plans = params["plans"]
+    known = builtin_plans()
+    if isinstance(plans, str):
+        names = [] if plans == "all" else [s.strip() for s in plans.split(",") if s.strip()]
+    else:
+        names = list(plans)
+    for name in names:
+        if name not in known:
+            raise ScenarioError(
+                f"{where}: unknown fault plan {name!r} "
+                f"(available: {', '.join(sorted(known))})"
+            )
+    for i, raw in enumerate(params.get("extra_plans") or []):
+        parse_fault_plan(raw, where=f"{where}: extra_plans[{i}]")
+
+
+_SCALABILITY_WORKLOADS = ("counter", "social")
+
+
+def _validate_scalability(where: str, params: Dict[str, Any]) -> None:
+    for name in params.get("workloads") or ():
+        if name not in _SCALABILITY_WORKLOADS:
+            raise ScenarioError(
+                f"{where}: unknown scalability workload {name!r} "
+                f"(available: {', '.join(_SCALABILITY_WORKLOADS)})"
+            )
+
+
+# -- run functions -----------------------------------------------------------
+
+def _run_fig1(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import fig1_motivation
+
+    return {"rows": fig1_motivation(
+        requests_per_region=p["requests_per_region"], seed=p["seed"]
+    )}
+
+
+def _run_table1(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import table1_functions
+
+    return {"rows": table1_functions()}
+
+
+def _measure_table2_rtts() -> Dict[str, float]:
+    """Measure an empty RPC round trip from each region to a VA probe
+    server — verifying the configured network delivers Table 2."""
+    from ..sim import Network, RandomStreams, Region, Simulator, paper_latency_table
+
+    sim = Simulator()
+    net = Network(sim, paper_latency_table(), RandomStreams(0))
+
+    def noop(_payload, _src):
+        if False:
+            yield
+        return None
+
+    net.serve("probe-server", Region.VA, noop)
+    measured: Dict[str, float] = {}
+    for region in Region.NEAR_USER:
+        net.register(f"probe-{region}", region)
+
+        def flow(region=region):
+            start = sim.now
+            yield from net.call(f"probe-{region}", "probe-server", "ping")
+            return sim.now - start
+
+        measured[region] = sim.run_process(flow())
+    return measured
+
+
+def _run_table2(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import table2_rtt
+
+    return {"rows": table2_rtt(), "measured": _measure_table2_rtts()}
+
+
+def _run_eval_trio(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import ExperimentConfig, fig4_rows, fig5_rows, fig6_rows, run_eval_trio
+
+    cfg = ExperimentConfig(requests=p["requests"], seed=p["seed"], rtt=p.get("rtt"))
+    trios = {app: run_eval_trio(app, cfg) for app in p["apps"]}
+    view = p["view"]
+    if view == "fig4":
+        return {"rows": [fig4_rows(t) for t in trios.values()]}
+    if view == "fig5":
+        return {app: fig5_rows(t) for app, t in trios.items()}
+    return {"rows": [row for t in trios.values() for row in fig6_rows(t)]}
+
+
+def _run_sec56(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import sec56_replication
+
+    return sec56_replication(lock_counts=tuple(p["lock_counts"]), seed=p["seed"])
+
+
+def _run_sec57(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import cost_table, infrastructure_overhead
+
+    return {"rows": cost_table(), "infra_overhead": infrastructure_overhead()}
+
+
+def _run_ablation(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import (
+        ablation_cache_bootstrap,
+        ablation_lock_modes,
+        ablation_overlap,
+        ablation_two_rtt,
+    )
+
+    fn = {
+        "overlap": ablation_overlap,
+        "two_rtt": ablation_two_rtt,
+        "lock_modes": ablation_lock_modes,
+        "cache_bootstrap": ablation_cache_bootstrap,
+    }[p["which"]]
+    return fn(requests=p["requests"], seed=p["seed"])
+
+
+def _run_sweep_skew(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import sweep_skew
+
+    return {"rows": sweep_skew(
+        zipf_values=tuple(p["zipf_values"]), requests=p["requests"], seed=p["seed"]
+    )}
+
+
+def _run_sweep_concurrency(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import sweep_concurrency
+
+    return {"rows": sweep_concurrency(
+        clients=tuple(p["clients"]), requests=p["requests"], seed=p["seed"]
+    )}
+
+
+def _run_sweep_offered_load(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import sweep_offered_load
+
+    return {"rows": sweep_offered_load(
+        rates_rps=tuple(p["rates_rps"]), duration_ms=p["duration_ms"], seed=p["seed"]
+    )}
+
+
+def _run_scalability(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..apps import social_media_app
+    from ..bench import sweep_scalability, uniform_counter_app
+
+    builders = {"counter": uniform_counter_app, "social": social_media_app}
+    names = p.get("workloads")
+    workloads = {n: builders[n] for n in names} if names else None
+    return sweep_scalability(
+        shard_counts=tuple(p["shard_counts"]),
+        rate_rps_per_region=p["rate_rps_per_region"],
+        duration_ms=p["duration_ms"],
+        batch_window_ms=p["batch_window_ms"],
+        seed=p["seed"],
+        workloads=workloads,
+        save=False,
+    )
+
+
+def _run_overload(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import sweep_overload
+
+    return sweep_overload(
+        rates=tuple(p["rates"]), duration_ms=p["duration_ms"], seed=p["seed"],
+        save=False,
+    )
+
+
+def _run_mesh(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import sweep_mesh
+
+    return sweep_mesh(
+        apps=tuple(p["apps"]) if p.get("apps") else None,
+        intervals=tuple(p["intervals"]),
+        requests=p["requests"],
+        seed=p["seed"],
+        save=False,
+    )
+
+
+def _run_chaos(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..faults import resolve_plans, run_chaos_case
+
+    plans_param = p["plans"]
+    spec = plans_param if isinstance(plans_param, str) else ",".join(plans_param)
+    plans = resolve_plans(spec)
+    plans.extend(
+        parse_fault_plan(raw, where=f"extra_plans[{i}]")
+        for i, raw in enumerate(p.get("extra_plans") or [])
+    )
+    results = []
+    for plan in plans:
+        for seed in range(p["seeds"]):
+            results.append(run_chaos_case(
+                plan, seed=seed,
+                requests_per_client=p["requests"],
+                clients_per_region=p["clients"],
+                shards=p["shards"],
+            ))
+    return {"shards": p["shards"], "cases": [r.to_dict() for r in results]}
+
+
+def _run_analysis(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import run_analysis_corpus
+
+    return run_analysis_corpus(
+        inputs_per_function=p["inputs_per_function"], seed=p["seed"]
+    )
+
+
+def _run_routing(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench.routing import run_routing_sweep
+
+    return run_routing_sweep(
+        region_counts=tuple(p["region_counts"]),
+        policies=tuple(p["policies"]),
+        placements=tuple(p["placements"]),
+        requests=p["requests"],
+        seed=p["seed"],
+        rtt_seed=p["rtt_seed"],
+        tiered_threshold_ms=p["tiered_threshold_ms"],
+        sparse_pops=p["sparse_pops"],
+        workers=p.get("workers"),
+    )
+
+
+# -- presenters --------------------------------------------------------------
+
+def _present_fig1(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    rows = payload["rows"]
+    print_table(
+        ["region", "centralized (ms)", "geo-replicated (ms)", "local ideal (ms)"],
+        [[r["region"].upper(), r["centralized_median_ms"],
+          r["geo_replicated_median_ms"], r["local_ideal_median_ms"]] for r in rows],
+        title="Figure 1: motivation",
+    )
+
+
+def _present_table1(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print_table(
+        ["function", "writes", "analyzable", "exec (ms)", "workload %"],
+        [[r["function"], r["writes"], r["analyzable"], r["exec_time_ms"],
+          r["workload_pct"]] for r in payload["rows"]],
+        title="Table 1: benchmark functions",
+    )
+
+
+def _present_table2(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    measured = payload.get("measured", {})
+    print_table(
+        ["region", "configured RTT (ms)", "measured RTT (ms)"],
+        [[r["region"], r["rtt_to_primary_ms"],
+          measured.get(r["region"].lower(), "-")] for r in payload["rows"]],
+        title="Table 2: round-trip latency to the primary (VA)",
+    )
+
+
+def _present_fig4(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+    from ..bench.plots import grouped_bar_chart
+
+    rows = payload["rows"]
+    print_table(
+        ["app", "radical med", "baseline med", "ideal med", "improve %",
+         "of max %", "valid %"],
+        [[r["app"], r["radical_median_ms"], r["baseline_median_ms"],
+          r["ideal_median_ms"], r["improvement_pct"], r["fraction_of_max_pct"],
+          r["validation_success_rate"] * 100] for r in rows],
+        title="Figure 4: end-to-end latency",
+    )
+    print(grouped_bar_chart(
+        [r["app"] for r in rows],
+        {
+            "radical": [r["radical_median_ms"] for r in rows],
+            "baseline": [r["baseline_median_ms"] for r in rows],
+            "ideal": [r["ideal_median_ms"] for r in rows],
+        },
+        title="median end-to-end latency",
+    ))
+
+
+def _present_fig5(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+    from ..bench.plots import grouped_bar_chart
+
+    for app, rows in payload.items():
+        print_table(
+            ["region", "radical med", "baseline med", "ideal med"],
+            [[r["region"].upper(), r["radical_median_ms"], r["baseline_median_ms"],
+              r["ideal_median_ms"]] for r in rows],
+            title=f"Figure 5 ({app}): regional variation",
+        )
+        print(grouped_bar_chart(
+            [r["region"].upper() for r in rows],
+            {
+                "radical": [r["radical_median_ms"] for r in rows],
+                "baseline": [r["baseline_median_ms"] for r in rows],
+            },
+            title=f"{app}: median latency by region",
+        ))
+
+
+def _present_fig6(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+    from ..bench.plots import bar_chart
+
+    rows = payload["rows"]
+    print_table(
+        ["function", "exec (ms)", "radical med", "baseline med", "n"],
+        [[r["function"], r["service_time_ms"], r["radical_median_ms"],
+          r["baseline_median_ms"], r["samples"]] for r in rows],
+        title="Figure 6: per-function latency",
+    )
+    stable = [r for r in rows if r["samples"] >= 30]
+    if stable:
+        print(bar_chart(
+            [r["function"] for r in stable],
+            [r["radical_median_ms"] for r in stable],
+            markers=[r["radical_p99_ms"] for r in stable],
+            title="Radical per-function median (p99 markers)",
+        ))
+
+
+def _present_eval_trio(payload: Dict[str, Any]) -> None:
+    # Dispatch on payload shape: fig5 payloads are keyed by app.
+    if "rows" not in payload:
+        _present_fig5(payload)
+    elif payload["rows"] and "app" in payload["rows"][0]:
+        _present_fig4(payload)
+    else:
+        _present_fig6(payload)
+
+
+def _present_sec56(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print(f"Raft per-lock commit: {payload['raft_per_lock_commit_ms']:.2f} ms "
+          f"(paper: 2.3 ms)")
+    print_table(
+        ["locks", "model 3+2.3L", "measured added (ms)"],
+        [[m["locks"], model["added_latency_model_ms"], m["measured_added_ms"]]
+         for m, model in zip(payload["measured"], payload["model"])],
+        title="Section 5.6: replicated LVI server",
+    )
+
+
+def _present_sec57(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print_table(
+        ["monthly invocations", "baseline ($)", "radical ($)", "overhead %"],
+        [[f"{r['invocations']:,}", r["baseline_total"], r["radical_total"],
+          r["overhead"] * 100] for r in payload["rows"]],
+        title=f"Section 5.7: cost (infrastructure overhead "
+              f"{payload['infra_overhead']:.1%})",
+    )
+
+
+_ABLATION_HEADLINES = {
+    "overlap": ("overlap off (median ms)", "overlap_median_ms", "no_overlap_median_ms"),
+    "two_rtt": ("2-RTT commit (overall ms)", "overall_single_ms", "overall_two_rtt_ms"),
+    "lock_modes": ("exclusive locks (p99 ms)", "rw_locks_p99_ms", "exclusive_p99_ms"),
+    "cache_bootstrap": ("cold cache (median ms)", "warm_median_ms", "cold_median_ms"),
+}
+
+
+def _present_ablation(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    for label, radical_key, ablated_key in _ABLATION_HEADLINES.values():
+        if radical_key in payload:
+            print_table(
+                ["ablation", "radical", "ablated"],
+                [[label, payload[radical_key], payload[ablated_key]]],
+                title="Design-choice ablation",
+            )
+            return
+
+
+def _present_sweep_skew(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print_table(
+        ["zipf s", "validation", "median (ms)", "p99 (ms)"],
+        [[r["zipf_s"], r["validation_success"], r["median_ms"], r["p99_ms"]]
+         for r in payload["rows"]],
+        title="Sweep: skew (counter microbenchmark)",
+    )
+
+
+def _present_sweep_concurrency(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print_table(
+        ["clients/region", "validation", "median (ms)", "p99 (ms)"],
+        [[r["clients_per_region"], r["validation_success"], r["median_ms"],
+          r["p99_ms"]] for r in payload["rows"]],
+        title="Sweep: concurrency (forum)",
+    )
+
+
+def _present_sweep_offered_load(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print_table(
+        ["rate (rps/region)", "requests", "median", "p99", "validation",
+         "lock wait (ms)"],
+        [[r["rate_rps_per_region"], r["requests"], r["median_ms"], r["p99_ms"],
+          r["validation_success"], r["lock_wait_total_ms"]] for r in payload["rows"]],
+        title="Sweep: offered load (forum, open loop)",
+    )
+
+
+def _present_scalability(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print_table(
+        ["series", "shards", "throughput (rps)", "median (ms)", "p99 (ms)",
+         "coalesced", "xshard commits"],
+        [[p["series"], p["shards"], p["throughput_rps"], round(p["median_ms"], 1),
+          round(p["p99_ms"], 1), p["batch_coalesced"], p["xshard_commits"]]
+         for p in payload["points"]],
+        title=f"Scalability: offered {payload['rate_rps_per_region']:.0f} "
+              f"rps/region, proc {payload['server_proc_ms']:.0f} ms/msg",
+    )
+
+
+def _present_overload(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print_table(
+        ["series", "rate (rps)", "goodput (rps)", "acked", "failed", "shed",
+         "timeouts", "max queue", "p99 (ms)"],
+        [[p["series"], p["rate_rps"], p["goodput_rps"], p["acked"],
+          p["unavailable"], p["shed"], p["rpc_timeouts"],
+          p["max_admission_queue"],
+          round(p["p99_ms"], 1) if p["p99_ms"] is not None else "-"]
+         for p in payload["points"]],
+        title=f"Overload sweep: proc {payload['server_proc_ms']:.0f} ms/msg, "
+              f"queue depth {payload['admission_queue_depth']}, "
+              f"rpc timeout {payload['rpc_timeout_ms']:.0f} ms",
+    )
+
+
+def _present_mesh(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print_table(
+        ["app", "mesh", "chaos", "abort %", "backup %", "hit age p50 (ms)",
+         "med (ms)", "updates applied"],
+        [[r["app"], r["mesh"], r["chaos"],
+          f"{r['abort_rate'] * 100:.2f}" if r["abort_rate"] is not None else "-",
+          f"{r['backup_rate'] * 100:.2f}" if r["backup_rate"] is not None else "-",
+          r["hit_age_p50_ms"] if r["hit_age_p50_ms"] is not None else "-",
+          r["median_ms"], r["updates_applied"]]
+         for r in payload["rows"]],
+        title=f"Mesh sweep: {len(payload['apps'])} app(s), "
+              f"{payload['requests']} requests/point",
+    )
+
+
+def _present_chaos(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    by_plan: Dict[str, List[Dict[str, Any]]] = {}
+    for case in payload["cases"]:
+        by_plan.setdefault(case["plan"], []).append(case)
+    rows = []
+    for plan, cases in by_plan.items():
+        acked = sum(c["acked"] for c in cases)
+        total = sum(c["requests"] for c in cases)
+        medians = [c["median_ms"] for c in cases if c["median_ms"] is not None]
+        p99s = [c["p99_ms"] for c in cases if c["p99_ms"] is not None]
+        rows.append([
+            plan,
+            f"{acked / total * 100:.1f}%" if total else "-",
+            f"{max(medians):.0f}" if medians else "-",
+            f"{max(p99s):.0f}" if p99s else "-",
+            sum(c["counters"].get("reexecution.count", 0) for c in cases),
+            sum(c["counters"].get("rpc.retry", 0) for c in cases),
+            sum(1 for c in cases if not c["ok"]),
+        ])
+    print_table(
+        ["plan", "availability", "worst med (ms)", "worst p99 (ms)",
+         "reexecs", "retries", "violations"],
+        rows,
+        title=f"Chaos matrix: {len(by_plan)} plan(s) on "
+              f"{payload['shards']} shard(s)",
+    )
+
+
+def _present_analysis(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    agg = payload["aggregate"]
+    print_table(
+        ["function", "analyzable", "slice %", "opt slice %", "gas saved %"],
+        [[r["function"], "yes" if r["analyzable"] else "no",
+          f"{r['slice_ratio'] * 100:.2f}" if r["analyzable"] else "-",
+          f"{r['slice_ratio_optimized'] * 100:.2f}" if r["analyzable"] else "-",
+          f"{r['replay']['gas_reduction_pct']:.1f}" if r["analyzable"] else "-"]
+         for r in payload["functions"]],
+        title=f"Static analysis: {agg['analyzable']}/{agg['functions']} "
+              f"analyzable",
+    )
+
+
+def _present_routing(payload: Dict[str, Any]) -> None:
+    from ..bench.routing import present_routing
+
+    present_routing(payload)
+
+
+# -- gates -------------------------------------------------------------------
+
+def _gate_chaos(payload: Dict[str, Any]) -> List[str]:
+    return [
+        f"chaos case plan={c['plan']} seed={c['seed']}: "
+        f"serializable={c['serializable']} lost={c['lost_writes']} "
+        f"dup={c['duplicate_writes']} completed={c['completed']} "
+        f"deadline_ok={c['deadline_ok']} {c['violation']}"
+        for c in payload["cases"] if not c["ok"]
+    ]
+
+
+def _gate_scalability(payload: Dict[str, Any]) -> List[str]:
+    by_series: Dict[str, Dict[int, float]] = {}
+    for p in payload["points"]:
+        by_series.setdefault(p["series"], {})[p["shards"]] = p["throughput_rps"]
+    failures = []
+    for series, pts in by_series.items():
+        base = pts.get(1)
+        top = max(pts)
+        if base and pts[top] < base:
+            failures.append(f"{series}: {top}-shard throughput below 1-shard")
+    return failures
+
+
+def _gate_overload(payload: Dict[str, Any]) -> List[str]:
+    by_series: Dict[str, Dict[float, float]] = {}
+    for p in payload["points"]:
+        by_series.setdefault(p["series"], {})[p["rate_rps"]] = p["goodput_rps"]
+    top = max(by_series["shed-on"])
+    if by_series["shed-on"][top] < by_series["shed-off"][top]:
+        return [
+            f"shed-on goodput at {top:.0f} rps "
+            f"({by_series['shed-on'][top]:.1f}) below shed-off "
+            f"({by_series['shed-off'][top]:.1f})"
+        ]
+    return []
+
+
+def _gate_mesh(payload: Dict[str, Any]) -> List[str]:
+    from ..bench import mesh_gate_failures
+
+    return mesh_gate_failures(payload)
+
+
+def _gate_analysis(payload: Dict[str, Any]) -> List[str]:
+    from ..bench import analysis_gate_failures
+
+    return analysis_gate_failures(payload)
+
+
+def _gate_routing(payload: Dict[str, Any]) -> List[str]:
+    from ..bench.routing import routing_gate_failures
+
+    return routing_gate_failures(payload)
+
+
+# -- the registry ------------------------------------------------------------
+
+def _p(type_: str, default: Any = None, **kw: Any) -> ParamSpec:
+    return ParamSpec(type=type_, default=default, **kw)
+
+
+KINDS: Dict[str, ScenarioKind] = {}
+
+
+def _register(kind: ScenarioKind) -> None:
+    KINDS[kind.name] = kind
+
+
+_register(ScenarioKind(
+    name="fig1",
+    params={
+        "requests_per_region": _p("int", 200),
+        "seed": _p("int", 42),
+    },
+    run=_run_fig1,
+    present=_present_fig1,
+    required_keys=("rows[].region", "rows[].centralized_median_ms",
+                   "rows[].geo_replicated_median_ms",
+                   "rows[].local_ideal_median_ms"),
+    smoke_defaults={"requests_per_region": 60},
+))
+
+_register(ScenarioKind(
+    name="table1",
+    params={},
+    run=_run_table1,
+    present=_present_table1,
+    required_keys=("rows[].function", "rows[].writes", "rows[].analyzable"),
+))
+
+_register(ScenarioKind(
+    name="table2",
+    params={},
+    run=_run_table2,
+    present=_present_table2,
+    required_keys=("rows[].region", "rows[].rtt_to_primary_ms", "measured"),
+))
+
+_register(ScenarioKind(
+    name="eval-trio",
+    params={
+        "view": _p("str", required=True, choices=("fig4", "fig5", "fig6")),
+        "requests": _p("int", 2500),
+        "seed": _p("int", 42),
+        "apps": _p("list", ["social", "hotel", "forum"], element="str",
+                   choices=None),
+        "rtt": _p("any", None, check=_check_rtt_ref),
+    },
+    run=_run_eval_trio,
+    present=_present_eval_trio,
+    # view-specific probes are added per scenario config via the driver's
+    # artifact check; the common shape is covered here.
+    required_keys=(),
+    smoke_defaults={"requests": 150},
+    validate=lambda where, p: _validate_apps(where, p["apps"]),
+))
+
+
+def _validate_apps(where: str, apps: Any) -> None:
+    from ..bench import MAIN_APP_BUILDERS
+
+    for app in apps:
+        if app not in MAIN_APP_BUILDERS:
+            raise ScenarioError(
+                f"{where}: unknown app {app!r} "
+                f"(available: {', '.join(sorted(MAIN_APP_BUILDERS))})"
+            )
+
+
+_register(ScenarioKind(
+    name="sec56",
+    params={
+        "lock_counts": _p("list", [1, 2, 4, 8], element="int"),
+        "seed": _p("int", 42),
+    },
+    run=_run_sec56,
+    present=_present_sec56,
+    required_keys=("raft_per_lock_commit_ms", "model[].locks",
+                   "measured[].measured_added_ms"),
+    smoke_defaults={"lock_counts": [1, 2]},
+))
+
+_register(ScenarioKind(
+    name="sec57",
+    params={},
+    run=_run_sec57,
+    present=_present_sec57,
+    required_keys=("rows[].invocations", "rows[].baseline_total",
+                   "rows[].radical_total", "infra_overhead"),
+))
+
+_register(ScenarioKind(
+    name="ablation",
+    params={
+        "which": _p("str", required=True,
+                    choices=("overlap", "two_rtt", "lock_modes", "cache_bootstrap")),
+        "requests": _p("int", 800),
+        "seed": _p("int", 42),
+    },
+    run=_run_ablation,
+    present=_present_ablation,
+    smoke_defaults={"requests": 150},
+))
+
+_register(ScenarioKind(
+    name="sweep-skew",
+    params={
+        "zipf_values": _p("list", [0.0, 0.5, 0.9, 0.99, 1.2], element="number"),
+        "requests": _p("int", 800),
+        "seed": _p("int", 42),
+    },
+    run=_run_sweep_skew,
+    present=_present_sweep_skew,
+    required_keys=("rows[].zipf_s", "rows[].validation_success",
+                   "rows[].median_ms", "rows[].p99_ms"),
+    smoke_defaults={"requests": 120, "zipf_values": [0.0, 1.2]},
+))
+
+_register(ScenarioKind(
+    name="sweep-concurrency",
+    params={
+        "clients": _p("list", [1, 2, 4, 8], element="int"),
+        "requests": _p("int", 800),
+        "seed": _p("int", 42),
+    },
+    run=_run_sweep_concurrency,
+    present=_present_sweep_concurrency,
+    required_keys=("rows[].clients_per_region", "rows[].median_ms"),
+    smoke_defaults={"requests": 120, "clients": [1, 2]},
+))
+
+_register(ScenarioKind(
+    name="sweep-offered-load",
+    params={
+        "rates_rps": _p("list", [2.0, 5.0, 10.0, 20.0], element="number"),
+        "duration_ms": _p("number", 15_000.0),
+        "seed": _p("int", 42),
+    },
+    run=_run_sweep_offered_load,
+    present=_present_sweep_offered_load,
+    required_keys=("rows[].rate_rps_per_region", "rows[].median_ms",
+                   "rows[].lock_wait_total_ms"),
+    smoke_defaults={"rates_rps": [5.0, 20.0], "duration_ms": 2_000.0},
+))
+
+_register(ScenarioKind(
+    name="scalability",
+    params={
+        "shard_counts": _p("list", [1, 2, 4, 8], element="int"),
+        "rate_rps_per_region": _p("number", 150.0),
+        "duration_ms": _p("number", 4_000.0),
+        "batch_window_ms": _p("number", 5.0),
+        "seed": _p("int", 42),
+        "workloads": _p("list", None, element="str"),
+    },
+    run=_run_scalability,
+    present=_present_scalability,
+    required_keys=("points[].series", "points[].shards",
+                   "points[].throughput_rps", "rate_rps_per_region"),
+    gate=_gate_scalability,
+    smoke_defaults={"shard_counts": [1, 2], "rate_rps_per_region": 100.0,
+                    "duration_ms": 1_500.0, "workloads": ["counter"]},
+    validate=_validate_scalability,
+))
+
+_register(ScenarioKind(
+    name="overload",
+    params={
+        "rates": _p("list", [40.0, 60.0, 80.0, 100.0, 120.0, 160.0],
+                    element="number"),
+        "duration_ms": _p("number", 3_000.0),
+        "seed": _p("int", 42),
+    },
+    run=_run_overload,
+    present=_present_overload,
+    required_keys=("points[].series", "points[].rate_rps",
+                   "points[].goodput_rps", "admission_queue_depth"),
+    gate=_gate_overload,
+    smoke_defaults={"rates": [60.0, 160.0], "duration_ms": 1_500.0},
+))
+
+_register(ScenarioKind(
+    name="mesh",
+    params={
+        "apps": _p("list", None, element="str"),
+        "intervals": _p("list", [25.0, 100.0, 400.0], element="number"),
+        "requests": _p("int", 1_200),
+        "seed": _p("int", 42),
+    },
+    run=_run_mesh,
+    present=_present_mesh,
+    required_keys=("rows[].app", "rows[].mesh", "rows[].chaos", "apps",
+                   "gossip_intervals_ms"),
+    gate=_gate_mesh,
+    smoke_defaults={"apps": ["forum"], "intervals": [50.0], "requests": 300},
+    validate=lambda where, p: _validate_apps(where, p["apps"] or ()),
+))
+
+_register(ScenarioKind(
+    name="chaos",
+    params={
+        "plans": _p("any", "all"),
+        "seeds": _p("int", 10),
+        "requests": _p("int", 25),
+        "clients": _p("int", 1),
+        "shards": _p("int", 1),
+        "extra_plans": _p("list", None, element="dict"),
+    },
+    run=_run_chaos,
+    present=_present_chaos,
+    required_keys=("shards", "cases[].plan", "cases[].seed", "cases[].ok",
+                   "cases[].serializable", "cases[].counters"),
+    gate=_gate_chaos,
+    smoke_defaults={"seeds": 2},
+    validate=_validate_chaos,
+))
+
+_register(ScenarioKind(
+    name="analysis",
+    params={
+        "inputs_per_function": _p("int", 10),
+        "seed": _p("int", 42),
+    },
+    run=_run_analysis,
+    present=_present_analysis,
+    required_keys=("aggregate", "functions[].function", "conflict_matrix",
+                   "checks"),
+    gate=_gate_analysis,
+    smoke_defaults={"inputs_per_function": 3},
+))
+
+_register(ScenarioKind(
+    name="routing",
+    params={
+        "region_counts": _p("list", [10, 25, 50], element="int"),
+        "policies": _p("list", ["nearest-rtt", "tiered", "direct"],
+                       element="str"),
+        "placements": _p("list", ["dense", "sparse"], element="str"),
+        "requests": _p("int", 1_500),
+        "seed": _p("int", 42),
+        "rtt_seed": _p("int", 7),
+        "tiered_threshold_ms": _p("number", 60.0),
+        "sparse_pops": _p("int", 5),
+        "workers": _p("int", None),
+    },
+    run=_run_routing,
+    present=_present_routing,
+    required_keys=("points[].policy", "points[].placement",
+                   "points[].region_count", "points[].median_ms",
+                   "breakeven", "region_counts"),
+    gate=_gate_routing,
+    smoke_defaults={"region_counts": [10], "requests": 200,
+                    "placements": ["dense"],
+                    "policies": ["nearest-rtt", "direct"]},
+    validate=lambda where, p: _validate_routing(where, p),
+))
+
+
+def _validate_routing(where: str, p: Dict[str, Any]) -> None:
+    from ..topology import ASSIGNMENT_POLICIES
+
+    for policy in p["policies"]:
+        if policy not in ASSIGNMENT_POLICIES:
+            raise ScenarioError(
+                f"{where}: unknown assignment policy {policy!r} "
+                f"(available: {', '.join(ASSIGNMENT_POLICIES)})"
+            )
+    for placement in p["placements"]:
+        if placement not in ("dense", "sparse"):
+            raise ScenarioError(
+                f"{where}: unknown placement {placement!r} "
+                "(available: dense, sparse)"
+            )
+    for n in p["region_counts"]:
+        if not 2 <= n <= 512:
+            raise ScenarioError(
+                f"{where}: region_counts entries must be in [2, 512], got {n}"
+            )

@@ -27,10 +27,19 @@ from .network import (
     Region,
     RequestBatcher,
     RpcTimeout,
+    UnknownRegionError,
     paper_latency_table,
 )
 from .primitives import Channel, Gate, Mutex, Semaphore
 from .rand import RandomStreams, ZipfSampler
+from .rtt import (
+    MatrixFileRttDataset,
+    PaperRttDataset,
+    RttDataset,
+    RttDatasetError,
+    SyntheticGeoRttDataset,
+    resolve_rtt_dataset,
+)
 
 __all__ = [
     "AllOf",
@@ -42,23 +51,30 @@ __all__ = [
     "Gate",
     "Interrupted",
     "LatencyTable",
+    "MatrixFileRttDataset",
     "Message",
     "Metrics",
     "Mutex",
     "NO_REPLY",
     "Network",
     "PAPER_RTT_TO_PRIMARY",
+    "PaperRttDataset",
     "Process",
     "RandomStreams",
     "Region",
     "RequestBatcher",
     "RpcTimeout",
+    "RttDataset",
+    "RttDatasetError",
     "Semaphore",
     "SimulationError",
     "Simulator",
     "Summary",
+    "SyntheticGeoRttDataset",
     "Timeout",
+    "UnknownRegionError",
     "ZipfSampler",
     "paper_latency_table",
     "percentile",
+    "resolve_rtt_dataset",
 ]

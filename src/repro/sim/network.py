@@ -30,6 +30,7 @@ from .rand import RandomStreams
 __all__ = [
     "Region",
     "LatencyTable",
+    "UnknownRegionError",
     "PAPER_RTT_TO_PRIMARY",
     "paper_latency_table",
     "Network",
@@ -69,6 +70,28 @@ PAPER_RTT_TO_PRIMARY: Dict[str, float] = {
 }
 
 
+class UnknownRegionError(KeyError):
+    """A latency lookup named a region pair the table does not cover.
+
+    Subclasses :class:`KeyError` so legacy ``except KeyError`` callers keep
+    working, but the message names both regions and the configured set so a
+    topology typo is diagnosable without a debugger.
+    """
+
+    def __init__(self, a: str, b: str, available: Set[str]):
+        self.region_a = a
+        self.region_b = b
+        self.available = frozenset(available)
+        listing = ", ".join(sorted(available)) or "<empty table>"
+        super().__init__(
+            f"no latency configured between {a!r} and {b!r}; "
+            f"regions in this table: {listing}"
+        )
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
 class LatencyTable:
     """Symmetric pairwise RTT matrix over named regions.
 
@@ -93,7 +116,7 @@ class LatencyTable:
         try:
             return self._rtts[(a, b)]
         except KeyError:
-            raise KeyError(f"no latency configured between {a!r} and {b!r}") from None
+            raise UnknownRegionError(a, b, self.regions()) from None
 
     def one_way(self, a: str, b: str) -> float:
         """One-way delay: half the round trip."""

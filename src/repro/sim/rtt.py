@@ -1,0 +1,301 @@
+"""Pluggable RTT datasets: where a deployment's latency matrix comes from.
+
+The seed hard-coded the paper's Table 2 matrix (``paper_latency_table``)
+inside every experiment.  This module lifts that choice behind a small
+interface so a scenario config can pick its world:
+
+* :class:`PaperRttDataset` — the paper's five evaluation regions plus the
+  two Figure-1 global-table replicas; byte-identical to the seed matrix.
+* :class:`SyntheticGeoRttDataset` — N synthetic regions with seeded
+  latitude/longitude, RTT derived from great-circle distance.  This is
+  what the 10–50-region routing sweep runs on.
+* :class:`MatrixFileRttDataset` — an external JSON matrix file, for
+  plugging in real measurement campaigns.
+
+``resolve_rtt_dataset`` maps the scenario-config reference form (a string
+or a small dict) onto one of these; topology building calls
+``latency_table()`` exactly once per deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .network import LatencyTable, Region, paper_latency_table
+
+__all__ = [
+    "RttDataset",
+    "PaperRttDataset",
+    "SyntheticGeoRttDataset",
+    "MatrixFileRttDataset",
+    "RttDatasetError",
+    "resolve_rtt_dataset",
+]
+
+
+class RttDatasetError(ValueError):
+    """A dataset reference or matrix file is malformed."""
+
+
+class RttDataset:
+    """A named source of a pairwise RTT matrix over named regions.
+
+    Subclasses fill in :meth:`latency_table`, :meth:`region_names`, and
+    :attr:`primary_region`; everything downstream (topology building, the
+    routing sweep) works only through this surface.
+    """
+
+    #: Short identifier used in configs and result payloads.
+    name: str = "abstract"
+
+    def latency_table(self) -> LatencyTable:
+        raise NotImplementedError
+
+    def region_names(self) -> Tuple[str, ...]:
+        """All regions the matrix covers, in a deterministic order."""
+        raise NotImplementedError
+
+    @property
+    def primary_region(self) -> str:
+        """The region that hosts primary storage for this dataset."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-shaped provenance blob for result payloads."""
+        return {"name": self.name, "primary": self.primary_region}
+
+
+class PaperRttDataset(RttDataset):
+    """The paper's Table 2 matrix — the seed's world, verbatim."""
+
+    name = "paper"
+
+    def __init__(self, intra_rtt: float = 7.0):
+        self.intra_rtt = intra_rtt
+
+    def latency_table(self) -> LatencyTable:
+        return paper_latency_table(intra_rtt=self.intra_rtt)
+
+    def region_names(self) -> Tuple[str, ...]:
+        return Region.ALL
+
+    @property
+    def primary_region(self) -> str:
+        return Region.VA
+
+
+_EARTH_RADIUS_KM = 6371.0
+#: Effective propagation speed over real WAN paths (~2/3 c in fibre, plus
+#: routing indirection) — roughly 100 km per ms of RTT, which puts the
+#: synthetic matrix in the same range as the paper's measured Table 2.
+_KM_PER_RTT_MS = 100.0
+
+
+def _great_circle_km(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    lat1, lon1 = math.radians(a[0]), math.radians(a[1])
+    lat2, lon2 = math.radians(b[0]), math.radians(b[1])
+    h = (
+        math.sin((lat2 - lat1) / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin((lon2 - lon1) / 2.0) ** 2
+    )
+    return 2.0 * _EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+class SyntheticGeoRttDataset(RttDataset):
+    """``n`` synthetic regions with seeded coordinates and great-circle RTT.
+
+    Region names are ``g00 .. gNN``.  Coordinates are drawn from a private
+    ``random.Random(seed)`` so the matrix is fully determined by
+    ``(n, seed)`` — two deployments built from the same pair see the same
+    world.  The primary is the region with the lowest mean RTT to the rest
+    (the most "central" one), which is where an operator would put the
+    primary copy.
+    """
+
+    name = "synthetic-geo"
+
+    def __init__(self, n: int, seed: int = 42, intra_rtt: float = 7.0, min_rtt: float = 2.0):
+        if n < 2:
+            raise RttDatasetError(f"synthetic-geo needs at least 2 regions, got {n}")
+        if n > 512:
+            raise RttDatasetError(f"synthetic-geo caps at 512 regions, got {n}")
+        self.n = n
+        self.seed = seed
+        self.intra_rtt = intra_rtt
+        self.min_rtt = min_rtt
+        # str seeds go through hashlib inside random.Random, so the stream
+        # is stable across processes regardless of PYTHONHASHSEED.
+        rng = random.Random(f"synthetic-geo:{seed}:{n}")
+        # Latitudes clipped to inhabited bands; longitude free.
+        self.coords: Dict[str, Tuple[float, float]] = {}
+        for i in range(n):
+            name = f"g{i:02d}"
+            lat = rng.uniform(-55.0, 65.0)
+            lon = rng.uniform(-180.0, 180.0)
+            self.coords[name] = (lat, lon)
+        self._names: Tuple[str, ...] = tuple(sorted(self.coords))
+        self._rtts: Dict[Tuple[str, str], float] = {}
+        for i, a in enumerate(self._names):
+            for b in self._names[i + 1 :]:
+                km = _great_circle_km(self.coords[a], self.coords[b])
+                self._rtts[(a, b)] = max(self.min_rtt, round(km / _KM_PER_RTT_MS, 3))
+        # Primary = most central region (lowest mean RTT to every other).
+        def mean_rtt(r: str) -> float:
+            return sum(self.rtt(r, o) for o in self._names if o != r) / (n - 1)
+
+        self._primary = min(self._names, key=lambda r: (mean_rtt(r), r))
+
+    def rtt(self, a: str, b: str) -> float:
+        if a == b:
+            return self.intra_rtt
+        return self._rtts.get((a, b)) or self._rtts[(b, a)]
+
+    def latency_table(self) -> LatencyTable:
+        return LatencyTable(dict(self._rtts), intra_rtt=self.intra_rtt)
+
+    def region_names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def primary_region(self) -> str:
+        return self._primary
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "n": self.n,
+            "seed": self.seed,
+            "primary": self.primary_region,
+        }
+
+
+class MatrixFileRttDataset(RttDataset):
+    """An RTT matrix loaded from a JSON file.
+
+    Expected shape::
+
+        {
+          "primary": "va",
+          "intra_rtt": 7.0,              // optional, default 7.0
+          "rtts": {"va:ca": 74.0, ...}   // "<a>:<b>" keys, symmetric
+        }
+    """
+
+    name = "matrix-file"
+
+    def __init__(self, path: str):
+        self.path = path
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except FileNotFoundError:
+            raise RttDatasetError(f"RTT matrix file not found: {path!r}") from None
+        except json.JSONDecodeError as exc:
+            raise RttDatasetError(f"RTT matrix file {path!r} is not valid JSON: {exc}") from None
+        if not isinstance(raw, dict) or "rtts" not in raw or "primary" not in raw:
+            raise RttDatasetError(
+                f"RTT matrix file {path!r} must be an object with 'primary' and 'rtts' keys"
+            )
+        self.intra_rtt = float(raw.get("intra_rtt", 7.0))
+        self._rtts: Dict[Tuple[str, str], float] = {}
+        for key, value in raw["rtts"].items():
+            parts = key.split(":")
+            if len(parts) != 2 or not parts[0] or not parts[1]:
+                raise RttDatasetError(
+                    f"RTT matrix file {path!r}: bad pair key {key!r} (want '<a>:<b>')"
+                )
+            try:
+                ms = float(value)
+            except (TypeError, ValueError):
+                raise RttDatasetError(
+                    f"RTT matrix file {path!r}: RTT for {key!r} is not a number: {value!r}"
+                ) from None
+            if ms <= 0:
+                raise RttDatasetError(
+                    f"RTT matrix file {path!r}: non-positive RTT for {key!r}: {ms}"
+                )
+            self._rtts[(parts[0], parts[1])] = ms
+        names = sorted({r for pair in self._rtts for r in pair})
+        self._primary = raw["primary"]
+        if self._primary not in names:
+            raise RttDatasetError(
+                f"RTT matrix file {path!r}: primary {self._primary!r} not in matrix "
+                f"(regions: {', '.join(names)})"
+            )
+        self._names: Tuple[str, ...] = tuple(names)
+
+    def latency_table(self) -> LatencyTable:
+        return LatencyTable(dict(self._rtts), intra_rtt=self.intra_rtt)
+
+    def region_names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def primary_region(self) -> str:
+        return self._primary
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "path": self.path, "primary": self.primary_region}
+
+
+RttDatasetRef = Union[str, Dict[str, Any], RttDataset, None]
+
+
+def resolve_rtt_dataset(ref: RttDatasetRef) -> RttDataset:
+    """Turn a scenario-config RTT reference into a concrete dataset.
+
+    Accepted forms::
+
+        None | "paper"                          -> PaperRttDataset()
+        {"kind": "paper"}                       -> PaperRttDataset()
+        {"kind": "synthetic-geo", "n": 25,
+         "seed": 42}                            -> SyntheticGeoRttDataset(25, 42)
+        {"kind": "matrix-file", "path": "..."}  -> MatrixFileRttDataset(path)
+        an RttDataset instance                  -> itself
+    """
+    if ref is None or ref == "paper":
+        return PaperRttDataset()
+    if isinstance(ref, RttDataset):
+        return ref
+    if isinstance(ref, str):
+        raise RttDatasetError(
+            f"unknown RTT dataset {ref!r} (string form only accepts 'paper'; "
+            "use {'kind': 'synthetic-geo', ...} or {'kind': 'matrix-file', ...})"
+        )
+    if not isinstance(ref, dict):
+        raise RttDatasetError(f"bad RTT dataset reference: {ref!r}")
+    kind = ref.get("kind")
+    known = {"paper", "synthetic-geo", "matrix-file"}
+    if kind not in known:
+        raise RttDatasetError(
+            f"unknown RTT dataset kind {kind!r} (available: {', '.join(sorted(known))})"
+        )
+    extra = set(ref) - {"kind", "n", "seed", "intra_rtt", "min_rtt", "path"}
+    if extra:
+        raise RttDatasetError(
+            f"unknown keys in RTT dataset reference: {', '.join(sorted(extra))}"
+        )
+    if kind == "paper":
+        return PaperRttDataset(intra_rtt=float(ref.get("intra_rtt", 7.0)))
+    if kind == "synthetic-geo":
+        if "n" not in ref:
+            raise RttDatasetError("synthetic-geo RTT dataset needs 'n' (region count)")
+        try:
+            n = int(ref["n"])
+        except (TypeError, ValueError):
+            raise RttDatasetError(
+                f"synthetic-geo 'n' must be an integer, got {ref['n']!r}"
+            ) from None
+        return SyntheticGeoRttDataset(
+            n,
+            seed=int(ref.get("seed", 42)),
+            intra_rtt=float(ref.get("intra_rtt", 7.0)),
+            min_rtt=float(ref.get("min_rtt", 2.0)),
+        )
+    # matrix-file
+    if "path" not in ref:
+        raise RttDatasetError("matrix-file RTT dataset needs 'path'")
+    return MatrixFileRttDataset(str(ref["path"]))

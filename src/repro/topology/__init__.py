@@ -7,12 +7,14 @@ partition the near-storage tier; see docs/TOPOLOGY.md for the cross-shard
 commit rule.
 """
 
-from .deployment import Deployment, TopologySpec
+from .deployment import ASSIGNMENT_POLICIES, Deployment, PopAssignment, TopologySpec
 from .shardmap import HashShardMap, RangeShardMap, ShardMap, ShardRouter
 
 __all__ = [
+    "ASSIGNMENT_POLICIES",
     "Deployment",
     "HashShardMap",
+    "PopAssignment",
     "RangeShardMap",
     "ShardMap",
     "ShardRouter",

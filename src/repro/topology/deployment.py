@@ -35,13 +35,55 @@ from ..consistency import HistoryRecorder
 from ..core import FunctionRegistry, LVIServer, NearUserRuntime, RadicalConfig
 from ..errors import FaultConfigError
 from ..mesh import CacheMesh, MeshSpec
-from ..sim import Metrics, Network, RandomStreams, Region, Simulator, paper_latency_table
+from ..sim import (
+    LatencyTable,
+    Metrics,
+    Network,
+    RandomStreams,
+    Region,
+    RttDataset,
+    Simulator,
+    resolve_rtt_dataset,
+)
 from ..storage import KVStore, NearUserCache
 from .shardmap import HashShardMap, ShardMap, ShardRouter
 
-__all__ = ["TopologySpec", "Deployment"]
+__all__ = [
+    "ASSIGNMENT_POLICIES",
+    "PopAssignment",
+    "TopologySpec",
+    "Deployment",
+]
 
 Key = Tuple[str, str]
+
+#: Client→PoP assignment policies (docs/ROUTING.md).
+#:
+#: * ``home-region`` — the seed's behaviour: every client region hosts its
+#:   own PoP and clients use it (requires each client region in the PoP set).
+#: * ``nearest-rtt`` — clients attach to the lowest-RTT PoP (their own
+#:   region when it hosts one).
+#: * ``tiered`` — nearest-rtt, but when the nearest PoP is further than
+#:   ``tiered_threshold_ms`` away the client falls back to the PoP
+#:   co-located with the primary (the direct-to-primary tier).
+#: * ``direct`` — every client goes straight to the primary-region PoP;
+#:   with warm caches this behaves like the centralized baseline.
+ASSIGNMENT_POLICIES = ("home-region", "nearest-rtt", "tiered", "direct")
+
+
+@dataclass(frozen=True)
+class PopAssignment:
+    """One client region's routing decision, made at build time."""
+
+    client: str
+    pop: str
+    #: ``home`` (own-region PoP), ``edge`` (remote PoP won on RTT), or
+    #: ``direct`` (fell back to the primary-region PoP).
+    mode: str
+    policy: str
+    #: Client↔PoP round trip the workload layer should model; ``None``
+    #: means "keep the seed default" (the 1 ms same-region hop).
+    client_rtt_ms: Optional[float]
 
 
 @dataclass
@@ -73,6 +115,33 @@ class TopologySpec:
     #: every region's cache a gossiping PoP.  A 1-region mesh registers no
     #: endpoints and schedules nothing — virtual-time-identical to None.
     mesh: Optional[MeshSpec] = None
+    #: Where the latency matrix comes from: ``None`` / ``"paper"`` keeps the
+    #: seed's Table-2 matrix; otherwise any :func:`resolve_rtt_dataset` ref
+    #: (``{"kind": "synthetic-geo", "n": 25, ...}``) or an
+    #: :class:`~repro.sim.RttDataset` instance.
+    rtt: Optional[Any] = None
+    #: Placement policy: which regions host PoPs (near-user cache +
+    #: runtime).  ``None`` means every client region hosts its own PoP —
+    #: the seed topology.
+    pop_regions: Optional[Sequence[str]] = None
+    #: Region hosting the LVI servers + primary store (paper: Virginia).
+    primary_region: str = Region.VA
+    #: Client→PoP assignment policy; see :data:`ASSIGNMENT_POLICIES`.
+    assignment: str = "home-region"
+    #: ``tiered`` policy: nearest-PoP RTT above this falls back to direct.
+    tiered_threshold_ms: float = 100.0
+
+    @property
+    def routing_active(self) -> bool:
+        """True when any non-seed routing knob is set.  Seed-default specs
+        skip assignment metrics entirely so existing artifacts stay
+        byte-identical."""
+        return (
+            self.rtt is not None
+            or self.pop_regions is not None
+            or self.primary_region != Region.VA
+            or self.assignment != "home-region"
+        )
 
     def resolved_shard_map(self) -> ShardMap:
         if self.shard_map is not None:
@@ -91,9 +160,65 @@ class TopologySpec:
             raise ValueError(
                 "replicated (Raft-backed) servers are single-shard only"
             )
+        if not self.regions:
+            raise ValueError("spec needs at least one client region")
+        if self.assignment not in ASSIGNMENT_POLICIES:
+            raise ValueError(
+                f"unknown assignment policy {self.assignment!r} "
+                f"(available: {', '.join(ASSIGNMENT_POLICIES)})"
+            )
+        if self.tiered_threshold_ms <= 0:
+            raise ValueError(
+                f"tiered_threshold_ms must be positive, got {self.tiered_threshold_ms}"
+            )
+        if self.pop_regions is not None:
+            if not self.pop_regions:
+                raise ValueError("pop_regions, when given, needs at least one region")
+            if len(set(self.pop_regions)) != len(tuple(self.pop_regions)):
+                raise ValueError("pop_regions contains duplicates")
+        if self.assignment == "home-region" and self.pop_regions is not None:
+            missing = [r for r in self.regions if r not in set(self.pop_regions)]
+            if missing:
+                raise ValueError(
+                    "home-region assignment needs a PoP in every client region; "
+                    f"missing: {', '.join(missing)}"
+                )
         if self.mesh is not None:
             self.mesh.validate()
+            if self.pop_regions is not None and set(self.pop_regions) != set(self.regions):
+                raise ValueError(
+                    "a cache mesh requires pop_regions == regions "
+                    "(every client region gossips through its own PoP)"
+                )
         self.resolved_shard_map()
+
+    def resolved_rtt_dataset(self) -> RttDataset:
+        return resolve_rtt_dataset(self.rtt)
+
+    def resolved_pop_regions(self) -> Tuple[str, ...]:
+        """PoP set in deterministic build order.  Policies with a direct
+        tier get a primary-region PoP appended if absent."""
+        pops = tuple(self.pop_regions) if self.pop_regions is not None else tuple(self.regions)
+        if self.assignment in ("tiered", "direct") and self.primary_region not in pops:
+            pops = pops + (self.primary_region,)
+        return pops
+
+    def check_regions(self, table: LatencyTable) -> None:
+        """Build-time validation that every region this spec names can be
+        resolved by the latency table — a typo'd region fails here with
+        the full picture instead of mid-simulation via a KeyError."""
+        used = list(dict.fromkeys(
+            tuple(self.regions) + self.resolved_pop_regions() + (self.primary_region,)
+        ))
+        known = table.regions()
+        if not known and len(used) <= 1:
+            return  # degenerate single-region matrix: nothing to cross
+        unknown = [r for r in used if r not in known]
+        if unknown:
+            raise ValueError(
+                f"region(s) not covered by the RTT dataset: {', '.join(sorted(unknown))} "
+                f"(dataset regions: {', '.join(sorted(known))})"
+            )
 
 
 class _ShardedSeedWriter:
@@ -136,6 +261,8 @@ class Deployment:
         self.router: Optional[ShardRouter] = None
         self.caches: Dict[str, NearUserCache] = {}
         self.runtimes: Dict[str, NearUserRuntime] = {}
+        self.rtt_dataset: Optional[RttDataset] = None
+        self.assignments: Dict[str, PopAssignment] = {}
         self.mesh: Optional[CacheMesh] = None
         self.raft = None
         self.scheduler = None
@@ -174,8 +301,11 @@ class Deployment:
             self.trace = sim.obs
         self.sim = sim
         self.streams = RandomStreams(spec.seed)
+        self.rtt_dataset = spec.resolved_rtt_dataset()
+        latency = self.rtt_dataset.latency_table()
+        spec.check_regions(latency)
         self.net = Network(
-            sim, paper_latency_table(), self.streams,
+            sim, latency, self.streams,
             jitter_sigma=spec.network_jitter_sigma,
         )
         self.metrics = Metrics()
@@ -217,17 +347,19 @@ class Deployment:
                 LVIServer(
                     sim, self.net, self.registry, self.stores[k], cfg,
                     self.streams, self.metrics, name=name,
+                    region=spec.primary_region,
                     raft_cluster=self.raft if k == 0 else None, shard=k,
                 )
             )
         if spec.shards > 1:
             self.router = ShardRouter(shard_map, [s.name for s in self.servers])
 
+        pop_regions = spec.resolved_pop_regions()
         if spec.mesh is not None and spec.mesh.enabled:
             self.mesh = CacheMesh(
                 sim, self.net, spec.mesh, list(spec.regions), self.metrics
             )
-        for region in spec.regions:
+        for region in pop_regions:
             if self.mesh is not None:
                 cache = self.mesh.make_pop(region, persistent=spec.persistent_caches)
             else:
@@ -245,6 +377,18 @@ class Deployment:
             # After every runtime: gossip endpoints must not perturb the
             # endpoint-name counters the runtimes draw from.
             self.mesh.start()
+
+        self.assignments = _assign_clients(spec, latency, pop_regions)
+        if spec.routing_active:
+            # Surface every routing decision; seed-default specs skip this
+            # so existing artifacts stay byte-identical.
+            for a in self.assignments.values():
+                self.metrics.record_tagged(
+                    "routing.assign_rtt_ms",
+                    a.client_rtt_ms if a.client_rtt_ms is not None else 1.0,
+                    client=a.client, pop=a.pop, policy=a.policy, mode=a.mode,
+                )
+                self.metrics.incr(f"routing.assigned.{a.mode}")
 
         if spec.fault_plan is not None:
             from ..faults.scheduler import FaultScheduler
@@ -292,6 +436,16 @@ class Deployment:
         """Unsettled write intents across every shard (reconciliation)."""
         return [i for server in self.servers for i in server.intents.pending()]
 
+    def runtime_for_client(self, region: str) -> NearUserRuntime:
+        """The runtime serving clients homed in ``region``, per the spec's
+        assignment policy (their own PoP under the seed default)."""
+        return self.runtimes[self.assignments[region].pop]
+
+    def client_pop_rtt_ms(self, region: str) -> Optional[float]:
+        """Client↔assigned-PoP round trip to model in the workload layer;
+        ``None`` keeps the seed's same-region default."""
+        return self.assignments[region].client_rtt_ms
+
     def fault_targets(self) -> Dict[str, Any]:
         """Crash/restartable objects, keyed the way CrashWindows name them."""
         targets: Dict[str, Any] = {s.name: s for s in self.servers}
@@ -300,6 +454,50 @@ class Deployment:
         if self.mesh is not None:
             targets.update(self.mesh.fault_targets())
         return targets
+
+
+def _assign_clients(
+    spec: TopologySpec, latency: LatencyTable, pops: Sequence[str]
+) -> Dict[str, PopAssignment]:
+    """Map every client region to a PoP under the spec's policy.
+
+    RTT between a client and its own-region PoP is the seed's 1 ms hop
+    (``client_rtt_ms=None`` → workload default), not the 7 ms intra-region
+    service RTT — users sit next to their PoP, not across the datacenter
+    fabric.  Ties on RTT break by region name so assignment is
+    deterministic under any dict ordering.
+    """
+    policy = spec.assignment
+    primary = spec.primary_region
+
+    def pop_rtt(client: str, pop: str) -> float:
+        return 0.0 if client == pop else latency.rtt(client, pop)
+
+    def nearest(client: str) -> str:
+        return min(pops, key=lambda p: (pop_rtt(client, p), p))
+
+    out: Dict[str, PopAssignment] = {}
+    for client in spec.regions:
+        if policy == "home-region":
+            out[client] = PopAssignment(client, client, "home", policy, None)
+            continue
+        if policy == "direct":
+            rtt = None if client == primary else latency.rtt(client, primary)
+            out[client] = PopAssignment(client, primary, "direct", policy, rtt)
+            continue
+        pop = nearest(client)
+        rtt_ms = pop_rtt(client, pop)
+        if policy == "tiered" and pop != client and rtt_ms > spec.tiered_threshold_ms:
+            # The nearest PoP is too far to be worth the speculative hop:
+            # fall back to the direct-to-primary tier.
+            rtt = None if client == primary else latency.rtt(client, primary)
+            out[client] = PopAssignment(client, primary, "direct", policy, rtt)
+            continue
+        mode = "home" if pop == client else "edge"
+        out[client] = PopAssignment(
+            client, pop, mode, policy, None if pop == client else rtt_ms
+        )
+    return out
 
 
 def _warm_cache(cache: NearUserCache, store: KVStore) -> None:

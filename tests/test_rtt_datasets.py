@@ -1,0 +1,176 @@
+"""Pluggable RTT datasets (repro.sim.rtt): the paper matrix, the seeded
+synthetic geo generator behind the routing sweep, external matrix files,
+and the config-reference resolver."""
+
+import json
+
+import pytest
+
+from repro.sim import (
+    LatencyTable,
+    MatrixFileRttDataset,
+    PaperRttDataset,
+    Region,
+    RttDatasetError,
+    SyntheticGeoRttDataset,
+    UnknownRegionError,
+    paper_latency_table,
+    resolve_rtt_dataset,
+)
+
+
+class TestPaperRttDataset:
+    def test_matches_seed_matrix_exactly(self):
+        ds = PaperRttDataset()
+        table = ds.latency_table()
+        seed = paper_latency_table()
+        for a in Region.ALL:
+            for b in Region.ALL:
+                assert table.rtt(a, b) == seed.rtt(a, b)
+
+    def test_regions_and_primary(self):
+        ds = PaperRttDataset()
+        assert ds.region_names() == Region.ALL
+        assert ds.primary_region == Region.VA
+        assert ds.describe()["name"] == "paper"
+
+
+class TestSyntheticGeo:
+    def test_deterministic_across_instances(self):
+        a = SyntheticGeoRttDataset(25, seed=7)
+        b = SyntheticGeoRttDataset(25, seed=7)
+        assert a.coords == b.coords
+        assert a.primary_region == b.primary_region
+        for x in a.region_names():
+            for y in a.region_names():
+                assert a.rtt(x, y) == b.rtt(x, y)
+
+    def test_seed_changes_the_world(self):
+        a = SyntheticGeoRttDataset(25, seed=7)
+        b = SyntheticGeoRttDataset(25, seed=8)
+        assert a.coords != b.coords
+
+    def test_symmetric_bounded_and_named(self):
+        ds = SyntheticGeoRttDataset(10, seed=42)
+        names = ds.region_names()
+        assert names == tuple(f"g{i:02d}" for i in range(10))
+        assert ds.primary_region in names
+        for i, a in enumerate(names):
+            assert ds.rtt(a, a) == ds.intra_rtt
+            for b in names[i + 1:]:
+                rtt = ds.rtt(a, b)
+                assert rtt == ds.rtt(b, a)
+                assert rtt >= ds.min_rtt
+                # Antipodal bound: half the circumference at ~100 km/ms.
+                assert rtt < 250.0
+
+    def test_latency_table_is_the_same_matrix(self):
+        ds = SyntheticGeoRttDataset(10, seed=42)
+        table = ds.latency_table()
+        assert isinstance(table, LatencyTable)
+        for a in ds.region_names():
+            for b in ds.region_names():
+                assert table.rtt(a, b) == ds.rtt(a, b)
+
+    def test_region_count_bounds(self):
+        with pytest.raises(RttDatasetError, match="at least 2"):
+            SyntheticGeoRttDataset(1)
+        with pytest.raises(RttDatasetError, match="caps at 512"):
+            SyntheticGeoRttDataset(513)
+
+    def test_primary_is_most_central(self):
+        ds = SyntheticGeoRttDataset(12, seed=3)
+
+        def mean_rtt(r):
+            others = [o for o in ds.region_names() if o != r]
+            return sum(ds.rtt(r, o) for o in others) / len(others)
+
+        assert mean_rtt(ds.primary_region) == min(
+            mean_rtt(r) for r in ds.region_names()
+        )
+
+
+class TestMatrixFile:
+    def _write(self, tmp_path, raw):
+        path = tmp_path / "matrix.json"
+        path.write_text(json.dumps(raw))
+        return str(path)
+
+    def test_round_trip(self, tmp_path):
+        path = self._write(tmp_path, {
+            "primary": "aa",
+            "intra_rtt": 5.0,
+            "rtts": {"aa:bb": 40.0, "aa:cc": 90.0, "bb:cc": 60.0},
+        })
+        ds = MatrixFileRttDataset(path)
+        assert ds.region_names() == ("aa", "bb", "cc")
+        assert ds.primary_region == "aa"
+        table = ds.latency_table()
+        assert table.rtt("bb", "aa") == 40.0
+        assert table.rtt("aa", "aa") == 5.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(RttDatasetError, match="not found"):
+            MatrixFileRttDataset(str(tmp_path / "nope.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(RttDatasetError, match="not valid JSON"):
+            MatrixFileRttDataset(str(path))
+
+    @pytest.mark.parametrize("raw,message", [
+        ({"rtts": {"a:b": 1.0}}, "'primary' and 'rtts'"),
+        ({"primary": "a"}, "'primary' and 'rtts'"),
+        ({"primary": "a", "rtts": {"a-b": 1.0}}, "bad pair key"),
+        ({"primary": "a", "rtts": {"a:b": "fast"}}, "not a number"),
+        ({"primary": "a", "rtts": {"a:b": -3.0}}, "non-positive RTT"),
+        ({"primary": "zz", "rtts": {"a:b": 1.0}}, "primary 'zz' not in matrix"),
+    ])
+    def test_malformed_matrix(self, tmp_path, raw, message):
+        with pytest.raises(RttDatasetError, match=message):
+            MatrixFileRttDataset(self._write(tmp_path, raw))
+
+
+class TestResolveRef:
+    def test_default_and_paper_forms(self):
+        assert isinstance(resolve_rtt_dataset(None), PaperRttDataset)
+        assert isinstance(resolve_rtt_dataset("paper"), PaperRttDataset)
+        assert isinstance(resolve_rtt_dataset({"kind": "paper"}), PaperRttDataset)
+
+    def test_instance_passthrough(self):
+        ds = SyntheticGeoRttDataset(5)
+        assert resolve_rtt_dataset(ds) is ds
+
+    def test_synthetic_geo_form(self):
+        ds = resolve_rtt_dataset({"kind": "synthetic-geo", "n": 15, "seed": 9})
+        assert isinstance(ds, SyntheticGeoRttDataset)
+        assert ds.n == 15 and ds.seed == 9
+
+    @pytest.mark.parametrize("ref,message", [
+        ("dynamodb", "string form only accepts 'paper'"),
+        (42, "bad RTT dataset reference"),
+        ({"kind": "starlink"}, "unknown RTT dataset kind"),
+        ({"kind": "synthetic-geo"}, "needs 'n'"),
+        ({"kind": "synthetic-geo", "n": "many"}, "'n' must be an integer"),
+        ({"kind": "synthetic-geo", "n": 10, "zoom": 3}, "unknown keys"),
+        ({"kind": "matrix-file"}, "needs 'path'"),
+    ])
+    def test_bad_references(self, ref, message):
+        with pytest.raises(RttDatasetError, match=message):
+            resolve_rtt_dataset(ref)
+
+
+class TestUnknownRegionError:
+    def test_names_both_regions_and_the_table(self):
+        table = paper_latency_table()
+        with pytest.raises(UnknownRegionError) as exc:
+            table.rtt("va", "mars")
+        msg = str(exc.value)
+        assert "'va'" in msg and "'mars'" in msg
+        assert Region.JP in msg  # the configured set is listed
+
+    def test_still_a_keyerror(self):
+        # Legacy callers that catch KeyError keep working.
+        with pytest.raises(KeyError):
+            paper_latency_table().rtt("mars", "venus")
