@@ -117,6 +117,93 @@ def _routing_main(argv: List[str]) -> int:
     return 0
 
 
+def _explore_main(argv: List[str]) -> int:
+    """``radical-repro explore`` — coverage-guided fault-schedule search:
+    seeded random schedules over the full window vocabulary, run through
+    the chaos harness across deployment shapes with every invariant
+    armed; violations are delta-debugged to minimal reproducers (see
+    docs/FAULTS.md, "Exploration")."""
+    parser = argparse.ArgumentParser(
+        prog="radical-repro explore",
+        description="Search the fault-schedule space for invariant "
+                    "violations; shrink and record anything found.",
+    )
+    parser.add_argument("--budget", type=int, default=None,
+                        help="schedules to try (default: the config's 48)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="search seed (default: the config's 7)")
+    parser.add_argument("--shapes", default=None,
+                        help="comma-separated deployment shapes "
+                             "(default: seed,sharded,replicated,mesh)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client per case")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized search, no results file")
+    parser.add_argument("--corpus", default=None, metavar="DIR",
+                        help="also write each minimized reproducer to DIR")
+    parser.add_argument("--replay", nargs="?", const="corpus", default=None,
+                        metavar="DIR",
+                        help="replay every reproducer in DIR (default: "
+                             "corpus/) instead of exploring; exits 1 on "
+                             "any red replay")
+    args = parser.parse_args(argv)
+
+    from .errors import FaultConfigError
+    from .scenarios import ScenarioError, run_scenario
+
+    if args.replay is not None:
+        from .faults.explorer import replay_corpus
+
+        try:
+            rows = replay_corpus(args.replay, log=print)
+        except FaultConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        red = [r for r in rows if not r["ok"]]
+        print(f"{len(rows) - len(red)}/{len(rows)} corpus replays green")
+        return 1 if red else 0
+
+    if args.corpus is not None:
+        # Direct mode: same engine, but persist reproducers as they are
+        # found (the scenario driver writes only results/explore.json).
+        from .faults.explorer import explore
+
+        try:
+            record = explore(
+                budget=args.budget or 48,
+                seed=args.seed if args.seed is not None else 7,
+                shapes=tuple((args.shapes or "seed,sharded,replicated,mesh").split(",")),
+                requests_per_client=args.requests or 12,
+                corpus_dir=args.corpus,
+                log=print,
+            )
+        except FaultConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(f"{record.schedules_tried} schedules, "
+              f"{record.novel_schedules} novel, "
+              f"{len(record.violations)} violation(s)")
+        return 1 if record.violations else 0
+
+    overrides = {
+        "budget": args.budget,
+        "seed": args.seed,
+        "shapes": (
+            [s for s in args.shapes.split(",") if s]
+            if args.shapes else None
+        ),
+        "requests": args.requests,
+    }
+    try:
+        run_scenario("chaos_explore", overrides=overrides, smoke=args.smoke)
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if not args.smoke:
+        print("results written to results/explore.json")
+    return 0
+
+
 def _run_legacy(name: str, overrides: Dict[str, object]) -> None:
     """One legacy command = one scenario run through the single driver
     code path (same presentation, same artifact bytes as ``run``)."""
@@ -277,7 +364,9 @@ def _chaos_main(argv: List[str]) -> int:
     parser.add_argument("--seeds", type=int, default=10,
                         help="number of seeds per plan (0..N-1)")
     parser.add_argument("--plans", default="all",
-                        help="'all' or a comma-separated plan list")
+                        help="'all', or a comma-separated mix of plan names, "
+                             "globs over plan names ('mesh-*'), and "
+                             "@file.json serialized-plan references")
     parser.add_argument("--requests", type=int, default=25,
                         help="requests per client per case")
     parser.add_argument("--clients", type=int, default=1,
@@ -297,8 +386,12 @@ def _chaos_main(argv: List[str]) -> int:
     from .faults import builtin_plans, resolve_plans, run_chaos_case
 
     if args.list_plans:
+        from .faults.plan import _describe
+
         for name, plan in sorted(builtin_plans().items()):
-            print(f"{name:22s} {plan.description}")
+            print(f"{name:24s} {plan.description}")
+            for action in plan.actions:
+                print(f"{'':24s}  - {_describe(action)}")
         return 0
     try:
         plans = resolve_plans(args.plans)
@@ -738,6 +831,7 @@ _SUBCOMMANDS = {
     "routing": _routing_main,
     "trace": _trace_main,
     "chaos": _chaos_main,
+    "explore": _explore_main,
     "scalability": _scalability_main,
     "overload": _overload_main,
     "mesh": _mesh_main,

@@ -33,6 +33,15 @@ from .plan import (
 )
 from .retry import CLOSED, HALF_OPEN, OPEN, AdaptiveLimiter, CircuitBreaker, RetryPolicy
 from .scheduler import FaultScheduler
+from .serde import (
+    WINDOW_KINDS,
+    action_from_dict,
+    action_to_dict,
+    load_plan_file,
+    plan_from_dict,
+    plan_hash,
+    plan_to_dict,
+)
 
 __all__ = [
     "CrashWindow",
@@ -55,6 +64,13 @@ __all__ = [
     "OPEN",
     "HALF_OPEN",
     "FaultScheduler",
+    "WINDOW_KINDS",
+    "action_to_dict",
+    "action_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+    "plan_hash",
+    "load_plan_file",
     # lazily resolved from .chaos:
     "ChaosCaseResult",
     "chaos_config",
@@ -62,6 +78,13 @@ __all__ = [
     "run_chaos_matrix",
     "builtin_plans",
     "resolve_plans",
+    # lazily resolved from .generate / .shrink / .explorer:
+    "ScheduleGenerator",
+    "shrink_plan",
+    "ExplorationResult",
+    "explore",
+    "load_corpus",
+    "replay_corpus",
 ]
 
 _CHAOS_EXPORTS = {
@@ -73,10 +96,26 @@ _CHAOS_EXPORTS = {
     "resolve_plans",
 }
 
+# These pull in .chaos (and through it repro.core), so they stay lazy for
+# the same reason the chaos exports do.
+_EXPLORER_EXPORTS = {
+    "ScheduleGenerator": "generate",
+    "shrink_plan": "shrink",
+    "ExplorationResult": "explorer",
+    "explore": "explorer",
+    "load_corpus": "explorer",
+    "replay_corpus": "explorer",
+}
+
 
 def __getattr__(name):
     if name in _CHAOS_EXPORTS:
         from . import chaos
 
         return getattr(chaos, name)
+    if name in _EXPLORER_EXPORTS:
+        import importlib
+
+        mod = importlib.import_module(f".{_EXPLORER_EXPORTS[name]}", __name__)
+        return getattr(mod, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -30,9 +30,10 @@ cleanly: no leaked locks, no orphan intents.
 
 from __future__ import annotations
 
+import fnmatch
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..consistency import (
     HistoryRecorder,
@@ -446,6 +447,7 @@ def run_chaos_case(
     config: Optional[RadicalConfig] = None,
     shards: int = 1,
     recovery_horizon_ms: Optional[float] = None,
+    on_metrics: Optional[Callable[[Any], None]] = None,
 ) -> ChaosCaseResult:
     """Run one (plan, seed) case end to end and return its verdict.
 
@@ -718,6 +720,12 @@ def run_chaos_case(
         # may still hold locks anywhere in the tier.
         leaked_locks = sum(len(s.locks.held_owners()) for s in dep.servers)
 
+    if on_metrics is not None:
+        # Observation hook for the coverage-guided explorer: the full
+        # metrics object, before the result narrows it to the `wanted`
+        # counter subset (which is frozen — chaos.json depends on it).
+        on_metrics(metrics)
+
     wanted = (
         "fault.injected", "rpc.retry", "rpc.timeout", "rpc.exhausted",
         "breaker.open", "breaker.fast_fail", "reexecution.count",
@@ -852,6 +860,15 @@ def builtin_plans() -> Dict[str, FaultPlan]:
             replicated=True,
         ),
         FaultPlan(
+            "raft-leader-mid-validate",
+            (CrashWindow("raft-leader", 700.0, 2_800.0),),
+            "replicated (§5.6) deployment; whichever Raft node leads at "
+            "700 ms crashes while client validations are in flight, so "
+            "the survivors must elect a new leader, replay the log, and "
+            "keep every in-flight write exactly-once",
+            replicated=True,
+        ),
+        FaultPlan(
             "surge-jp",
             (SurgeWindow(jp, 2_000.0, 3_600.0, rate_rps=220.0),),
             "an open-loop 220 rps surge from JP swamps the ~73 rps "
@@ -914,19 +931,49 @@ def builtin_plans() -> Dict[str, FaultPlan]:
 
 
 def resolve_plans(spec: str) -> List[FaultPlan]:
-    """Parse a ``--plans`` value: ``all`` or a comma-separated name list."""
+    """Parse a ``--plans`` value.
+
+    Accepts ``all``, or a comma-separated mix of builtin names, glob
+    patterns over builtin names (``mesh-*``), and ``@file.json``
+    references — a serialized plan or list of plans in the
+    :mod:`repro.faults.serde` format, e.g. a corpus reproducer.
+    Duplicate selections (a name matched by two patterns) collapse.
+    """
+    from . import serde
+
     stock = builtin_plans()
     if spec == "all":
         return list(stock.values())
-    chosen = []
+    chosen: List[FaultPlan] = []
+    seen: set = set()
+
+    def add(plan: FaultPlan) -> None:
+        if plan.name not in seen:
+            seen.add(plan.name)
+            chosen.append(plan)
+
     for name in (s.strip() for s in spec.split(",")):
         if not name:
+            continue
+        if name.startswith("@"):
+            for plan in serde.load_plan_file(name[1:]):
+                add(plan)
+            continue
+        if any(ch in name for ch in "*?["):
+            matches = sorted(fnmatch.filter(stock, name))
+            if not matches:
+                raise FaultConfigError(
+                    f"no builtin plan matches pattern {name!r} "
+                    f"(available: {', '.join(sorted(stock))})"
+                )
+            for m in matches:
+                add(stock[m])
             continue
         if name not in stock:
             raise FaultConfigError(
                 f"unknown plan {name!r} (available: {', '.join(sorted(stock))})"
             )
-        chosen.append(stock[name])
+        add(stock[name])
     if not chosen:
         raise FaultConfigError(f"no plans selected by {spec!r}")
     return chosen

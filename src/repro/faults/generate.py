@@ -1,0 +1,225 @@
+"""Seeded random fault-schedule generation for the chaos explorer.
+
+The generator samples :class:`~repro.faults.plan.FaultPlan`\\ s over the
+*whole* window vocabulary — partitions, drops, duplicates, delays,
+followup loss, crashes, surges, slow servers, PoP partitions, PoP
+crashes, migrations — with targets and timing drawn from the chaos
+workload's run horizon.  Every hand-written builtin plan is a point in
+this space; the point of the generator is the schedules nobody writes by
+hand (a partition *during* a migration *during* crash-recovery).
+
+Determinism contract: one ``random.Random(seed)`` drives everything, and
+every candidate is validated through :meth:`FaultPlan.validate` (invalid
+rolls are resampled, burning entropy deterministically), so the i-th
+plan from a given seed is the same plan forever.
+
+Two deliberate scope limits keep generated schedules judgeable by the
+existing invariants:
+
+* ``overload`` is never set: the metastability verdict needs ≥3 latency
+  probes on both sides of the overload window, which random timing can't
+  guarantee.  Surge and slow-server windows are still generated — they
+  must not break safety or liveness even without admission control.
+* Every generated crash restarts: a never-restarting server leaves
+  pending intents by design, which the liveness checker rightly flags.
+  "Crash forever" stays the province of hand-written plans that pair it
+  with an expectation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from .plan import (
+    CrashWindow,
+    DelayWindow,
+    DropWindow,
+    DuplicateWindow,
+    FaultAction,
+    FaultPlan,
+    FollowupLossWindow,
+    MigrationWindow,
+    PartitionWindow,
+    PoPCrashWindow,
+    PoPPartitionWindow,
+    SlowServerWindow,
+    SurgeWindow,
+)
+
+__all__ = ["SHAPES", "ScheduleGenerator"]
+
+#: Deployment shapes the explorer sweeps; each maps to run_chaos_case
+#: kwargs plus the target vocabulary the generator may name.
+SHAPES: Tuple[str, ...] = ("seed", "sharded", "replicated", "mesh")
+
+_WAN = "va"
+_PROBABILITIES = (0.25, 0.5, 1.0)
+_SLOW_PROC_MS = (40.0, 60.0)
+_SURGE_RATES = (60.0, 100.0, 150.0)
+
+
+class ScheduleGenerator:
+    """Deterministic sampler + mutator of valid fault plans.
+
+    ``sample(shape)`` draws a fresh plan; ``mutate(plan, shape)`` derives
+    a neighbour of a known-interesting plan (add / drop / retime one
+    window) for the coverage-guided search's exploitation step.  Both
+    only ever return plans that pass :meth:`FaultPlan.validate` and that
+    :func:`~repro.faults.chaos.run_chaos_case` can arm on that shape.
+    """
+
+    def __init__(self, seed: int, horizon_ms: float = 2_000.0) -> None:
+        self.rng = random.Random(seed)
+        self.horizon_ms = horizon_ms
+        self._counter = 0
+
+    # -- vocabulary ---------------------------------------------------------
+
+    def regions(self, shape: str) -> Tuple[str, ...]:
+        # Mesh cases auto-extend (JP, CA) to a 3-PoP deployment.
+        return ("jp", "ca", "ie") if shape == "mesh" else ("jp", "ca")
+
+    def crash_targets(self, shape: str) -> Tuple[str, ...]:
+        if shape == "replicated":
+            # "raft-leader" resolves to whoever leads at crash time.
+            return ("raft-0", "raft-1", "raft-2", "raft-leader")
+        if shape == "sharded":
+            return ("lvi-server", "lvi-server-1")
+        return ("lvi-server",)
+
+    def kinds(self, shape: str) -> Tuple[str, ...]:
+        kinds = [
+            "partition", "drop", "duplicate", "delay",
+            "followup_loss", "crash", "surge", "slow_server",
+        ]
+        if shape == "mesh":
+            kinds += ["pop_partition", "pop_crash", "migration"]
+        return tuple(kinds)
+
+    # -- sampling -----------------------------------------------------------
+
+    def _times(self, max_len_ms: float = 1_500.0) -> Tuple[float, float]:
+        start = float(self.rng.randrange(0, int(self.horizon_ms)))
+        length = float(self.rng.randrange(200, int(max_len_ms)))
+        return start, start + length
+
+    def _link(self, shape: str) -> Tuple[str, str]:
+        # Client regions talk to the WAN primary; mesh PoPs also gossip
+        # among themselves, so region<->region links matter there too.
+        regions = self.regions(shape)
+        src = self.rng.choice(regions)
+        endpoints = [r for r in regions if r != src] + [_WAN]
+        dst = self.rng.choice(endpoints) if shape == "mesh" else _WAN
+        return src, dst
+
+    def _window(self, shape: str) -> FaultAction:
+        kind = self.rng.choice(self.kinds(shape))
+        rng = self.rng
+        if kind == "partition":
+            a, b = self._link(shape)
+            start, end = self._times()
+            return PartitionWindow(a, b, start, end)
+        if kind in ("drop", "duplicate"):
+            src, dst = self._link(shape)
+            start, end = self._times()
+            prob = rng.choice(_PROBABILITIES)
+            bidi = rng.random() < 0.5
+            cls = DropWindow if kind == "drop" else DuplicateWindow
+            return cls(src, dst, start, end, prob, bidirectional=bidi)
+        if kind == "delay":
+            src, dst = self._link(shape)
+            start, end = self._times()
+            extra = float(rng.randrange(20, 120))
+            return DelayWindow(src, dst, start, extra, end,
+                               bidirectional=rng.random() < 0.5)
+        if kind == "followup_loss":
+            start, end = self._times()
+            return FollowupLossWindow(start, end)
+        if kind == "crash":
+            target = rng.choice(self.crash_targets(shape))
+            crash_at = float(rng.randrange(200, int(self.horizon_ms)))
+            restart_at = crash_at + float(rng.randrange(500, 1_500))
+            return CrashWindow(target, crash_at, restart_at)
+        if kind == "surge":
+            region = rng.choice(self.regions(shape))
+            start, end = self._times(max_len_ms=1_000.0)
+            return SurgeWindow(region, start, end, rate_rps=rng.choice(_SURGE_RATES))
+        if kind == "slow_server":
+            # Slow the shard-0 server only: the generated load is light
+            # enough that a limping server must still satisfy liveness.
+            start, end = self._times()
+            return SlowServerWindow("lvi-server", start, end,
+                                    proc_ms=rng.choice(_SLOW_PROC_MS))
+        if kind == "pop_partition":
+            regions = self.regions(shape)
+            region = rng.choice(regions)
+            start, end = self._times()
+            full_island = rng.random() < 0.5
+            peers = tuple(r for r in regions if r != region) if full_island else ()
+            return PoPPartitionWindow(region, start, end, peers=peers, wan=True)
+        if kind == "pop_crash":
+            regions = self.regions(shape)
+            crash_at = float(rng.randrange(200, int(self.horizon_ms)))
+            restart_at = crash_at + float(rng.randrange(500, 1_500))
+            return PoPCrashWindow(rng.choice(regions), crash_at, restart_at)
+        # migration
+        regions = self.regions(shape)
+        src = rng.choice(regions)
+        dst = rng.choice([r for r in regions if r != src])
+        at = float(rng.randrange(100, int(self.horizon_ms)))
+        return MigrationWindow(f"{src}-0", dst, at)
+
+    def sample(self, shape: str, max_windows: int = 3,
+               max_attempts: int = 25) -> FaultPlan:
+        """One fresh valid plan: 1..max_windows windows, biased small
+        (single-window schedules shrink fastest and localize best)."""
+        for _ in range(max_attempts):
+            n = 1 + min(
+                self.rng.randrange(max_windows),
+                self.rng.randrange(max_windows),
+            )
+            actions = tuple(self._window(shape) for _ in range(n))
+            plan = self._assemble(shape, actions)
+            if plan is not None:
+                return plan
+        # Conflicts are interval collisions on one knob — at ≤3 windows a
+        # run of 25 straight is astronomically unlikely, but stay total:
+        plan = self._assemble(shape, (self._window(shape),))
+        assert plan is not None  # a single window can never self-conflict
+        return plan
+
+    def mutate(self, plan: FaultPlan, shape: str,
+               max_attempts: int = 25) -> FaultPlan:
+        """A neighbour of ``plan``: add, drop, or retime one window."""
+        for _ in range(max_attempts):
+            actions = list(plan.actions)
+            op = self.rng.choice(("add", "drop", "retime"))
+            if op == "add" or not actions:
+                actions.append(self._window(shape))
+            elif op == "drop" and len(actions) > 1:
+                actions.pop(self.rng.randrange(len(actions)))
+            else:
+                i = self.rng.randrange(len(actions))
+                actions[i] = self._window(shape)
+            mutated = self._assemble(shape, tuple(actions))
+            if mutated is not None:
+                return mutated
+        return self.sample(shape)
+
+    def _assemble(self, shape: str,
+                  actions: Tuple[FaultAction, ...]) -> Optional[FaultPlan]:
+        self._counter += 1
+        plan = FaultPlan(
+            name=f"gen-{shape}-{self._counter:04d}",
+            actions=actions,
+            description=f"generated schedule #{self._counter} for the "
+                        f"{shape} shape",
+            replicated=(shape == "replicated"),
+            mesh=(shape == "mesh"),
+        )
+        try:
+            plan.validate()
+        except Exception:
+            return None
+        return plan

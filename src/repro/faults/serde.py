@@ -1,0 +1,286 @@
+"""JSON round-trip for fault plans: serialize, validate, hash.
+
+Every :class:`~repro.faults.plan.FaultPlan` (and every window inside it)
+converts to a plain-JSON dict and back, losslessly — including the
+``end_ms=math.inf`` open windows, which JSON cannot express natively and
+which are encoded as the string ``"inf"``.  Loading is schema-validated
+against the window dataclasses themselves (field names *and* field
+types), so a malformed reproducer fails with a message naming the field,
+never mid-simulation.
+
+``plan_hash`` is a stable content hash over the canonical serialized
+form: two plans hash equal iff they serialize equal, independent of how
+they were constructed.  The explorer keys its corpus and its dedup on
+this hash, and shared reproducers can be checked for drift by it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import typing
+from typing import Any, Dict, List, Tuple
+
+from ..errors import FaultConfigError
+from .plan import (
+    CrashWindow,
+    DelayWindow,
+    DropWindow,
+    DuplicateWindow,
+    FaultAction,
+    FaultPlan,
+    FollowupLossWindow,
+    MigrationWindow,
+    PartitionWindow,
+    PoPCrashWindow,
+    PoPPartitionWindow,
+    SlowServerWindow,
+    SurgeWindow,
+)
+
+__all__ = [
+    "WINDOW_KINDS",
+    "action_to_dict",
+    "action_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+    "plan_hash",
+    "load_plan_file",
+]
+
+#: kind tag <-> window dataclass, the single source of truth for the
+#: serialized vocabulary (scenario configs use the same tags).
+WINDOW_KINDS: Dict[str, type] = {
+    "partition": PartitionWindow,
+    "drop": DropWindow,
+    "duplicate": DuplicateWindow,
+    "delay": DelayWindow,
+    "followup_loss": FollowupLossWindow,
+    "crash": CrashWindow,
+    "surge": SurgeWindow,
+    "slow_server": SlowServerWindow,
+    "pop_partition": PoPPartitionWindow,
+    "pop_crash": PoPCrashWindow,
+    "migration": MigrationWindow,
+}
+
+_KIND_OF = {cls: kind for kind, cls in WINDOW_KINDS.items()}
+
+#: JSON spelling of ``math.inf`` (``json.dump`` would emit the
+#: non-standard literal ``Infinity`` otherwise).
+_INF = "inf"
+
+_PLAN_KEYS = ("name", "description", "replicated", "overload", "mesh", "actions")
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, float) and math.isinf(value):
+        return _INF
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def action_to_dict(action: FaultAction) -> Dict[str, Any]:
+    """One window as a kind-tagged, JSON-safe dict (fields in declaration
+    order; ``inf`` encoded as the string ``"inf"``)."""
+    cls = type(action)
+    if cls not in _KIND_OF:
+        raise FaultConfigError(f"not a fault window: {action!r}")
+    out: Dict[str, Any] = {"kind": _KIND_OF[cls]}
+    for f in dataclasses.fields(cls):
+        out[f.name] = _encode_value(getattr(action, f.name))
+    return out
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@typing.no_type_check
+def _field_ok(hint: Any, value: Any) -> Tuple[bool, Any, str]:
+    """(accepted, decoded value, expected-type label) for one field."""
+    origin = typing.get_origin(hint)
+    if hint is float:
+        if value == _INF:
+            return True, math.inf, "number"
+        return _is_number(value), float(value) if _is_number(value) else value, "number"
+    if hint is str:
+        return isinstance(value, str), value, "string"
+    if hint is bool:
+        return isinstance(value, bool), value, "boolean"
+    if origin is typing.Union:  # Optional[float]
+        if value is None:
+            return True, None, "number or null"
+        ok, decoded, _ = _field_ok(float, value)
+        return ok, decoded, "number or null"
+    if origin is tuple:  # Tuple[str, ...]
+        if isinstance(value, (list, tuple)) and all(
+            isinstance(v, str) for v in value
+        ):
+            return True, tuple(value), "list of strings"
+        return False, value, "list of strings"
+    return True, value, "value"  # pragma: no cover - closed field set
+
+
+def action_from_dict(raw: Any, where: str = "fault window") -> FaultAction:
+    """Decode one kind-tagged window dict, schema-validated against the
+    window dataclass: unknown kinds, unknown or missing fields, and
+    wrongly typed fields all raise :class:`FaultConfigError`."""
+    if not isinstance(raw, dict):
+        raise FaultConfigError(f"{where}: must be an object")
+    kind = raw.get("kind")
+    if kind not in WINDOW_KINDS:
+        raise FaultConfigError(
+            f"{where}: unknown action kind {kind!r} "
+            f"(available: {', '.join(sorted(WINDOW_KINDS))})"
+        )
+    cls = WINDOW_KINDS[kind]
+    fields_ = {f.name: f for f in dataclasses.fields(cls)}
+    hints = typing.get_type_hints(cls)
+    kwargs = {k: v for k, v in raw.items() if k != "kind"}
+    unknown = set(kwargs) - set(fields_)
+    if unknown:
+        raise FaultConfigError(
+            f"{where}: unknown field(s) for {kind!r}: "
+            f"{', '.join(sorted(unknown))} "
+            f"(accepted: {', '.join(sorted(fields_))})"
+        )
+    required = [
+        n for n, f in fields_.items()
+        if f.default is dataclasses.MISSING
+        and f.default_factory is dataclasses.MISSING
+    ]
+    missing = [n for n in required if n not in kwargs]
+    if missing:
+        raise FaultConfigError(
+            f"{where}: missing field(s) for {kind!r}: "
+            f"{', '.join(sorted(missing))}"
+        )
+    decoded: Dict[str, Any] = {}
+    for name, value in kwargs.items():
+        ok, dec, label = _field_ok(hints[name], value)
+        if not ok:
+            raise FaultConfigError(
+                f"{where}: field {name!r} of {kind!r} must be {label}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        decoded[name] = dec
+    return cls(**decoded)
+
+
+def plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """The plan's canonical JSON form — every field present, every action
+    kind-tagged, fully round-trippable through :func:`plan_from_dict`."""
+    return {
+        "name": plan.name,
+        "description": plan.description,
+        "replicated": plan.replicated,
+        "overload": plan.overload,
+        "mesh": plan.mesh,
+        "actions": [action_to_dict(a) for a in plan.actions],
+    }
+
+
+def plan_from_dict(raw: Any, where: str = "fault plan") -> FaultPlan:
+    """Decode and fully validate a serialized plan (field schema, window
+    schema, and :meth:`FaultPlan.validate`'s conflict check)."""
+    if not isinstance(raw, dict):
+        raise FaultConfigError(f"{where}: fault plan must be an object")
+    if not isinstance(raw.get("name"), str) or not raw.get("name"):
+        raise FaultConfigError(f"{where}: fault plan needs a non-empty 'name'")
+    unknown = set(raw) - set(_PLAN_KEYS)
+    if unknown:
+        raise FaultConfigError(
+            f"{where}: unknown fault-plan key(s): {', '.join(sorted(unknown))}"
+        )
+    description = raw.get("description", "")
+    if not isinstance(description, str):
+        raise FaultConfigError(f"{where}: 'description' must be a string")
+    for flag in ("replicated", "overload", "mesh"):
+        if flag in raw and not isinstance(raw[flag], bool):
+            raise FaultConfigError(f"{where}: {flag!r} must be a boolean")
+    actions_raw = raw.get("actions", [])
+    if not isinstance(actions_raw, (list, tuple)):
+        raise FaultConfigError(f"{where}: fault-plan 'actions' must be a list")
+    actions = tuple(
+        action_from_dict(a, where=f"{where}: plan {raw['name']!r} action[{i}]")
+        for i, a in enumerate(actions_raw)
+    )
+    plan = FaultPlan(
+        name=raw["name"],
+        actions=actions,
+        description=description,
+        replicated=bool(raw.get("replicated", False)),
+        overload=bool(raw.get("overload", False)),
+        mesh=bool(raw.get("mesh", False)),
+    )
+    plan.validate()
+    return plan
+
+
+def plan_hash(plan: FaultPlan) -> str:
+    """Stable content hash (16 hex chars) over the canonical serialized
+    form; equal iff :func:`plan_to_dict` outputs are equal."""
+    payload = json.dumps(
+        plan_to_dict(plan), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_plan_file(path: str) -> List[FaultPlan]:
+    """Load one plan — or a list of plans — from a JSON file (the
+    ``--plans @file.json`` reference form).  Corpus entries (wrapper
+    objects carrying a ``plan`` key) are unwrapped, so a minimized
+    reproducer can be handed straight back to the chaos CLI."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+    except FileNotFoundError:
+        raise FaultConfigError(f"fault-plan file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise FaultConfigError(f"{path}: not valid JSON ({exc})") from None
+    items = raw if isinstance(raw, list) else [raw]
+    if not items:
+        raise FaultConfigError(f"{path}: no fault plans in file")
+    items = [
+        item["plan"]
+        if isinstance(item, dict) and isinstance(item.get("plan"), dict)
+        else item
+        for item in items
+    ]
+    return [
+        plan_from_dict(item, where=f"{path}[{i}]" if isinstance(raw, list) else path)
+        for i, item in enumerate(items)
+    ]
+
+
+def _attach_serde_methods() -> None:
+    """Give every window class and :class:`FaultPlan` ``to_dict`` /
+    ``from_dict``, delegating here (the classes stay plain data)."""
+
+    def window_to_dict(self) -> Dict[str, Any]:
+        return action_to_dict(self)
+
+    def window_from_dict(cls, raw: Any) -> FaultAction:
+        action = action_from_dict(raw)
+        if not isinstance(action, cls):
+            raise FaultConfigError(
+                f"{cls.__name__}.from_dict: kind {raw.get('kind')!r} decodes "
+                f"to {type(action).__name__}"
+            )
+        return action
+
+    for cls in WINDOW_KINDS.values():
+        cls.to_dict = window_to_dict
+        cls.from_dict = classmethod(window_from_dict)
+
+    FaultPlan.to_dict = plan_to_dict
+    FaultPlan.from_dict = classmethod(
+        lambda cls, raw, where="fault plan": plan_from_dict(raw, where=where)
+    )
+
+
+_attach_serde_methods()

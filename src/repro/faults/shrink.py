@@ -1,0 +1,161 @@
+"""Delta-debugging a failing fault schedule to a minimal reproducer.
+
+Given a plan whose chaos case violates an invariant, ``shrink_plan``
+searches for the smallest schedule that *still* fails, in three passes:
+
+1. **Window removal** (the classic ddmin step, specialized to the small
+   schedules the generator emits): greedily drop one window at a time,
+   re-testing after each drop, looping to a fixpoint.  A 3-window
+   schedule whose failure needs only the duplicate storm comes out as
+   just the duplicate storm.
+2. **Time narrowing**: for each surviving window, try halving its span
+   (keeping the start, then keeping the end) and snapping its edges to
+   round numbers.  Narrower windows pin the failure to a moment.
+3. **Field simplification**: drive probabilities to 1.0 (a deterministic
+   fault beats a probabilistic one in a reproducer) and drop
+   bidirectionality when one direction suffices.
+
+Every candidate is validated before testing, and the test budget is
+bounded, so shrinking terminates even against a flaky oracle.  The
+result is deterministic: candidate order is a pure function of the
+input plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List, Optional, Tuple
+
+from .plan import (
+    CrashWindow,
+    DelayWindow,
+    DropWindow,
+    DuplicateWindow,
+    FaultAction,
+    FaultPlan,
+    MigrationWindow,
+    PoPCrashWindow,
+    SurgeWindow,
+)
+
+__all__ = ["shrink_plan"]
+
+
+def _rebuild(plan: FaultPlan, actions: Tuple[FaultAction, ...],
+             suffix: str) -> Optional[FaultPlan]:
+    candidate = dataclasses.replace(
+        plan, actions=actions, name=f"{plan.name}{suffix}"
+    )
+    try:
+        candidate.validate()
+    except Exception:
+        return None
+    return candidate
+
+
+def _narrow_variants(action: FaultAction) -> List[FaultAction]:
+    """Smaller-but-same-kind variants of one window, best first."""
+    variants: List[FaultAction] = []
+    if isinstance(action, (CrashWindow, PoPCrashWindow)):
+        if action.restart_at_ms is not None:
+            span = action.restart_at_ms - action.crash_at_ms
+            if span > 600.0:
+                variants.append(dataclasses.replace(
+                    action, restart_at_ms=action.crash_at_ms + span / 2.0
+                ))
+        return variants
+    if isinstance(action, MigrationWindow):
+        return variants  # instantaneous; nothing to narrow
+    start, end = action.start_ms, action.end_ms
+    if math.isinf(end):
+        # An open window: try closing it at a finite point first — a
+        # bounded reproducer is strictly more informative.
+        variants.append(dataclasses.replace(action, end_ms=start + 1_000.0))
+        return variants
+    span = end - start
+    if span > 400.0:
+        variants.append(dataclasses.replace(action, end_ms=start + span / 2.0))
+        variants.append(dataclasses.replace(action, start_ms=end - span / 2.0))
+    return variants
+
+
+def _simplify_variants(action: FaultAction) -> List[FaultAction]:
+    variants: List[FaultAction] = []
+    if isinstance(action, (DropWindow, DuplicateWindow)):
+        if action.probability < 1.0:
+            variants.append(dataclasses.replace(action, probability=1.0))
+        if action.bidirectional:
+            variants.append(dataclasses.replace(action, bidirectional=False))
+    if isinstance(action, DelayWindow) and action.bidirectional:
+        variants.append(dataclasses.replace(action, bidirectional=False))
+    if isinstance(action, SurgeWindow) and action.rate_rps > 60.0:
+        variants.append(dataclasses.replace(action, rate_rps=60.0))
+    return variants
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    still_fails: Callable[[FaultPlan], bool],
+    max_probes: int = 60,
+) -> FaultPlan:
+    """Minimize ``plan`` under the oracle ``still_fails``.
+
+    ``still_fails(candidate)`` must return True iff the candidate still
+    reproduces the original violation (and must swallow its own
+    exceptions — a crash *is* a reproduction).  At most ``max_probes``
+    oracle calls are spent; whatever minimum was reached by then is
+    returned.  The input plan is assumed failing and is never re-tested.
+    """
+    probes = 0
+
+    def probe(candidate: Optional[FaultPlan]) -> bool:
+        nonlocal probes
+        if candidate is None or probes >= max_probes:
+            return False
+        probes += 1
+        return still_fails(candidate)
+
+    best = plan
+    step = 0
+
+    # Pass 1: drop windows to a fixpoint.
+    changed = True
+    while changed and len(best.actions) > 1:
+        changed = False
+        for i in range(len(best.actions)):
+            actions = best.actions[:i] + best.actions[i + 1:]
+            step += 1
+            candidate = _rebuild(plan, actions, f"-min{step}")
+            if probe(candidate):
+                best = candidate
+                changed = True
+                break
+
+    # Pass 2: narrow each surviving window's time range to a fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for i, action in enumerate(best.actions):
+            for variant in _narrow_variants(action):
+                actions = best.actions[:i] + (variant,) + best.actions[i + 1:]
+                step += 1
+                candidate = _rebuild(plan, actions, f"-min{step}")
+                if probe(candidate):
+                    best = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+
+    # Pass 3: simplify fields (one sweep; these rarely cascade).
+    for i, action in enumerate(best.actions):
+        for variant in _simplify_variants(action):
+            actions = best.actions[:i] + (variant,) + best.actions[i + 1:]
+            step += 1
+            candidate = _rebuild(plan, actions, f"-min{step}")
+            if probe(candidate):
+                best = candidate
+                break
+
+    return dataclasses.replace(best, name=f"{plan.name}-min")

@@ -99,6 +99,8 @@ def _check_rtt_ref(value: Any) -> None:
 def _validate_chaos(where: str, params: Dict[str, Any]) -> None:
     from ..faults import builtin_plans
 
+    import fnmatch
+
     plans = params["plans"]
     known = builtin_plans()
     if isinstance(plans, str):
@@ -106,6 +108,17 @@ def _validate_chaos(where: str, params: Dict[str, Any]) -> None:
     else:
         names = list(plans)
     for name in names:
+        if name.startswith("@"):
+            # A serialized-plan file reference; the file is read (and its
+            # contents schema-checked) at run time, not config-parse time.
+            continue
+        if any(ch in name for ch in "*?["):
+            if not fnmatch.filter(known, name):
+                raise ScenarioError(
+                    f"{where}: no builtin fault plan matches pattern {name!r} "
+                    f"(available: {', '.join(sorted(known))})"
+                )
+            continue
         if name not in known:
             raise ScenarioError(
                 f"{where}: unknown fault plan {name!r} "
@@ -113,6 +126,17 @@ def _validate_chaos(where: str, params: Dict[str, Any]) -> None:
             )
     for i, raw in enumerate(params.get("extra_plans") or []):
         parse_fault_plan(raw, where=f"{where}: extra_plans[{i}]")
+
+
+def _validate_chaos_explore(where: str, params: Dict[str, Any]) -> None:
+    from ..faults.generate import SHAPES
+
+    for shape in params["shapes"]:
+        if shape not in SHAPES:
+            raise ScenarioError(
+                f"{where}: unknown deployment shape {shape!r} "
+                f"(available: {', '.join(SHAPES)})"
+            )
 
 
 _SCALABILITY_WORKLOADS = ("counter", "social")
@@ -301,6 +325,19 @@ def _run_chaos(p: Dict[str, Any]) -> Dict[str, Any]:
                 shards=p["shards"],
             ))
     return {"shards": p["shards"], "cases": [r.to_dict() for r in results]}
+
+
+def _run_chaos_explore(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..faults.explorer import explore
+
+    record = explore(
+        budget=p["budget"],
+        seed=p["seed"],
+        shapes=tuple(p["shapes"]),
+        requests_per_client=p["requests"],
+        clients_per_region=p["clients"],
+    )
+    return record.to_payload()
 
 
 def _run_analysis(p: Dict[str, Any]) -> Dict[str, Any]:
@@ -598,6 +635,24 @@ def _present_chaos(payload: Dict[str, Any]) -> None:
     )
 
 
+def _present_chaos_explore(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    cov = payload["coverage"]
+    print_table(
+        ["schedules", "novel", "features", "distinct states", "violations"],
+        [[payload["schedules_tried"], payload["novel_schedules"],
+          len(cov["features"]), cov["distinct_signatures"],
+          len(payload["violations"])]],
+        title=f"Chaos exploration: seed {payload['seed']}, "
+              f"shapes {', '.join(payload['shapes'])}",
+    )
+    for v in payload["violations"]:
+        print(f"  VIOLATION [{v['shape']} seed {v['seed']}] "
+              f"{v['original_windows']}→{v['minimal_windows']} windows: "
+              f"{v['violation']}")
+
+
 def _present_analysis(payload: Dict[str, Any]) -> None:
     from ..bench import print_table
 
@@ -630,6 +685,18 @@ def _gate_chaos(payload: Dict[str, Any]) -> List[str]:
         f"deadline_ok={c['deadline_ok']} {c['violation']}"
         for c in payload["cases"] if not c["ok"]
     ]
+
+
+def _gate_chaos_explore(payload: Dict[str, Any]) -> List[str]:
+    failures = [
+        f"explorer violation [{v['shape']} seed {v['seed']}]: {v['violation']}"
+        for v in payload["violations"]
+    ]
+    if payload["novel_schedules"] < 1:
+        # The very first schedule always reaches unseen coverage, so
+        # zero novelty means the coverage extraction itself is broken.
+        failures.append("exploration reached no new coverage at all")
+    return failures
 
 
 def _gate_scalability(payload: Dict[str, Any]) -> List[str]:
@@ -897,6 +964,25 @@ _register(ScenarioKind(
     gate=_gate_chaos,
     smoke_defaults={"seeds": 2},
     validate=_validate_chaos,
+))
+
+_register(ScenarioKind(
+    name="chaos-explore",
+    params={
+        "budget": _p("int", 48),
+        "seed": _p("int", 7),
+        "shapes": _p("list", ["seed", "sharded", "replicated", "mesh"],
+                     element="str"),
+        "requests": _p("int", 12),
+        "clients": _p("int", 1),
+    },
+    run=_run_chaos_explore,
+    present=_present_chaos_explore,
+    required_keys=("budget", "seed", "shapes", "schedules_tried",
+                   "novel_schedules", "coverage", "violations", "pool"),
+    gate=_gate_chaos_explore,
+    smoke_defaults={"budget": 12},
+    validate=_validate_chaos_explore,
 ))
 
 _register(ScenarioKind(

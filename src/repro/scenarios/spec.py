@@ -12,10 +12,9 @@ mid-simulation.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 __all__ = [
     "ParamSpec",
@@ -222,24 +221,6 @@ def load_scenario_file(path: str) -> ScenarioSpec:
 
 # -- inline fault plans ------------------------------------------------------
 
-def _window_classes() -> Dict[str, Any]:
-    from ..faults import plan as planmod
-
-    return {
-        "partition": planmod.PartitionWindow,
-        "drop": planmod.DropWindow,
-        "duplicate": planmod.DuplicateWindow,
-        "delay": planmod.DelayWindow,
-        "followup_loss": planmod.FollowupLossWindow,
-        "crash": planmod.CrashWindow,
-        "surge": planmod.SurgeWindow,
-        "slow_server": planmod.SlowServerWindow,
-        "pop_partition": planmod.PoPPartitionWindow,
-        "pop_crash": planmod.PoPCrashWindow,
-        "migration": planmod.MigrationWindow,
-    }
-
-
 def parse_fault_plan(raw: Any, where: str = "<inline plan>") -> Any:
     """Parse an inline fault-plan dict into a validated ``FaultPlan``.
 
@@ -251,69 +232,16 @@ def parse_fault_plan(raw: Any, where: str = "<inline plan>") -> Any:
                       "start_ms": 100, "end_ms": 400}, ...]}
 
     Action fields beyond ``kind`` map onto the matching window dataclass;
-    unknown or missing fields and conflicting windows (overlapping windows
-    driving the same knob of the same link) are rejected here, before any
-    deployment is built.
+    unknown or missing fields, wrongly typed fields, and conflicting
+    windows (overlapping windows driving the same knob of the same link)
+    are rejected here, before any deployment is built.  The heavy lifting
+    lives in :func:`repro.faults.serde.plan_from_dict`; this wrapper just
+    re-raises as :class:`ScenarioError` with the config location.
     """
     from ..errors import FaultConfigError
-    from ..faults import FaultPlan
+    from ..faults import serde
 
-    if not isinstance(raw, dict):
-        raise ScenarioError(f"{where}: fault plan must be an object")
-    if not isinstance(raw.get("name"), str) or not raw.get("name"):
-        raise ScenarioError(f"{where}: fault plan needs a non-empty 'name'")
-    unknown = set(raw) - {"name", "description", "replicated", "overload", "mesh", "actions"}
-    if unknown:
-        raise ScenarioError(
-            f"{where}: unknown fault-plan key(s): {', '.join(sorted(unknown))}"
-        )
-    actions_raw = raw.get("actions", [])
-    if not isinstance(actions_raw, (list, tuple)):
-        raise ScenarioError(f"{where}: fault-plan 'actions' must be a list")
-    classes = _window_classes()
-    actions: List[Any] = []
-    for i, a in enumerate(actions_raw):
-        ctx = f"{where}: plan {raw['name']!r} action[{i}]"
-        if not isinstance(a, dict):
-            raise ScenarioError(f"{ctx}: must be an object")
-        kind = a.get("kind")
-        if kind not in classes:
-            raise ScenarioError(
-                f"{ctx}: unknown action kind {kind!r} "
-                f"(available: {', '.join(sorted(classes))})"
-            )
-        cls = classes[kind]
-        fields_ = {f.name: f for f in dataclasses.fields(cls)}
-        kwargs = {k: v for k, v in a.items() if k != "kind"}
-        unknown_f = set(kwargs) - set(fields_)
-        if unknown_f:
-            raise ScenarioError(
-                f"{ctx}: unknown field(s) for {kind!r}: "
-                f"{', '.join(sorted(unknown_f))} "
-                f"(accepted: {', '.join(sorted(fields_))})"
-            )
-        required = [
-            n for n, f in fields_.items()
-            if f.default is dataclasses.MISSING
-            and f.default_factory is dataclasses.MISSING
-        ]
-        missing_f = [n for n in required if n not in kwargs]
-        if missing_f:
-            raise ScenarioError(
-                f"{ctx}: missing field(s) for {kind!r}: "
-                f"{', '.join(sorted(missing_f))}"
-            )
-        actions.append(cls(**kwargs))
-    plan = FaultPlan(
-        name=raw["name"],
-        actions=tuple(actions),
-        description=raw.get("description", ""),
-        replicated=bool(raw.get("replicated", False)),
-        overload=bool(raw.get("overload", False)),
-        mesh=bool(raw.get("mesh", False)),
-    )
     try:
-        plan.validate()
+        return serde.plan_from_dict(raw, where=where)
     except FaultConfigError as exc:
-        raise ScenarioError(f"{where}: plan {raw['name']!r}: {exc}") from None
-    return plan
+        raise ScenarioError(str(exc)) from None

@@ -451,9 +451,45 @@ class Deployment:
         targets: Dict[str, Any] = {s.name: s for s in self.servers}
         if self.raft is not None:
             targets.update(self.raft.nodes)
+            targets["raft-leader"] = _RaftLeaderTarget(self.raft)
         if self.mesh is not None:
             targets.update(self.mesh.fault_targets())
         return targets
+
+
+class _RaftLeaderTarget:
+    """Crash target that resolves to *whichever node leads at crash time*.
+
+    A ``CrashWindow("raft-leader", ...)`` cannot name a concrete node up
+    front: which replica wins the initial election depends on the seed
+    and on any faults already injected.  The scheduler binds targets at
+    arm time but only calls ``crash()``/``recover()`` when the window
+    fires, so this proxy defers the leadership lookup to that instant.
+    The node chosen by ``crash()`` is remembered so the paired restart
+    revives the same replica (there may be a *new* leader by then).
+    """
+
+    def __init__(self, raft) -> None:
+        self._raft = raft
+        self._crashed = None
+
+    def crash(self) -> None:
+        node = self._raft.leader()
+        if node is None:
+            # Mid-election (e.g. an earlier fault already took the leader
+            # down): fall back to the lowest-named live node so the window
+            # still perturbs the quorum deterministically.
+            live = [n for n in self._raft.nodes.values() if n._alive]
+            if not live:
+                return
+            node = min(live, key=lambda n: n.node_id)
+        self._crashed = node
+        node.crash()
+
+    def recover(self) -> None:
+        if self._crashed is not None:
+            self._crashed.recover()
+            self._crashed = None
 
 
 def _assign_clients(

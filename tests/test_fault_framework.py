@@ -6,6 +6,9 @@ import pytest
 
 from repro.errors import FaultConfigError, ReproError
 from repro.faults import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
     CrashWindow,
     DelayWindow,
     DropWindow,
@@ -196,3 +199,122 @@ class TestScheduler:
         assert server.intents.pending() == []
         # The write either landed exactly once or was never acked; no dup.
         assert store.get("counters", "c:x").value in (0, 1)
+
+
+class TestRetryEdges:
+    """Boundary conditions of the retry/backoff/breaker machinery, pinned
+    at exact virtual times."""
+
+    def test_deadline_expiring_exactly_at_retry_boundary(self):
+        # Timeline with 100 ms attempts and flat 50 ms backoffs against a
+        # blackholed link: attempt [0,100), backoff [100,150), attempt
+        # [150,250), backoff [250,300) — the second backoff ends at the
+        # deadline to the tick, so the loop re-enters with remaining ==
+        # 0.0 exactly and must take the deadline branch, not a third try.
+        from types import SimpleNamespace
+
+        from repro.core.config import RadicalConfig
+        from repro.errors import UnavailableError
+
+        cfg = RadicalConfig(
+            rpc_timeout_ms=100.0,
+            retry_max_attempts=10,
+            retry_base_backoff_ms=50.0,
+            retry_backoff_multiplier=1.0,
+            retry_max_backoff_ms=50.0,
+            retry_jitter_frac=0.0,
+        )
+        sim, net, store, server, runtimes, metrics = build_counter_stack(
+            config=cfg
+        )
+        net.set_drop_probability(Region.JP, Region.VA, 1.0)
+        rt = runtimes[Region.JP]
+        outcome = {}
+
+        def driver():
+            try:
+                yield from rt._call_with_retry(
+                    SimpleNamespace(execution_id="edge"),
+                    deadline_at=300.0, label="test",
+                )
+            except UnavailableError as exc:
+                outcome["error"] = str(exc)
+                outcome["at"] = sim.now
+
+        sim.run_process(driver())
+        assert "deadline exhausted" in outcome["error"]
+        assert outcome["at"] == 300.0
+        assert metrics.counter("rpc.timeout") == 2
+        assert metrics.counter("rpc.retry") == 2
+        assert metrics.counter("rpc.deadline_exceeded") == 1
+        # Both timeouts and the deadline hit fed the breaker.
+        assert rt._breaker.failures == 3
+
+    def test_overload_retry_after_zero_retries_immediately(self):
+        # retry_after_ms == 0 is the server saying "again, now": with a
+        # zero-backoff policy the retry must happen at the same virtual
+        # instant — no sleep, no hang, no failure.
+        from types import SimpleNamespace
+
+        from repro.core.config import RadicalConfig
+        from repro.errors import OverloadedError
+
+        cfg = RadicalConfig(
+            retry_max_attempts=3,
+            retry_base_backoff_ms=0.0,
+            retry_jitter_frac=0.0,
+        )
+        sim, net, store, server, runtimes, metrics = build_counter_stack(
+            config=cfg
+        )
+        rt = runtimes[Region.JP]
+        calls = []
+
+        def shed_once_call(src, dst, req, timeout=None):
+            if False:
+                yield  # generator protocol, like Network.call
+            calls.append(sim.now)
+            if len(calls) == 1:
+                raise OverloadedError("lvi-server", retry_after_ms=0.0)
+            return "ok"
+
+        rt.net = SimpleNamespace(call=shed_once_call)
+
+        def driver():
+            outcome["result"] = yield from rt._call_with_retry(
+                SimpleNamespace(execution_id="edge"),
+                deadline_at=1_000.0, label="test",
+            )
+
+        outcome = {}
+        sim.run_process(driver())
+        assert outcome["result"] == "ok"
+        assert calls == [0.0, 0.0]  # second attempt at the same instant
+        assert metrics.counter("rpc.overloaded") == 1
+        assert metrics.counter("rpc.retry") == 1
+        assert rt._breaker.state == CLOSED  # success re-closed it
+
+    def test_breaker_recloses_after_recovery(self):
+        # Trip -> cooldown -> probe succeeds -> CLOSED with the failure
+        # count fully reset (one later failure must not re-trip).
+        from repro.faults import CircuitBreaker
+        from repro.sim import Metrics, Simulator
+
+        sim = Simulator()
+        breaker = CircuitBreaker(
+            sim, failure_threshold=2, cooldown_ms=100.0, metrics=Metrics()
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        assert sim.now == 100.0
+        assert breaker.allow()  # the cooldown elapsed: one probe admitted
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.failures == 0
+        breaker.record_failure()  # a single post-recovery blip
+        assert breaker.state == CLOSED  # threshold is 2; no re-trip
