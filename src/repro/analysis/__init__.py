@@ -15,12 +15,17 @@ from .analyzer import (
 from .ir import (
     CFG,
     ConflictMatrix,
+    ConflictPredicate,
     CrossValidation,
     FunctionSummary,
     IRAccessSite,
+    KeyConstraint,
+    KeyFact,
     OptimizationReport,
+    RequestFacts,
     build_cfg,
     build_conflict_matrix,
+    conflict_witness,
     cross_validate,
     extract_access_sites,
     optimize,
@@ -28,7 +33,7 @@ from .ir import (
     summarize_function,
 )
 from .rwset import Key, ReadWriteSet, VersionedReadSet
-from .sanitizer import SanitizerReport, access_checker, check_coverage
+from .sanitizer import SanitizerReport, access_checker, check_coverage, constraint_checker
 from .slicer import SliceResult, slice_function
 from .symbolic import (
     AccessSite,
@@ -43,12 +48,16 @@ __all__ = [
     "CacheReader",
     "CFG",
     "ConflictMatrix",
+    "ConflictPredicate",
     "CrossValidation",
     "FunctionSummary",
     "IRAccessSite",
     "Key",
+    "KeyConstraint",
+    "KeyFact",
     "OptimizationReport",
     "PathReport",
+    "RequestFacts",
     "ReadWriteSet",
     "SanitizerReport",
     "SliceResult",
@@ -59,6 +68,8 @@ __all__ = [
     "build_cfg",
     "build_conflict_matrix",
     "check_coverage",
+    "conflict_witness",
+    "constraint_checker",
     "cross_validate",
     "derive_rwset",
     "extract_access_sites",

@@ -20,7 +20,10 @@ Layers, bottom up:
   ``DB_PUT`` / ``RW_*``) with back-traced key operands, cross-validated
   against the AST symbolic report.
 * :mod:`~repro.analysis.ir.summary` — per-function key-pattern summaries,
-  the cross-function conflict matrix and the shard-affinity predictor.
+  the cross-function conflict matrix, the shard-affinity predictor, and
+  the argument-sensitive conflict predicates (read-only / commutative
+  classification, instantiable key constraints) behind the router's
+  in-network conflict detection.
 """
 
 from .cfg import CFG, BasicBlock, build_cfg, static_gas
@@ -28,17 +31,24 @@ from .dataflow import (
     ConstantLattice,
     DataflowAnalysis,
     DefiniteAssignment,
+    IntervalAnalysis,
     Liveness,
     ReachingDefinitions,
+    access_key_intervals,
     solve,
 )
 from .optimizer import OptimizationReport, optimize
-from .access import IRAccessSite, CrossValidation, extract_access_sites, cross_validate
+from .access import IRAccessSite, CrossValidation, SymValue, extract_access_sites, cross_validate
 from .summary import (
     ConflictMatrix,
+    ConflictPredicate,
     FunctionSummary,
+    KeyConstraint,
+    KeyFact,
     KeyPattern,
+    RequestFacts,
     build_conflict_matrix,
+    conflict_witness,
     summarize_function,
 )
 
@@ -46,18 +56,26 @@ __all__ = [
     "BasicBlock",
     "CFG",
     "ConflictMatrix",
+    "ConflictPredicate",
     "ConstantLattice",
     "CrossValidation",
     "DataflowAnalysis",
     "DefiniteAssignment",
     "FunctionSummary",
     "IRAccessSite",
+    "IntervalAnalysis",
+    "KeyConstraint",
+    "KeyFact",
     "KeyPattern",
     "Liveness",
     "OptimizationReport",
     "ReachingDefinitions",
+    "RequestFacts",
+    "SymValue",
+    "access_key_intervals",
     "build_cfg",
     "build_conflict_matrix",
+    "conflict_witness",
     "cross_validate",
     "extract_access_sites",
     "optimize",

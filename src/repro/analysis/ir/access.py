@@ -33,8 +33,14 @@ class SymValue:
     """Abstract operand value: a tagged, hashable mini-term.
 
     ``kind`` is one of ``const`` (payload: the value), ``param`` /
-    ``local`` (payload: the name), ``format`` (payload: tuple of parts), or
-    ``unknown`` (payload: the producing opcode, informational only).
+    ``local`` (payload: the name), ``format`` (payload: tuple of parts),
+    ``dbread`` (payload: the read site's ``(table, key)`` SymValues — a
+    pure function of the value read there, possibly with a constant
+    default), ``incr`` (payload: ``(base, delta)`` — a dbread-rooted value
+    plus a storage-independent delta; what the commutative-write
+    classifier looks for), or ``unknown`` (payload: the producing opcode,
+    informational only).  ``dbread``/``incr`` render as ``{?}`` so key
+    patterns are unchanged by their introduction.
     """
 
     kind: str
@@ -48,7 +54,19 @@ class SymValue:
 
     @staticmethod
     def join(a: "SymValue", b: "SymValue") -> "SymValue":
-        return a if a == b else SymValue.UNKNOWN
+        if a == b:
+            return a
+        # A dbread joined with a constant keeps its dbread identity: it
+        # still denotes "a pure function of the value read at that site,
+        # possibly defaulted" — the idiom behind ``v = db_get(...); if v
+        # is None: v = 0``.  Only the commutative-write classifier looks
+        # at dbread payloads, and the defaulted read commutes the same
+        # way the raw read does.
+        if a.kind in ("dbread", "incr") and b.kind == "const":
+            return a
+        if b.kind in ("dbread", "incr") and a.kind == "const":
+            return b
+        return SymValue.UNKNOWN
 
     def pattern(self) -> str:
         """Human/matcher-facing rendering, ``{…}`` for non-constant parts."""
@@ -103,6 +121,7 @@ class IRAccessSite:
     table: Optional[str]          # concrete table name, or None if opaque
     key: SymValue
     in_loop: bool                 # site may execute more than once
+    value: Optional[SymValue] = None  # written operand (write sites only)
 
     @property
     def key_pattern(self) -> str:
@@ -122,6 +141,23 @@ class IRAccessSite:
 _READ_OPS = {Op.DB_GET: "read", Op.RW_READ: "read"}
 _WRITE_OPS = {Op.DB_PUT: "write", Op.RW_WRITE: "write"}
 _ACCESS_OPS = {**_READ_OPS, **_WRITE_OPS}
+
+# Delta operands whose value cannot depend on storage state.
+_PURE_DELTA_KINDS = ("const", "param")
+
+
+def _incr_of(lhs: SymValue, rhs: SymValue) -> SymValue:
+    """Symbolic result of ``lhs + rhs``.
+
+    When one operand is dbread-rooted and the other is a
+    storage-independent delta, the sum is an ``incr`` term — the shape the
+    commutative-write classifier recognises.  Anything else is unknown.
+    """
+    if lhs.kind in ("dbread", "incr") and rhs.kind in _PURE_DELTA_KINDS:
+        return SymValue("incr", (lhs, rhs))
+    if rhs.kind in ("dbread", "incr") and lhs.kind in _PURE_DELTA_KINDS:
+        return SymValue("incr", (rhs, lhs))
+    return SymValue.UNKNOWN
 
 
 def _transfer(
@@ -180,8 +216,7 @@ def _transfer(
                 stack.append(SymValue("format", tuple(flat)))
         elif op in _ACCESS_OPS:
             extra = 1 if (op in (Op.DB_PUT,) or (op == Op.RW_WRITE and instr.arg == 3)) else 0
-            if extra:
-                pop()  # the written value (evaluated only for nested reads)
+            value = pop() if extra else None  # the written operand
             key = pop()
             table = pop()
             if sites is not None and pc not in sites:
@@ -192,8 +227,18 @@ def _transfer(
                     table=str(table.payload) if table.is_concrete() else None,
                     key=key,
                     in_loop=block.index in loop_blocks,
+                    value=value,
                 )
-            stack.append(SymValue.UNKNOWN)
+            if op in _READ_OPS:
+                # The read result is a pure function of its (table, key)
+                # site — remember that so the commutative-write classifier
+                # can recognise read-modify-write increments.
+                stack.append(SymValue("dbread", (table, key)))
+            else:
+                stack.append(SymValue.UNKNOWN)
+        elif op == Op.BINOP and instr.arg == "+":
+            rhs, lhs = pop(), pop()
+            stack.append(_incr_of(lhs, rhs))
         elif op in (Op.BINOP, Op.COMPARE):
             popn(2)
             stack.append(SymValue.UNKNOWN)

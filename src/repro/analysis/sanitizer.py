@@ -20,11 +20,11 @@ and the chaos matrix can assert on them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from .rwset import Key, ReadWriteSet
 
-__all__ = ["SanitizerReport", "check_coverage", "access_checker"]
+__all__ = ["SanitizerReport", "check_coverage", "access_checker", "constraint_checker"]
 
 
 @dataclass(frozen=True)
@@ -119,5 +119,30 @@ def access_checker(
         elif kind == "write":
             if k not in predicted_writes:
                 violations.append(("write", table, key))
+
+    return hook
+
+
+def constraint_checker(
+    read_facts: Sequence, violations: List[Tuple[str, str, str]]
+) -> Callable[[str, str, str], None]:
+    """Build a VM access hook that checks each storage access against a
+    request's *instantiated key constraints* (``KeyFact`` objects from
+    :mod:`repro.analysis.ir.summary`) instead of a concrete rw-set.
+
+    This is the conflict-detection flavour of :func:`access_checker`: a
+    lock-skipped request promised the router it would only read keys
+    admitted by its static constraints, so any read outside every fact —
+    or any write at all (only read-only functions may skip locks) — is a
+    soundness violation and lands in ``violations``.
+    """
+    facts = list(read_facts)
+
+    def hook(kind: str, table: str, key: str) -> None:
+        if kind == "write":
+            violations.append(("write", table, key))
+            return
+        if kind == "read" and not any(f.covers(table, key) for f in facts):
+            violations.append(("read", table, key))
 
     return hook

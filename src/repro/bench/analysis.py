@@ -27,7 +27,7 @@ from __future__ import annotations
 import copy
 import random
 import statistics
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from ..analysis import (
     build_conflict_matrix,
@@ -47,7 +47,9 @@ from ..wasm import VM
 __all__ = [
     "ANALYSIS_INPUTS",
     "EXPECTED_ANALYZABLE",
+    "EXPECTED_LOCK_SKIPPABLE",
     "analysis_gate_failures",
+    "conflict_density",
     "run_analysis_corpus",
 ]
 
@@ -57,6 +59,11 @@ ANALYSIS_INPUTS = 10
 #: The seed corpus analyzes all 27 functions; a drop means an analyzer
 #: regression (the smoke gate's "analyzable -> fallback" check).
 EXPECTED_ANALYZABLE = 27
+
+#: Floor on statically lock-skippable functions (read-only with a fully
+#: precise conflict predicate): the seed corpus proves 14, so dropping
+#: below 8 means the key-constraint analysis lost real precision.
+EXPECTED_LOCK_SKIPPABLE = 8
 
 
 class _ReplayEnv:
@@ -86,6 +93,19 @@ def _store_reader(store: KVStore) -> Callable[[str, str], Any]:
 
 def _round(x: float) -> float:
     return round(x, 4)
+
+
+def conflict_density(matrix: Dict[str, Any]) -> float:
+    """Fraction of distinct function pairs the matrix cannot prove
+    non-conflicting — the precision figure the gate tracks.  Self-pairs
+    are excluded (a writer trivially conflicts with itself), so a sharper
+    analysis strictly lowers the number."""
+    names = matrix["names"]
+    total = len(names) * (len(names) - 1) // 2
+    if not total:
+        return 0.0
+    conflicting = sum(1 for a, b in matrix["conflicting_pairs"] if a != b)
+    return _round(conflicting / total)
 
 
 def run_analysis_corpus(
@@ -194,10 +214,23 @@ def run_analysis_corpus(
     matrix = build_conflict_matrix(
         sorted(matrix_summaries, key=lambda s: s.name)
     )
+    kind_totals: Dict[str, int] = {}
+    for r in rows:
+        for kind, n in r.get("summary", {}).get("constraint_kinds", {}).items():
+            kind_totals[kind] = kind_totals.get(kind, 0) + n
+    matrix_dict = matrix.to_dict()
     aggregate = {
         "functions": len(rows),
         "analyzable": sum(1 for r in rows if r["analyzable"]),
         "single_shard_affine": sum(1 for r in rows if r.get("single_shard_affine")),
+        "lock_skippable": sum(
+            1 for r in rows if r.get("summary", {}).get("lock_skippable")
+        ),
+        "commutative_writes": sum(
+            1 for r in rows if r.get("summary", {}).get("commutative_writes")
+        ),
+        "constraint_kinds": kind_totals,
+        "conflict_density": conflict_density(matrix_dict),
         "static_key_functions": sorted(
             r["function"]
             for r in rows
@@ -224,7 +257,7 @@ def run_analysis_corpus(
         "inputs_per_function": inputs_per_function,
         "functions": rows,
         "aggregate": aggregate,
-        "conflict_matrix": matrix.to_dict(),
+        "conflict_matrix": matrix_dict,
         "checks": {
             "unsound_executions": unsound_total,
             "gas_regressions": sorted(set(gas_regressions)),
@@ -234,12 +267,35 @@ def run_analysis_corpus(
     }
 
 
-def analysis_gate_failures(payload: Dict[str, Any]) -> List[str]:
+def _baseline_density() -> Optional[float]:
+    """Conflict density of the checked-in ``results/analysis.json`` (the
+    precision the gate defends), or None when no artifact exists yet."""
+    import json
+    import os
+
+    from .report import results_dir
+
+    path = os.path.join(results_dir(), "analysis.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        baseline = json.load(fh)
+    matrix = baseline.get("conflict_matrix")
+    if not matrix or "names" not in matrix:
+        return None
+    return conflict_density(matrix)
+
+
+def analysis_gate_failures(
+    payload: Dict[str, Any], baseline_density: Optional[float] = None
+) -> List[str]:
     """The smoke gate: the reasons this corpus run must fail CI (empty
     list = healthy).  Checked facts: no function regressed from analyzable
     to fallback, optimized gas never exceeds unoptimized, optimized and
     unoptimized slices agree on every rw-set, zero unsound executions,
-    and the three engines cross-validate."""
+    the three engines cross-validate, enough of the corpus stays
+    lock-skippable, and the conflict matrix never gets *denser* than the
+    checked-in artifact (precision is a ratchet, not a suggestion)."""
     problems: List[str] = []
     checks = payload["checks"]
     agg = payload["aggregate"]
@@ -248,6 +304,24 @@ def analysis_gate_failures(payload: Dict[str, Any]) -> List[str]:
         problems.append(
             f"analyzable regression: {agg['analyzable']}/{agg['functions']} "
             f"functions analyzable, expected at least {expected}"
+        )
+    skippable = agg.get("lock_skippable", 0)
+    if skippable < EXPECTED_LOCK_SKIPPABLE:
+        problems.append(
+            f"lock-skippable regression: {skippable} function(s), expected "
+            f"at least {EXPECTED_LOCK_SKIPPABLE}"
+        )
+    if baseline_density is None:
+        baseline_density = _baseline_density()
+    density = agg.get("conflict_density")
+    if (
+        baseline_density is not None
+        and density is not None
+        and density > baseline_density + 1e-9
+    ):
+        problems.append(
+            f"conflict matrix got denser: {density} vs checked-in "
+            f"{baseline_density} (analysis lost precision)"
         )
     if checks["gas_regressions"]:
         problems.append(f"optimized gas above unoptimized: {checks['gas_regressions']}")

@@ -373,6 +373,11 @@ def _chaos_main(argv: List[str]) -> int:
                         help="clients per region per case")
     parser.add_argument("--shards", type=int, default=1,
                         help="near-storage shard count for every case")
+    parser.add_argument("--detect", action="store_true",
+                        help="run every case with in-network conflict "
+                             "detection on (dirty-set router fast path + "
+                             "read replicas); adds the sanitizer and "
+                             "dirty-set-balance verdicts")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the case results JSON to PATH "
                              "(default: results/chaos.json)")
@@ -408,6 +413,7 @@ def _chaos_main(argv: List[str]) -> int:
                 requests_per_client=args.requests,
                 clients_per_region=args.clients,
                 shards=args.shards,
+                detect=args.detect,
             )
             for seed in range(args.seeds)
         ]
@@ -546,18 +552,31 @@ def _analyze_main(argv: List[str]) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run: 3 inputs per function, no "
                              "results file")
+    parser.add_argument("--explain", metavar="FUNCTION", default=None,
+                        help="explain one function's static verdict: its "
+                             "key constraints, read-only/commutativity "
+                             "classification, and a witness for every "
+                             "pair it may conflict with")
     args = parser.parse_args(argv)
+
+    if args.explain is not None:
+        return _explain_function(args.explain)
 
     from .analysis.ir.summary import ConflictMatrix
     from .bench import (
         ANALYSIS_INPUTS,
         analysis_gate_failures,
+        conflict_density,
         print_table,
         run_analysis_corpus,
         save_results,
     )
+    from .bench.analysis import _baseline_density
 
     inputs = args.inputs or (3 if args.smoke else ANALYSIS_INPUTS)
+    # The density ratchet compares against the artifact on disk, so read
+    # it *before* save_results overwrites it below.
+    baseline_density = _baseline_density()
     payload = run_analysis_corpus(inputs_per_function=inputs, seed=args.seed)
 
     rows = []
@@ -597,6 +616,20 @@ def _analyze_main(argv: List[str]) -> int:
     )
     print(f"sanitizer: {payload['aggregate']['unsound_executions']} unsound "
           f"execution(s)")
+    kinds = payload["aggregate"]["constraint_kinds"]
+    print(
+        f"conflict predicates: {payload['aggregate']['lock_skippable']} "
+        f"function(s) lock-skippable, "
+        f"{payload['aggregate']['commutative_writes']} with commutative "
+        f"writes; constraint kinds "
+        + ", ".join(f"{k}={kinds[k]}" for k in sorted(kinds) if kinds[k])
+    )
+    density = payload["aggregate"]["conflict_density"]
+    print(
+        f"conflict-matrix density: {density:.4f}"
+        + (f" (checked-in: {baseline_density:.4f})"
+           if baseline_density is not None else "")
+    )
 
     cm = payload["conflict_matrix"]
     hits = {tuple(pair) for pair in cm["conflicting_pairs"]}
@@ -614,10 +647,90 @@ def _analyze_main(argv: List[str]) -> int:
     if not args.smoke:
         save_results("analysis", payload)
         print("\nresults written to results/analysis.json")
-    failures = analysis_gate_failures(payload)
+    failures = analysis_gate_failures(payload, baseline_density=baseline_density)
     for msg in failures:
         print(f"FAIL {msg}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _explain_function(function_id: str) -> int:
+    """``radical-repro analyze --explain fn`` — one function's static
+    story: every key constraint the dataflow solver proved, the
+    read-only / commutative-write classification, the lock-skip verdict,
+    and a concrete witness for every function it may conflict with."""
+    from .analysis.ir.summary import conflict_witness
+    from .apps import all_apps
+    from .core.registry import FunctionRegistry
+
+    registry = FunctionRegistry()
+    records = {}
+    for app in all_apps():
+        for fn in app.functions:
+            records[fn.function_id] = registry.register(fn.spec)
+    if function_id not in records:
+        print(f"unknown function {function_id!r}; corpus functions:",
+              file=sys.stderr)
+        for name in sorted(records):
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    analyzed = records[function_id].analyzed
+    if not analyzed.analyzable:
+        print(f"{function_id}: not analyzable ({analyzed.error})")
+        return 1
+    summary = analyzed.summary
+    print(f"{function_id}")
+    print(f"  analyzable:         yes")
+    print(f"  read-only:          {'yes' if summary.read_only else 'no'}")
+    print(f"  commutative writes: "
+          f"{'yes' if summary.commutative_writes else 'no'}")
+    print(f"  single-key:         {'yes' if summary.single_key else 'no'}")
+    if summary.static_key is not None:
+        table, key = summary.static_key
+        print(f"  static key:         {table}/{key} (shard known at "
+              f"registration)")
+    verdict = "yes" if summary.lock_skippable else "no"
+    why = ""
+    if not summary.lock_skippable:
+        if not summary.read_only:
+            why = " (it writes)"
+        elif summary.predicate is None or not summary.predicate.precise:
+            why = " (a constraint degenerates to 'any')"
+    print(f"  lock-skippable:     {verdict}{why}")
+
+    print("\n  key constraints (argument-sensitive):")
+    if summary.predicate is None or not summary.predicate.constraints:
+        print("    (none — the function touches no storage)")
+    else:
+        for c in summary.predicate.constraints:
+            print(f"    {c.describe()}")
+
+    print("\n  may-conflict witnesses:")
+    clean = True
+    for other_id in sorted(records):
+        if other_id == function_id:
+            continue
+        other = records[other_id].analyzed
+        if not other.analyzable or other.summary is None:
+            continue
+        witness = conflict_witness(summary, other.summary)
+        if witness is None:
+            continue
+        clean = False
+        writer, wpat, reader, rpat = witness
+        print(f"    vs {other_id}: {writer} writes "
+              f"{wpat.table}/{wpat.pattern}, {reader} touches "
+              f"{rpat.table}/{rpat.pattern}")
+    if clean:
+        print("    (none — provably conflict-free against the whole corpus)")
+    return 0
+
+
+def _lint_main(argv: List[str]) -> int:
+    """``radical-repro lint`` — determinism lint over the simulation core
+    (see repro.analysis.lint): no wall clocks, no ambient randomness."""
+    from .analysis.lint import main as lint_main
+
+    return lint_main(argv)
 
 
 def _kernelbench_main(argv: List[str]) -> int:
@@ -837,6 +950,7 @@ _SUBCOMMANDS = {
     "mesh": _mesh_main,
     "kernelbench": _kernelbench_main,
     "analyze": _analyze_main,
+    "lint": _lint_main,
 }
 
 

@@ -112,6 +112,17 @@ class RadicalConfig:
     sanitize_rwset: bool = True
     affinity_fast_path: bool = True
 
+    # In-network conflict detection (Harmonia-style, via the ShardRouter's
+    # dirty set of in-flight write constraints).  Off by default so every
+    # frozen experiment timeline is byte-identical.  With detection on,
+    # read-only requests whose instantiated key constraints provably miss
+    # every in-flight writer skip lock acquisition and may be served by
+    # any read replica of their shard; ``read_replicas`` is the number of
+    # LVI server instances per shard sharing that shard's store (1 = just
+    # the primary; replicas only ever serve lock-skipped reads).
+    conflict_detection: bool = False
+    read_replicas: int = 1
+
     def server_processing_budget(self, lock_count: int) -> float:
         """Extra latency the replicated server adds to one LVI request:
         3 + 2.3 * L ms (§5.6)."""

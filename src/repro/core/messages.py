@@ -58,6 +58,8 @@ class LVIRequest:
         "write_keys",
         "versions",
         "origin_region",
+        "skip_locks",
+        "read_facts",
     )
 
     def __init__(
@@ -69,6 +71,12 @@ class LVIRequest:
         write_keys: Tuple[Key, ...],
         versions: Dict[Key, int],  # cached version per read key
         origin_region: str,
+        # Conflict-detection fast path: the router's dirty probe cleared
+        # this read-only request, so the server may validate without
+        # acquiring locks; ``read_facts`` are the instantiated KeyFacts
+        # the request promised to stay inside (sanitizer-enforced).
+        skip_locks: bool = False,
+        read_facts: Tuple[Any, ...] = (),
     ):
         self.execution_id = execution_id
         self.function_id = function_id
@@ -77,6 +85,8 @@ class LVIRequest:
         self.write_keys = write_keys
         self.versions = versions
         self.origin_region = origin_region
+        self.skip_locks = skip_locks
+        self.read_facts = read_facts
 
     @property
     def lock_count(self) -> int:
@@ -108,6 +118,7 @@ class LVIResponse:
         "fresh",
         "backup_read_versions",
         "backup_write_versions",
+        "bounced",
     )
 
     def __init__(
@@ -123,6 +134,11 @@ class LVIResponse:
         fresh: Dict[Key, FreshItem] = None,
         backup_read_versions: Dict[Key, int] = None,
         backup_write_versions: Dict[Key, int] = None,
+        # Conflict-detection path: the server declined a lock-skipped
+        # request (dirty probe hit, or a replica was asked for a locked
+        # flow) without mutating any state; the runtime must retry through
+        # the primary's full locked path.
+        bounced: bool = False,
     ):
         self.execution_id = execution_id
         self.ok = ok
@@ -134,6 +150,7 @@ class LVIResponse:
         self.backup_write_versions = (
             {} if backup_write_versions is None else backup_write_versions
         )
+        self.bounced = bounced
 
 
 class WriteFollowup:

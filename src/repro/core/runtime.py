@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..analysis import check_coverage, derive_rwset
+from ..analysis import KeyFact, check_coverage, derive_rwset
 from ..errors import GasExhausted, OverloadedError, ProtocolError, UnavailableError, VMTrap
 from ..faults.retry import AdaptiveLimiter, CircuitBreaker, RetryPolicy
 from ..sim import Metrics, Network, RandomStreams, RequestBatcher, RpcTimeout, Simulator
@@ -72,6 +72,9 @@ class _SingleShardRouter:
         return 0
 
     def endpoint(self, shard: int) -> str:
+        return self._endpoint
+
+    def read_endpoint(self, shard: int) -> str:
         return self._endpoint
 
 
@@ -460,18 +463,58 @@ class NearUserRuntime:
             self.metrics.incr("affinity.fast_path")
         else:
             shards = sorted({self.router.shard_of(t, k) for (t, k) in all_keys})
-        if len(shards) > 1:
-            outcome = yield from self._invoke_cross_shard(
+        # In-network conflict detection: a writer enrolls its instantiated
+        # write constraints in the router's dirty set *before* the request
+        # is sent, so a reader's probe can never miss an in-flight write.
+        # A read-only request whose constraints provably miss every
+        # enrolled writer skips lock acquisition and may be served by any
+        # read replica of its shard.
+        detector = getattr(self.router, "detector", None)
+        writer = detector is not None and bool(rwset.writes)
+        if writer:
+            detector.enroll(
+                shards if shards else [0], execution_id,
+                self._writer_facts(record, args, rwset),
+            )
+        skip_facts = None
+        if detector is not None and not writer and len(shards) <= 1:
+            skip_facts = self._skip_facts(record, args, rwset, versions)
+            if skip_facts is not None and detector.probe(
+                shards[0] if shards else 0, skip_facts
+            ):
+                # Runtime-side probe hit: an in-flight writer may touch
+                # our keys, so take the ordinary locked path.
+                skip_facts = None
+        try:
+            if len(shards) > 1:
+                outcome = yield from self._invoke_cross_shard(
+                    record, args, execution_id, invoked_at, deadline_at,
+                    rwset, versions, spec_env, spec_trace, exec_ms, frw_ms, shards,
+                )
+                return outcome
+            shard0 = shards[0] if shards else 0
+            primary = self.router.endpoint(shard0)
+            dst = self.router.read_endpoint(shard0) if skip_facts is not None else primary
+            outcome = yield from self._invoke_single(
                 record, args, execution_id, invoked_at, deadline_at,
-                rwset, versions, spec_env, spec_trace, exec_ms, frw_ms, shards,
+                rwset, versions, spec_env, spec_trace, exec_ms, frw_ms, dst,
+                skip_facts=skip_facts, primary_dst=primary,
             )
             return outcome
-        dst = self.router.endpoint(shards[0] if shards else 0)
-        outcome = yield from self._invoke_single(
-            record, args, execution_id, invoked_at, deadline_at,
-            rwset, versions, spec_env, spec_trace, exec_ms, frw_ms, dst,
-        )
-        return outcome
+        except _CrossShardStale:
+            # The attempt aborted globally (presumed abort: without a
+            # commit record its staged writes can never apply) — its
+            # enrollment settles; the restart enrolls afresh.
+            if writer:
+                detector.settle(execution_id)
+            raise
+        except UnavailableError:
+            # Outcome unknown (the server may yet validate and apply via
+            # its intent timer): keep the entry forever rather than risk
+            # an unsound probe miss.
+            if writer:
+                detector.leak(execution_id)
+            raise
 
     def _invoke_single(
         self,
@@ -487,11 +530,14 @@ class NearUserRuntime:
         exec_ms: float,
         frw_ms: float,
         dst: str,
+        skip_facts=None,
+        primary_dst: Optional[str] = None,
     ) -> Generator:
         """The seed's one-RPC fast path against a single LVI server."""
         cfg = self.config
         obs = self.sim.obs
         function_id = record.function_id
+        detector = getattr(self.router, "detector", None)
         request = LVIRequest(
             execution_id=execution_id,
             function_id=function_id,
@@ -500,6 +546,8 @@ class NearUserRuntime:
             write_keys=tuple(rwset.writes),
             versions=versions,
             origin_region=self.region,
+            skip_locks=skip_facts is not None,
+            read_facts=tuple(skip_facts) if skip_facts is not None else (),
         )
 
         has_miss = any(v == -1 for v in versions.values())
@@ -510,6 +558,10 @@ class NearUserRuntime:
             response = yield from self._call_with_retry(request, deadline_at, "lvi", dst=dst, batch=True)
             if obs.enabled:
                 obs.phase("phase.lvi_rtt", start_ms=rtt_started, miss=True)
+            if detector is not None:
+                # The backup execution applied any writes before replying:
+                # fate known, the enrollment settles (no-op for readers).
+                detector.settle(execution_id)
             outcome = self._finish_backup(response, invoked_at, frw_ms, record, PATH_MISS)
             return outcome
 
@@ -543,8 +595,33 @@ class NearUserRuntime:
             if obs.enabled:
                 obs.phase("phase.exec", start_ms=exec_started, function=function_id)
 
+        if skip_facts is not None and response.bounced:
+            # A replica declined the lock-skipped request (arrival-time
+            # probe hit) without touching any state: retry the full locked
+            # path at the shard primary under the same execution id.
+            self.metrics.incr("router.skip_bounced")
+            request = LVIRequest(
+                execution_id=execution_id,
+                function_id=function_id,
+                args=tuple(args),
+                read_keys=tuple(rwset.reads),
+                write_keys=tuple(rwset.writes),
+                versions=versions,
+                origin_region=self.region,
+            )
+            rtt_started = self.sim.now
+            response = yield from self._call_with_retry(
+                request, deadline_at, "lvi",
+                dst=primary_dst if primary_dst is not None else dst, batch=True,
+            )
+            if obs.enabled:
+                obs.phase("phase.lvi_rtt", start_ms=rtt_started, bounced=True)
+
         if not response.ok:
             self.metrics.incr("path.backup")
+            if detector is not None:
+                # Backup execution applied the writes before replying.
+                detector.settle(execution_id)
             outcome = self._finish_backup(response, invoked_at, frw_ms, record, PATH_BACKUP)
             return outcome
 
@@ -571,6 +648,10 @@ class NearUserRuntime:
                 yield from self._send_followup(execution_id, writes, dst)
                 if obs.enabled:
                     obs.phase("phase.followup", start_ms=followup_started)
+        elif detector is not None:
+            # Read-only validation success: nothing was ever in flight for
+            # this execution (settle is a no-op unless it enrolled).
+            detector.settle(execution_id)
 
         return InvocationOutcome(
             result=spec_trace.result,
@@ -727,6 +808,8 @@ class NearUserRuntime:
         # intent plus its lease query guarantees it applies — so the client
         # is answered on the recorded decision, not the fan-out.
         others = [s for s in shards if s != coord]
+        detector = getattr(self.router, "detector", None)
+        lost = 0
         if others:
             statuses = yield from self._gather_decisions(
                 execution_id, others, deadline_at
@@ -734,6 +817,13 @@ class NearUserRuntime:
             lost = sum(1 for s in statuses if s is None)
             if lost:
                 self.metrics.incr("xshard.decision_lost", lost)
+        if detector is not None:
+            if lost:
+                # A participant whose decision ack was lost applies via its
+                # lease at an unknowable time: the entry must outlive it.
+                detector.leak(execution_id)
+            else:
+                detector.settle(execution_id)
         if obs.enabled:
             obs.phase("phase.xshard_commit", start_ms=commit_started,
                       shards=len(shards))
@@ -916,6 +1006,7 @@ class NearUserRuntime:
     def _send_followup(self, execution_id: str, writes, dst: Optional[str] = None) -> Generator:
         followup = WriteFollowup(execution_id=execution_id, writes=tuple(writes))
         policy = self._policy
+        detector = getattr(self.router, "detector", None)
         if dst is None:
             dst = self.server_name
         attempt = 0
@@ -926,6 +1017,10 @@ class NearUserRuntime:
                     self.name, dst, followup,
                     timeout=self.config.rpc_timeout_ms,
                 )
+                if detector is not None:
+                    # The ack means the followup was applied (or the intent
+                    # already settled another way): fate known.
+                    detector.settle(execution_id)
                 return
             except RpcTimeout:
                 # Followup losses never feed the breaker: the client is
@@ -933,6 +1028,10 @@ class NearUserRuntime:
                 # writes land even if every retry dies (§3.4).
                 if attempt >= policy.max_attempts:
                     self.metrics.incr("followup.lost")
+                    if detector is not None:
+                        # The timer will apply the writes at an unknowable
+                        # future time: the dirty entry must outlive them.
+                        detector.leak(execution_id)
                     return
                 self.metrics.incr("followup.retry")
                 yield self.sim.timeout(policy.backoff_ms(attempt, self._retry_rng))
@@ -953,8 +1052,21 @@ class NearUserRuntime:
         )
         self.metrics.incr("path.direct")
         obs = self.sim.obs
+        # A direct execution's access set is unknown until it runs: enroll
+        # the universal fact so every probe conservatively hits while it
+        # is in flight.
+        detector = getattr(self.router, "detector", None)
+        if detector is not None:
+            detector.enroll([0], execution_id, (KeyFact(None, "any"),))
         rtt_started = self.sim.now
-        response = yield from self._call_with_retry(request, deadline_at, "direct")
+        try:
+            response = yield from self._call_with_retry(request, deadline_at, "direct")
+        except UnavailableError:
+            if detector is not None:
+                detector.leak(execution_id)
+            raise
+        if detector is not None:
+            detector.settle(execution_id)
         if obs.enabled:
             obs.phase("phase.direct_rtt", start_ms=rtt_started, function=record.function_id)
         return InvocationOutcome(
@@ -998,6 +1110,43 @@ class NearUserRuntime:
                 self.cache.install(table, key, None)
             else:
                 self.cache.install(table, key, Item(item.value, item.version))
+
+    def _writer_facts(self, record, args, rwset) -> Tuple[KeyFact, ...]:
+        """Instantiated write constraints to enroll in the dirty set.
+
+        Prefers the static predicate's write facts (argument-sensitive,
+        possibly a prefix/interval wider than this invocation's concrete
+        writes — wider is sound, it only costs probe precision); falls
+        back to exact facts over the concrete predicted write set, which
+        f^rw's own sanitized soundness makes a correct bound.
+        """
+        summary = getattr(record.analyzed, "summary", None) if record.analyzed else None
+        predicate = getattr(summary, "predicate", None)
+        if predicate is not None:
+            facts = predicate.instantiate(list(args))
+            if facts.writes and facts.covers_writes(rwset.writes):
+                return facts.writes
+        return tuple(KeyFact(t, "exact", k) for (t, k) in rwset.writes)
+
+    def _skip_facts(self, record, args, rwset, versions) -> Optional[Tuple[KeyFact, ...]]:
+        """Instantiated read constraints iff this request may skip locks.
+
+        Eligible only when the function is statically read-only with a
+        fully precise predicate, this invocation's concrete predicted read
+        set is covered by the instantiated facts, and every read hit the
+        cache (a miss takes the full path anyway).  Any failure of the
+        soundness chain downstream — an access outside these facts during
+        re-execution — is a hard protocol failure, not a fallback.
+        """
+        if rwset.writes or any(v == -1 for v in versions.values()):
+            return None
+        summary = getattr(record.analyzed, "summary", None) if record.analyzed else None
+        if summary is None or not getattr(summary, "lock_skippable", False):
+            return None
+        facts = summary.predicate.instantiate(list(args))
+        if not facts.precise or not facts.covers_reads(rwset.reads):
+            return None
+        return facts.reads
 
     def _check_prediction(self, record, rwset, trace) -> None:
         """The analyzer's contract: predicted sets cover the actual ones.

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from ..analysis.sanitizer import constraint_checker
 from ..errors import ConditionFailed, OverloadedError, ProtocolError
 from ..raft import RaftCluster
 from ..sim import Batched, Metrics, Network, RandomStreams, Region, RpcTimeout, Simulator
@@ -92,6 +93,7 @@ class LVIServer:
         raft_cluster: Optional[RaftCluster] = None,
         external_hub=None,
         shard: int = 0,
+        replica: bool = False,
     ):
         self.sim = sim
         self.net = net
@@ -108,7 +110,17 @@ class LVIServer:
         self._jitter = (streams or RandomStreams(0)).stream(f"server.{name}.exec")
         self.raft = raft_cluster
         self.external_hub = external_hub  # shared with the near-user runtimes
-        if self.config.replicated and self.raft is None:
+        # Read replica (conflict detection): shares the shard primary's
+        # KVStore object but owns no locks, intents, or raft state — it
+        # only ever serves lock-skipped read-only requests and bounces
+        # everything else back to the primary.
+        self.replica = replica
+        # Injected by the deployment when conflict detection is on: the
+        # shared in-network ConflictDetector this server re-probes at
+        # request arrival (authoritative — writers enroll before sending,
+        # so an arrival-time probe can never miss an in-flight writer).
+        self.detector = None
+        if self.config.replicated and self.raft is None and not replica:
             raise ProtocolError("replicated config requires a raft cluster")
         # execution_id -> (function_id, args) retained while an intent is
         # pending so the re-execution path has its inputs.
@@ -314,6 +326,31 @@ class LVIServer:
             self._seen_requests.add(req.execution_id)
             self.metrics.incr("lvi.settled_replay")
             return NO_REPLY
+        if self.replica and not req.skip_locks:
+            # A replica only ever serves lock-skipped reads; anything else
+            # must run at the primary.  Decline before touching any state
+            # so the runtime's retry through the primary starts clean.
+            self.metrics.incr("router.replica_bounce")
+            return LVIResponse(execution_id=req.execution_id, ok=False, bounced=True)
+        if req.skip_locks:
+            hit = self.detector is not None and self.detector.probe(
+                self.shard, req.read_facts
+            )
+            if not hit:
+                self._seen_requests.add(req.execution_id)
+                response = yield from self._serve_lock_free(req)
+                self._reply_cache[req.execution_id] = response
+                return response
+            if self.replica:
+                # Arrival-time probe hit: a replica cannot fall back to the
+                # locked path (its lock table is not the shard's) — bounce
+                # with state untouched; the runtime retries at the primary.
+                self.metrics.incr("router.replica_bounce")
+                return LVIResponse(
+                    execution_id=req.execution_id, ok=False, bounced=True
+                )
+            # Probe hit at the primary: serve through the full locked path.
+            self.metrics.incr("router.skip_fallback")
         self._seen_requests.add(req.execution_id)
         record = self.registry.get(req.function_id)
         obs = self.sim.obs
@@ -431,6 +468,71 @@ class LVIServer:
         )
         self._reply_cache[req.execution_id] = response
         return response
+
+    def _serve_lock_free(self, req: LVIRequest) -> Generator:
+        """Validate a detector-cleared read-only request without locks.
+
+        Sound because (a) the arrival-time dirty probe proved no in-flight
+        writer can touch a key this request's constraints admit, and
+        (b) ``batch_versions`` reads every version in one synchronous
+        virtual instant, so the observed cut is consistent even though no
+        read locks are held.  The backup path (stale cache) re-executes
+        under the request's *instantiated key constraints*: any access
+        outside them — or any write at all — means the static summary that
+        cleared the skip was unsound, which is a hard protocol failure.
+        """
+        obs = self.sim.obs
+        self.metrics.incr("router.lock_skipped")
+        validate_started = self.sim.now
+        yield self.sim.timeout(self.config.server_storage_rtt_ms)
+        read_keys = list(req.read_keys)
+        authoritative = self.store.batch_versions(read_keys)
+        stale = [
+            k for k in read_keys if authoritative.get(k, 0) != req.versions.get(k, -1)
+        ]
+        if obs.enabled:
+            obs.span_at(
+                "server.validate", validate_started, self.sim.now,
+                kind="server", stale=len(stale), ok=not stale, lock_free=True,
+            )
+        if not stale:
+            self.metrics.incr("validation.success")
+            return LVIResponse(
+                execution_id=req.execution_id,
+                ok=True,
+                validated_versions={k: authoritative[k] for k in read_keys},
+            )
+        self.metrics.incr("validation.failure")
+        record = self.registry.get(req.function_id)
+        env = PrimaryEnv(self.store)
+        backup_started = self.sim.now
+        yield self.sim.timeout(self._exec_time(record))
+        violations: List[Tuple[str, str, str]] = []
+        trace = VM(
+            env, gas_limit=self.config.gas_limit,
+            external=self._external_for(req.execution_id),
+            access_hook=constraint_checker(req.read_facts, violations),
+        ).execute(record.f, list(req.args))
+        if violations:
+            self.metrics.incr("analysis.unsound")
+            raise ProtocolError(
+                f"lock-skipped {req.function_id} escaped its static key "
+                f"constraints: {violations[:3]}"
+            )
+        if obs.enabled:
+            obs.span_at(
+                "server.backup_exec", backup_started, self.sim.now,
+                kind="exec", function=req.function_id, lock_free=True,
+            )
+        fresh = self._collect_fresh(stale, [])
+        return LVIResponse(
+            execution_id=req.execution_id,
+            ok=False,
+            result=trace.result,
+            fresh=fresh,
+            backup_read_versions=dict(env.read_versions),
+            backup_write_versions=dict(env.write_versions),
+        )
 
     def _persist_locks_via_raft(self, execution_id: str, keys: List[Key]) -> Generator:
         """§5.6: every lock is a serial Raft commit (~2.3 ms each) — or,

@@ -130,6 +130,13 @@ class ChaosCaseResult:
     mr_violations: int = 0         # monotonic-reads breaches
     causal_violations: int = 0     # causal-cut breaches across PoP logs
     migrations: int = 0            # client re-attachments (forced + failover)
+    # Conflict-detection verdicts (None when the case ran without a
+    # detector, and then omitted from to_dict so pre-detection artifacts
+    # keep their bytes): the dirty set must balance at quiescence — every
+    # writer enrollment settled or deliberately leaked, zero live depth.
+    dirty_balanced: Optional[bool] = None
+    lock_skipped: Optional[int] = None
+    dirty: Optional[Dict[str, int]] = None
 
     @property
     def availability(self) -> float:
@@ -158,9 +165,17 @@ class ChaosCaseResult:
             and self.leaked_locks == 0
             and self.sanitizer_ok
             and self.session_ok
+            and self.dirty_balanced is not False
         )
 
     def to_dict(self) -> Dict[str, Any]:
+        detect_fields: Dict[str, Any] = {}
+        if self.dirty_balanced is not None:
+            detect_fields = {
+                "dirty_balanced": self.dirty_balanced,
+                "lock_skipped": self.lock_skipped,
+                "dirty": self.dirty,
+            }
         return {
             "plan": self.plan,
             "seed": self.seed,
@@ -192,12 +207,17 @@ class ChaosCaseResult:
             "mr_violations": self.mr_violations,
             "causal_violations": self.causal_violations,
             "migrations": self.migrations,
+            **detect_fields,
             "ok": self.ok,
             "counters": self.counters,
         }
 
 
-def chaos_config(replicated: bool = False, overload: bool = False) -> RadicalConfig:
+def chaos_config(
+    replicated: bool = False,
+    overload: bool = False,
+    detect: bool = False,
+) -> RadicalConfig:
     """The tightened knobs chaos cases run under: per-attempt timeouts
     short enough to retry inside a fault window, a deadline that bounds
     every invocation, and a breaker that opens quickly under blackout.
@@ -210,6 +230,11 @@ def chaos_config(replicated: bool = False, overload: bool = False) -> RadicalCon
     timeout, so admitted requests never time out in the queue and
     recovery after a surge is immediate), and a 32-wide AIMD client
     limiter so one region's surge cannot monopolize the server.
+
+    ``detect`` turns on in-network conflict detection (the dirty-set
+    router fast path plus two read replicas per shard) — the same safety
+    claims must then hold with part of the read traffic bypassing the
+    lock table entirely.
     """
     return RadicalConfig(
         service_jitter_sigma=0.0,
@@ -229,6 +254,8 @@ def chaos_config(replicated: bool = False, overload: bool = False) -> RadicalCon
         admission_sojourn_ms=100.0 if overload else 0.0,
         limiter_max_inflight=32 if overload else 0,
         limiter_decrease_cooldown_ms=200.0,
+        conflict_detection=detect,
+        read_replicas=3 if detect else 1,
     )
 
 
@@ -446,6 +473,7 @@ def run_chaos_case(
     think_ms: float = 10.0,
     config: Optional[RadicalConfig] = None,
     shards: int = 1,
+    detect: bool = False,
     recovery_horizon_ms: Optional[float] = None,
     on_metrics: Optional[Callable[[Any], None]] = None,
 ) -> ChaosCaseResult:
@@ -455,6 +483,13 @@ def run_chaos_case(
     tier (keys hash across shards; the correctness claims are unchanged —
     a sharded deployment must be exactly as serializable and exactly-once
     as the seed's single server).
+
+    ``detect`` runs the case with in-network conflict detection on: the
+    exact same fault plan, but provably non-conflicting reads skip lock
+    acquisition and may be served by read replicas.  Every correctness
+    claim is unchanged, and two verdicts are added — the runtime
+    sanitizer must not flag a single lock-skipped escape, and the dirty
+    set must balance at quiescence.
 
     For overload plans, ``recovery_horizon_ms`` is the grace period after
     the last overload window closes before the metastability check starts
@@ -466,7 +501,9 @@ def run_chaos_case(
     and the breaker must have had time to re-close; only past both is
     lingering degradation metastable rather than residual.
     """
-    cfg = config or chaos_config(replicated=plan.replicated, overload=plan.overload)
+    cfg = config or chaos_config(
+        replicated=plan.replicated, overload=plan.overload, detect=detect
+    )
     overload_windows = plan.overload_windows()
     mesh_spec: Optional[MeshSpec] = None
     if plan.mesh:
@@ -737,6 +774,8 @@ def run_chaos_case(
         "limiter.grow", "limiter.reject", "limiter.shed",
         "analysis.unsound", "analysis.overapprox", "analysis.wasted_locks",
         "affinity.fast_path",
+        "router.lock_skipped", "router.conflict_hit", "router.skip_fallback",
+        "router.replica_bounce", "router.skip_bounced",
         "mesh.gossip_sent", "mesh.gossip_timeout", "mesh.updates_shipped",
         "mesh.updates_applied", "mesh.updates_buffered", "mesh.session_stale",
         "mesh.cut_fetched", "mesh.cut_unsatisfied", "mesh.cut_timeout",
@@ -744,6 +783,7 @@ def run_chaos_case(
     )
     unsound = metrics.counter("analysis.unsound")
     counters = {k: metrics.counter(k) for k in wanted if metrics.counter(k)}
+    detector = dep.router.detector if dep.router is not None else None
     lat = sorted(tally.latencies)
     return ChaosCaseResult(
         plan=plan.name,
@@ -775,6 +815,11 @@ def run_chaos_case(
         mr_violations=len(mr_msgs),
         causal_violations=len(causal_msgs),
         migrations=tally.migrations,
+        dirty_balanced=detector.dirty.balanced if detector is not None else None,
+        lock_skipped=(
+            metrics.counter("router.lock_skipped") if detector is not None else None
+        ),
+        dirty=detector.dirty.stats() if detector is not None else None,
     )
 
 

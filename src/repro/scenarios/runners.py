@@ -284,6 +284,19 @@ def _run_scalability(p: Dict[str, Any]) -> Dict[str, Any]:
     )
 
 
+def _run_readscale(p: Dict[str, Any]) -> Dict[str, Any]:
+    from ..bench import sweep_readscale
+
+    return sweep_readscale(
+        shard_counts=tuple(p["shard_counts"]),
+        rate_rps_per_region=p["rate_rps_per_region"],
+        duration_ms=p["duration_ms"],
+        read_replicas=p["read_replicas"],
+        seed=p["seed"],
+        save=False,
+    )
+
+
 def _run_overload(p: Dict[str, Any]) -> Dict[str, Any]:
     from ..bench import sweep_overload
 
@@ -323,6 +336,7 @@ def _run_chaos(p: Dict[str, Any]) -> Dict[str, Any]:
                 requests_per_client=p["requests"],
                 clients_per_region=p["clients"],
                 shards=p["shards"],
+                detect=p["detect"],
             ))
     return {"shards": p["shards"], "cases": [r.to_dict() for r in results]}
 
@@ -571,6 +585,20 @@ def _present_scalability(payload: Dict[str, Any]) -> None:
     )
 
 
+def _present_readscale(payload: Dict[str, Any]) -> None:
+    from ..bench import print_table
+
+    print_table(
+        ["series", "shards", "throughput (rps)", "median (ms)", "p99 (ms)",
+         "lock skips", "conflict hits", "bounces"],
+        [[p["series"], p["shards"], p["throughput_rps"], round(p["median_ms"], 1),
+          round(p["p99_ms"], 1), p["lock_skipped"], p["conflict_hits"],
+          p["replica_bounces"]] for p in payload["points"]],
+        title=f"Read scaling: conflict detection on/off, "
+              f"{payload['read_replicas']} read replica(s)/shard",
+    )
+
+
 def _present_overload(payload: Dict[str, Any]) -> None:
     from ..bench import print_table
 
@@ -710,6 +738,12 @@ def _gate_scalability(payload: Dict[str, Any]) -> List[str]:
         if base and pts[top] < base:
             failures.append(f"{series}: {top}-shard throughput below 1-shard")
     return failures
+
+
+def _gate_readscale(payload: Dict[str, Any]) -> List[str]:
+    from ..bench import readscale_gate_failures
+
+    return readscale_gate_failures(payload)
 
 
 def _gate_overload(payload: Dict[str, Any]) -> List[str]:
@@ -915,6 +949,25 @@ _register(ScenarioKind(
 ))
 
 _register(ScenarioKind(
+    name="readscale",
+    params={
+        "shard_counts": _p("list", [1, 2, 4, 8], element="int"),
+        "rate_rps_per_region": _p("number", 250.0),
+        "duration_ms": _p("number", 4_000.0),
+        "read_replicas": _p("int", 3),
+        "seed": _p("int", 42),
+    },
+    run=_run_readscale,
+    present=_present_readscale,
+    required_keys=("points[].series", "points[].shards",
+                   "points[].throughput_rps", "points[].lock_skipped",
+                   "read_replicas"),
+    gate=_gate_readscale,
+    smoke_defaults={"shard_counts": [1, 2], "rate_rps_per_region": 100.0,
+                    "duration_ms": 1_500.0},
+))
+
+_register(ScenarioKind(
     name="overload",
     params={
         "rates": _p("list", [40.0, 60.0, 80.0, 100.0, 120.0, 160.0],
@@ -955,6 +1008,7 @@ _register(ScenarioKind(
         "requests": _p("int", 25),
         "clients": _p("int", 1),
         "shards": _p("int", 1),
+        "detect": _p("bool", False),
         "extra_plans": _p("list", None, element="dict"),
     },
     run=_run_chaos,

@@ -8,11 +8,20 @@ commit rule.
 """
 
 from .deployment import ASSIGNMENT_POLICIES, Deployment, PopAssignment, TopologySpec
-from .shardmap import HashShardMap, RangeShardMap, ShardMap, ShardRouter
+from .shardmap import (
+    ConflictDetector,
+    DirtySet,
+    HashShardMap,
+    RangeShardMap,
+    ShardMap,
+    ShardRouter,
+)
 
 __all__ = [
     "ASSIGNMENT_POLICIES",
+    "ConflictDetector",
     "Deployment",
+    "DirtySet",
     "HashShardMap",
     "PopAssignment",
     "RangeShardMap",

@@ -46,7 +46,7 @@ from ..sim import (
     resolve_rtt_dataset,
 )
 from ..storage import KVStore, NearUserCache
-from .shardmap import HashShardMap, ShardMap, ShardRouter
+from .shardmap import ConflictDetector, HashShardMap, ShardMap, ShardRouter
 
 __all__ = [
     "ASSIGNMENT_POLICIES",
@@ -258,6 +258,7 @@ class Deployment:
         self.registry: FunctionRegistry
         self.stores: List[KVStore] = []
         self.servers: List[LVIServer] = []
+        self.replicas: List[LVIServer] = []
         self.router: Optional[ShardRouter] = None
         self.caches: Dict[str, NearUserCache] = {}
         self.runtimes: Dict[str, NearUserRuntime] = {}
@@ -351,8 +352,34 @@ class Deployment:
                     raft_cluster=self.raft if k == 0 else None, shard=k,
                 )
             )
-        if spec.shards > 1:
+        if spec.shards > 1 or cfg.conflict_detection:
             self.router = ShardRouter(shard_map, [s.name for s in self.servers])
+        if cfg.conflict_detection:
+            # In-network conflict detection: one shared detector sits on
+            # the request path of every runtime and server (writers enroll
+            # before sending; servers re-probe at arrival).  Read replicas
+            # share the shard's store object but own no locks or intents —
+            # they only serve lock-skipped reads.  A replicated (Raft)
+            # deployment keeps a single serving instance per shard: its
+            # lock records live in the Raft log, which replicas bypass.
+            detector = ConflictDetector(metrics=self.metrics)
+            self.router.detector = detector
+            n_replicas = 1 if cfg.replicated else max(1, cfg.read_replicas)
+            for k in range(spec.shards):
+                primary = self.servers[k]
+                primary.detector = detector
+                rotation = [primary.name]
+                for i in range(1, n_replicas):
+                    r = LVIServer(
+                        sim, self.net, self.registry, self.stores[k], cfg,
+                        self.streams, self.metrics,
+                        name=f"{primary.name}-r{i}",
+                        region=spec.primary_region, shard=k, replica=True,
+                    )
+                    r.detector = detector
+                    self.replicas.append(r)
+                    rotation.append(r.name)
+                self.router.register_read_endpoints(k, rotation)
 
         pop_regions = spec.resolved_pop_regions()
         if spec.mesh is not None and spec.mesh.enabled:

@@ -1,0 +1,76 @@
+"""Determinism lint: the mechanical ban on wall clocks and ambient RNG."""
+
+from repro.analysis.lint import (
+    DETERMINISTIC_PACKAGES,
+    lint_source,
+    lint_tree,
+    repo_root,
+)
+
+
+def _codes(source):
+    return [v.code for v in lint_source(source)]
+
+
+class TestLintRules:
+    def test_wall_clock_time(self):
+        assert _codes("import time\nt = time.time()\n") == ["DET001"]
+        assert _codes("import time\nt = time.monotonic_ns()\n") == ["DET001"]
+
+    def test_wall_clock_datetime(self):
+        assert _codes(
+            "import datetime\nd = datetime.datetime.now()\n") == ["DET002"]
+        assert _codes(
+            "from datetime import datetime\nd = datetime.utcnow()\n"
+        ) == ["DET002"]
+
+    def test_module_level_random(self):
+        assert _codes("import random\nx = random.random()\n") == ["DET003"]
+        assert _codes("import random\nx = random.shuffle(items)\n") == ["DET003"]
+        assert _codes("import random\nx = random.SystemRandom()\n") == ["DET003"]
+
+    def test_seeded_instance_is_legal(self):
+        assert _codes("import random\nrng = random.Random(42)\n") == []
+        assert _codes(
+            "import random\nrng = random.Random(1)\nx = rng.random()\n") == []
+
+    def test_local_attributes_do_not_false_positive(self):
+        # `self.random`, `time` as a variable, strings, comments.
+        clean = (
+            "class A:\n"
+            "    def f(self):\n"
+            "        return self.random.choice([1])\n"
+            "time = 5  # a local named time\n"
+            "s = 'time.time() in a string'\n"
+        )
+        assert _codes(clean) == []
+
+    def test_unparseable_module_is_reported(self):
+        assert _codes("def f(:\n") == ["DET000"]
+
+
+class TestLintScope:
+    def test_simulation_core_is_clean(self):
+        assert lint_tree(repo_root()) == []
+
+    def test_scope_names_real_packages(self):
+        import os
+
+        for package in DETERMINISTIC_PACKAGES:
+            assert os.path.isdir(os.path.join(repo_root(), package))
+
+
+class TestLintCli:
+    def test_subcommand_clean_run(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint"]) == 0
+        assert "determinism lint clean" in capsys.readouterr().out
+
+    def test_subcommand_flags_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "DET001" in capsys.readouterr().out
